@@ -1,0 +1,90 @@
+"""F1 — the small-to-large continuum (Figure 1).
+
+One design, one runtime, infrastructure sizes spanning three orders of
+magnitude.  Reproduced shape: simulation cost grows roughly linearly with
+the number of bound sensors while the design and implementations stay
+fixed; the home-scale application costs microseconds per event.
+"""
+
+import time
+
+from repro.apps.cooker import build_cooker_app
+from repro.apps.parking import build_parking_app
+
+SCALES = {
+    "home (3 entities)": None,  # cooker app
+    "street (1 lot, 50 spaces)": {"A22": 50},
+    "district (10 lots, 500 spaces)": {f"L{i}": 50 for i in range(10)},
+    "city (50 lots, 2500 spaces)": {f"L{i}": 50 for i in range(50)},
+}
+
+
+def simulate_hour(capacities):
+    app = build_parking_app(
+        capacities=capacities, seed=1, environment_step_seconds=300.0
+    )
+    start = time.perf_counter()
+    app.advance(3600)
+    elapsed = time.perf_counter() - start
+    return app, elapsed
+
+
+def test_continuum_scaling(table, benchmark):
+    def run_series():
+        rows = []
+        elapsed_by_size = {}
+        cooker = build_cooker_app(threshold_seconds=600)
+        start = time.perf_counter()
+        cooker.advance(3600)
+        home_elapsed = time.perf_counter() - start
+        rows.append(
+            ("home (3 entities)", 3, f"{home_elapsed * 1e3:.1f} ms",
+             "cooker")
+        )
+        for label, capacities in SCALES.items():
+            if capacities is None:
+                continue
+            app, elapsed = simulate_hour(capacities)
+            sensors = app.sensor_count
+            elapsed_by_size[sensors] = elapsed
+            rows.append(
+                (label, sensors, f"{elapsed * 1e3:.1f} ms", "parking")
+            )
+        return rows, elapsed_by_size
+
+    rows, elapsed_by_size = benchmark.pedantic(
+        run_series, rounds=1, iterations=1
+    )
+    table(
+        "F1: one stack across the continuum (1 simulated hour)",
+        ("scale", "sensors", "wall time", "design"),
+        rows,
+    )
+    # Shape: the city costs more than the street, but the stack holds at
+    # every scale (no blow-up beyond ~linear).
+    assert elapsed_by_size[2500] > elapsed_by_size[50]
+    assert elapsed_by_size[2500] < elapsed_by_size[50] * 500
+
+
+def test_bench_home_scale_hour(benchmark):
+    def run():
+        app = build_cooker_app(threshold_seconds=600)
+        app.advance(3600)
+        return app
+
+    app = benchmark(run)
+    assert app.application.stats["context_activations"]["Alert"] == 3600
+
+
+def test_bench_city_scale_sweep(benchmark):
+    app = build_parking_app(
+        capacities={f"L{i}": 50 for i in range(20)},
+        seed=2,
+        environment_step_seconds=600.0,
+    )
+
+    def sweep():
+        app.advance(600)
+
+    benchmark(sweep)
+    assert app.application.stats["gather_sweeps"] > 0

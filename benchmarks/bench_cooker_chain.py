@@ -1,0 +1,85 @@
+"""F3 — the cooker monitoring functional chains (Figure 3).
+
+Reproduced shape: both chains execute end to end; per-event dispatch cost
+through the full SCC chain (source → context → controller → action) is
+small and constant.
+"""
+
+from repro.apps.cooker import build_cooker_app
+
+
+def test_bench_alert_chain_per_tick(benchmark):
+    """Clock tick → Alert (with cooker query) per-event cost."""
+    app = build_cooker_app(threshold_seconds=10 ** 9)
+    app.environment.set_cooker(True)
+    instance = app.application.registry.get("wall-clock")
+
+    tick = iter(range(10 ** 9))
+
+    def fire():
+        instance.publish("tickSecond", next(tick))
+
+    benchmark(fire)
+    assert app.application.stats["context_activations"]["Alert"] > 0
+
+
+def test_bench_full_notify_chain(benchmark):
+    """Threshold crossing through Notify to the prompter."""
+    app = build_cooker_app(threshold_seconds=1, renotify_seconds=1)
+    app.environment.set_cooker(True)
+    instance = app.application.registry.get("wall-clock")
+    tick = iter(range(10 ** 9))
+
+    def fire():
+        instance.publish("tickSecond", next(tick))
+
+    benchmark(fire)
+    assert app.prompter_driver.displayed
+
+
+def test_bench_turn_off_chain(benchmark):
+    """Answer → RemoteTurnOff → TurnOff → Cooker.off."""
+    app = build_cooker_app(threshold_seconds=1)
+    app.environment.set_cooker(True)
+    app.advance(2)
+    prompter = app.prompter_driver
+
+    def answer_cycle():
+        app.environment.set_cooker(True)
+        prompter.answer("yes", question_id="q1")
+
+    benchmark(answer_cycle)
+    assert not app.cooker_on
+    assert app.turn_off.turn_offs > 0
+
+
+def test_chain_latency_report(table, benchmark):
+    """Deterministic single-shot latency of both chains in virtual time:
+    the alert fires exactly at the threshold, and actuation follows the
+    answer instantly (synchronous dispatch)."""
+
+    def run_scenario():
+        app = build_cooker_app(threshold_seconds=120)
+        app.environment.set_cooker(True)
+        app.advance(119)
+        before = len(app.prompter_driver.displayed)
+        app.advance(1)
+        fired = len(app.prompter_driver.displayed) == before + 1
+        app.prompter_driver.answer("yes")
+        return app, fired
+
+    app, fired_at_threshold = benchmark.pedantic(
+        run_scenario, rounds=1, iterations=1
+    )
+    table(
+        "F3: functional chain behaviour",
+        ("chain", "observed"),
+        [
+            ("Clock->Alert->Notify->TVPrompter",
+             "alert exactly at threshold" if fired_at_threshold else "late"),
+            ("TVPrompter->RemoteTurnOff->TurnOff->Cooker",
+             "cooker off" if not app.cooker_on else "cooker still on"),
+        ],
+    )
+    assert fired_at_threshold
+    assert not app.cooker_on

@@ -1,0 +1,79 @@
+"""F4/F8/F10/F11 — the parking management pipeline.
+
+Reproduced shape: one 10-minute gathering sweep (poll → group →
+MapReduce → publish → panel updates) scales roughly linearly in sensor
+count, and the full paper-scale application simulates a day quickly.
+"""
+
+import time
+
+from repro.apps.parking import build_parking_app
+
+
+def make_app(sensors_per_lot=40, lots=3):
+    capacities = {f"L{i:02d}": sensors_per_lot for i in range(lots)}
+    return build_parking_app(
+        capacities=capacities, seed=3, environment_step_seconds=600.0
+    )
+
+
+def test_bench_single_sweep_paper_scale(benchmark):
+    app = make_app(sensors_per_lot=40, lots=3)
+
+    def sweep():
+        app.advance(600)
+
+    benchmark(sweep)
+    assert all(panel.history for panel in app.entrance_panels.values())
+
+
+def test_bench_single_sweep_city_scale(benchmark):
+    app = make_app(sensors_per_lot=50, lots=40)
+
+    def sweep():
+        app.advance(600)
+
+    benchmark(sweep)
+    assert app.sensor_count == 2000
+
+
+def test_bench_full_day_paper_scale(benchmark):
+    def day():
+        app = build_parking_app(
+            seed=4, occupancy_window="6 hr", environment_step_seconds=600.0
+        )
+        app.advance(24 * 3600)
+        return app
+
+    app = benchmark.pedantic(day, rounds=3, iterations=1)
+    assert app.messenger.messages  # daily occupancy reports went out
+
+
+def test_sweep_scaling_series(table, benchmark):
+    def run_series():
+        rows = []
+        timings = {}
+        for sensors_per_lot, lots in [(25, 2), (50, 4), (50, 16), (50, 40)]:
+            app = make_app(sensors_per_lot, lots)
+            app.advance(600)  # warm
+            start = time.perf_counter()
+            for __ in range(5):
+                app.advance(600)
+            elapsed = (time.perf_counter() - start) / 5
+            total = sensors_per_lot * lots
+            timings[total] = elapsed
+            rows.append(
+                (total, lots, f"{elapsed * 1e3:.2f} ms",
+                 f"{total / elapsed / 1e3:.0f}k readings/s")
+            )
+        return rows, timings
+
+    rows, timings = benchmark.pedantic(run_series, rounds=1, iterations=1)
+    table(
+        "F4: gathering-sweep cost vs infrastructure size",
+        ("sensors", "lots", "sweep time", "throughput"),
+        rows,
+    )
+    sizes = sorted(timings)
+    # Shape: roughly linear growth — 40x sensors within ~120x time.
+    assert timings[sizes[-1]] < timings[sizes[0]] * 120

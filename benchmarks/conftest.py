@@ -1,0 +1,45 @@
+"""Shared benchmark helpers.
+
+Every benchmark prints the series/rows it reproduces (the paper is a
+methodology paper, so the 'tables' are ours: scaling series, ratios,
+latencies) in addition to pytest-benchmark's timing table.  Shape
+assertions — who wins, how things grow — run inside the benchmarks so a
+regression fails loudly rather than silently producing a different
+conclusion.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+
+def format_table(title, headers, rows):
+    widths = [
+        max(len(str(header)), *(len(str(row[i])) for row in rows))
+        for i, header in enumerate(headers)
+    ]
+    lines = [f"\n== {title} =="]
+    header_line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rows:
+        lines.append(
+            "  ".join(str(c).ljust(w) for c, w in zip(row, widths))
+        )
+    return "\n".join(lines) + "\n"
+
+
+@pytest.fixture
+def table(capfd):
+    """Print a reproduction table, bypassing pytest's output capture so
+    the rows appear in the benchmark log even without ``-s``."""
+
+    def emit(title, headers, rows):
+        text = format_table(title, headers, rows)
+        with capfd.disabled():
+            sys.stdout.write(text)
+            sys.stdout.flush()
+
+    return emit

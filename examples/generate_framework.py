@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""The design compiler in action (Section V, Figures 9-11).
+
+Compiles the cooker-monitoring design into its customized Python
+programming framework and the developer stub skeleton, writes both under
+``build/generated/``, and prints the generated-code accounting behind the
+paper's "up to 80 %" productivity claim.
+
+Run:  python examples/generate_framework.py
+"""
+
+import os
+
+from repro.apps.cooker import DESIGN_SOURCE
+from repro.codegen import generate_framework, generate_stubs, measure_generation
+
+OUTPUT_DIR = os.path.join("build", "generated")
+
+
+def main():
+    framework_source = generate_framework(DESIGN_SOURCE, "CookerMonitoring")
+    stub_source = generate_stubs(
+        DESIGN_SOURCE, "CookerMonitoring",
+        framework_module="cooker_framework",
+    )
+
+    os.makedirs(OUTPUT_DIR, exist_ok=True)
+    framework_path = os.path.join(OUTPUT_DIR, "cooker_framework.py")
+    stubs_path = os.path.join(OUTPUT_DIR, "cooker_impl_stubs.py")
+    with open(framework_path, "w", encoding="utf-8") as handle:
+        handle.write(framework_source)
+    with open(stubs_path, "w", encoding="utf-8") as handle:
+        handle.write(stub_source)
+
+    print(f"framework -> {framework_path} "
+          f"({len(framework_source.splitlines())} lines)")
+    print(f"stubs     -> {stubs_path} "
+          f"({len(stub_source.splitlines())} lines)")
+
+    print("\nGenerated artifacts (Figure 9 correspondence):")
+    for line in framework_source.splitlines():
+        if line.startswith("class Abstract") or "ValuePublishable" in line:
+            print("  " + line.rstrip(" :"))
+
+    # The productivity claim: compare against a typical implementation
+    # (the bundled cooker app's handwritten logic + devices).
+    import inspect
+
+    from repro.apps.cooker import devices, logic
+
+    handwritten = inspect.getsource(logic) + inspect.getsource(devices)
+    report = measure_generation(DESIGN_SOURCE, handwritten,
+                                name="CookerMonitoring")
+    print("\nGenerated-code accounting (paper §V: 'up to 80%'):")
+    print(f"  design:      {report.design_loc:4d} LoC of DiaSpec")
+    print(f"  generated:   {report.generated_loc:4d} LoC of Python")
+    print(f"  handwritten: {report.handwritten_loc:4d} LoC of Python")
+    print(f"  generated share of application: "
+          f"{report.generated_ratio:.1%}")
+    print(f"  leverage: {report.leverage:.1f} lines generated per design "
+          "line")
+
+
+if __name__ == "__main__":
+    main()

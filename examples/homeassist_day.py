@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""The assisted-living case study: a day with HomeAssist.
+
+Motion sensors per room and door contact sensors feed four contexts:
+activity levels (served on demand), inactivity alerts, night-wandering
+detection (which lights the way), and door-left-open alerts.  The
+scenario scripts two incidents: an afternoon fall (long inactivity) and
+a night-time walk to the hallway.
+
+Run:  python examples/homeassist_day.py
+"""
+
+from repro.apps.homeassist import build_homeassist_app
+
+
+def stamp(app):
+    now = app.application.clock.now()
+    return f"{int(now // 3600) % 24:02d}:{int(now % 3600 // 60):02d}"
+
+
+def main():
+    app = build_homeassist_app(inactivity_threshold_minutes=60)
+
+    print("--- Morning: normal routine ---")
+    app.advance(11 * 3600)
+    print(f"{stamp(app)}  activity levels (query-driven):")
+    for level in app.application.query_context("ActivityLevel"):
+        bar = "#" * int(level.level * 20)
+        print(f"         {level.room:<12} {level.level:4.2f} {bar}")
+
+    print("\n--- Afternoon: the resident falls (no motion anywhere) ---")
+    app.environment.force_room("nowhere")
+    app.advance(2 * 3600)
+    for level, message in app.notifications.sent:
+        print(f"{stamp(app)}  [{level}] {message}")
+    assert any(level == "URGENT" for level, __ in app.notifications.sent)
+
+    print("\n--- Evening: recovered; caregiver resolved the incident ---")
+    app.environment.force_room(None)
+    app.advance(9 * 3600)
+
+    print("\n--- Night: wandering to the hallway at 23:30 ---")
+    target = 23.5 * 3600
+    app.advance(target - app.application.clock.now())
+    app.environment.force_room("hallway")
+    app.advance(300)
+    print(f"{stamp(app)}  lamp(HALLWAY) is "
+          + ("ON" if app.lamp("HALLWAY").is_on else "OFF"))
+    assert app.lamp("HALLWAY").is_on
+
+    print("\n--- And the front door was left open ---")
+    app.front_door.set_open(True)
+    app.advance(20 * 60)
+    door_alerts = [m for __, m in app.notifications.sent if "door" in m]
+    for message in door_alerts:
+        print(f"{stamp(app)}  [WARNING] {message}")
+    assert door_alerts
+
+    print(f"\ntotal caregiver notifications: {len(app.notifications.sent)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Quickstart: design, analyze, implement, run — in fifty lines.
+
+A minimal Sense-Compute-Control application: a temperature sensor feeds a
+threshold context; when the room overheats, a controller starts the fan.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import analyze
+from repro.runtime import Application, CallableDriver, Context, Controller
+
+DESIGN = """
+device Thermometer {
+    attribute room as RoomEnum;
+    source temperature as Float;
+}
+
+device Fan {
+    attribute room as RoomEnum;
+    action On;
+    action Off;
+}
+
+enumeration RoomEnum { KITCHEN, BEDROOM }
+
+context Overheat as Float {
+    when provided temperature from Thermometer
+    maybe publish;
+}
+
+controller FanController {
+    when provided Overheat
+    do On on Fan;
+}
+"""
+
+
+class OverheatContext(Context):
+    """Publishes the temperature when it crosses 28 degrees."""
+
+    def on_temperature_from_thermometer(self, event, discover):
+        if event.value > 28.0:
+            print(f"  [context]    {event.device.room}: {event.value:.1f} C "
+                  "is too hot -> publish")
+            return event.value
+        return None
+
+
+class FanController(Controller):
+    """Starts every fan in the overheating room."""
+
+    def on_overheat(self, temperature, discover):
+        fans = discover.fans()
+        print(f"  [controller] starting {len(fans)} fan(s)")
+        fans.on()
+
+
+def main():
+    design = analyze(DESIGN)
+    print("Design analyzed:", ", ".join(sorted(design.contexts)),
+          "/", ", ".join(sorted(design.controllers)))
+
+    app = Application(design)
+    app.implement("Overheat", OverheatContext())
+    app.implement("FanController", FanController())
+
+    fan_state = {"running": False}
+    thermometer = app.create_device(
+        "Thermometer", "therm-kitchen",
+        CallableDriver(sources={"temperature": lambda: 22.0}),
+        room="KITCHEN",
+    )
+    app.create_device(
+        "Fan", "fan-kitchen",
+        CallableDriver(actions={
+            "On": lambda: fan_state.__setitem__("running", True),
+            "Off": lambda: fan_state.__setitem__("running", False),
+        }),
+        room="KITCHEN",
+    )
+    app.start()
+
+    print("\nPushing readings (event-driven delivery):")
+    for reading in (22.0, 25.5, 29.3):
+        print(f"  [sensor]     temperature = {reading} C")
+        thermometer.publish("temperature", reading)
+
+    print(f"\nFan running: {fan_state['running']}")
+    assert fan_state["running"]
+    print("Quickstart OK.")
+
+
+if __name__ == "__main__":
+    main()

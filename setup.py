@@ -1,0 +1,9 @@
+"""Setup shim for environments without PEP 517 build isolation.
+
+``pip install -e . --no-build-isolation --no-use-pep517`` works offline;
+configuration lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

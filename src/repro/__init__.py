@@ -1,0 +1,55 @@
+"""repro — a reproduction of "Internet of Things: From Small- to Large-Scale
+Orchestration" (Consel & Kabáč, ICDCS 2017).
+
+The package implements the paper's complete tool chain:
+
+* :mod:`repro.lang` — the DiaSpec design language (lexer, parser, AST,
+  pretty-printer);
+* :mod:`repro.sema` — semantic analysis enforcing the Sense-Compute-Control
+  paradigm;
+* :mod:`repro.codegen` — the design compiler that generates customized
+  Python programming frameworks;
+* :mod:`repro.runtime` — the inversion-of-control runtime: entity binding,
+  the three data-delivery models, grouping/windowing, actuation;
+* :mod:`repro.mapreduce` — the MapReduce engine behind ``grouped by ...
+  with map ... reduce ...``;
+* :mod:`repro.simulation` — simulated environments, sensors and failure
+  injection used in place of physical deployments;
+* :mod:`repro.apps` — the paper's case-study applications (cooker
+  monitoring, parking management) plus the avionics and assisted-living
+  domains it cites.
+
+Quickstart::
+
+    from repro import analyze
+    from repro.runtime import Application
+
+    design = analyze(open("design.diaspec").read())
+    app = Application(design)
+    ...
+"""
+
+from repro.errors import (
+    DiaSpecError,
+    DiaSpecSyntaxError,
+    ReproError,
+    SccViolationError,
+    SemanticError,
+)
+from repro.lang import parse, pretty
+from repro.sema import AnalyzedSpec, analyze
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalyzedSpec",
+    "DiaSpecError",
+    "DiaSpecSyntaxError",
+    "ReproError",
+    "SccViolationError",
+    "SemanticError",
+    "__version__",
+    "analyze",
+    "parse",
+    "pretty",
+]

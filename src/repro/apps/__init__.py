@@ -1,0 +1,19 @@
+"""Case-study applications across the orchestration scale continuum.
+
+The paper grounds its approach in applications "ranging from an automated
+pilot in avionics, to an assisted living platform for the home of seniors,
+to a parking management system in a smart city" (Section I), and works
+through two of them in detail.  Each subpackage bundles the DiaSpec
+design, the context/controller implementations written against the
+runtime, the simulated devices, and a builder that assembles a runnable
+application:
+
+* :mod:`repro.apps.cooker` — cooker monitoring (small scale; Figures 3, 5,
+  7, 9);
+* :mod:`repro.apps.parking` — city parking management (large scale;
+  Figures 4, 6, 8, 10, 11);
+* :mod:`repro.apps.avionics` — automated pilot (cited case study [9]);
+* :mod:`repro.apps.homeassist` — assisted living (cited case study [10]).
+"""
+
+__all__ = ["avionics", "cooker", "homeassist", "parking"]

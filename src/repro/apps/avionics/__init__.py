@@ -1,0 +1,49 @@
+"""Automated pilot: the avionics case study the paper cites as [9]."""
+
+from repro.apps.avionics.app import AvionicsApp, build_avionics_app
+from repro.apps.avionics.design import DESIGN_SOURCE, get_design
+from repro.apps.avionics.devices import (
+    AileronDriver,
+    AirspeedSensorDriver,
+    AltimeterDriver,
+    AnnunciatorDriver,
+    ElevatorDriver,
+    FlightControlPanelDriver,
+    HeadingSensorDriver,
+    ThrottleDriver,
+)
+from repro.apps.avionics.logic import (
+    PID,
+    AileronControllerImpl,
+    AirspeedHoldContext,
+    AlarmControllerImpl,
+    AltitudeHoldContext,
+    ElevatorControllerImpl,
+    EnvelopeProtectionContext,
+    HeadingHoldContext,
+    ThrottleControllerImpl,
+)
+
+__all__ = [
+    "AileronControllerImpl",
+    "AileronDriver",
+    "AirspeedHoldContext",
+    "AirspeedSensorDriver",
+    "AlarmControllerImpl",
+    "AltimeterDriver",
+    "AltitudeHoldContext",
+    "AnnunciatorDriver",
+    "AvionicsApp",
+    "DESIGN_SOURCE",
+    "ElevatorControllerImpl",
+    "ElevatorDriver",
+    "EnvelopeProtectionContext",
+    "FlightControlPanelDriver",
+    "HeadingHoldContext",
+    "HeadingSensorDriver",
+    "PID",
+    "ThrottleControllerImpl",
+    "ThrottleDriver",
+    "build_avionics_app",
+    "get_design",
+]

@@ -1,0 +1,125 @@
+"""Assembly of the automated-pilot application."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.apps.avionics.design import DESIGN_SOURCE, get_design
+from repro.apps.avionics.devices import (
+    AileronDriver,
+    AirspeedSensorDriver,
+    AltimeterDriver,
+    AnnunciatorDriver,
+    ElevatorDriver,
+    FlightControlPanelDriver,
+    HeadingSensorDriver,
+    ThrottleDriver,
+)
+from repro.apps.avionics.logic import (
+    AirspeedHoldContext,
+    AlarmControllerImpl,
+    AileronControllerImpl,
+    AltitudeHoldContext,
+    ElevatorControllerImpl,
+    EnvelopeProtectionContext,
+    HeadingHoldContext,
+    ThrottleControllerImpl,
+)
+from repro.runtime.app import Application
+from repro.runtime.clock import SimulationClock
+from repro.simulation.environment import FlightEnvironment
+
+
+@dataclass
+class AvionicsApp:
+    """A runnable autopilot with its simulated aircraft."""
+
+    application: Application
+    environment: FlightEnvironment
+    panel: FlightControlPanelDriver
+    annunciator: AnnunciatorDriver
+    altitude_hold: AltitudeHoldContext
+    heading_hold: HeadingHoldContext
+    airspeed_hold: AirspeedHoldContext
+    envelope: EnvelopeProtectionContext
+    alarms: AlarmControllerImpl
+
+    def advance(self, seconds: float) -> int:
+        return self.application.advance(seconds)
+
+    def command(
+        self,
+        altitude: Optional[float] = None,
+        heading: Optional[float] = None,
+        airspeed: Optional[float] = None,
+    ) -> None:
+        """Dial new targets into the flight control panel."""
+        if altitude is not None:
+            self.panel.target_altitude = altitude
+        if heading is not None:
+            self.panel.target_heading = heading
+        if airspeed is not None:
+            self.panel.target_airspeed = airspeed
+
+
+def build_avionics_app(
+    clock: Optional[SimulationClock] = None,
+    environment: Optional[FlightEnvironment] = None,
+    start: bool = True,
+) -> AvionicsApp:
+    """Build (and by default start) the automated pilot."""
+    clock = clock or SimulationClock()
+    environment = environment or FlightEnvironment(step_seconds=1.0)
+    application = Application(get_design(), clock=clock, name="AutomatedPilot")
+
+    altitude_hold = AltitudeHoldContext()
+    heading_hold = HeadingHoldContext()
+    airspeed_hold = AirspeedHoldContext()
+    envelope = EnvelopeProtectionContext()
+    alarms = AlarmControllerImpl()
+    application.implement("AltitudeHold", altitude_hold)
+    application.implement("HeadingHold", heading_hold)
+    application.implement("AirspeedHold", airspeed_hold)
+    application.implement("EnvelopeProtection", envelope)
+    application.implement("ElevatorController", ElevatorControllerImpl())
+    application.implement("AileronController", AileronControllerImpl())
+    application.implement("ThrottleController", ThrottleControllerImpl())
+    application.implement("AlarmController", alarms)
+
+    panel = FlightControlPanelDriver(
+        target_altitude=environment.altitude,
+        target_heading=environment.heading,
+        target_airspeed=environment.airspeed,
+    )
+    annunciator = AnnunciatorDriver()
+    application.create_device("Altimeter", "alt-1", AltimeterDriver(environment))
+    application.create_device(
+        "AirspeedSensor", "ias-1", AirspeedSensorDriver(environment)
+    )
+    application.create_device(
+        "HeadingSensor", "hdg-1", HeadingSensorDriver(environment)
+    )
+    application.create_device("FlightControlPanel", "fcp-1", panel)
+    application.create_device("Elevator", "elev-1", ElevatorDriver(environment))
+    application.create_device("Aileron", "ail-1", AileronDriver(environment))
+    application.create_device("Throttle", "thr-1", ThrottleDriver(environment))
+    application.create_device("Annunciator", "ann-1", annunciator)
+
+    environment.attach(clock)
+    if start:
+        application.start()
+    return AvionicsApp(
+        application=application,
+        environment=environment,
+        panel=panel,
+        annunciator=annunciator,
+        altitude_hold=altitude_hold,
+        heading_hold=heading_hold,
+        airspeed_hold=airspeed_hold,
+        envelope=envelope,
+        alarms=alarms,
+    )
+
+
+__all__ = ["AvionicsApp", "DESIGN_SOURCE", "build_avionics_app"]

@@ -1,0 +1,104 @@
+"""DiaSpec design of the automated-pilot case study.
+
+The paper cites an "automated pilot in avionics" [9] as one end of the
+scale spectrum; this design reconstructs it as an SCC application: flight
+sensors feed hold contexts (altitude, heading, airspeed) whose outputs
+drive the control surfaces, plus an envelope-protection context that
+raises annunciator warnings.  A small number of entities, tight periods —
+small-scale orchestration with hard structure, the opposite corner of the
+continuum from the parking system.
+"""
+
+from __future__ import annotations
+
+from repro.sema.analyzer import AnalyzedSpec, analyze
+
+DESIGN_SOURCE = """\
+device Altimeter {
+    source altitude as Float;
+}
+
+device AirspeedSensor {
+    source airspeed as Float;
+}
+
+device HeadingSensor {
+    source heading as Float;
+}
+
+device FlightControlPanel {
+    source targetAltitude as Float;
+    source targetHeading as Float;
+    source targetAirspeed as Float;
+}
+
+device Elevator {
+    action setPosition(value as Float);
+}
+
+device Aileron {
+    action setPosition(value as Float);
+}
+
+device Throttle {
+    action setLevel(value as Float);
+}
+
+device Annunciator {
+    action warn(message as String);
+}
+
+context AltitudeHold as Float {
+    when periodic altitude from Altimeter <1 s>
+    get targetAltitude from FlightControlPanel
+    always publish;
+}
+
+context HeadingHold as Float {
+    when periodic heading from HeadingSensor <1 s>
+    get targetHeading from FlightControlPanel
+    always publish;
+}
+
+context AirspeedHold as Float {
+    when periodic airspeed from AirspeedSensor <1 s>
+    get targetAirspeed from FlightControlPanel
+    always publish;
+}
+
+context EnvelopeProtection as String {
+    when periodic airspeed from AirspeedSensor <1 s>
+    get altitude from Altimeter
+    maybe publish;
+}
+
+controller ElevatorController {
+    when provided AltitudeHold
+    do setPosition on Elevator;
+}
+
+controller AileronController {
+    when provided HeadingHold
+    do setPosition on Aileron;
+}
+
+controller ThrottleController {
+    when provided AirspeedHold
+    do setLevel on Throttle;
+}
+
+controller AlarmController {
+    when provided EnvelopeProtection
+    do warn on Annunciator;
+}
+"""
+
+_DESIGN: AnalyzedSpec = None
+
+
+def get_design() -> AnalyzedSpec:
+    """Analyzed design, cached per process."""
+    global _DESIGN
+    if _DESIGN is None:
+        _DESIGN = analyze(DESIGN_SOURCE)
+    return _DESIGN

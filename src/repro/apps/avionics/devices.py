@@ -1,0 +1,89 @@
+"""Simulated avionics devices over the flight-dynamics environment."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.runtime.device import DeviceDriver
+from repro.simulation.environment import FlightEnvironment
+
+
+class AltimeterDriver(DeviceDriver):
+    def __init__(self, environment: FlightEnvironment):
+        self.environment = environment
+
+    def read_altitude(self) -> float:
+        return self.environment.altitude
+
+
+class AirspeedSensorDriver(DeviceDriver):
+    def __init__(self, environment: FlightEnvironment):
+        self.environment = environment
+
+    def read_airspeed(self) -> float:
+        return self.environment.airspeed
+
+
+class HeadingSensorDriver(DeviceDriver):
+    def __init__(self, environment: FlightEnvironment):
+        self.environment = environment
+
+    def read_heading(self) -> float:
+        return self.environment.heading
+
+
+class FlightControlPanelDriver(DeviceDriver):
+    """The pilot's target selections; mutate to command the autopilot."""
+
+    def __init__(
+        self,
+        target_altitude: float = 1000.0,
+        target_heading: float = 0.0,
+        target_airspeed: float = 120.0,
+    ):
+        self.target_altitude = target_altitude
+        self.target_heading = target_heading
+        self.target_airspeed = target_airspeed
+
+    def read_target_altitude(self) -> float:
+        return self.target_altitude
+
+    def read_target_heading(self) -> float:
+        return self.target_heading
+
+    def read_target_airspeed(self) -> float:
+        return self.target_airspeed
+
+
+class ElevatorDriver(DeviceDriver):
+    def __init__(self, environment: FlightEnvironment):
+        self.environment = environment
+
+    def do_set_position(self, value: float) -> None:
+        self.environment.set_elevator(value)
+
+
+class AileronDriver(DeviceDriver):
+    def __init__(self, environment: FlightEnvironment):
+        self.environment = environment
+
+    def do_set_position(self, value: float) -> None:
+        self.environment.set_aileron(value)
+
+
+class ThrottleDriver(DeviceDriver):
+    def __init__(self, environment: FlightEnvironment):
+        self.environment = environment
+
+    def do_set_level(self, value: float) -> None:
+        self.environment.set_throttle(value)
+
+
+class AnnunciatorDriver(DeviceDriver):
+    """Cockpit warning display; records the warning history."""
+
+    def __init__(self):
+        self.warnings: List[str] = []
+
+    def do_warn(self, message: str) -> None:
+        self.warnings.append(message)

@@ -1,0 +1,183 @@
+"""Autopilot contexts and controllers.
+
+The hold contexts are classical PID loops closed through the SCC chain:
+sensor → context (compute the command) → controller (actuate the surface).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.runtime.component import Context, Controller
+
+
+class PID:
+    """Textbook PID with output clamping and anti-windup."""
+
+    def __init__(
+        self,
+        kp: float,
+        ki: float = 0.0,
+        kd: float = 0.0,
+        output_limit: float = 1.0,
+        dt: float = 1.0,
+    ):
+        if output_limit <= 0:
+            raise ValueError("output_limit must be > 0")
+        self.kp, self.ki, self.kd = kp, ki, kd
+        self.output_limit = output_limit
+        self.dt = dt
+        self._integral = 0.0
+        self._previous_error: Optional[float] = None
+
+    def step(self, error: float) -> float:
+        derivative = 0.0
+        if self._previous_error is not None:
+            derivative = (error - self._previous_error) / self.dt
+        self._previous_error = error
+        candidate = (
+            self.kp * error + self.ki * self._integral + self.kd * derivative
+        )
+        if abs(candidate) < self.output_limit:
+            # Anti-windup: only integrate while unsaturated.
+            self._integral += error * self.dt
+        output = (
+            self.kp * error + self.ki * self._integral + self.kd * derivative
+        )
+        return max(-self.output_limit, min(self.output_limit, output))
+
+    def reset(self) -> None:
+        self._integral = 0.0
+        self._previous_error = None
+
+
+def _mean_reading(readings: List) -> Optional[float]:
+    """Average the sweep's sensor values (replicated sensors vote)."""
+    if not readings:
+        return None
+    return sum(reading.value for reading in readings) / len(readings)
+
+
+class AltitudeHoldContext(Context):
+    """Publishes the elevator command holding the target altitude."""
+
+    def __init__(self, kp=0.02, ki=0.0005, kd=0.08):
+        super().__init__()
+        self.pid = PID(kp, ki, kd, output_limit=1.0)
+
+    def on_periodic_altitude(self, altitude_readings, discover):
+        altitude = _mean_reading(altitude_readings)
+        if altitude is None:
+            return 0.0
+        panel = discover.devices("FlightControlPanel").one()
+        error = panel.target_altitude() - altitude
+        return self.pid.step(error)
+
+
+class HeadingHoldContext(Context):
+    """Publishes the aileron command holding the target heading."""
+
+    def __init__(self, kp=0.05, ki=0.0, kd=0.1):
+        super().__init__()
+        self.pid = PID(kp, ki, kd, output_limit=1.0)
+
+    def on_periodic_heading(self, heading_readings, discover):
+        heading = _mean_reading(heading_readings)
+        if heading is None:
+            return 0.0
+        panel = discover.devices("FlightControlPanel").one()
+        error = (panel.target_heading() - heading + 180.0) % 360.0 - 180.0
+        return self.pid.step(error)
+
+
+class AirspeedHoldContext(Context):
+    """Publishes the throttle level holding the target airspeed."""
+
+    def __init__(self, kp=0.01, ki=0.002, kd=0.0):
+        super().__init__()
+        self.pid = PID(kp, ki, kd, output_limit=0.5)
+
+    def on_periodic_airspeed(self, airspeed_readings, discover):
+        airspeed = _mean_reading(airspeed_readings)
+        if airspeed is None:
+            return 0.5
+        panel = discover.devices("FlightControlPanel").one()
+        error = panel.target_airspeed() - airspeed
+        # Command around a 0.5 cruise setting.
+        return max(0.0, min(1.0, 0.5 + self.pid.step(error)))
+
+
+class EnvelopeProtectionContext(Context):
+    """Warns when the aircraft leaves the safe flight envelope."""
+
+    def __init__(
+        self,
+        stall_speed: float = 60.0,
+        overspeed: float = 240.0,
+        ceiling: float = 12000.0,
+        floor: float = 150.0,
+    ):
+        super().__init__()
+        self.stall_speed = stall_speed
+        self.overspeed = overspeed
+        self.ceiling = ceiling
+        self.floor = floor
+        self._active: Optional[str] = None
+
+    def on_periodic_airspeed(self, airspeed_readings, discover):
+        airspeed = _mean_reading(airspeed_readings)
+        if airspeed is None:
+            return None
+        # Average across replicated altimeters (sensor voting).
+        altitudes = [
+            proxy.altitude() for proxy in discover.devices("Altimeter")
+        ]
+        if not altitudes:
+            return None
+        altitude = sum(altitudes) / len(altitudes)
+        condition = self._classify(airspeed, altitude)
+        if condition == self._active:
+            return None  # edge-triggered: one warning per condition episode
+        self._active = condition
+        if condition is None:
+            return None
+        return (
+            f"{condition}: airspeed {airspeed:.0f} m/s, "
+            f"altitude {altitude:.0f} m"
+        )
+
+    def _classify(self, airspeed: float, altitude: float) -> Optional[str]:
+        if airspeed < self.stall_speed:
+            return "STALL"
+        if airspeed > self.overspeed:
+            return "OVERSPEED"
+        if altitude > self.ceiling:
+            return "CEILING"
+        if altitude < self.floor:
+            return "TERRAIN"
+        return None
+
+
+class ElevatorControllerImpl(Controller):
+    def on_altitude_hold(self, command: float, discover) -> None:
+        discover.devices("Elevator").act("setPosition", value=command)
+
+
+class AileronControllerImpl(Controller):
+    def on_heading_hold(self, command: float, discover) -> None:
+        discover.devices("Aileron").act("setPosition", value=command)
+
+
+class ThrottleControllerImpl(Controller):
+    def on_airspeed_hold(self, level: float, discover) -> None:
+        discover.devices("Throttle").act("setLevel", value=level)
+
+
+class AlarmControllerImpl(Controller):
+    def __init__(self):
+        super().__init__()
+        self.warnings: List[str] = []
+
+    def on_envelope_protection(self, message: str, discover) -> None:
+        self.warnings.append(message)
+        discover.devices("Annunciator").act("warn", message=message)

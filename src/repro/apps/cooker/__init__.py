@@ -1,0 +1,24 @@
+"""Cooker monitoring: the paper's small-scale application (Figures 3, 5, 7, 9)."""
+
+from repro.apps.cooker.app import CookerApp, build_cooker_app
+from repro.apps.cooker.design import DESIGN_SOURCE, get_design
+from repro.apps.cooker.devices import CookerDriver, TVPrompterDriver
+from repro.apps.cooker.logic import (
+    AlertContext,
+    NotifyController,
+    RemoteTurnOffContext,
+    TurnOffController,
+)
+
+__all__ = [
+    "AlertContext",
+    "CookerApp",
+    "CookerDriver",
+    "DESIGN_SOURCE",
+    "NotifyController",
+    "RemoteTurnOffContext",
+    "TVPrompterDriver",
+    "TurnOffController",
+    "build_cooker_app",
+    "get_design",
+]

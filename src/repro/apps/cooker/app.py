@@ -1,0 +1,93 @@
+"""Assembly of the cooker monitoring application."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.apps.cooker.design import DESIGN_SOURCE, get_design
+from repro.apps.cooker.devices import CookerDriver, TVPrompterDriver
+from repro.apps.cooker.logic import (
+    AlertContext,
+    NotifyController,
+    RemoteTurnOffContext,
+    TurnOffController,
+)
+from repro.runtime.app import Application
+from repro.runtime.clock import SimulationClock
+from repro.simulation.environment import HomeEnvironment
+from repro.simulation.sensors import ClockDeviceDriver
+
+
+@dataclass
+class CookerApp:
+    """A runnable cooker-monitoring deployment with its handles."""
+
+    application: Application
+    environment: HomeEnvironment
+    cooker_driver: CookerDriver
+    prompter_driver: TVPrompterDriver
+    clock_driver: ClockDeviceDriver
+    alert: AlertContext
+    notify: NotifyController
+    remote_turn_off: RemoteTurnOffContext
+    turn_off: TurnOffController
+
+    def advance(self, seconds: float) -> int:
+        return self.application.advance(seconds)
+
+    @property
+    def cooker_on(self) -> bool:
+        return self.environment.consumption() > 0
+
+
+def build_cooker_app(
+    clock: Optional[SimulationClock] = None,
+    environment: Optional[HomeEnvironment] = None,
+    threshold_seconds: int = 1200,
+    renotify_seconds: int = 600,
+    start: bool = True,
+) -> CookerApp:
+    """Build (and by default start) the cooker monitoring application.
+
+    The home environment is attached to the same clock, so advancing the
+    application advances the simulated home too.
+    """
+    clock = clock or SimulationClock()
+    environment = environment or HomeEnvironment(step_seconds=60.0)
+    application = Application(get_design(), clock=clock, name="CookerMonitoring")
+
+    alert = AlertContext(threshold_seconds, renotify_seconds)
+    notify = NotifyController()
+    remote = RemoteTurnOffContext()
+    turn_off = TurnOffController()
+    application.implement("Alert", alert)
+    application.implement("Notify", notify)
+    application.implement("RemoteTurnOff", remote)
+    application.implement("TurnOff", turn_off)
+
+    cooker_driver = CookerDriver(environment)
+    prompter_driver = TVPrompterDriver()
+    clock_driver = ClockDeviceDriver()
+    application.create_device("Cooker", "cooker-kitchen", cooker_driver)
+    application.create_device("TVPrompter", "tv-living-room", prompter_driver)
+    application.create_device("Clock", "wall-clock", clock_driver)
+
+    environment.attach(clock)
+    clock_driver.start(clock)
+    if start:
+        application.start()
+    return CookerApp(
+        application=application,
+        environment=environment,
+        cooker_driver=cooker_driver,
+        prompter_driver=prompter_driver,
+        clock_driver=clock_driver,
+        alert=alert,
+        notify=notify,
+        remote_turn_off=remote,
+        turn_off=turn_off,
+    )
+
+
+__all__ = ["CookerApp", "DESIGN_SOURCE", "build_cooker_app"]

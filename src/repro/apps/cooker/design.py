@@ -1,0 +1,69 @@
+"""DiaSpec design of the cooker monitoring application (Figures 3, 5, 7).
+
+The application "ensures the home safety for older adults by detecting
+when the cooker stays on beyond a time threshold and notifies the user.
+If this situation occurs, the user may decide to turn off the cooker
+remotely through a dedicated TV prompter" (Section II).
+
+Two functional chains:
+
+1. ``Clock.tickSecond`` → ``Alert`` (queries ``Cooker.consumption``) →
+   ``Notify`` → ``TVPrompter.askQuestion``;
+2. ``TVPrompter.answer`` → ``RemoteTurnOff`` (queries the cooker again) →
+   ``TurnOff`` → ``Cooker.off``.
+"""
+
+from __future__ import annotations
+
+from repro.sema.analyzer import AnalyzedSpec, analyze
+
+DESIGN_SOURCE = """\
+device Clock {
+    source tickSecond as Integer;
+    source tickMinute as Integer;
+    source tickHour as Integer;
+}
+
+device Cooker {
+    source consumption as Float;
+    action On;
+    action Off;
+}
+
+device TVPrompter {
+    source answer as String indexed by questionId as String;
+    action askQuestion(question as String, questionId as String);
+}
+
+context Alert as Integer {
+    when provided tickSecond from Clock
+    get consumption from Cooker
+    maybe publish;
+}
+
+controller Notify {
+    when provided Alert
+    do askQuestion on TVPrompter;
+}
+
+context RemoteTurnOff as Boolean {
+    when provided answer from TVPrompter
+    get consumption from Cooker
+    maybe publish;
+}
+
+controller TurnOff {
+    when provided RemoteTurnOff
+    do Off on Cooker;
+}
+"""
+
+_DESIGN: AnalyzedSpec = None
+
+
+def get_design() -> AnalyzedSpec:
+    """Analyzed design, cached per process."""
+    global _DESIGN
+    if _DESIGN is None:
+        _DESIGN = analyze(DESIGN_SOURCE)
+    return _DESIGN

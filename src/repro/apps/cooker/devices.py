@@ -1,0 +1,76 @@
+"""Simulated devices of the cooker monitoring application.
+
+The cooker senses/acts on a :class:`~repro.simulation.environment.HomeEnvironment`;
+the TV prompter records questions and lets a (simulated or scripted) user
+answer them, pushing the indexed ``answer`` source of Figure 5.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Tuple
+
+from repro.runtime.device import DeviceDriver
+from repro.simulation.environment import HomeEnvironment
+
+
+class CookerDriver(DeviceDriver):
+    """Driver for the ``Cooker`` device over the home environment."""
+
+    def __init__(self, environment: HomeEnvironment):
+        self.environment = environment
+
+    def read_consumption(self) -> float:
+        return self.environment.consumption()
+
+    def do_on(self) -> None:
+        self.environment.set_cooker(True)
+
+    def do_off(self) -> None:
+        self.environment.set_cooker(False)
+
+
+class TVPrompterDriver(DeviceDriver):
+    """Driver for the ``TVPrompter`` device.
+
+    ``askQuestion`` displays a prompt; :meth:`answer` is how the (human or
+    scripted) user responds, producing an event on the indexed ``answer``
+    source, matched to its question by ``questionId`` (Section III).
+    """
+
+    def __init__(self):
+        self.displayed: List[Tuple[str, str]] = []  # (questionId, text)
+        self._answers: List[Tuple[str, str]] = []
+        self._counter = itertools.count(1)
+
+    # -- facets ------------------------------------------------------------
+
+    def do_ask_question(self, question: str, question_id: str) -> None:
+        self.displayed.append((question_id, question))
+
+    def read_answer(self) -> str:
+        """Query-driven access returns the most recent answer."""
+        return self._answers[-1][1] if self._answers else ""
+
+    # -- user side -----------------------------------------------------------
+
+    def answer(self, text: str, question_id: Optional[str] = None) -> None:
+        """Simulate the user answering the (latest) displayed question."""
+        if question_id is None:
+            if not self.displayed:
+                raise ValueError("no question is displayed")
+            question_id = self.displayed[-1][0]
+        self._answers.append((question_id, text))
+        self.push("answer", text, index=question_id)
+
+    @property
+    def pending_questions(self) -> List[Tuple[str, str]]:
+        answered = {question_id for question_id, __ in self._answers}
+        return [
+            (question_id, text)
+            for question_id, text in self.displayed
+            if question_id not in answered
+        ]
+
+    def next_question_id(self) -> str:
+        return f"q{next(self._counter)}"

@@ -1,0 +1,103 @@
+"""Context and controller implementations of the cooker monitoring app.
+
+These are the developer-written components of Figure 9: the runtime calls
+them through the callbacks the design declares.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional
+
+from repro.runtime.component import Context, Controller
+
+
+class AlertContext(Context):
+    """Detects that the cooker has stayed on beyond a time threshold.
+
+    Implements ``when provided tickSecond from Clock`` with the
+    query-driven ``get consumption from Cooker``: each second it samples
+    the cooker; after ``threshold_seconds`` of uninterrupted drawing it
+    publishes the overrun duration (an Integer, per the design) and
+    re-arms after ``renotify_seconds`` so the user is not spammed.
+    """
+
+    def __init__(self, threshold_seconds: int = 1200,
+                 renotify_seconds: int = 600):
+        super().__init__()
+        self.threshold_seconds = threshold_seconds
+        self.renotify_seconds = renotify_seconds
+        self.on_seconds = 0
+        self._since_alert: Optional[int] = None
+
+    def on_tick_second_from_clock(self, tick, discover) -> Optional[int]:
+        cooker = discover.devices("Cooker").one()
+        if cooker.consumption() <= 0:
+            self.on_seconds = 0
+            self._since_alert = None
+            return None
+        self.on_seconds += 1
+        if self._since_alert is not None:
+            self._since_alert += 1
+            if self._since_alert < self.renotify_seconds:
+                return None
+            self._since_alert = 0
+            return self.on_seconds
+        if self.on_seconds >= self.threshold_seconds:
+            self._since_alert = 0
+            return self.on_seconds
+        return None
+
+
+class NotifyController(Controller):
+    """Turns an alert into a question on the TV prompter."""
+
+    QUESTION = (
+        "The cooker has been on for {minutes} minutes. Turn it off?"
+    )
+
+    def __init__(self):
+        super().__init__()
+        self._question_ids = itertools.count(1)
+        self.asked: List[str] = []
+
+    def on_alert(self, on_seconds: int, discover) -> None:
+        question_id = f"q{next(self._question_ids)}"
+        question = self.QUESTION.format(minutes=on_seconds // 60)
+        self.asked.append(question_id)
+        discover.devices("TVPrompter").act(
+            "askQuestion", question=question, questionId=question_id
+        )
+
+
+class RemoteTurnOffContext(Context):
+    """Interprets the user's answer; publishes True when the cooker must
+    be turned off.
+
+    Per the paper: "queries the current consumption level from the Cooker
+    to ensure that the cooker is still on before turning it off, if the
+    user's response instructed such action".
+    """
+
+    YES_ANSWERS = frozenset({"yes", "y", "ok", "turn off", "off"})
+
+    def on_answer_from_tv_prompter(self, event, discover) -> Optional[bool]:
+        if event.value.strip().lower() not in self.YES_ANSWERS:
+            return None
+        cooker = discover.devices("Cooker").one()
+        if cooker.consumption() <= 0:
+            return None  # already off; nothing to do
+        return True
+
+
+class TurnOffController(Controller):
+    """Issues the ``off`` action on the cooker."""
+
+    def __init__(self):
+        super().__init__()
+        self.turn_offs = 0
+
+    def on_remote_turn_off(self, confirmed: bool, discover) -> None:
+        if confirmed:
+            self.turn_offs += 1
+            discover.devices("Cooker").act("Off")

@@ -1,0 +1,43 @@
+"""Assisted living: the HomeAssist case study the paper cites as [10]."""
+
+from repro.apps.homeassist.app import (
+    DESIGN_SOURCE,
+    HomeAssistApp,
+    build_homeassist_app,
+)
+from repro.apps.homeassist.design import get_design
+from repro.apps.homeassist.devices import (
+    ContactSensorDriver,
+    LampDriver,
+    MotionSensorDriver,
+    NotificationServiceDriver,
+    deploy_home,
+)
+from repro.apps.homeassist.logic import (
+    ROOM_TO_ENUM,
+    ActivityLevelContext,
+    CaregiverNotifierController,
+    DoorLeftOpenContext,
+    InactivityAlertContext,
+    NightLightControllerImpl,
+    NightWanderingContext,
+)
+
+__all__ = [
+    "ActivityLevelContext",
+    "CaregiverNotifierController",
+    "ContactSensorDriver",
+    "DESIGN_SOURCE",
+    "DoorLeftOpenContext",
+    "HomeAssistApp",
+    "InactivityAlertContext",
+    "LampDriver",
+    "MotionSensorDriver",
+    "NightLightControllerImpl",
+    "NightWanderingContext",
+    "NotificationServiceDriver",
+    "ROOM_TO_ENUM",
+    "build_homeassist_app",
+    "deploy_home",
+    "get_design",
+]

@@ -1,0 +1,111 @@
+"""Assembly of the assisted-living application."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.apps.homeassist.design import DESIGN_SOURCE, get_design
+from repro.apps.homeassist.devices import (
+    ContactSensorDriver,
+    LampDriver,
+    MotionSensorDriver,
+    NotificationServiceDriver,
+    deploy_home,
+)
+from repro.apps.homeassist.logic import (
+    ActivityLevelContext,
+    CaregiverNotifierController,
+    DoorLeftOpenContext,
+    InactivityAlertContext,
+    NightLightControllerImpl,
+    NightWanderingContext,
+)
+from repro.runtime.app import Application
+from repro.runtime.clock import SimulationClock
+from repro.simulation.environment import HomeEnvironment
+
+
+@dataclass
+class HomeAssistApp:
+    """A runnable assisted-living deployment with its handles."""
+
+    application: Application
+    environment: HomeEnvironment
+    motion_sensors: Dict[str, MotionSensorDriver]
+    front_door: ContactSensorDriver
+    back_door: ContactSensorDriver
+    notifications: NotificationServiceDriver
+    activity: ActivityLevelContext
+    inactivity: InactivityAlertContext
+    wandering: NightWanderingContext
+    door_watch: DoorLeftOpenContext
+    caregiver: CaregiverNotifierController
+    night_light: NightLightControllerImpl
+
+    def advance(self, seconds: float) -> int:
+        return self.application.advance(seconds)
+
+    def lamp(self, room_enum: str) -> LampDriver:
+        proxy = self.application.discover.devices("Lamp", room=room_enum).one()
+        return proxy.instance.driver
+
+
+def build_homeassist_app(
+    clock: Optional[SimulationClock] = None,
+    environment: Optional[HomeEnvironment] = None,
+    inactivity_threshold_minutes: int = 60,
+    start: bool = True,
+) -> HomeAssistApp:
+    """Build (and by default start) the assisted-living platform."""
+    clock = clock or SimulationClock()
+    environment = environment or HomeEnvironment(step_seconds=60.0)
+    application = Application(get_design(), clock=clock, name="HomeAssist")
+
+    activity = ActivityLevelContext()
+    inactivity = InactivityAlertContext(
+        threshold_minutes=inactivity_threshold_minutes
+    )
+    wandering = NightWanderingContext()
+    door_watch = DoorLeftOpenContext()
+    caregiver = CaregiverNotifierController()
+    night_light = NightLightControllerImpl()
+    application.implement("ActivityLevel", activity)
+    application.implement("InactivityAlert", inactivity)
+    application.implement("NightWandering", wandering)
+    application.implement("DoorLeftOpen", door_watch)
+    application.implement("CaregiverNotifier", caregiver)
+    application.implement("NightLightController", night_light)
+
+    motion_sensors = deploy_home(application, environment, clock)
+    front_door = ContactSensorDriver()
+    back_door = ContactSensorDriver()
+    application.create_device("ContactSensor", "door-front", front_door,
+                              door="FRONT")
+    application.create_device("ContactSensor", "door-back", back_door,
+                              door="BACK")
+    notifications = NotificationServiceDriver()
+    application.create_device(
+        "NotificationService", "caregiver-phone", notifications
+    )
+
+    environment.attach(clock)
+    if start:
+        application.start()
+    return HomeAssistApp(
+        application=application,
+        environment=environment,
+        motion_sensors=motion_sensors,
+        front_door=front_door,
+        back_door=back_door,
+        notifications=notifications,
+        activity=activity,
+        inactivity=inactivity,
+        wandering=wandering,
+        door_watch=door_watch,
+        caregiver=caregiver,
+        night_light=night_light,
+    )
+
+
+__all__ = ["DESIGN_SOURCE", "HomeAssistApp", "build_homeassist_app"]

@@ -1,0 +1,95 @@
+"""DiaSpec design of the assisted-living case study (HomeAssist [10]).
+
+Monitors the daily routine of an older adult aging in place: motion
+sensors per room feed an activity-level context (queried on demand by
+other services), an inactivity-alert context that notifies caregivers
+when no activity is seen during waking hours, and a night-wandering
+context that lights the way and informs the caregiver.  Small-scale
+orchestration like the cooker application, but exercising ``grouped by``
+with a room attribute and the mixed publish disciplines of Figure 8.
+"""
+
+from __future__ import annotations
+
+from repro.sema.analyzer import AnalyzedSpec, analyze
+
+DESIGN_SOURCE = """\
+device MotionSensor {
+    attribute room as RoomEnum;
+    source motion as Boolean;
+}
+
+device ContactSensor {
+    attribute door as DoorEnum;
+    source open as Boolean;
+}
+
+device Lamp {
+    attribute room as RoomEnum;
+    action On;
+    action Off;
+}
+
+device NotificationService {
+    action notify(message as String, level as LevelEnum);
+}
+
+enumeration RoomEnum { KITCHEN, LIVING_ROOM, BEDROOM, BATHROOM, HALLWAY }
+
+enumeration DoorEnum { FRONT, BACK }
+
+enumeration LevelEnum { INFO, WARNING, URGENT }
+
+structure RoomActivity {
+    room as RoomEnum;
+    level as Float;
+}
+
+context ActivityLevel as RoomActivity[] {
+    when periodic motion from MotionSensor <10 min>
+    grouped by room
+    no publish;
+
+    when required;
+}
+
+context InactivityAlert as Integer {
+    when periodic motion from MotionSensor <10 min>
+    grouped by room
+    maybe publish;
+}
+
+context NightWandering as RoomEnum {
+    when provided motion from MotionSensor
+    maybe publish;
+}
+
+context DoorLeftOpen as DoorEnum {
+    when periodic open from ContactSensor <5 min>
+    grouped by door
+    maybe publish;
+}
+
+controller CaregiverNotifier {
+    when provided InactivityAlert
+    do notify on NotificationService;
+
+    when provided DoorLeftOpen
+    do notify on NotificationService;
+}
+
+controller NightLightController {
+    when provided NightWandering
+    do On on Lamp;
+}
+"""
+
+_DESIGN: AnalyzedSpec = None
+
+
+def get_design() -> AnalyzedSpec:
+    """Analyzed design, cached per process."""
+    global _DESIGN
+    if _DESIGN is None:
+        _DESIGN = analyze(DESIGN_SOURCE)
+    return _DESIGN

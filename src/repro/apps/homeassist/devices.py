@@ -1,0 +1,100 @@
+"""Simulated devices of the assisted-living application."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.apps.homeassist.logic import ROOM_TO_ENUM
+from repro.runtime.clock import Clock
+from repro.runtime.device import DeviceDriver
+from repro.simulation.environment import HomeEnvironment
+
+
+class MotionSensorDriver(DeviceDriver):
+    """PIR sensor for one room: reads presence and pushes rising edges.
+
+    Supports all three delivery modes: ``read_motion`` serves query and
+    periodic delivery, and once started it samples the room every
+    ``sample_seconds`` and pushes an event on each motion onset.
+    """
+
+    def __init__(self, environment: HomeEnvironment, room: str,
+                 sample_seconds: float = 30.0):
+        self.environment = environment
+        self.room = room
+        self.sample_seconds = sample_seconds
+        self._was_present = False
+        self._job = None
+
+    def read_motion(self) -> bool:
+        return self.environment.presence(self.room)
+
+    def start(self, clock: Clock) -> "MotionSensorDriver":
+        self._job = clock.schedule_periodic(self.sample_seconds, self._sample)
+        return self
+
+    def stop(self) -> None:
+        if self._job is not None:
+            self._job.cancel()
+            self._job = None
+
+    def _sample(self) -> None:
+        present = self.environment.presence(self.room)
+        if present and not self._was_present:
+            self.push("motion", True)
+        self._was_present = present
+
+
+class ContactSensorDriver(DeviceDriver):
+    """Door contact sensor; the door state is set by the scenario."""
+
+    def __init__(self):
+        self.open = False
+
+    def read_open(self) -> bool:
+        return self.open
+
+    def set_open(self, is_open: bool) -> None:
+        if is_open != self.open:
+            self.open = is_open
+            self.push("open", is_open)
+
+
+class LampDriver(DeviceDriver):
+    def __init__(self):
+        self.is_on = False
+        self.switches: List[bool] = []
+
+    def do_on(self) -> None:
+        self.is_on = True
+        self.switches.append(True)
+
+    def do_off(self) -> None:
+        self.is_on = False
+        self.switches.append(False)
+
+
+class NotificationServiceDriver(DeviceDriver):
+    def __init__(self):
+        self.sent: List[Tuple[str, str]] = []
+
+    def do_notify(self, message: str, level: str) -> None:
+        self.sent.append((level, message))
+
+
+def deploy_home(
+    application, environment: HomeEnvironment, clock: Clock
+) -> Dict[str, MotionSensorDriver]:
+    """Bind one motion sensor and one lamp per simulated room."""
+    sensors: Dict[str, MotionSensorDriver] = {}
+    for room, enum_value in sorted(ROOM_TO_ENUM.items()):
+        sensor = MotionSensorDriver(environment, room)
+        application.create_device(
+            "MotionSensor", f"motion-{room}", sensor, room=enum_value
+        )
+        sensor.start(clock)
+        sensors[enum_value] = sensor
+        application.create_device(
+            "Lamp", f"lamp-{room}", LampDriver(), room=enum_value
+        )
+    return sensors

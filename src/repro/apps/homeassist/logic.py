@@ -1,0 +1,164 @@
+"""Contexts and controllers of the assisted-living application."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.runtime.component import Context, Controller
+
+# Room names used by the HomeEnvironment simulation, mapped to RoomEnum.
+ROOM_TO_ENUM = {
+    "kitchen": "KITCHEN",
+    "living_room": "LIVING_ROOM",
+    "bedroom": "BEDROOM",
+    "bathroom": "BATHROOM",
+    "hallway": "HALLWAY",
+}
+
+
+class ActivityLevelContext(Context):
+    """Per-room activity averages, served on demand (``when required``)."""
+
+    def __init__(self, smoothing: float = 0.25):
+        super().__init__()
+        self.smoothing = smoothing
+        self.levels: Dict[str, float] = {}
+
+    def on_periodic_motion(self, motion_by_room, discover) -> None:
+        for room, readings in motion_by_room.items():
+            if not readings:
+                continue
+            activity = sum(1 for seen in readings if seen) / len(readings)
+            previous = self.levels.get(room)
+            self.levels[room] = (
+                activity
+                if previous is None
+                else self.smoothing * activity
+                + (1 - self.smoothing) * previous
+            )
+        return None
+
+    def when_required(self, discover) -> List[dict]:
+        return [
+            {"room": room, "level": level}
+            for room, level in sorted(self.levels.items())
+        ]
+
+
+class InactivityAlertContext(Context):
+    """Publishes the silent-minutes count when the home goes quiet.
+
+    Only waking hours count (falling asleep is not an emergency); each
+    published value is the number of consecutive inactive minutes, and the
+    alert re-fires with escalating counts while the silence lasts.
+    """
+
+    def __init__(
+        self,
+        threshold_minutes: int = 60,
+        period_minutes: int = 10,
+        waking_start_hour: float = 7.0,
+        waking_end_hour: float = 22.0,
+    ):
+        super().__init__()
+        self.threshold_minutes = threshold_minutes
+        self.period_minutes = period_minutes
+        self.waking_start_hour = waking_start_hour
+        self.waking_end_hour = waking_end_hour
+        self.inactive_minutes = 0
+
+    def on_periodic_motion(self, motion_by_room, discover) -> Optional[int]:
+        hour = (self.now() % 86400.0) / 3600.0
+        if not self.waking_start_hour <= hour < self.waking_end_hour:
+            self.inactive_minutes = 0
+            return None
+        any_motion = any(
+            any(readings) for readings in motion_by_room.values()
+        )
+        if any_motion:
+            self.inactive_minutes = 0
+            return None
+        self.inactive_minutes += self.period_minutes
+        if self.inactive_minutes >= self.threshold_minutes:
+            return self.inactive_minutes
+        return None
+
+
+class NightWanderingContext(Context):
+    """Detects movement outside the bedroom during night hours."""
+
+    def __init__(self, night_start_hour: float = 23.0,
+                 night_end_hour: float = 6.0):
+        super().__init__()
+        self.night_start_hour = night_start_hour
+        self.night_end_hour = night_end_hour
+
+    def on_motion_from_motion_sensor(self, event, discover):
+        if not event.value:
+            return None
+        hour = (event.timestamp % 86400.0) / 3600.0
+        at_night = hour >= self.night_start_hour or hour < self.night_end_hour
+        if not at_night:
+            return None
+        room = event.device.room
+        if room == "BEDROOM":
+            return None
+        return room
+
+
+class DoorLeftOpenContext(Context):
+    """Publishes a door name once it has stayed open beyond a threshold."""
+
+    def __init__(self, threshold_periods: int = 3):
+        super().__init__()
+        self.threshold_periods = threshold_periods
+        self._open_counts: Dict[str, int] = {}
+        self._alerted: Dict[str, bool] = {}
+
+    def on_periodic_open(self, open_by_door, discover) -> Optional[str]:
+        for door, readings in open_by_door.items():
+            if readings and all(readings):
+                self._open_counts[door] = self._open_counts.get(door, 0) + 1
+            else:
+                self._open_counts[door] = 0
+                self._alerted[door] = False
+        for door, count in sorted(self._open_counts.items()):
+            if count >= self.threshold_periods and not self._alerted.get(door):
+                self._alerted[door] = True
+                return door
+        return None
+
+
+class CaregiverNotifierController(Controller):
+    """Escalates alerts to the caregiver's notification service."""
+
+    def __init__(self):
+        super().__init__()
+        self.notifications: List[tuple] = []
+
+    def on_inactivity_alert(self, minutes: int, discover) -> None:
+        level = "URGENT" if minutes >= 120 else "WARNING"
+        message = f"No activity detected for {minutes} minutes"
+        self.notifications.append((level, message))
+        discover.devices("NotificationService").act(
+            "notify", message=message, level=level
+        )
+
+    def on_door_left_open(self, door: str, discover) -> None:
+        message = f"The {door} door has been left open"
+        self.notifications.append(("WARNING", message))
+        discover.devices("NotificationService").act(
+            "notify", message=message, level="WARNING"
+        )
+
+
+class NightLightControllerImpl(Controller):
+    """Turns on the lamp of the room where night movement was detected."""
+
+    def __init__(self):
+        super().__init__()
+        self.lit_rooms: List[str] = []
+
+    def on_night_wandering(self, room: str, discover) -> None:
+        self.lit_rooms.append(room)
+        discover.devices("Lamp").where(room=room).act("On")

@@ -1,0 +1,53 @@
+"""Parking management: the paper's large-scale application (Figures 4, 6, 8, 10, 11)."""
+
+from repro.apps.parking.app import (
+    PAPER_CAPACITIES,
+    ParkingApp,
+    build_parking_app,
+)
+from repro.apps.parking.design import (
+    DESIGN_SOURCE,
+    PAPER_ENTRANCES,
+    PAPER_LOTS,
+    get_design,
+    make_design_source,
+)
+from repro.apps.parking.devices import (
+    DisplayPanelDriver,
+    MessengerDriver,
+    PresenceSensorDriver,
+    deploy_sensors,
+)
+from repro.apps.parking.logic import (
+    AverageOccupancyContext,
+    CityEntrancePanelController,
+    MessengerController,
+    ParkingAvailabilityContext,
+    ParkingEntrancePanelController,
+    ParkingSuggestionContext,
+    ParkingUsagePatternContext,
+    default_implementations,
+)
+
+__all__ = [
+    "AverageOccupancyContext",
+    "CityEntrancePanelController",
+    "DESIGN_SOURCE",
+    "DisplayPanelDriver",
+    "MessengerController",
+    "MessengerDriver",
+    "PAPER_CAPACITIES",
+    "PAPER_ENTRANCES",
+    "PAPER_LOTS",
+    "ParkingApp",
+    "ParkingAvailabilityContext",
+    "ParkingEntrancePanelController",
+    "ParkingSuggestionContext",
+    "ParkingUsagePatternContext",
+    "PresenceSensorDriver",
+    "build_parking_app",
+    "default_implementations",
+    "deploy_sensors",
+    "get_design",
+    "make_design_source",
+]

@@ -1,0 +1,67 @@
+"""Simulated devices of the parking management application."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.runtime.device import DeviceDriver
+from repro.simulation.environment import ParkingLotEnvironment
+
+
+class PresenceSensorDriver(DeviceDriver):
+    """One in-ground presence sensor: a (lot, space) probe into the city."""
+
+    def __init__(self, environment: ParkingLotEnvironment, lot: str,
+                 space: int):
+        self.environment = environment
+        self.lot = lot
+        self.space = space
+
+    def read_presence(self) -> bool:
+        return self.environment.is_occupied(self.lot, self.space)
+
+
+class DisplayPanelDriver(DeviceDriver):
+    """A display panel (parking-entrance or city-entrance variant).
+
+    Remembers the update history so experiments can assert on what
+    drivers actually saw.
+    """
+
+    def __init__(self):
+        self.status: str = ""
+        self.history: List[str] = []
+
+    def do_update(self, status: str) -> None:
+        self.status = status
+        self.history.append(status)
+
+
+class MessengerDriver(DeviceDriver):
+    """Management messaging endpoint (daily occupancy reports)."""
+
+    def __init__(self):
+        self.messages: List[str] = []
+
+    def do_send_message(self, message: str) -> None:
+        self.messages.append(message)
+
+
+def deploy_sensors(
+    application,
+    environment: ParkingLotEnvironment,
+) -> List[Tuple[str, PresenceSensorDriver]]:
+    """Bind one presence sensor per space of every lot.
+
+    Returns ``(entity_id, driver)`` pairs in deployment order.
+    """
+    deployed = []
+    for lot, capacity in sorted(environment.lots.items()):
+        for space in range(capacity):
+            driver = PresenceSensorDriver(environment, lot, space)
+            entity_id = f"sensor-{lot}-{space:04d}"
+            application.create_device(
+                "PresenceSensor", entity_id, driver, parkingLot=lot
+            )
+            deployed.append((entity_id, driver))
+    return deployed

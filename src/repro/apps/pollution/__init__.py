@@ -1,0 +1,42 @@
+"""Pollution advisory: a second city-scale application over the shared
+smart-city taxonomy (demonstrating §III taxonomy reuse at design level)."""
+
+from repro.apps.pollution.app import (
+    DEFAULT_ZONES,
+    PollutionApp,
+    PollutionSensorDriver,
+    TrafficCounterDriver,
+    build_pollution_app,
+)
+from repro.apps.pollution.design import (
+    APP_FRAGMENT,
+    DESIGN_SOURCE,
+    get_design,
+)
+from repro.apps.pollution.environment import CityAirEnvironment
+from repro.apps.pollution.logic import (
+    AirQualityContext,
+    OperationsMessengerImpl,
+    PollutionAdvisoryContext,
+    TrafficLevelContext,
+    ZonePanelControllerImpl,
+    default_implementations,
+)
+
+__all__ = [
+    "APP_FRAGMENT",
+    "AirQualityContext",
+    "CityAirEnvironment",
+    "DEFAULT_ZONES",
+    "DESIGN_SOURCE",
+    "OperationsMessengerImpl",
+    "PollutionAdvisoryContext",
+    "PollutionApp",
+    "PollutionSensorDriver",
+    "TrafficCounterDriver",
+    "TrafficLevelContext",
+    "ZonePanelControllerImpl",
+    "build_pollution_app",
+    "default_implementations",
+    "get_design",
+]

@@ -1,0 +1,136 @@
+"""Assembly of the pollution-advisory application."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.apps.parking.devices import DisplayPanelDriver, MessengerDriver
+from repro.apps.pollution.design import DESIGN_SOURCE, get_design
+from repro.apps.pollution.environment import CityAirEnvironment
+from repro.apps.pollution.logic import default_implementations
+from repro.runtime.app import Application
+from repro.runtime.clock import SimulationClock
+from repro.runtime.device import DeviceDriver
+
+DEFAULT_ZONES: Dict[str, float] = {
+    "CENTER": 1.0,
+    "NORTH": 0.55,
+    "SOUTH": 0.45,
+    "EAST": 0.35,
+    "WEST": 0.30,
+}
+
+
+class PollutionSensorDriver(DeviceDriver):
+    def __init__(self, environment: CityAirEnvironment, zone: str):
+        self.environment = environment
+        self.zone = zone
+
+    def read_pm10(self) -> float:
+        return self.environment.pm10_level(self.zone)
+
+    def read_no2(self) -> float:
+        return self.environment.no2_level(self.zone)
+
+
+class TrafficCounterDriver(DeviceDriver):
+    def __init__(self, environment: CityAirEnvironment, zone: str):
+        self.environment = environment
+        self.zone = zone
+
+    def read_vehicle_count(self) -> int:
+        return int(self.environment.traffic(self.zone))
+
+
+@dataclass
+class PollutionApp:
+    """A runnable pollution-advisory deployment with its handles."""
+
+    application: Application
+    environment: CityAirEnvironment
+    zone_panels: Dict[str, DisplayPanelDriver] = field(default_factory=dict)
+    messenger: MessengerDriver = None
+    implementations: Dict[str, object] = field(default_factory=dict)
+
+    def advance(self, seconds: float) -> int:
+        return self.application.advance(seconds)
+
+    @property
+    def advisories_sent(self) -> List[str]:
+        return list(self.messenger.messages)
+
+
+def build_pollution_app(
+    zone_factors: Optional[Dict[str, float]] = None,
+    sensors_per_zone: int = 3,
+    counters_per_zone: int = 2,
+    clock: Optional[SimulationClock] = None,
+    environment_step_seconds: float = 60.0,
+    seed: int = 0,
+    start: bool = True,
+) -> PollutionApp:
+    """Build (and by default start) the pollution-advisory application."""
+    zone_factors = dict(zone_factors or DEFAULT_ZONES)
+    unknown = set(zone_factors) - {"CENTER", "NORTH", "SOUTH", "EAST",
+                                   "WEST"}
+    if unknown:
+        raise ValueError(
+            f"zones {sorted(unknown)} are not members of CityZoneEnum"
+        )
+    clock = clock or SimulationClock()
+    environment = CityAirEnvironment(
+        zone_factors, step_seconds=environment_step_seconds, seed=seed
+    )
+    application = Application(
+        get_design(), clock=clock, name="PollutionAdvisory"
+    )
+
+    implementations = default_implementations()
+    for name, implementation in implementations.items():
+        application.implement(name, implementation)
+
+    zone_panels: Dict[str, DisplayPanelDriver] = {}
+    for zone in sorted(zone_factors):
+        for index in range(sensors_per_zone):
+            application.create_device(
+                "PollutionSensor",
+                f"air-{zone}-{index}",
+                PollutionSensorDriver(environment, zone),
+                zone=zone,
+            )
+        for index in range(counters_per_zone):
+            application.create_device(
+                "TrafficCounter",
+                f"traffic-{zone}-{index}",
+                TrafficCounterDriver(environment, zone),
+                zone=zone,
+            )
+        panel = DisplayPanelDriver()
+        application.create_device(
+            "ZonePanel", f"panel-{zone}", panel, zone=zone
+        )
+        zone_panels[zone] = panel
+    messenger = MessengerDriver()
+    application.create_device("CityMessenger", "city-ops", messenger)
+
+    environment.attach(clock)
+    if start:
+        application.start()
+    return PollutionApp(
+        application=application,
+        environment=environment,
+        zone_panels=zone_panels,
+        messenger=messenger,
+        implementations=implementations,
+    )
+
+
+__all__ = [
+    "DEFAULT_ZONES",
+    "DESIGN_SOURCE",
+    "PollutionApp",
+    "PollutionSensorDriver",
+    "TrafficCounterDriver",
+    "build_pollution_app",
+]

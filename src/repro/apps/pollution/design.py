@@ -1,0 +1,74 @@
+"""Design of the pollution-advisory application.
+
+A second large-scale city application, expressed over the *shared*
+smart-city taxonomy (§III: taxonomies are "used across applications"):
+traffic counters and pollution sensors feed zone-level contexts, and an
+advisory context combines them — high pollution plus heavy traffic yields
+zone advisories on the zone panels and a city-operations message.
+
+Demonstrates a context that is both periodically refreshed and
+query-served (``no publish`` + ``when required``, like the paper's
+``ParkingUsagePattern``), MapReduce over integer readings, and a
+``maybe publish`` combiner.
+"""
+
+from __future__ import annotations
+
+from repro.sema.analyzer import AnalyzedSpec, analyze
+from repro.taxonomies import SMART_CITY_TAXONOMY, combine
+
+APP_FRAGMENT = """\
+structure ZoneAir {
+    zone as CityZoneEnum;
+    pm10 as Float;
+    no2 as Float;
+}
+
+structure ZoneTraffic {
+    zone as CityZoneEnum;
+    vehicles as Integer;
+}
+
+context TrafficLevel as ZoneTraffic[] {
+    when periodic vehicleCount from TrafficCounter <10 min>
+    grouped by zone
+    with map as Integer reduce as Integer
+    always publish;
+}
+
+context AirQuality as ZoneAir[] {
+    when periodic pm10 from PollutionSensor <10 min>
+    grouped by zone
+    no publish;
+
+    when required;
+}
+
+context PollutionAdvisory as String[] {
+    when provided TrafficLevel
+    get AirQuality
+    maybe publish;
+}
+
+controller ZonePanelController {
+    when provided PollutionAdvisory
+    do update on ZonePanel;
+}
+
+controller OperationsMessenger {
+    when provided PollutionAdvisory
+    do sendMessage on CityMessenger;
+}
+"""
+
+DESIGN_SOURCE = SMART_CITY_TAXONOMY + "\n" + APP_FRAGMENT
+
+_DESIGN: AnalyzedSpec = None
+
+
+def get_design() -> AnalyzedSpec:
+    """Analyzed design (taxonomy + application fragment), cached."""
+    global _DESIGN
+    if _DESIGN is None:
+        _DESIGN = analyze(combine(SMART_CITY_TAXONOMY, APP_FRAGMENT))
+    return _DESIGN

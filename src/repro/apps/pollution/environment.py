@@ -1,0 +1,89 @@
+"""Simulated urban air quality driven by traffic.
+
+Per zone: traffic intensity follows the daily demand curve scaled by a
+zone factor; PM10 and NO2 concentrations integrate traffic emissions
+minus atmospheric dispersion.  Deliberately simple first-order dynamics —
+enough for pollution to *lag* traffic and for zone differences to show.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from repro.simulation.environment import Environment
+from repro.simulation.traces import daily_demand
+
+
+class CityAirEnvironment(Environment):
+    """Traffic and pollutant state for a set of city zones."""
+
+    PEAK_VEHICLES_PER_HOUR = 1200.0
+    PM10_EMISSION = 0.045      # ug/m3 per (veh/h) per hour
+    NO2_EMISSION = 0.035
+    PM10_DECAY_PER_HOUR = 0.35
+    NO2_DECAY_PER_HOUR = 0.50
+    PM10_BACKGROUND = 8.0
+    NO2_BACKGROUND = 5.0
+
+    def __init__(
+        self,
+        zone_factors: Dict[str, float],
+        step_seconds: float = 60.0,
+        noise: float = 0.02,
+        seed: int = 0,
+    ):
+        super().__init__(step_seconds)
+        if not zone_factors:
+            raise ValueError("at least one zone is required")
+        self.zone_factors = dict(zone_factors)
+        self.noise = noise
+        self._rng = random.Random(seed)
+        self.pm10: Dict[str, float] = {
+            zone: self.PM10_BACKGROUND for zone in zone_factors
+        }
+        self.no2: Dict[str, float] = {
+            zone: self.NO2_BACKGROUND for zone in zone_factors
+        }
+        self._traffic: Dict[str, float] = {zone: 0.0 for zone in zone_factors}
+
+    def step(self, now: float) -> None:
+        hours = self.step_seconds / 3600.0
+        demand = daily_demand(now)
+        for zone, factor in self.zone_factors.items():
+            traffic = demand * factor * self.PEAK_VEHICLES_PER_HOUR
+            if self.noise:
+                traffic *= 1.0 + self._rng.uniform(-self.noise, self.noise)
+            self._traffic[zone] = traffic
+            self.pm10[zone] += (
+                traffic * self.PM10_EMISSION
+                - (self.pm10[zone] - self.PM10_BACKGROUND)
+                * self.PM10_DECAY_PER_HOUR
+            ) * hours
+            self.no2[zone] += (
+                traffic * self.NO2_EMISSION
+                - (self.no2[zone] - self.NO2_BACKGROUND)
+                * self.NO2_DECAY_PER_HOUR
+            ) * hours
+
+    # -- sensing ------------------------------------------------------------
+
+    def traffic(self, zone: str) -> float:
+        """Current flow in vehicles/hour."""
+        return self._traffic[zone]
+
+    def pm10_level(self, zone: str) -> float:
+        return self.pm10[zone]
+
+    def no2_level(self, zone: str) -> float:
+        return self.no2[zone]
+
+    def force_pollution(
+        self, zone: str, pm10: Optional[float] = None,
+        no2: Optional[float] = None,
+    ) -> None:
+        """Pin pollutant levels (scenario scripting)."""
+        if pm10 is not None:
+            self.pm10[zone] = pm10
+        if no2 is not None:
+            self.no2[zone] = no2

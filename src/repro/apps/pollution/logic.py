@@ -1,0 +1,138 @@
+"""Contexts and controllers of the pollution-advisory application."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.runtime.component import Context, Controller
+
+
+class TrafficLevelContext(Context):
+    """Sums zone traffic through the MapReduce interface."""
+
+    def map(self, zone, vehicle_count, collector) -> None:
+        collector.emit_map(zone, vehicle_count)
+
+    def reduce(self, zone, counts, collector) -> None:
+        collector.emit_reduce(zone, sum(counts))
+
+    def on_periodic_vehicle_count(self, vehicles_by_zone, discover):
+        return [
+            {"zone": zone, "vehicles": vehicles}
+            for zone, vehicles in sorted(vehicles_by_zone.items())
+        ]
+
+
+class AirQualityContext(Context):
+    """Maintains smoothed per-zone pollutant levels; served on demand.
+
+    The periodic interaction refreshes PM10 from the grouped sweep and
+    NO2 through query-driven reads of the same sensors (a source the
+    design does not gather periodically) — both smoothed with an EWMA.
+    """
+
+    def __init__(self, smoothing: float = 0.4):
+        super().__init__()
+        self.smoothing = smoothing
+        self.pm10: Dict[str, float] = {}
+        self.no2: Dict[str, float] = {}
+
+    def on_periodic_pm10(self, pm10_by_zone, discover) -> None:
+        for zone, readings in pm10_by_zone.items():
+            if not readings:
+                continue
+            level = sum(readings) / len(readings)
+            self.pm10[zone] = self._blend(self.pm10.get(zone), level)
+            sensors = discover.devices("PollutionSensor", zone=zone)
+            no2_readings = [proxy.no2() for proxy in sensors]
+            if no2_readings:
+                no2 = sum(no2_readings) / len(no2_readings)
+                self.no2[zone] = self._blend(self.no2.get(zone), no2)
+        return None
+
+    def _blend(self, previous: Optional[float], level: float) -> float:
+        if previous is None:
+            return level
+        return self.smoothing * level + (1 - self.smoothing) * previous
+
+    def when_required(self, discover) -> List[dict]:
+        return [
+            {
+                "zone": zone,
+                "pm10": self.pm10[zone],
+                "no2": self.no2.get(zone, 0.0),
+            }
+            for zone in sorted(self.pm10)
+        ]
+
+
+class PollutionAdvisoryContext(Context):
+    """Combines traffic with air quality into zone advisories."""
+
+    def __init__(self, pm10_limit: float = 50.0, no2_limit: float = 40.0,
+                 traffic_threshold: int = 500):
+        super().__init__()
+        self.pm10_limit = pm10_limit
+        self.no2_limit = no2_limit
+        self.traffic_threshold = traffic_threshold
+
+    def on_traffic_level(self, zone_traffic, discover):
+        air_by_zone = {
+            record.zone: record
+            for record in discover.context_value("AirQuality")
+        }
+        advisories: List[str] = []
+        for traffic in zone_traffic:
+            air = air_by_zone.get(traffic.zone)
+            if air is None:
+                continue
+            problems = []
+            if air.pm10 > self.pm10_limit:
+                problems.append(f"PM10 {air.pm10:.0f}")
+            if air.no2 > self.no2_limit:
+                problems.append(f"NO2 {air.no2:.0f}")
+            if not problems:
+                continue
+            cause = (
+                " amid heavy traffic"
+                if traffic.vehicles >= self.traffic_threshold
+                else ""
+            )
+            advisories.append(
+                f"{traffic.zone}: {' and '.join(problems)}{cause}"
+            )
+        return advisories or None
+
+
+class ZonePanelControllerImpl(Controller):
+    """Shows each zone its advisory (or an all-clear)."""
+
+    ALL_CLEAR = "Air quality: OK"
+
+    def on_pollution_advisory(self, advisories, discover) -> None:
+        for panel in discover.devices("ZonePanel"):
+            matching = [
+                advisory
+                for advisory in advisories
+                if advisory.startswith(panel.zone + ":")
+            ]
+            status = matching[0] if matching else self.ALL_CLEAR
+            panel.update(status=status)
+
+
+class OperationsMessengerImpl(Controller):
+    def on_pollution_advisory(self, advisories, discover) -> None:
+        discover.devices("CityMessenger").act(
+            "sendMessage",
+            message="Pollution advisory: " + "; ".join(advisories),
+        )
+
+
+def default_implementations() -> Dict[str, object]:
+    return {
+        "TrafficLevel": TrafficLevelContext(),
+        "AirQuality": AirQualityContext(),
+        "PollutionAdvisory": PollutionAdvisoryContext(),
+        "ZonePanelController": ZonePanelControllerImpl(),
+        "OperationsMessenger": OperationsMessengerImpl(),
+    }

@@ -1,0 +1,220 @@
+"""Design documentation generator.
+
+Renders an analyzed design as Markdown: the device taxonomy with its
+facets, context and controller contracts, data types, and the functional
+chains of the graphical views (Figures 3-4).  Available on the command
+line as ``python -m repro doc design.diaspec``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from repro.lang.ast_nodes import (
+    GetContext,
+    GetSource,
+    WhenPeriodic,
+    WhenProvidedSource,
+    WhenRequired,
+)
+from repro.sema.analyzer import AnalyzedSpec, analyze
+
+
+def generate_docs(design: Union[str, AnalyzedSpec], title: str = "Design") -> str:
+    """Render Markdown documentation for a design."""
+    if isinstance(design, str):
+        design = analyze(design)
+    lines: List[str] = [f"# {title}", ""]
+    _summary(design, lines)
+    _devices(design, lines)
+    _data_types(design, lines)
+    _contexts(design, lines)
+    _controllers(design, lines)
+    _chains(design, lines)
+    _warnings(design, lines)
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def _summary(design: AnalyzedSpec, lines: List[str]) -> None:
+    lines.append(
+        f"{len(design.devices)} device type(s), "
+        f"{len(design.contexts)} context(s), "
+        f"{len(design.controllers)} controller(s); dataflow depth "
+        f"{max(design.graph.layers.values(), default=0)}."
+    )
+    lines.append("")
+
+
+def _devices(design: AnalyzedSpec, lines: List[str]) -> None:
+    lines.append("## Devices")
+    lines.append("")
+    for name in sorted(design.devices):
+        info = design.devices[name]
+        heading = f"### {name}"
+        if info.decl.extends:
+            heading += f" *(extends {info.decl.extends})*"
+        lines.append(heading)
+        lines.append("")
+        if info.attributes:
+            lines.append("Attributes:")
+            for attr_name in sorted(info.attributes):
+                attr = info.attributes[attr_name]
+                origin = (
+                    "" if attr.declared_by == name
+                    else f" *(from {attr.declared_by})*"
+                )
+                lines.append(
+                    f"- `{attr_name}` : {attr.dia_type.name}{origin}"
+                )
+            lines.append("")
+        if info.sources:
+            lines.append("Sources:")
+            for source_name in sorted(info.sources):
+                source = info.sources[source_name]
+                entry = f"- `{source_name}` : {source.dia_type.name}"
+                if source.is_indexed:
+                    entry += (
+                        f", indexed by `{source.index_name}` : "
+                        f"{source.index_type.name}"
+                    )
+                if source.retries or source.timeout_seconds:
+                    policy = []
+                    if source.timeout_seconds:
+                        policy.append(f"timeout {source.timeout_seconds}s")
+                    if source.retries:
+                        policy.append(f"retry {source.retries}")
+                    entry += f" *(expect {', '.join(policy)})*"
+                if source.declared_by != name:
+                    entry += f" *(from {source.declared_by})*"
+                lines.append(entry)
+            lines.append("")
+        if info.actions:
+            lines.append("Actions:")
+            for action_name in sorted(info.actions):
+                action = info.actions[action_name]
+                params = ", ".join(
+                    f"{param}: {dia_type.name}"
+                    for param, dia_type in action.params
+                )
+                origin = (
+                    "" if action.declared_by == name
+                    else f" *(from {action.declared_by})*"
+                )
+                lines.append(f"- `{action_name}({params})`{origin}")
+            lines.append("")
+
+
+def _data_types(design: AnalyzedSpec, lines: List[str]) -> None:
+    enums = design.spec.enumerations
+    structs = design.spec.structures
+    if not enums and not structs:
+        return
+    lines.append("## Data types")
+    lines.append("")
+    for enum_decl in enums:
+        lines.append(
+            f"- enumeration `{enum_decl.name}`: "
+            + ", ".join(enum_decl.members)
+        )
+    for struct_decl in structs:
+        fields = ", ".join(
+            f"{field.name}: {field.type_name}"
+            for field in struct_decl.fields
+        )
+        lines.append(f"- structure `{struct_decl.name}` {{ {fields} }}")
+    lines.append("")
+
+
+def _interaction_line(interaction) -> str:
+    if isinstance(interaction, WhenRequired):
+        return "serves query-driven pulls (`when required`)"
+    if isinstance(interaction, WhenProvidedSource):
+        text = (
+            f"event-driven on `{interaction.source}` from "
+            f"`{interaction.device}`"
+        )
+    elif isinstance(interaction, WhenPeriodic):
+        text = (
+            f"gathers `{interaction.source}` from `{interaction.device}` "
+            f"every {interaction.period}"
+        )
+        group = interaction.group
+        if group is not None:
+            text += f", grouped by `{group.attribute}`"
+            if group.uses_mapreduce:
+                text += (
+                    f" via MapReduce ({group.map_type_name} → "
+                    f"{group.reduce_type_name})"
+                )
+            if group.window is not None:
+                text += f", accumulated over {group.window}"
+    else:
+        text = f"subscribes to `{interaction.context}`"
+    for get in interaction.gets:
+        if isinstance(get, GetSource):
+            text += f"; queries `{get.source}` from `{get.device}`"
+        elif isinstance(get, GetContext):
+            text += f"; queries context `{get.context}`"
+    text += f" — {interaction.publish.value} publish"
+    return text
+
+
+def _contexts(design: AnalyzedSpec, lines: List[str]) -> None:
+    if not design.contexts:
+        return
+    lines.append("## Contexts")
+    lines.append("")
+    for name in design.graph.context_order():
+        info = design.contexts[name]
+        lines.append(
+            f"### {name} → {info.result_type.name} "
+            f"*(layer {design.graph.layers[name]})*"
+        )
+        lines.append("")
+        if info.decl.deadline is not None:
+            lines.append(f"QoS deadline: {info.decl.deadline}.")
+            lines.append("")
+        for interaction in info.decl.interactions:
+            lines.append(f"- {_interaction_line(interaction)}")
+        lines.append("")
+
+
+def _controllers(design: AnalyzedSpec, lines: List[str]) -> None:
+    if not design.controllers:
+        return
+    lines.append("## Controllers")
+    lines.append("")
+    for name in sorted(design.controllers):
+        info = design.controllers[name]
+        lines.append(f"### {name}")
+        lines.append("")
+        if info.decl.deadline is not None:
+            lines.append(f"QoS deadline: {info.decl.deadline}.")
+            lines.append("")
+        for reaction in info.decl.reactions:
+            actions = ", ".join(
+                f"`{do.action}` on `{do.device}`" for do in reaction.dos
+            )
+            lines.append(f"- on `{reaction.context}` → {actions}")
+        lines.append("")
+
+
+def _chains(design: AnalyzedSpec, lines: List[str]) -> None:
+    chains = design.graph.functional_chains()
+    if not chains:
+        return
+    lines.append("## Functional chains")
+    lines.append("")
+    for chain in chains:
+        lines.append("- " + " → ".join(chain))
+    lines.append("")
+
+
+def _warnings(design: AnalyzedSpec, lines: List[str]) -> None:
+    if not design.report.warnings:
+        return
+    lines.append("## Warnings")
+    lines.append("")
+    for warning in design.report.warnings:
+        lines.append(f"- {warning}")
+    lines.append("")

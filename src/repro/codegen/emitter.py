@@ -1,0 +1,75 @@
+"""A small indentation-aware source-code writer."""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+
+class Emitter:
+    """Accumulates lines of Python source with managed indentation.
+
+    >>> emitter = Emitter()
+    >>> emitter.line("class Foo:")
+    >>> with emitter.indented():
+    ...     emitter.line("pass")
+    >>> print(emitter.render(), end="")
+    class Foo:
+        pass
+    """
+
+    def __init__(self, indent: str = "    "):
+        self._indent_unit = indent
+        self._depth = 0
+        self._lines: List[str] = []
+
+    def line(self, text: str = "") -> None:
+        if text:
+            self._lines.append(self._indent_unit * self._depth + text)
+        else:
+            self._lines.append("")
+
+    def lines(self, texts: Iterable[str]) -> None:
+        for text in texts:
+            self.line(text)
+
+    def blank(self, count: int = 1) -> None:
+        for __ in range(count):
+            self._lines.append("")
+
+    def docstring(self, *paragraphs: str) -> None:
+        """Emit a (possibly multi-paragraph) docstring at current depth."""
+        flat = [p for p in paragraphs if p]
+        if not flat:
+            return
+        if len(flat) == 1 and "\n" not in flat[0] and len(flat[0]) < 68:
+            self.line(f'"""{flat[0]}"""')
+            return
+        self.line(f'"""{flat[0]}')
+        for paragraph in flat[1:]:
+            self.blank()
+            for line in paragraph.splitlines():
+                self.line(line)
+        self.line('"""')
+
+    def indented(self) -> "_IndentGuard":
+        return _IndentGuard(self)
+
+    def render(self) -> str:
+        return "\n".join(self._lines) + "\n"
+
+    @property
+    def line_count(self) -> int:
+        return len(self._lines)
+
+
+class _IndentGuard:
+    def __init__(self, emitter: Emitter):
+        self._emitter = emitter
+
+    def __enter__(self):
+        self._emitter._depth += 1
+        return self._emitter
+
+    def __exit__(self, *exc_info):
+        self._emitter._depth -= 1
+        return False

@@ -1,0 +1,154 @@
+"""Developer-side stub generation (the white code of Figures 9-10).
+
+The design compiler does not only produce the framework; it also emits the
+skeleton the developer fills in — Figure 9 shows exactly this, an ``Alert``
+subclass with a ``// TODO Auto-generated method stub`` body.
+:func:`generate_stubs` produces the Python equivalent: one subclass per
+declared context/controller with every required callback raising
+``NotImplementedError`` under a ``TODO`` marker.
+"""
+
+from __future__ import annotations
+
+from typing import Set, Union
+
+from repro.codegen.emitter import Emitter
+from repro.lang.ast_nodes import (
+    WhenPeriodic,
+    WhenProvidedContext,
+    WhenProvidedSource,
+    WhenRequired,
+)
+from repro.naming import (
+    abstract_class_name,
+    camel_to_snake,
+    class_name,
+    context_handler_name,
+    event_handler_name,
+    periodic_handler_short_name,
+)
+from repro.sema.analyzer import AnalyzedSpec, analyze
+
+
+def generate_stubs(
+    design: Union[str, AnalyzedSpec],
+    name: str = "App",
+    framework_module: str = "framework",
+) -> str:
+    """Generate the implementation skeleton for a design."""
+    if isinstance(design, str):
+        design = analyze(design)
+    e = Emitter()
+    e.line(f'"""Implementation skeleton for design \'{class_name(name)}\'.')
+    e.blank()
+    e.line("Auto-generated: fill in every TODO with application logic.")
+    e.line('"""')
+    e.blank()
+    imports = sorted(
+        [abstract_class_name(c.name) for c in design.spec.contexts]
+        + [abstract_class_name(c.name) for c in design.spec.controllers]
+    )
+    e.line(f"from {framework_module} import (")
+    for imported in imports:
+        e.line(f"    {imported},")
+    e.line(")")
+    e.blank(1)
+
+    for context in design.spec.contexts:
+        e.line(f"class {class_name(context.name)}"
+               f"({abstract_class_name(context.name)}):")
+        with e.indented():
+            emitted: Set[str] = set()
+            wrote = False
+            for interaction in context.interactions:
+                wrote |= _stub_interaction(e, interaction, emitted)
+            if _uses_mapreduce(context):
+                wrote |= _stub_method(e, emitted, "map",
+                                      "self, key, value, collector")
+                wrote |= _stub_method(e, emitted, "reduce",
+                                      "self, key, values, collector")
+            if not wrote:
+                e.line("pass")
+        e.blank(1)
+
+    for controller in design.spec.controllers:
+        e.line(f"class {class_name(controller.name)}"
+               f"({abstract_class_name(controller.name)}):")
+        with e.indented():
+            emitted = set()
+            wrote = False
+            for reaction in controller.reactions:
+                wrote |= _stub_method(
+                    e,
+                    emitted,
+                    context_handler_name(reaction.context),
+                    f"self, {camel_to_snake(reaction.context)}, discover",
+                )
+            if not wrote:
+                e.line("pass")
+        e.blank(1)
+    return e.render()
+
+
+def _uses_mapreduce(context) -> bool:
+    return any(
+        isinstance(i, WhenPeriodic)
+        and i.group is not None
+        and i.group.uses_mapreduce
+        for i in context.interactions
+    )
+
+
+def _stub_interaction(e: Emitter, interaction, emitted: Set[str]) -> bool:
+    if isinstance(interaction, WhenRequired):
+        return _stub_method(e, emitted, "when_required", "self, discover")
+    if isinstance(interaction, WhenProvidedSource):
+        argument = camel_to_snake(
+            f"{interaction.source}From{class_name(interaction.device)}"
+        )
+        return _stub_method(
+            e,
+            emitted,
+            event_handler_name(interaction.source, interaction.device),
+            f"self, {argument}, discover",
+        )
+    if isinstance(interaction, WhenPeriodic):
+        group = interaction.group
+        if group is None:
+            argument = f"{camel_to_snake(interaction.source)}_readings"
+        else:
+            argument = (
+                f"{camel_to_snake(interaction.source)}_by_"
+                f"{camel_to_snake(group.attribute)}"
+            )
+        return _stub_method(
+            e,
+            emitted,
+            periodic_handler_short_name(interaction.source),
+            f"self, {argument}, discover",
+        )
+    if isinstance(interaction, WhenProvidedContext):
+        return _stub_method(
+            e,
+            emitted,
+            context_handler_name(interaction.context),
+            f"self, {camel_to_snake(interaction.context)}, discover",
+        )
+    return False
+
+
+def _stub_method(
+    e: Emitter, emitted: Set[str], method: str, signature: str
+) -> bool:
+    if method in emitted:
+        return False
+    emitted.add(method)
+    e.line(f"def {method}({signature}):")
+    with e.indented():
+        e.line("# TODO Auto-generated method stub")
+        e.line(f'raise NotImplementedError("{method}")')
+    e.blank()
+    return True
+
+
+__all__ = ["generate_stubs"]

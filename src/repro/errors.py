@@ -1,0 +1,94 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch a single type at their outermost layer.  Errors are
+split along the tool-chain stages described in the paper: parsing a DiaSpec
+design, semantically analyzing it, generating a framework from it, and
+running the orchestrating application.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class DiaSpecError(ReproError):
+    """Base class for errors in a DiaSpec design (syntax or semantics)."""
+
+
+class DiaSpecSyntaxError(DiaSpecError):
+    """A DiaSpec design could not be tokenized or parsed.
+
+    Carries the source position so tooling can point at the offending text.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"line {line}, column {column}: {message}"
+        super().__init__(message)
+
+
+class SemanticError(DiaSpecError):
+    """A DiaSpec design parsed but violates a semantic rule."""
+
+    def __init__(self, message: str, declaration: str = ""):
+        self.declaration = declaration
+        if declaration:
+            message = f"in declaration '{declaration}': {message}"
+        super().__init__(message)
+
+
+class SccViolationError(SemanticError):
+    """A design violates the Sense-Compute-Control paradigm.
+
+    Examples: a controller publishing a value, a controller feeding a
+    context, a context issuing device actions, or a cycle among contexts.
+    """
+
+
+class DuplicateDeclarationError(SemanticError):
+    """Two top-level declarations (or two facets) share a name."""
+
+
+class UnknownNameError(SemanticError):
+    """A declaration references a name that is not declared anywhere."""
+
+
+class TypeMismatchError(SemanticError):
+    """Two typed positions that must agree do not."""
+
+
+class CodegenError(ReproError):
+    """Framework generation failed for an analyzed design."""
+
+
+class RuntimeOrchestrationError(ReproError):
+    """Base class for errors during application execution."""
+
+
+class BindingError(RuntimeOrchestrationError):
+    """Entity binding failed (missing implementation, bad attributes...)."""
+
+
+class DiscoveryError(RuntimeOrchestrationError):
+    """A discovery request matched no entity when one was required."""
+
+
+class DeliveryError(RuntimeOrchestrationError):
+    """A data-delivery request could not be satisfied."""
+
+
+class ActuationError(RuntimeOrchestrationError):
+    """An action could not be issued to a device."""
+
+
+class DeviceFailureError(RuntimeOrchestrationError):
+    """A simulated device failure surfaced to the application layer."""
+
+
+class ValueConformanceError(RuntimeOrchestrationError):
+    """A runtime value does not conform to its declared DiaSpec type."""

@@ -1,0 +1,87 @@
+"""DiaSpec language front end.
+
+This package implements the design language of the paper: a lexer
+(:mod:`repro.lang.lexer`), an abstract syntax tree
+(:mod:`repro.lang.ast_nodes`), a recursive-descent parser
+(:mod:`repro.lang.parser`), a pretty-printer producing canonical DiaSpec
+text (:mod:`repro.lang.pretty`), and convenience loaders
+(:mod:`repro.lang.loader`).
+
+The concrete syntax follows Figures 5-8 of the paper::
+
+    device PresenceSensor {
+        attribute parkingLot as ParkingLotEnum;
+        source presence as Boolean;
+    }
+
+    context ParkingAvailability as Availability[] {
+        when periodic presence from PresenceSensor <10 min>
+        grouped by parkingLot
+        with map as Boolean reduce as Integer
+        always publish;
+    }
+
+    controller ParkingEntrancePanelController {
+        when provided ParkingAvailability
+        do update on ParkingEntrancePanel;
+    }
+"""
+
+from repro.lang.ast_nodes import (
+    ActionDecl,
+    AttributeDecl,
+    ContextDecl,
+    ControllerDecl,
+    ControllerReaction,
+    DeviceDecl,
+    DoClause,
+    Duration,
+    EnumerationDecl,
+    GetContext,
+    GetSource,
+    GroupBy,
+    Param,
+    Publish,
+    SourceDecl,
+    Spec,
+    StructureDecl,
+    WhenPeriodic,
+    WhenProvidedContext,
+    WhenProvidedSource,
+    WhenRequired,
+)
+from repro.lang.lexer import Token, TokenKind, tokenize
+from repro.lang.loader import load_file, load_source
+from repro.lang.parser import parse
+from repro.lang.pretty import pretty
+
+__all__ = [
+    "ActionDecl",
+    "AttributeDecl",
+    "ContextDecl",
+    "ControllerDecl",
+    "ControllerReaction",
+    "DeviceDecl",
+    "DoClause",
+    "Duration",
+    "EnumerationDecl",
+    "GetContext",
+    "GetSource",
+    "GroupBy",
+    "Param",
+    "Publish",
+    "SourceDecl",
+    "Spec",
+    "StructureDecl",
+    "Token",
+    "TokenKind",
+    "WhenPeriodic",
+    "WhenProvidedContext",
+    "WhenProvidedSource",
+    "WhenRequired",
+    "load_file",
+    "load_source",
+    "parse",
+    "pretty",
+    "tokenize",
+]

@@ -1,0 +1,328 @@
+"""Abstract syntax tree for DiaSpec designs.
+
+Nodes mirror the declarations of Figures 5-8 of the paper.  The tree is
+immutable (frozen dataclasses): the semantic analyzer annotates a design by
+building separate structures, never by mutating the AST, so a single parsed
+spec can safely feed multiple analyses and code generators.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+
+# --------------------------------------------------------------------------
+# Shared leaf nodes
+# --------------------------------------------------------------------------
+
+
+_DURATION_SECONDS = {
+    "ms": 0.001,
+    "s": 1.0,
+    "sec": 1.0,
+    "min": 60.0,
+    "hr": 3600.0,
+    "day": 86400.0,
+}
+
+
+@dataclass(frozen=True)
+class Duration:
+    """A time span written ``<10 min>`` in a design.
+
+    Units: ``ms``, ``s``/``sec``, ``min``, ``hr``, ``day``.
+    """
+
+    value: float
+    unit: str
+
+    def __post_init__(self):
+        if self.unit not in _DURATION_SECONDS:
+            raise ValueError(f"unknown duration unit {self.unit!r}")
+        if self.value <= 0:
+            raise ValueError("duration must be positive")
+
+    @property
+    def seconds(self) -> float:
+        return self.value * _DURATION_SECONDS[self.unit]
+
+    def __str__(self) -> str:
+        value = int(self.value) if float(self.value).is_integer() else self.value
+        return f"<{value} {self.unit}>"
+
+
+@dataclass(frozen=True)
+class Param:
+    """A ``name as Type`` pair (action parameter or structure field)."""
+
+    name: str
+    type_name: str
+
+
+class Publish(enum.Enum):
+    """Publication discipline of a context interaction (Figure 7/8).
+
+    ``ALWAYS``: every activation publishes a value; ``MAYBE``: an
+    activation may decline to publish; ``NO``: the interaction never
+    publishes (the context only refreshes internal state, e.g. the
+    ``ParkingUsagePattern`` periodic interaction).
+    """
+
+    ALWAYS = "always"
+    MAYBE = "maybe"
+    NO = "no"
+
+
+# --------------------------------------------------------------------------
+# Device declarations (Figures 5 and 6)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AttributeDecl:
+    """``attribute parkingLot as ParkingLotEnum;``"""
+
+    name: str
+    type_name: str
+
+
+@dataclass(frozen=True)
+class SourceDecl:
+    """``source answer as String indexed by questionId as String;``
+
+    The optional ``expect timeout <2 s> retry 2`` clause declares the
+    error-handling dimension the paper sketches in §III/§VI (citing its
+    OOPSLA'10 predecessor [14]): reads that fail are retried up to
+    *retries* times, and a driver taking longer than *timeout* counts as
+    failed.
+    """
+
+    name: str
+    type_name: str
+    index_name: Optional[str] = None
+    index_type_name: Optional[str] = None
+    timeout: Optional[Duration] = None
+    retries: int = 0
+
+    @property
+    def is_indexed(self) -> bool:
+        return self.index_name is not None
+
+    @property
+    def has_error_policy(self) -> bool:
+        return self.timeout is not None or self.retries > 0
+
+
+@dataclass(frozen=True)
+class ActionDecl:
+    """``action update(status as String);`` — parameters may be empty."""
+
+    name: str
+    params: Tuple[Param, ...] = ()
+
+
+@dataclass(frozen=True)
+class DeviceDecl:
+    """A ``device`` declaration, optionally extending another device."""
+
+    name: str
+    extends: Optional[str] = None
+    attributes: Tuple[AttributeDecl, ...] = ()
+    sources: Tuple[SourceDecl, ...] = ()
+    actions: Tuple[ActionDecl, ...] = ()
+
+
+# --------------------------------------------------------------------------
+# Data declarations (Figure 8, bottom)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EnumerationDecl:
+    """``enumeration ParkingLotEnum { A22, B16, D6 }``"""
+
+    name: str
+    members: Tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class StructureDecl:
+    """``structure Availability { parkingLot as ParkingLotEnum; count as Integer; }``"""
+
+    name: str
+    fields: Tuple[Param, ...]
+
+
+# --------------------------------------------------------------------------
+# Context declarations (Figures 7 and 8)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GroupBy:
+    """The ``grouped by`` construct, optionally windowed and MapReduce-typed.
+
+    ``grouped by parkingLot every <24 hr> with map as Boolean reduce as
+    Integer`` — *attribute* partitions readings by a device attribute;
+    *window* accumulates successive deliveries before publication (the
+    ``AverageOccupancy`` context); *map_type*/*reduce_type* declare the
+    value types of the Map and Reduce phases, exposing parallelism
+    (Section IV.2 of the paper).
+    """
+
+    attribute: str
+    window: Optional[Duration] = None
+    map_type_name: Optional[str] = None
+    reduce_type_name: Optional[str] = None
+
+    @property
+    def uses_mapreduce(self) -> bool:
+        return self.map_type_name is not None
+
+
+@dataclass(frozen=True)
+class GetSource:
+    """``get consumption from Cooker`` — query-driven pull from a device."""
+
+    source: str
+    device: str
+
+
+@dataclass(frozen=True)
+class GetContext:
+    """``get ParkingUsagePattern`` — pull the current value of a context."""
+
+    context: str
+
+
+GetClause = Union[GetSource, GetContext]
+
+
+@dataclass(frozen=True)
+class WhenProvidedSource:
+    """Event-driven subscription: ``when provided tickSecond from Clock``."""
+
+    source: str
+    device: str
+    group: Optional[GroupBy] = None
+    gets: Tuple[GetClause, ...] = ()
+    publish: Publish = Publish.ALWAYS
+
+
+@dataclass(frozen=True)
+class WhenPeriodic:
+    """Periodic gathering: ``when periodic presence from PresenceSensor <10 min>``."""
+
+    source: str
+    device: str
+    period: Duration = field(default=Duration(1, "s"))
+    group: Optional[GroupBy] = None
+    gets: Tuple[GetClause, ...] = ()
+    publish: Publish = Publish.ALWAYS
+
+
+@dataclass(frozen=True)
+class WhenProvidedContext:
+    """Subscription to another context: ``when provided ParkingAvailability``."""
+
+    context: str
+    gets: Tuple[GetClause, ...] = ()
+    publish: Publish = Publish.ALWAYS
+
+
+@dataclass(frozen=True)
+class WhenRequired:
+    """``when required;`` — the context serves query-driven pulls."""
+
+
+Interaction = Union[
+    WhenProvidedSource, WhenPeriodic, WhenProvidedContext, WhenRequired
+]
+
+
+@dataclass(frozen=True)
+class ContextDecl:
+    """A ``context`` declaration with its result type and interactions.
+
+    ``deadline`` is the optional QoS bound declared by an
+    ``expect deadline <50 ms>;`` body clause (§VI: quality-of-service as a
+    design-level dimension, citing [15]): the runtime monitors activation
+    durations against it.
+    """
+
+    name: str
+    type_name: str
+    interactions: Tuple[Interaction, ...] = ()
+    deadline: Optional[Duration] = None
+
+    @property
+    def is_queryable(self) -> bool:
+        """True when the design includes a ``when required`` interaction."""
+        return any(isinstance(i, WhenRequired) for i in self.interactions)
+
+
+# --------------------------------------------------------------------------
+# Controller declarations
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DoClause:
+    """``do update on ParkingEntrancePanel``"""
+
+    action: str
+    device: str
+
+
+@dataclass(frozen=True)
+class ControllerReaction:
+    """``when provided <context> do <action> on <device> [do ...];``"""
+
+    context: str
+    dos: Tuple[DoClause, ...]
+
+
+@dataclass(frozen=True)
+class ControllerDecl:
+    """A ``controller`` declaration, with an optional QoS deadline."""
+
+    name: str
+    reactions: Tuple[ControllerReaction, ...] = ()
+    deadline: Optional[Duration] = None
+
+
+Declaration = Union[
+    DeviceDecl, EnumerationDecl, StructureDecl, ContextDecl, ControllerDecl
+]
+
+
+@dataclass(frozen=True)
+class Spec:
+    """A complete DiaSpec design: an ordered set of declarations."""
+
+    declarations: Tuple[Declaration, ...] = ()
+
+    def of_kind(self, node_type: type) -> Tuple[Declaration, ...]:
+        return tuple(d for d in self.declarations if isinstance(d, node_type))
+
+    @property
+    def devices(self) -> Tuple[DeviceDecl, ...]:
+        return self.of_kind(DeviceDecl)  # type: ignore[return-value]
+
+    @property
+    def contexts(self) -> Tuple[ContextDecl, ...]:
+        return self.of_kind(ContextDecl)  # type: ignore[return-value]
+
+    @property
+    def controllers(self) -> Tuple[ControllerDecl, ...]:
+        return self.of_kind(ControllerDecl)  # type: ignore[return-value]
+
+    @property
+    def enumerations(self) -> Tuple[EnumerationDecl, ...]:
+        return self.of_kind(EnumerationDecl)  # type: ignore[return-value]
+
+    @property
+    def structures(self) -> Tuple[StructureDecl, ...]:
+        return self.of_kind(StructureDecl)  # type: ignore[return-value]

@@ -1,0 +1,206 @@
+"""Tokenizer for DiaSpec designs.
+
+The lexical grammar is small: identifiers, integer and decimal literals,
+a fixed keyword set, and single-character punctuation.  ``//`` line
+comments and ``/* ... */`` block comments are skipped.  Durations such as
+``<10 min>`` are produced as three tokens (``<``, number, identifier,
+``>``) and assembled by the parser.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import DiaSpecSyntaxError
+
+
+class TokenKind(enum.Enum):
+    """Lexical category of a token."""
+
+    IDENT = "ident"
+    KEYWORD = "keyword"
+    NUMBER = "number"
+    LBRACE = "{"
+    RBRACE = "}"
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACKET = "["
+    RBRACKET = "]"
+    LANGLE = "<"
+    RANGLE = ">"
+    SEMI = ";"
+    COMMA = ","
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "action",
+        "always",
+        "as",
+        "attribute",
+        "by",
+        "context",
+        "controller",
+        "deadline",
+        "device",
+        "do",
+        "enumeration",
+        "every",
+        "expect",
+        "extends",
+        "from",
+        "get",
+        "grouped",
+        "indexed",
+        "map",
+        "maybe",
+        "no",
+        "on",
+        "periodic",
+        "provided",
+        "publish",
+        "reduce",
+        "required",
+        "retry",
+        "source",
+        "timeout",
+        "structure",
+        "when",
+        "with",
+    }
+)
+
+_PUNCT = {
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    "<": TokenKind.LANGLE,
+    ">": TokenKind.RANGLE,
+    ";": TokenKind.SEMI,
+    ",": TokenKind.COMMA,
+}
+
+
+def _is_ascii_digit(char: str) -> bool:
+    return "0" <= char <= "9"
+
+
+def _is_ident_start(char: str) -> bool:
+    # DiaSpec identifiers are ASCII (Java-compatible); Python's
+    # str.isalpha() would silently admit unicode letters.
+    return "a" <= char <= "z" or "A" <= char <= "Z" or char == "_"
+
+
+def _is_ident_part(char: str) -> bool:
+    return _is_ident_start(char) or _is_ascii_digit(char)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexed token with its source position (1-based line/column)."""
+
+    kind: TokenKind
+    text: str
+    line: int
+    column: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.kind is TokenKind.KEYWORD and self.text == word
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind.name}, {self.text!r}, {self.line}:{self.column})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize DiaSpec source text into a token list ending with EOF."""
+    return list(_scan(source))
+
+
+def _scan(source: str) -> Iterator[Token]:
+    position = 0
+    line = 1
+    column = 1
+    length = len(source)
+
+    def error(message: str) -> DiaSpecSyntaxError:
+        return DiaSpecSyntaxError(message, line=line, column=column)
+
+    while position < length:
+        char = source[position]
+
+        if char == "\n":
+            position += 1
+            line += 1
+            column = 1
+            continue
+        if char in " \t\r":
+            position += 1
+            column += 1
+            continue
+
+        if source.startswith("//", position):
+            end = source.find("\n", position)
+            if end == -1:
+                break
+            column += end - position
+            position = end
+            continue
+
+        if source.startswith("/*", position):
+            end = source.find("*/", position + 2)
+            if end == -1:
+                raise error("unterminated block comment")
+            skipped = source[position : end + 2]
+            newlines = skipped.count("\n")
+            if newlines:
+                line += newlines
+                column = len(skipped) - skipped.rfind("\n")
+            else:
+                column += len(skipped)
+            position = end + 2
+            continue
+
+        if char in _PUNCT:
+            yield Token(_PUNCT[char], char, line, column)
+            position += 1
+            column += 1
+            continue
+
+        if _is_ascii_digit(char):
+            start = position
+            while position < length and _is_ascii_digit(source[position]):
+                position += 1
+            if position < length and source[position] == ".":
+                position += 1
+                if position >= length or not _is_ascii_digit(
+                    source[position]
+                ):
+                    raise error("malformed decimal literal")
+                while position < length and _is_ascii_digit(
+                    source[position]
+                ):
+                    position += 1
+            text = source[start:position]
+            yield Token(TokenKind.NUMBER, text, line, column)
+            column += len(text)
+            continue
+
+        if _is_ident_start(char):
+            start = position
+            while position < length and _is_ident_part(source[position]):
+                position += 1
+            text = source[start:position]
+            kind = TokenKind.KEYWORD if text in KEYWORDS else TokenKind.IDENT
+            yield Token(kind, text, line, column)
+            column += len(text)
+            continue
+
+        raise error(f"unexpected character {char!r}")
+
+    yield Token(TokenKind.EOF, "", line, column)

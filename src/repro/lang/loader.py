@@ -1,0 +1,20 @@
+"""Convenience entry points for loading DiaSpec designs."""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+from repro.lang.ast_nodes import Spec
+from repro.lang.parser import parse
+
+
+def load_source(source: str) -> Spec:
+    """Parse DiaSpec text into an AST (alias of :func:`repro.lang.parse`)."""
+    return parse(source)
+
+
+def load_file(path: Union[str, "os.PathLike[str]"]) -> Spec:
+    """Read and parse a ``.diaspec`` file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse(handle.read())

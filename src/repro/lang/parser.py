@@ -1,0 +1,442 @@
+"""Recursive-descent parser for DiaSpec designs.
+
+The grammar, in EBNF (keywords quoted)::
+
+    spec        := declaration*
+    declaration := device | enumeration | structure | context | controller
+
+    device      := "device" IDENT ["extends" IDENT] "{" facet* "}"
+    facet       := attribute | source | action
+    attribute   := "attribute" IDENT "as" type ";"
+    source      := "source" IDENT "as" type
+                   ["indexed" "by" IDENT "as" type] ";"
+    action      := "action" IDENT ["(" params ")"] ";"
+    params      := IDENT "as" type ("," IDENT "as" type)*
+
+    enumeration := "enumeration" IDENT "{" IDENT ("," IDENT)* [","] "}"
+    structure   := "structure" IDENT "{" (IDENT "as" type ";")* "}"
+
+    context     := "context" IDENT "as" type "{" interaction* "}"
+    interaction := "when" "required" ";"
+                 | "when" "provided" IDENT "from" IDENT tail ";"
+                 | "when" "periodic" IDENT "from" IDENT duration tail ";"
+                 | "when" "provided" IDENT ctx_tail ";"
+    tail        := [group] get* publish
+    ctx_tail    := get* publish
+    group       := "grouped" "by" IDENT ["every" duration]
+                   ["with" "map" "as" type "reduce" "as" type]
+    get         := "get" IDENT ["from" IDENT]
+    publish     := ("always" | "maybe" | "no") "publish"
+    duration    := "<" NUMBER IDENT ">"
+
+    controller  := "controller" IDENT "{" reaction* "}"
+    reaction    := "when" "provided" IDENT ("do" IDENT "on" IDENT)+ ";"
+
+    type        := IDENT ("[" "]")*
+
+The ``when provided`` ambiguity (device source vs. context) is resolved by
+the presence of the ``from`` keyword, exactly as in the paper's examples.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import DiaSpecSyntaxError
+from repro.lang.ast_nodes import (
+    ActionDecl,
+    AttributeDecl,
+    ContextDecl,
+    ControllerDecl,
+    ControllerReaction,
+    Declaration,
+    DeviceDecl,
+    DoClause,
+    Duration,
+    EnumerationDecl,
+    GetClause,
+    GetContext,
+    GetSource,
+    GroupBy,
+    Interaction,
+    Param,
+    Publish,
+    SourceDecl,
+    Spec,
+    StructureDecl,
+    WhenPeriodic,
+    WhenProvidedContext,
+    WhenProvidedSource,
+    WhenRequired,
+)
+from repro.lang.lexer import Token, TokenKind, tokenize
+
+
+def parse(source: str) -> Spec:
+    """Parse DiaSpec source text into a :class:`Spec` AST."""
+    return _Parser(tokenize(source)).parse_spec()
+
+
+class _Parser:
+    """Hand-written LL(1) parser over the token stream."""
+
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._position = 0
+
+    # -- token helpers ----------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._position]
+
+    def _error(self, message: str) -> DiaSpecSyntaxError:
+        token = self._current
+        return DiaSpecSyntaxError(message, line=token.line, column=token.column)
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.kind is not TokenKind.EOF:
+            self._position += 1
+        return token
+
+    def _check(self, kind: TokenKind) -> bool:
+        return self._current.kind is kind
+
+    def _check_keyword(self, word: str) -> bool:
+        return self._current.is_keyword(word)
+
+    def _match_keyword(self, word: str) -> bool:
+        if self._check_keyword(word):
+            self._advance()
+            return True
+        return False
+
+    def _expect(self, kind: TokenKind) -> Token:
+        if not self._check(kind):
+            raise self._error(
+                f"expected {kind.value!r}, found {self._current.text!r}"
+            )
+        return self._advance()
+
+    def _expect_keyword(self, word: str) -> Token:
+        if not self._check_keyword(word):
+            raise self._error(
+                f"expected keyword {word!r}, found {self._current.text!r}"
+            )
+        return self._advance()
+
+    def _expect_ident(self) -> str:
+        if not self._check(TokenKind.IDENT):
+            raise self._error(
+                f"expected identifier, found {self._current.text!r}"
+            )
+        return self._advance().text
+
+    # -- grammar ----------------------------------------------------------
+
+    def parse_spec(self) -> Spec:
+        declarations: List[Declaration] = []
+        while not self._check(TokenKind.EOF):
+            declarations.append(self._declaration())
+        return Spec(tuple(declarations))
+
+    def _declaration(self) -> Declaration:
+        if self._check_keyword("device"):
+            return self._device()
+        if self._check_keyword("enumeration"):
+            return self._enumeration()
+        if self._check_keyword("structure"):
+            return self._structure()
+        if self._check_keyword("context"):
+            return self._context()
+        if self._check_keyword("controller"):
+            return self._controller()
+        raise self._error(
+            "expected 'device', 'enumeration', 'structure', 'context' or "
+            f"'controller', found {self._current.text!r}"
+        )
+
+    def _type_name(self) -> str:
+        name = self._expect_ident()
+        while self._check(TokenKind.LBRACKET):
+            self._advance()
+            self._expect(TokenKind.RBRACKET)
+            name += "[]"
+        return name
+
+    def _duration(self) -> Duration:
+        open_token = self._expect(TokenKind.LANGLE)
+        number = self._expect(TokenKind.NUMBER)
+        unit = self._expect_ident()
+        self._expect(TokenKind.RANGLE)
+        try:
+            return Duration(float(number.text), unit)
+        except ValueError as exc:
+            raise DiaSpecSyntaxError(
+                str(exc), line=open_token.line, column=open_token.column
+            ) from None
+
+    # -- device -----------------------------------------------------------
+
+    def _device(self) -> DeviceDecl:
+        self._expect_keyword("device")
+        name = self._expect_ident()
+        extends = None
+        if self._match_keyword("extends"):
+            extends = self._expect_ident()
+        self._expect(TokenKind.LBRACE)
+        attributes: List[AttributeDecl] = []
+        sources: List[SourceDecl] = []
+        actions: List[ActionDecl] = []
+        while not self._check(TokenKind.RBRACE):
+            if self._check_keyword("attribute"):
+                attributes.append(self._attribute())
+            elif self._check_keyword("source"):
+                sources.append(self._source())
+            elif self._check_keyword("action"):
+                actions.append(self._action())
+            else:
+                raise self._error(
+                    "expected 'attribute', 'source' or 'action' in device "
+                    f"body, found {self._current.text!r}"
+                )
+        self._expect(TokenKind.RBRACE)
+        return DeviceDecl(
+            name=name,
+            extends=extends,
+            attributes=tuple(attributes),
+            sources=tuple(sources),
+            actions=tuple(actions),
+        )
+
+    def _attribute(self) -> AttributeDecl:
+        self._expect_keyword("attribute")
+        name = self._expect_ident()
+        self._expect_keyword("as")
+        type_name = self._type_name()
+        self._expect(TokenKind.SEMI)
+        return AttributeDecl(name, type_name)
+
+    def _source(self) -> SourceDecl:
+        self._expect_keyword("source")
+        name = self._expect_ident()
+        self._expect_keyword("as")
+        type_name = self._type_name()
+        index_name = index_type = None
+        if self._match_keyword("indexed"):
+            self._expect_keyword("by")
+            index_name = self._expect_ident()
+            self._expect_keyword("as")
+            index_type = self._type_name()
+        timeout, retries = self._source_expectations()
+        self._expect(TokenKind.SEMI)
+        return SourceDecl(
+            name, type_name, index_name, index_type, timeout, retries
+        )
+
+    def _source_expectations(self):
+        """``expect timeout <2 s> retry 2`` — either part optional."""
+        if not self._match_keyword("expect"):
+            return None, 0
+        timeout = None
+        retries = 0
+        matched = False
+        if self._match_keyword("timeout"):
+            timeout = self._duration()
+            matched = True
+        if self._match_keyword("retry"):
+            count = self._expect(TokenKind.NUMBER)
+            if "." in count.text:
+                raise DiaSpecSyntaxError(
+                    "retry count must be an integer",
+                    line=count.line,
+                    column=count.column,
+                )
+            retries = int(count.text)
+            matched = True
+        if not matched:
+            raise self._error(
+                "expected 'timeout <...>' and/or 'retry N' after 'expect'"
+            )
+        return timeout, retries
+
+    def _action(self) -> ActionDecl:
+        self._expect_keyword("action")
+        name = self._expect_ident()
+        params: Tuple[Param, ...] = ()
+        if self._check(TokenKind.LPAREN):
+            self._advance()
+            params = self._params()
+            self._expect(TokenKind.RPAREN)
+        self._expect(TokenKind.SEMI)
+        return ActionDecl(name, params)
+
+    def _params(self) -> Tuple[Param, ...]:
+        params: List[Param] = []
+        while True:
+            name = self._expect_ident()
+            self._expect_keyword("as")
+            params.append(Param(name, self._type_name()))
+            if not self._check(TokenKind.COMMA):
+                break
+            self._advance()
+        return tuple(params)
+
+    # -- enumeration / structure -------------------------------------------
+
+    def _enumeration(self) -> EnumerationDecl:
+        self._expect_keyword("enumeration")
+        name = self._expect_ident()
+        self._expect(TokenKind.LBRACE)
+        members: List[str] = [self._expect_ident()]
+        while self._check(TokenKind.COMMA):
+            self._advance()
+            if self._check(TokenKind.RBRACE):
+                break  # tolerate the trailing comma of Figure 6
+            members.append(self._expect_ident())
+        self._expect(TokenKind.RBRACE)
+        return EnumerationDecl(name, tuple(members))
+
+    def _structure(self) -> StructureDecl:
+        self._expect_keyword("structure")
+        name = self._expect_ident()
+        self._expect(TokenKind.LBRACE)
+        fields: List[Param] = []
+        while not self._check(TokenKind.RBRACE):
+            field_name = self._expect_ident()
+            self._expect_keyword("as")
+            fields.append(Param(field_name, self._type_name()))
+            self._expect(TokenKind.SEMI)
+        self._expect(TokenKind.RBRACE)
+        return StructureDecl(name, tuple(fields))
+
+    # -- context ------------------------------------------------------------
+
+    def _context(self) -> ContextDecl:
+        self._expect_keyword("context")
+        name = self._expect_ident()
+        self._expect_keyword("as")
+        type_name = self._type_name()
+        self._expect(TokenKind.LBRACE)
+        interactions: List[Interaction] = []
+        deadline = None
+        while not self._check(TokenKind.RBRACE):
+            if self._check_keyword("expect"):
+                deadline = self._deadline_clause(deadline)
+                continue
+            interactions.append(self._interaction())
+        self._expect(TokenKind.RBRACE)
+        return ContextDecl(name, type_name, tuple(interactions), deadline)
+
+    def _deadline_clause(self, existing) -> "Duration":
+        """``expect deadline <50 ms>;`` inside a context/controller body."""
+        token = self._current
+        self._expect_keyword("expect")
+        self._expect_keyword("deadline")
+        deadline = self._duration()
+        self._expect(TokenKind.SEMI)
+        if existing is not None:
+            raise DiaSpecSyntaxError(
+                "duplicate 'expect deadline' clause",
+                line=token.line,
+                column=token.column,
+            )
+        return deadline
+
+    def _interaction(self) -> Interaction:
+        self._expect_keyword("when")
+        if self._match_keyword("required"):
+            self._expect(TokenKind.SEMI)
+            return WhenRequired()
+        if self._match_keyword("periodic"):
+            source = self._expect_ident()
+            self._expect_keyword("from")
+            device = self._expect_ident()
+            period = self._duration()
+            group = self._group()
+            gets = self._gets()
+            publish = self._publish()
+            self._expect(TokenKind.SEMI)
+            return WhenPeriodic(source, device, period, group, gets, publish)
+        self._expect_keyword("provided")
+        subject = self._expect_ident()
+        if self._match_keyword("from"):
+            device = self._expect_ident()
+            group = self._group()
+            gets = self._gets()
+            publish = self._publish()
+            self._expect(TokenKind.SEMI)
+            return WhenProvidedSource(subject, device, group, gets, publish)
+        gets = self._gets()
+        publish = self._publish()
+        self._expect(TokenKind.SEMI)
+        return WhenProvidedContext(subject, gets, publish)
+
+    def _group(self) -> Optional[GroupBy]:
+        if not self._match_keyword("grouped"):
+            return None
+        self._expect_keyword("by")
+        attribute = self._expect_ident()
+        window = None
+        if self._match_keyword("every"):
+            window = self._duration()
+        map_type = reduce_type = None
+        if self._match_keyword("with"):
+            self._expect_keyword("map")
+            self._expect_keyword("as")
+            map_type = self._type_name()
+            self._expect_keyword("reduce")
+            self._expect_keyword("as")
+            reduce_type = self._type_name()
+        return GroupBy(attribute, window, map_type, reduce_type)
+
+    def _gets(self) -> Tuple[GetClause, ...]:
+        gets: List[GetClause] = []
+        while self._match_keyword("get"):
+            name = self._expect_ident()
+            if self._match_keyword("from"):
+                gets.append(GetSource(name, self._expect_ident()))
+            else:
+                gets.append(GetContext(name))
+        return tuple(gets)
+
+    def _publish(self) -> Publish:
+        for publish in Publish:
+            if self._match_keyword(publish.value):
+                self._expect_keyword("publish")
+                return publish
+        raise self._error(
+            "expected 'always publish', 'maybe publish' or 'no publish', "
+            f"found {self._current.text!r}"
+        )
+
+    # -- controller ----------------------------------------------------------
+
+    def _controller(self) -> ControllerDecl:
+        self._expect_keyword("controller")
+        name = self._expect_ident()
+        self._expect(TokenKind.LBRACE)
+        reactions: List[ControllerReaction] = []
+        deadline = None
+        while not self._check(TokenKind.RBRACE):
+            if self._check_keyword("expect"):
+                deadline = self._deadline_clause(deadline)
+                continue
+            reactions.append(self._reaction())
+        self._expect(TokenKind.RBRACE)
+        return ControllerDecl(name, tuple(reactions), deadline)
+
+    def _reaction(self) -> ControllerReaction:
+        self._expect_keyword("when")
+        self._expect_keyword("provided")
+        context = self._expect_ident()
+        dos: List[DoClause] = []
+        while self._match_keyword("do"):
+            action = self._expect_ident()
+            self._expect_keyword("on")
+            dos.append(DoClause(action, self._expect_ident()))
+        if not dos:
+            raise self._error("a controller reaction needs at least one 'do'")
+        self._expect(TokenKind.SEMI)
+        return ControllerReaction(context, tuple(dos))

@@ -1,0 +1,162 @@
+"""Canonical pretty-printer for DiaSpec ASTs.
+
+``parse(pretty(spec)) == spec`` holds for every well-formed AST, which the
+property-based test suite exercises; the printer is also used to render
+taxonomies and generated designs into readable artifacts.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang.ast_nodes import (
+    ActionDecl,
+    ContextDecl,
+    ControllerDecl,
+    Declaration,
+    DeviceDecl,
+    EnumerationDecl,
+    GetContext,
+    GetSource,
+    GroupBy,
+    Interaction,
+    Spec,
+    StructureDecl,
+    WhenPeriodic,
+    WhenProvidedContext,
+    WhenProvidedSource,
+    WhenRequired,
+)
+
+_INDENT = "    "
+
+
+def pretty(spec: Spec) -> str:
+    """Render a :class:`Spec` as canonical DiaSpec source text."""
+    chunks = [_declaration(declaration) for declaration in spec.declarations]
+    return "\n\n".join(chunks) + ("\n" if chunks else "")
+
+
+def _declaration(declaration: Declaration) -> str:
+    if isinstance(declaration, DeviceDecl):
+        return _device(declaration)
+    if isinstance(declaration, EnumerationDecl):
+        members = ", ".join(declaration.members)
+        return f"enumeration {declaration.name} {{ {members} }}"
+    if isinstance(declaration, StructureDecl):
+        lines = [f"structure {declaration.name} {{"]
+        for param in declaration.fields:
+            lines.append(f"{_INDENT}{param.name} as {param.type_name};")
+        lines.append("}")
+        return "\n".join(lines)
+    if isinstance(declaration, ContextDecl):
+        return _context(declaration)
+    if isinstance(declaration, ControllerDecl):
+        return _controller(declaration)
+    raise TypeError(f"unknown declaration {declaration!r}")
+
+
+def _device(device: DeviceDecl) -> str:
+    header = f"device {device.name}"
+    if device.extends:
+        header += f" extends {device.extends}"
+    lines = [header + " {"]
+    for attribute in device.attributes:
+        lines.append(
+            f"{_INDENT}attribute {attribute.name} as {attribute.type_name};"
+        )
+    for source in device.sources:
+        text = f"{_INDENT}source {source.name} as {source.type_name}"
+        if source.is_indexed:
+            text += f" indexed by {source.index_name} as {source.index_type_name}"
+        if source.has_error_policy:
+            text += " expect"
+            if source.timeout is not None:
+                text += f" timeout {source.timeout}"
+            if source.retries:
+                text += f" retry {source.retries}"
+        lines.append(text + ";")
+    for action in device.actions:
+        lines.append(f"{_INDENT}{_action(action)}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _action(action: ActionDecl) -> str:
+    if not action.params:
+        return f"action {action.name};"
+    params = ", ".join(f"{p.name} as {p.type_name}" for p in action.params)
+    return f"action {action.name}({params});"
+
+
+def _context(context: ContextDecl) -> str:
+    lines = [f"context {context.name} as {context.type_name} {{"]
+    if context.deadline is not None:
+        lines.append(f"{_INDENT}expect deadline {context.deadline};")
+        if context.interactions:
+            lines.append("")
+    for index, interaction in enumerate(context.interactions):
+        if index:
+            lines.append("")
+        lines.extend(_INDENT + line for line in _interaction(interaction))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _interaction(interaction: Interaction) -> List[str]:
+    if isinstance(interaction, WhenRequired):
+        return ["when required;"]
+
+    if isinstance(interaction, WhenProvidedSource):
+        lines = [f"when provided {interaction.source} from {interaction.device}"]
+        lines.extend(_group_lines(interaction.group))
+    elif isinstance(interaction, WhenPeriodic):
+        lines = [
+            f"when periodic {interaction.source} from {interaction.device} "
+            f"{interaction.period}"
+        ]
+        lines.extend(_group_lines(interaction.group))
+    elif isinstance(interaction, WhenProvidedContext):
+        lines = [f"when provided {interaction.context}"]
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"unknown interaction {interaction!r}")
+
+    for get in interaction.gets:
+        if isinstance(get, GetSource):
+            lines.append(f"get {get.source} from {get.device}")
+        elif isinstance(get, GetContext):
+            lines.append(f"get {get.context}")
+    lines[-1] += ""
+    lines.append(f"{interaction.publish.value} publish;")
+    return lines
+
+
+def _group_lines(group: GroupBy) -> List[str]:
+    if group is None:
+        return []
+    lines = [f"grouped by {group.attribute}"]
+    if group.window is not None:
+        lines[0] += f" every {group.window}"
+    if group.uses_mapreduce:
+        lines.append(
+            f"with map as {group.map_type_name} "
+            f"reduce as {group.reduce_type_name}"
+        )
+    return lines
+
+
+def _controller(controller: ControllerDecl) -> str:
+    lines = [f"controller {controller.name} {{"]
+    if controller.deadline is not None:
+        lines.append(f"{_INDENT}expect deadline {controller.deadline};")
+        if controller.reactions:
+            lines.append("")
+    for index, reaction in enumerate(controller.reactions):
+        if index:
+            lines.append("")
+        lines.append(f"{_INDENT}when provided {reaction.context}")
+        for do in reaction.dos:
+            lines.append(f"{_INDENT}do {do.action} on {do.device}")
+        lines[-1] += ";"
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""Synthetic design generation.
+
+Produces arbitrarily large, semantically valid DiaSpec designs for
+stress tests and compiler benchmarks: ``N`` devices with sources,
+actions, and attributes; layered contexts wired event-driven, periodic
+(grouped, some with MapReduce), and context-to-context; one controller
+per terminal context.  Generation is deterministic in its parameters.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+def synthesize_design(
+    devices: int = 10,
+    contexts: int = 10,
+    controllers: int = 5,
+    grouped_share: float = 0.5,
+    mapreduce_share: float = 0.25,
+) -> str:
+    """Render a valid DiaSpec design of the requested size.
+
+    ``grouped_share`` of the periodic contexts use ``grouped by``;
+    ``mapreduce_share`` of those add ``with map ... reduce ...``.
+    Controllers are attached round-robin to the last ``controllers``
+    contexts.
+    """
+    if devices < 1 or contexts < 1 or controllers < 0:
+        raise ValueError("need at least one device and one context")
+    if controllers > contexts:
+        raise ValueError("cannot have more controllers than contexts")
+
+    parts: List[str] = []
+    parts.append("enumeration SynthZoneEnum { Z0, Z1, Z2, Z3 }")
+
+    for index in range(devices):
+        parts.append(
+            f"device SynthDevice{index} {{\n"
+            f"    attribute zone as SynthZoneEnum;\n"
+            f"    source value{index} as Float;\n"
+            f"    action act{index}(level as Integer);\n"
+            f"}}"
+        )
+
+    for index in range(contexts):
+        device = index % devices
+        name = f"SynthContext{index}"
+        if index == 0 or index % 3 == 0:
+            # Event-driven layer-1 context.
+            body = (
+                f"    when provided value{device} from SynthDevice{device}\n"
+                f"    always publish;"
+            )
+        elif index % 3 == 1:
+            grouped = (index / contexts) < grouped_share
+            group_clause = ""
+            if grouped:
+                group_clause = "\n    grouped by zone"
+                if (index / contexts) < grouped_share * mapreduce_share * 4:
+                    group_clause += (
+                        "\n    with map as Float reduce as Float"
+                    )
+            body = (
+                f"    when periodic value{device} from "
+                f"SynthDevice{device} <10 s>{group_clause}\n"
+                f"    always publish;"
+            )
+        else:
+            # Subscribe to the previous chain member when one exists
+            # (building real dataflow depth), else to the neighbour.
+            previous_chain = index - 3
+            provider_index = previous_chain if previous_chain >= 2 else (
+                index - 1
+            )
+            provider = f"SynthContext{provider_index}"
+            body = f"    when provided {provider}\n    always publish;"
+        parts.append(f"context {name} as Float {{\n{body}\n}}")
+
+    for index in range(controllers):
+        provider = f"SynthContext{contexts - 1 - index}"
+        device = index % devices
+        parts.append(
+            f"controller SynthController{index} {{\n"
+            f"    when provided {provider}\n"
+            f"    do act{device} on SynthDevice{device};\n"
+            f"}}"
+        )
+    return "\n\n".join(parts) + "\n"

@@ -1,0 +1,69 @@
+"""The MapReduce programming interface of the generated frameworks.
+
+Mirrors Figure 10 of the paper: an implementation provides
+
+* ``map(key, value, collector)`` — called once per gathered reading with
+  the grouping attribute as key (the parking lot) and the raw reading as
+  value; emits intermediate key/value pairs via
+  :meth:`MapCollector.emit_map`;
+* ``reduce(key, values, collector)`` — called once per intermediate key
+  with the list of values the Map phase emitted for it; emits final
+  results via :meth:`ReduceCollector.emit_reduce`.
+
+The engine groups intermediate pairs between the phases exactly as the
+paper describes ("intermediate results from the Map phase are grouped into
+a list by the generated framework").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, List, Tuple
+
+
+class MapCollector:
+    """Collects intermediate key/value pairs emitted by the Map phase."""
+
+    __slots__ = ("_pairs",)
+
+    def __init__(self):
+        self._pairs: List[Tuple[Hashable, Any]] = []
+
+    def emit_map(self, key: Hashable, value: Any) -> None:
+        self._pairs.append((key, value))
+
+    @property
+    def pairs(self) -> List[Tuple[Hashable, Any]]:
+        return self._pairs
+
+
+class ReduceCollector:
+    """Collects final key/value pairs emitted by the Reduce phase."""
+
+    __slots__ = ("_pairs",)
+
+    def __init__(self):
+        self._pairs: List[Tuple[Hashable, Any]] = []
+
+    def emit_reduce(self, key: Hashable, value: Any) -> None:
+        self._pairs.append((key, value))
+
+    @property
+    def pairs(self) -> List[Tuple[Hashable, Any]]:
+        return self._pairs
+
+
+class MapReduce:
+    """Interface implemented by contexts that declare ``with map ... reduce ...``.
+
+    The default phases implement the *identity* job: map re-emits each
+    reading under its group key and reduce re-emits the value list, so a
+    context that only wants grouping can inherit the defaults.
+    """
+
+    def map(self, key: Hashable, value: Any, collector: MapCollector) -> None:
+        collector.emit_map(key, value)
+
+    def reduce(
+        self, key: Hashable, values: List[Any], collector: ReduceCollector
+    ) -> None:
+        collector.emit_reduce(key, values)

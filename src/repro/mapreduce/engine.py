@@ -1,0 +1,135 @@
+"""MapReduce execution engine.
+
+Runs a :class:`~repro.mapreduce.api.MapReduce` job over grouped sensor
+data (``{group_key: [readings]}``) and returns the reduced results
+(``{intermediate_key: reduced_value}``).  Three executors:
+
+* :class:`SerialExecutor` — single-threaded reference implementation; the
+  baseline of the scaling benchmarks.
+* :class:`ThreadExecutor` — map chunks and reduce partitions fan out to a
+  thread pool.  Python threads do not speed up pure-Python byte-code, but
+  they parallelize readings whose processing releases the GIL and they
+  exercise the same partitioned dataflow as a distributed backend.
+* :class:`ProcessExecutor` — fan-out to worker processes; requires the job
+  and data to be picklable.  This stands in for the cluster backend of the
+  DiaSwarm work the paper builds on.
+
+Results are identical across executors for deterministic jobs — the
+framework interface "prevents the specificities of a target MapReduce
+implementation to percolate to the application logic" (Section V.B).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Dict, Hashable, List, Mapping, Sequence, Tuple
+
+from repro.mapreduce.api import MapCollector, MapReduce, ReduceCollector
+from repro.mapreduce.partition import group_pairs, hash_partition, partition_items
+
+Pairs = List[Tuple[Hashable, Any]]
+
+
+def _run_map_chunk(
+    job: MapReduce, chunk: Sequence[Tuple[Hashable, Any]]
+) -> Pairs:
+    collector = MapCollector()
+    for key, value in chunk:
+        job.map(key, value, collector)
+    return collector.pairs
+
+
+def _run_reduce_bucket(job: MapReduce, bucket: Pairs) -> Pairs:
+    collector = ReduceCollector()
+    for key, values in group_pairs(bucket).items():
+        job.reduce(key, values, collector)
+    return collector.pairs
+
+
+class SerialExecutor:
+    """Reference executor: both phases run inline."""
+
+    workers = 1
+
+    def run(self, job: MapReduce, grouped: Mapping[Hashable, Sequence[Any]]):
+        inputs = [
+            (key, value) for key, values in grouped.items() for value in values
+        ]
+        intermediate = _run_map_chunk(job, inputs)
+        return dict(_run_reduce_bucket(job, intermediate))
+
+
+class _PooledExecutor:
+    """Shared fan-out logic for thread and process pools."""
+
+    def __init__(self, workers: int = 4):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+
+    def _pool(self):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def run(self, job: MapReduce, grouped: Mapping[Hashable, Sequence[Any]]):
+        inputs = [
+            (key, value) for key, values in grouped.items() for value in values
+        ]
+        chunks = partition_items(inputs, self.workers)
+        if not chunks:
+            return {}
+        with self._pool() as pool:
+            map_results = list(
+                pool.map(_run_map_chunk, [job] * len(chunks), chunks)
+            )
+            intermediate: Pairs = [
+                pair for chunk in map_results for pair in chunk
+            ]
+            buckets = [
+                bucket
+                for bucket in hash_partition(intermediate, self.workers)
+                if bucket
+            ]
+            if not buckets:
+                return {}
+            reduce_results = list(
+                pool.map(_run_reduce_bucket, [job] * len(buckets), buckets)
+            )
+        merged: Dict[Hashable, Any] = {}
+        for pairs in reduce_results:
+            merged.update(pairs)
+        return merged
+
+
+class ThreadExecutor(_PooledExecutor):
+    """Thread-pool executor."""
+
+    def _pool(self):
+        return ThreadPoolExecutor(max_workers=self.workers)
+
+
+class ProcessExecutor(_PooledExecutor):
+    """Process-pool executor; job and data must be picklable."""
+
+    def _pool(self):
+        return ProcessPoolExecutor(max_workers=self.workers)
+
+
+class MapReduceEngine:
+    """Facade bundling an executor with result post-processing."""
+
+    def __init__(self, executor=None):
+        self.executor = executor or SerialExecutor()
+
+    def run(
+        self, job: MapReduce, grouped: Mapping[Hashable, Sequence[Any]]
+    ) -> Dict[Hashable, Any]:
+        return self.executor.run(job, grouped)
+
+
+def run_mapreduce(
+    job: MapReduce,
+    grouped: Mapping[Hashable, Sequence[Any]],
+    executor=None,
+) -> Dict[Hashable, Any]:
+    """One-shot convenience wrapper around :class:`MapReduceEngine`."""
+    return MapReduceEngine(executor).run(job, grouped)

@@ -1,0 +1,62 @@
+"""Partitioning helpers for the MapReduce engine.
+
+Partitioning is what lets the phases run in parallel: map tasks are split
+into chunks of input groups, and intermediate keys are hash-partitioned
+across reduce workers, as in the original MapReduce design.  A stable
+string-based hash keeps partition assignment reproducible across Python
+processes (the built-in ``hash`` is randomized for strings).
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Dict, Hashable, List, Sequence, Tuple
+
+
+def stable_hash(key: Hashable) -> int:
+    """Deterministic non-negative hash, stable across interpreter runs."""
+    return zlib.crc32(repr(key).encode("utf-8"))
+
+
+def hash_partition(
+    pairs: Sequence[Tuple[Hashable, Any]], partitions: int
+) -> List[List[Tuple[Hashable, Any]]]:
+    """Split intermediate pairs into ``partitions`` buckets by key hash.
+
+    All pairs with equal keys land in the same bucket, which is the
+    correctness requirement for parallel reduction.
+    """
+    if partitions <= 0:
+        raise ValueError("partitions must be >= 1")
+    buckets: List[List[Tuple[Hashable, Any]]] = [[] for __ in range(partitions)]
+    for key, value in pairs:
+        buckets[stable_hash(key) % partitions].append((key, value))
+    return buckets
+
+
+def partition_items(items: Sequence[Any], chunks: int) -> List[Sequence[Any]]:
+    """Split a work list into at most ``chunks`` contiguous, balanced slices."""
+    if chunks <= 0:
+        raise ValueError("chunks must be >= 1")
+    total = len(items)
+    if total == 0:
+        return []
+    chunks = min(chunks, total)
+    base, remainder = divmod(total, chunks)
+    slices = []
+    start = 0
+    for index in range(chunks):
+        size = base + (1 if index < remainder else 0)
+        slices.append(items[start : start + size])
+        start += size
+    return slices
+
+
+def group_pairs(
+    pairs: Sequence[Tuple[Hashable, Any]]
+) -> Dict[Hashable, List[Any]]:
+    """Group intermediate pairs by key, preserving emission order."""
+    grouped: Dict[Hashable, List[Any]] = {}
+    for key, value in pairs:
+        grouped.setdefault(key, []).append(value)
+    return grouped

@@ -1,0 +1,13 @@
+"""Measurement helpers: line counting and summary statistics."""
+
+from repro.metrics.loc import count_loc, count_module_loc
+from repro.metrics.stats import mean, percentile, stdev, summarize
+
+__all__ = [
+    "count_loc",
+    "count_module_loc",
+    "mean",
+    "percentile",
+    "stdev",
+    "summarize",
+]

@@ -1,0 +1,52 @@
+"""Tiny statistics helpers used by benchmarks and reports."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def stdev(values: Sequence[float]) -> float:
+    """Sample standard deviation (0.0 for fewer than two values)."""
+    if len(values) < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / (len(values) - 1))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile, ``q`` in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError("q must be within [0, 100]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * q / 100.0
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high or ordered[low] == ordered[high]:
+        # The equality guard avoids denormal-float interpolation artifacts
+        # (a*(1-f) + a*f can underflow below a for subnormal a).
+        return ordered[low]
+    fraction = rank - low
+    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
+def summarize(values: Sequence[float]) -> Dict[str, float]:
+    """min/mean/p50/p95/max/stdev bundle for report rows."""
+    return {
+        "min": min(values),
+        "mean": mean(values),
+        "p50": percentile(values, 50),
+        "p95": percentile(values, 95),
+        "max": max(values),
+        "stdev": stdev(values),
+    }

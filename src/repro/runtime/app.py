@@ -1,0 +1,596 @@
+"""Application assembly and execution.
+
+:class:`Application` turns an analyzed design plus component
+implementations and bound devices into a running orchestrating
+application.  It is the Python counterpart of the runtime system the
+paper's generated frameworks call into: components are "called as
+required by the runtime system" (Section V) — inversion of control.
+
+Wiring follows the design exactly:
+
+* every ``when provided <source> from <device>`` becomes a bus
+  subscription on that device type's source events;
+* every ``when periodic ... <period>`` becomes a scheduled gathering job
+  that polls all bound instances, groups, optionally MapReduces, and
+  optionally window-accumulates before invoking the callback;
+* every ``when provided <context>`` becomes a subscription on the
+  provider's published values;
+* publish disciplines (``always``/``maybe``/``no``) are enforced, and all
+  published values are checked against the context's declared type.
+
+Dispatch is synchronous and deterministic: subscriptions are installed in
+SCC layer order, so a published value reaches same-layer subscribers in
+declaration order and flows monotonically toward controllers.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from repro.errors import (
+    BindingError,
+    DeliveryError,
+    RuntimeOrchestrationError,
+)
+from repro.lang.ast_nodes import (
+    Publish,
+    WhenPeriodic,
+    WhenProvidedContext,
+    WhenProvidedSource,
+    WhenRequired,
+)
+from repro.mapreduce.api import MapReduce
+from repro.mapreduce.engine import MapReduceEngine
+from repro.runtime.bus import EventBus
+from repro.runtime.clock import Clock, SimulationClock
+from repro.runtime.component import (
+    Component,
+    Context,
+    ContextEvent,
+    Controller,
+    GatherReading,
+    Publishable as PublishableWrapper,
+    SourceEvent,
+)
+from repro.runtime.device import DeviceDriver, DeviceInstance
+from repro.runtime.discovery import Discover
+from repro.runtime.grouping import WindowAccumulator, group_readings
+from repro.runtime.proxies import make_proxy
+from repro.runtime.qos import QoSMonitor
+from repro.runtime.registry import EntityRegistry
+from repro.sema.analyzer import AnalyzedSpec
+from repro.typesys.values import check_value
+
+# Sentinel distinguishing "isolated component failed" from a None result.
+_FAILED = object()
+
+
+class Application:
+    """A running (or runnable) orchestrating application.
+
+    Typical use::
+
+        app = Application(analyze(DESIGN))
+        app.implement("Alert", AlertImpl)
+        app.implement("Notify", NotifyImpl)
+        app.create_device("Clock", "clock-1", clock_driver)
+        app.start()
+        app.advance(60)        # drive virtual time
+    """
+
+    ERROR_POLICIES = ("raise", "isolate")
+
+    def __init__(
+        self,
+        design: AnalyzedSpec,
+        clock: Optional[Clock] = None,
+        mapreduce_executor=None,
+        name: str = "app",
+        network=None,
+        apply_network_to_reads: bool = False,
+        error_policy: str = "raise",
+    ):
+        if error_policy not in self.ERROR_POLICIES:
+            raise ValueError(
+                f"error_policy must be one of {self.ERROR_POLICIES}"
+            )
+        self.design = design
+        self.name = name
+        self.network = network
+        self.apply_network_to_reads = apply_network_to_reads
+        self.error_policy = error_policy
+        self._component_errors: List[Any] = []
+        self._error_listeners: List[Callable[[str, Exception], None]] = []
+        self.clock: Clock = clock if clock is not None else SimulationClock()
+        self.bus = EventBus()
+        self.registry = EntityRegistry()
+        self.mapreduce = MapReduceEngine(mapreduce_executor)
+        self.qos = QoSMonitor()
+        self.discover = Discover(design, self.registry, self.query_context)
+        self.started = False
+        self._implementations: Dict[str, Component] = {}
+        self._jobs: List[Any] = []
+        self._subscriptions: List[Any] = []
+        self._gather_errors = 0
+        self._gather_sweeps = 0
+        self._context_activations: Dict[str, int] = {}
+        self._controller_activations: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Assembly
+    # ------------------------------------------------------------------
+
+    def implement(
+        self, name: str, implementation: Union[Component, type]
+    ) -> Component:
+        """Install the implementation of a declared context or controller."""
+        if isinstance(implementation, type):
+            implementation = implementation()
+        kind = self.design.symbols.kind_of(name)
+        if kind == "context" and not isinstance(implementation, Context):
+            raise BindingError(
+                f"implementation of context '{name}' must subclass Context"
+            )
+        if kind == "controller" and not isinstance(implementation, Controller):
+            raise BindingError(
+                f"implementation of controller '{name}' must subclass "
+                "Controller"
+            )
+        if kind not in ("context", "controller"):
+            raise BindingError(
+                f"'{name}' is not a context or controller of this design"
+            )
+        if self.started:
+            raise BindingError(
+                "implementations must be installed before start()"
+            )
+        self._implementations[name] = implementation
+        return implementation
+
+    def bind_device(self, instance: DeviceInstance) -> DeviceInstance:
+        """Bind a device instance (any time, including at runtime)."""
+        if instance.info.name not in self.design.devices:
+            raise BindingError(
+                f"device type '{instance.info.name}' is not part of this "
+                "design"
+            )
+        self.registry.register(instance)
+        instance.attach(self._on_device_publish)
+        return instance
+
+    def create_device(
+        self,
+        device_type: str,
+        entity_id: str,
+        driver: DeviceDriver,
+        **attributes: Any,
+    ) -> DeviceInstance:
+        """Construct and bind a device instance in one step."""
+        try:
+            info = self.design.devices[device_type]
+        except KeyError:
+            raise BindingError(
+                f"device type '{device_type}' is not part of this design"
+            ) from None
+        instance = DeviceInstance(info, entity_id, driver, attributes)
+        return self.bind_device(instance)
+
+    def unbind_device(self, entity_id: str) -> DeviceInstance:
+        instance = self.registry.unregister(entity_id)
+        instance.detach()
+        return instance
+
+    def implementation(self, name: str) -> Component:
+        try:
+            return self._implementations[name]
+        except KeyError:
+            raise BindingError(f"'{name}' has no implementation") from None
+
+    # ------------------------------------------------------------------
+    # Life-cycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Validate implementations, wire subscriptions and jobs, and run."""
+        if self.started:
+            raise RuntimeOrchestrationError("application already started")
+        self._validate_implementations()
+        for name, implementation in self._implementations.items():
+            implementation.bind(name, self.discover, self.clock)
+        for name, info in self.design.contexts.items():
+            if info.decl.deadline is not None:
+                self.qos.register(name, info.decl.deadline.seconds)
+        for name, info in self.design.controllers.items():
+            if info.decl.deadline is not None:
+                self.qos.register(name, info.decl.deadline.seconds)
+        for context_name in self.design.graph.context_order():
+            self._wire_context(context_name)
+        for controller_name in sorted(self.design.controllers):
+            self._wire_controller(controller_name)
+        self.started = True
+        for implementation in self._implementations.values():
+            implementation.on_start()
+
+    def stop(self) -> None:
+        if not self.started:
+            return
+        for job in self._jobs:
+            job.cancel()
+        self._jobs.clear()
+        for subscription in self._subscriptions:
+            subscription.unsubscribe()
+        self._subscriptions.clear()
+        for implementation in self._implementations.values():
+            implementation.on_stop()
+        self.started = False
+
+    def advance(self, seconds: float) -> int:
+        """Drive a simulation clock forward (convenience for tests/benches)."""
+        if not isinstance(self.clock, SimulationClock):
+            raise RuntimeOrchestrationError(
+                "advance() requires a SimulationClock"
+            )
+        return self.clock.advance(seconds)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "bus": self.bus.stats,
+            "gather_sweeps": self._gather_sweeps,
+            "gather_errors": self._gather_errors,
+            "context_activations": dict(self._context_activations),
+            "controller_activations": dict(self._controller_activations),
+            "bound_entities": len(self.registry),
+            "qos": self.qos.stats,
+            "component_errors": [
+                (name, type(exc).__name__)
+                for name, exc in self._component_errors
+            ],
+        }
+
+    @property
+    def component_errors(self) -> List[Any]:
+        """(component name, exception) pairs captured under 'isolate'."""
+        return list(self._component_errors)
+
+    def query_context(self, context_name: str) -> Any:
+        """Query-driven pull of a ``when required`` context (checked)."""
+        info = self.design.contexts.get(context_name)
+        if info is None:
+            raise DeliveryError(f"unknown context '{context_name}'")
+        if not info.is_queryable:
+            raise DeliveryError(
+                f"context '{context_name}' does not declare 'when required'"
+            )
+        implementation = self.implementation(context_name)
+        value = implementation.when_required(self.discover)
+        return check_value(info.result_type, value)
+
+    # ------------------------------------------------------------------
+    # Internal wiring
+    # ------------------------------------------------------------------
+
+    def _validate_implementations(self) -> None:
+        for name, info in self.design.contexts.items():
+            implementation = self._implementations.get(name)
+            if implementation is None:
+                raise BindingError(f"context '{name}' has no implementation")
+            self._validate_context_impl(name, info, implementation)
+        for name in self.design.controllers:
+            implementation = self._implementations.get(name)
+            if implementation is None:
+                raise BindingError(
+                    f"controller '{name}' has no implementation"
+                )
+            self._validate_controller_impl(name, implementation)
+
+    def _validate_context_impl(self, name, info, implementation) -> None:
+        for interaction in info.decl.interactions:
+            if isinstance(interaction, WhenProvidedSource):
+                if implementation.find_event_handler(
+                    interaction.source, interaction.device
+                ) is None:
+                    raise BindingError(
+                        f"context '{name}' lacks callback "
+                        f"'{_event_name(interaction)}'"
+                    )
+            elif isinstance(interaction, WhenPeriodic):
+                if implementation.find_periodic_handler(
+                    interaction.source, interaction.device
+                ) is None:
+                    raise BindingError(
+                        f"context '{name}' lacks callback "
+                        f"'{_periodic_name(interaction)}'"
+                    )
+                if interaction.group and interaction.group.uses_mapreduce:
+                    if not isinstance(implementation, MapReduce) and not (
+                        callable(getattr(implementation, "map", None))
+                        and callable(getattr(implementation, "reduce", None))
+                    ):
+                        raise BindingError(
+                            f"context '{name}' declares 'with map ... "
+                            "reduce ...' and must implement the MapReduce "
+                            "interface (map/reduce methods)"
+                        )
+            elif isinstance(interaction, WhenProvidedContext):
+                if implementation.find_context_handler(
+                    interaction.context
+                ) is None:
+                    raise BindingError(
+                        f"context '{name}' lacks callback "
+                        f"'on_{_snake(interaction.context)}'"
+                    )
+            elif isinstance(interaction, WhenRequired):
+                if type(implementation).when_required is Context.when_required:
+                    raise BindingError(
+                        f"context '{name}' declares 'when required' but "
+                        "does not implement when_required()"
+                    )
+
+    def _validate_controller_impl(self, name, implementation) -> None:
+        decl = self.design.controllers[name].decl
+        for reaction in decl.reactions:
+            if implementation.find_context_handler(reaction.context) is None:
+                raise BindingError(
+                    f"controller '{name}' lacks callback "
+                    f"'on_{_snake(reaction.context)}'"
+                )
+
+    def _qos_wrap(self, name: str, handler):
+        """Instrument a callback when its component declares a deadline."""
+        if handler is not None and name in self.qos:
+            return self.qos.wrap(name, handler)
+        return handler
+
+    def _wire_context(self, name: str) -> None:
+        info = self.design.contexts[name]
+        implementation = self._implementations[name]
+        for interaction in info.decl.interactions:
+            if isinstance(interaction, WhenProvidedSource):
+                handler = self._qos_wrap(
+                    name,
+                    implementation.find_event_handler(
+                        interaction.source, interaction.device
+                    ),
+                )
+                callback = functools.partial(
+                    self._on_source_event, name, interaction, handler
+                )
+                self._subscribe_source(
+                    interaction.device, interaction.source, callback
+                )
+            elif isinstance(interaction, WhenPeriodic):
+                self._wire_periodic(name, info, interaction, implementation)
+            elif isinstance(interaction, WhenProvidedContext):
+                handler = self._qos_wrap(
+                    name,
+                    implementation.find_context_handler(interaction.context),
+                )
+                callback = functools.partial(
+                    self._on_context_event, name, interaction, handler
+                )
+                self._subscriptions.append(
+                    self.bus.subscribe(
+                        ("context", interaction.context), callback
+                    )
+                )
+
+    def _wire_periodic(self, name, info, interaction, implementation) -> None:
+        handler = self._qos_wrap(
+            name,
+            implementation.find_periodic_handler(
+                interaction.source, interaction.device
+            ),
+        )
+        accumulator = None
+        group = interaction.group
+        if group is not None and group.window is not None:
+            accumulator = WindowAccumulator.for_design(
+                interaction.period.seconds,
+                group.window.seconds,
+                flatten=not group.uses_mapreduce,
+            )
+        job = self.clock.schedule_periodic(
+            interaction.period.seconds,
+            functools.partial(
+                self._gather,
+                name,
+                interaction,
+                implementation,
+                handler,
+                accumulator,
+            ),
+        )
+        self._jobs.append(job)
+
+    def _wire_controller(self, name: str) -> None:
+        implementation = self._implementations[name]
+        decl = self.design.controllers[name].decl
+        for reaction in decl.reactions:
+            handler = self._qos_wrap(
+                name, implementation.find_context_handler(reaction.context)
+            )
+            callback = functools.partial(
+                self._on_controller_event, name, handler
+            )
+            self._subscriptions.append(
+                self.bus.subscribe(("context", reaction.context), callback)
+            )
+
+    def _subscribe_source(
+        self, device_type: str, source: str, callback: Callable
+    ) -> None:
+        self._subscriptions.append(
+            self.bus.subscribe(("source", device_type, source), callback)
+        )
+
+    # ------------------------------------------------------------------
+    # Internal dispatch
+    # ------------------------------------------------------------------
+
+    def _on_device_publish(self, instance, source, value, index) -> None:
+        if self.network is None:
+            self._deliver_source_event(instance, source, value, index)
+            return
+        self.network.transmit(
+            self.clock,
+            functools.partial(
+                self._deliver_source_event, instance, source, value, index
+            ),
+        )
+
+    def _deliver_source_event(self, instance, source, value, index) -> None:
+        event = SourceEvent(
+            device=make_proxy(instance),
+            source=source,
+            value=value,
+            index=index,
+            timestamp=self.clock.now(),
+        )
+        # Publish under the instance's type and every ancestor that
+        # declares the source, so supertype subscriptions see subtype
+        # instances (taxonomy reuse, Section III).
+        for type_name in (instance.info.name, *instance.info.ancestors):
+            if source in self.design.devices[type_name].sources:
+                self.bus.publish(("source", type_name, source), event)
+
+    def on_component_error(
+        self, listener: Callable[[str, Exception], None]
+    ) -> None:
+        """Register a callback invoked when an isolated component fails.
+
+        Only meaningful under ``error_policy='isolate'``; with the default
+        ``'raise'`` policy the exception propagates to the event source.
+        """
+        self._error_listeners.append(listener)
+
+    def _run_component(self, name: str, call: Callable) -> Any:
+        """Invoke a component callback under the application's error
+        policy.
+
+        ``'raise'`` (default) propagates exceptions to whoever triggered
+        the dispatch — loud and precise, right for development.
+        ``'isolate'`` contains the failure: it is recorded, listeners are
+        notified, and the rest of the application keeps running — the
+        per-component supervision of the paper's error-handling dimension
+        [14].  Returns ``_FAILED`` when an isolated call failed.
+        """
+        if self.error_policy == "raise":
+            return call()
+        try:
+            return call()
+        except Exception as exc:  # noqa: BLE001 - supervision boundary
+            self._component_errors.append((name, exc))
+            for listener in list(self._error_listeners):
+                listener(name, exc)
+            return _FAILED
+
+    def _on_source_event(self, name, interaction, handler, event) -> None:
+        self._context_activations[name] = (
+            self._context_activations.get(name, 0) + 1
+        )
+        result = self._run_component(
+            name, lambda: handler(event, self.discover)
+        )
+        if result is not _FAILED:
+            self._publish_context(name, interaction.publish, result)
+
+    def _on_context_event(self, name, interaction, handler, event) -> None:
+        self._context_activations[name] = (
+            self._context_activations.get(name, 0) + 1
+        )
+        result = self._run_component(
+            name, lambda: handler(event.value, self.discover)
+        )
+        if result is not _FAILED:
+            self._publish_context(name, interaction.publish, result)
+
+    def _on_controller_event(self, name, handler, event) -> None:
+        self._controller_activations[name] = (
+            self._controller_activations.get(name, 0) + 1
+        )
+        self._run_component(
+            name, lambda: handler(event.value, self.discover)
+        )
+
+    def _gather(
+        self, name, interaction, implementation, handler, accumulator
+    ) -> None:
+        """One periodic sweep: poll, group, mapreduce, window, deliver."""
+        self._gather_sweeps += 1
+        readings = []
+        lossy_reads = self.network is not None and self.apply_network_to_reads
+        for instance in self.registry.instances_of(interaction.device):
+            if lossy_reads and not self.network.sample_read_ok():
+                self._gather_errors += 1
+                continue
+            try:
+                readings.append((instance, instance.read(interaction.source)))
+            except DeliveryError:
+                self._gather_errors += 1
+        group = interaction.group
+        if group is None:
+            payload: Any = [
+                GatherReading(make_proxy(instance), value)
+                for instance, value in readings
+            ]
+        else:
+            grouped = group_readings(readings, group.attribute)
+            if group.uses_mapreduce:
+                payload = self.mapreduce.run(implementation, grouped)
+            else:
+                payload = grouped
+        if accumulator is not None:
+            payload = accumulator.add(payload)
+            if payload is None:
+                return
+        self._context_activations[name] = (
+            self._context_activations.get(name, 0) + 1
+        )
+        result = self._run_component(
+            name, lambda: handler(payload, self.discover)
+        )
+        if result is not _FAILED:
+            self._publish_context(name, interaction.publish, result)
+
+    def _publish_context(self, name: str, discipline: Publish, result) -> None:
+        if isinstance(result, PublishableWrapper):
+            result = result.value
+        if discipline is Publish.NO:
+            return
+        if result is None:
+            if discipline is Publish.ALWAYS:
+                raise RuntimeOrchestrationError(
+                    f"context '{name}' declares 'always publish' but its "
+                    "callback returned None"
+                )
+            return
+        info = self.design.contexts[name]
+        checked = check_value(info.result_type, result)
+        self.bus.publish(
+            ("context", name),
+            ContextEvent(name, checked, self.clock.now()),
+        )
+
+
+def _snake(name: str) -> str:
+    from repro.naming import camel_to_snake
+
+    return camel_to_snake(name)
+
+
+def _event_name(interaction) -> str:
+    from repro.naming import event_handler_name
+
+    return event_handler_name(interaction.source, interaction.device)
+
+
+def _periodic_name(interaction) -> str:
+    from repro.naming import periodic_handler_name
+
+    return periodic_handler_name(interaction.source, interaction.device)

@@ -1,0 +1,80 @@
+"""Synchronous topic-based publish/subscribe bus.
+
+The bus is the delivery backbone of the runtime: device sources publish
+readings, contexts publish refined values, and subscribers (contexts,
+controllers) are invoked synchronously in subscription order — which the
+application sets up in SCC layer order, making whole-application dispatch
+deterministic.
+
+Topics are plain hashable tuples; the conventions used by the runtime:
+
+* ``("source", device_type, source_name)`` — a reading from any instance
+  of ``device_type`` (subtype instances publish under every ancestor type
+  as well, so subscriptions against a supertype see them);
+* ``("context", context_name)`` — a context's published value.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, List
+
+Subscriber = Callable[[Any], None]
+
+
+@dataclass(order=True)
+class _Subscription:
+    order: int
+    topic: Hashable = field(compare=False)
+    callback: Subscriber = field(compare=False)
+    active: bool = field(compare=False, default=True)
+
+    def unsubscribe(self) -> None:
+        self.active = False
+
+
+class EventBus:
+    """Deterministic synchronous pub/sub."""
+
+    def __init__(self):
+        self._topics: Dict[Hashable, List[_Subscription]] = {}
+        self._counter = itertools.count()
+        self._delivered = 0
+        self._published = 0
+
+    def subscribe(self, topic: Hashable, callback: Subscriber) -> _Subscription:
+        """Register ``callback`` for ``topic``; returns an unsubscribe handle."""
+        subscription = _Subscription(next(self._counter), topic, callback)
+        self._topics.setdefault(topic, []).append(subscription)
+        return subscription
+
+    def publish(self, topic: Hashable, payload: Any) -> int:
+        """Deliver ``payload`` to current subscribers; returns delivery count.
+
+        Subscribers added *during* delivery do not receive this event
+        (snapshot semantics), keeping runtime entity binding race-free.
+        """
+        self._published += 1
+        subscriptions = list(self._topics.get(topic, ()))
+        delivered = 0
+        for subscription in subscriptions:
+            if subscription.active:
+                subscription.callback(payload)
+                delivered += 1
+        self._delivered += delivered
+        self._compact(topic)
+        return delivered
+
+    def subscriber_count(self, topic: Hashable) -> int:
+        return sum(1 for s in self._topics.get(topic, ()) if s.active)
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Counters used by the delivery-model benchmarks."""
+        return {"published": self._published, "delivered": self._delivered}
+
+    def _compact(self, topic: Hashable) -> None:
+        subscriptions = self._topics.get(topic)
+        if subscriptions and any(not s.active for s in subscriptions):
+            self._topics[topic] = [s for s in subscriptions if s.active]

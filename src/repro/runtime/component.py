@@ -1,0 +1,204 @@
+"""Application components: contexts and controllers.
+
+The generated frameworks of the paper employ inversion of control
+(Section V): "implementing a design is devoted to implementing the
+declared contexts and controllers of an application, which are then called
+as required by the runtime system".  Implementations subclass
+:class:`Context` or :class:`Controller` and provide callback methods named
+after the design's interactions (the Python spellings of Figures 9-11):
+
+========================================  =====================================
+design interaction                        callback
+========================================  =====================================
+``when provided tickSecond from Clock``   ``on_tick_second_from_clock(event,
+                                          discover)`` (or ``on_tick_second``)
+``when periodic presence from
+PresenceSensor <10 min>``                 ``on_periodic_presence(gathered,
+                                          discover)``
+``when provided ParkingAvailability``     ``on_parking_availability(value,
+                                          discover)``
+``when required``                         ``when_required(discover)``
+``with map ... reduce ...``               ``map(key, value, collector)`` and
+                                          ``reduce(key, values, collector)``
+========================================  =====================================
+
+A context callback's return value is its published value, governed by the
+declared discipline: ``always publish`` requires a non-None result,
+``maybe publish`` treats None as "do not publish" (Figure 7), and ``no
+publish`` ignores the result entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+from repro.errors import RuntimeOrchestrationError
+from repro.naming import (
+    context_handler_name,
+    event_handler_name,
+    event_handler_short_name,
+    periodic_handler_name,
+    periodic_handler_short_name,
+)
+from repro.runtime.discovery import Discover
+from repro.runtime.proxies import DeviceProxy
+
+
+@dataclass(frozen=True)
+class SourceEvent:
+    """An event-driven reading pushed by a device.
+
+    ``device`` gives access to the publisher's attributes and facets — the
+    role of the ``tickSecondFromClock`` parameter in Figure 9.  ``index``
+    carries the index value of indexed sources (the ``questionId`` of the
+    Prompter's ``answer`` source in Figure 5).
+    """
+
+    device: DeviceProxy
+    source: str
+    value: Any
+    index: Any = None
+    timestamp: float = 0.0
+
+
+@dataclass(frozen=True)
+class GatherReading:
+    """One reading collected during periodic gathering."""
+
+    device: DeviceProxy
+    value: Any
+
+
+@dataclass(frozen=True)
+class ContextEvent:
+    """A value published by a context."""
+
+    context: str
+    value: Any
+    timestamp: float = 0.0
+
+
+class Publishable:
+    """Typed wrapper for published context values (Figure 9's
+    ``AlertValuePublishable``).
+
+    Returning ``Publishable(value)`` from a context callback publishes
+    ``value``; the generated frameworks alias this class per context so
+    implementations read like the paper's Java.  Returning the raw value
+    works too — the wrapper only adds declarative clarity.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Publishable({self.value!r})"
+
+
+class Component:
+    """Shared base: a named component bound into an application."""
+
+    def __init__(self):
+        self.name: Optional[str] = None
+        self.discover: Optional[Discover] = None
+        self.clock = None
+
+    def bind(self, name: str, discover: Discover, clock=None) -> None:
+        """Called by the application when the component is installed."""
+        self.name = name
+        self.discover = discover
+        self.clock = clock
+
+    def now(self) -> float:
+        """Current application time (0.0 before the component is bound)."""
+        return self.clock.now() if self.clock is not None else 0.0
+
+    def on_start(self) -> None:
+        """Hook invoked when the application starts."""
+
+    def on_stop(self) -> None:
+        """Hook invoked when the application stops."""
+
+
+class Context(Component):
+    """Base class for context implementations (the *compute* layer)."""
+
+    def when_required(self, discover: Discover) -> Any:
+        """Serve a query-driven pull.  Override in queryable contexts."""
+        raise RuntimeOrchestrationError(
+            f"context '{type(self).__name__}' declares 'when required' but "
+            "does not implement when_required()"
+        )
+
+    # -- handler lookup, used by the application wiring ------------------------
+
+    def find_event_handler(self, source: str, device: str):
+        for name in (
+            event_handler_name(source, device),
+            event_handler_short_name(source),
+        ):
+            handler = getattr(self, name, None)
+            if handler is not None:
+                return handler
+        return None
+
+    def find_periodic_handler(self, source: str, device: str):
+        for name in (
+            periodic_handler_name(source, device),
+            periodic_handler_short_name(source),
+        ):
+            handler = getattr(self, name, None)
+            if handler is not None:
+                return handler
+        return None
+
+    def find_context_handler(self, context: str):
+        return getattr(self, context_handler_name(context), None)
+
+
+class Controller(Component):
+    """Base class for controller implementations (the *control* layer)."""
+
+    def find_context_handler(self, context: str):
+        return getattr(self, context_handler_name(context), None)
+
+
+def required_callbacks(decl) -> List[str]:
+    """The callback names a context/controller implementation must define
+    for a given declaration — used for start-up validation and by the
+    stub generator."""
+    from repro.lang.ast_nodes import (
+        ContextDecl,
+        ControllerDecl,
+        WhenPeriodic,
+        WhenProvidedContext,
+        WhenProvidedSource,
+        WhenRequired,
+    )
+
+    names: List[str] = []
+    if isinstance(decl, ContextDecl):
+        for interaction in decl.interactions:
+            if isinstance(interaction, WhenProvidedSource):
+                names.append(
+                    event_handler_name(interaction.source, interaction.device)
+                )
+            elif isinstance(interaction, WhenPeriodic):
+                names.append(
+                    periodic_handler_name(
+                        interaction.source, interaction.device
+                    )
+                )
+                if interaction.group and interaction.group.uses_mapreduce:
+                    names.extend(["map", "reduce"])
+            elif isinstance(interaction, WhenProvidedContext):
+                names.append(context_handler_name(interaction.context))
+            elif isinstance(interaction, WhenRequired):
+                names.append("when_required")
+    elif isinstance(decl, ControllerDecl):
+        for reaction in decl.reactions:
+            names.append(context_handler_name(reaction.context))
+    return names

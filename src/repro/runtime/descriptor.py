@@ -1,0 +1,183 @@
+"""Declarative deployment descriptors.
+
+Entity binding starts with registration: "when sensors are deployed in a
+house or in a parking lot, each sensor needs to be registered and
+attribute values defined" (§IV).  A deployment descriptor is that
+registration record in data form — a JSON-compatible structure listing
+every entity with its type, identity, attribute values, driver, and
+binding time — so a deployment can be versioned, validated, and applied
+to an application without code.
+
+::
+
+    {
+      "name": "downtown-pilot",
+      "entities": [
+        {"type": "PresenceSensor", "id": "s-A22-0",
+         "attributes": {"parkingLot": "A22"},
+         "driver": "presence", "config": {"lot": "A22", "space": 0},
+         "binding": "deployment"}
+      ]
+    }
+
+Driver names resolve through a :class:`DriverCatalog` of factories, the
+code-side counterpart of the descriptor.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Union
+
+from repro.errors import BindingError
+from repro.runtime.binding import BindingTime, Deployment
+from repro.runtime.device import DeviceDriver, DeviceInstance
+
+
+class DriverCatalog:
+    """Named driver factories referenced by descriptors."""
+
+    def __init__(self):
+        self._factories: Dict[str, Callable[..., DeviceDriver]] = {}
+
+    def register(
+        self, name: str, factory: Callable[..., DeviceDriver]
+    ) -> None:
+        if name in self._factories:
+            raise BindingError(f"driver '{name}' is already registered")
+        self._factories[name] = factory
+
+    def create(self, name: str, **config: Any) -> DeviceDriver:
+        try:
+            factory = self._factories[name]
+        except KeyError:
+            raise BindingError(
+                f"no driver factory named '{name}' in the catalog"
+            ) from None
+        return factory(**config)
+
+    def names(self) -> List[str]:
+        return sorted(self._factories)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._factories
+
+
+@dataclass(frozen=True)
+class EntityRecord:
+    """One entity entry of a descriptor."""
+
+    device_type: str
+    entity_id: str
+    driver: str
+    attributes: Dict[str, Any] = field(default_factory=dict)
+    config: Dict[str, Any] = field(default_factory=dict)
+    binding: BindingTime = BindingTime.DEPLOYMENT
+
+
+@dataclass(frozen=True)
+class DeploymentDescriptor:
+    """A parsed, structurally valid deployment description."""
+
+    name: str
+    entities: tuple
+
+    @property
+    def entity_count(self) -> int:
+        return len(self.entities)
+
+    def by_binding(self, when: BindingTime) -> List[EntityRecord]:
+        return [e for e in self.entities if e.binding is when]
+
+
+def load_descriptor(
+    source: Union[str, Dict[str, Any]]
+) -> DeploymentDescriptor:
+    """Parse a descriptor from a JSON string or an already-loaded dict."""
+    if isinstance(source, str):
+        try:
+            data = json.loads(source)
+        except json.JSONDecodeError as exc:
+            raise BindingError(f"descriptor is not valid JSON: {exc}")
+    else:
+        data = source
+    if not isinstance(data, dict):
+        raise BindingError("descriptor must be a JSON object")
+    raw_entities = data.get("entities")
+    if not isinstance(raw_entities, list):
+        raise BindingError("descriptor needs an 'entities' list")
+
+    entities = []
+    seen_ids = set()
+    for index, raw in enumerate(raw_entities):
+        where = f"entities[{index}]"
+        if not isinstance(raw, dict):
+            raise BindingError(f"{where}: entries must be objects")
+        for required in ("type", "id", "driver"):
+            if required not in raw:
+                raise BindingError(f"{where}: missing '{required}'")
+        entity_id = raw["id"]
+        if entity_id in seen_ids:
+            raise BindingError(f"{where}: duplicate entity id '{entity_id}'")
+        seen_ids.add(entity_id)
+        binding_name = raw.get("binding", "deployment")
+        try:
+            binding = BindingTime(binding_name)
+        except ValueError:
+            valid = ", ".join(t.value for t in BindingTime)
+            raise BindingError(
+                f"{where}: unknown binding time '{binding_name}' "
+                f"(expected one of: {valid})"
+            ) from None
+        entities.append(
+            EntityRecord(
+                device_type=raw["type"],
+                entity_id=entity_id,
+                driver=raw["driver"],
+                attributes=dict(raw.get("attributes", {})),
+                config=dict(raw.get("config", {})),
+                binding=binding,
+            )
+        )
+    return DeploymentDescriptor(
+        name=data.get("name", "deployment"), entities=tuple(entities)
+    )
+
+
+def apply_descriptor(
+    application,
+    descriptor: DeploymentDescriptor,
+    catalog: DriverCatalog,
+) -> Deployment:
+    """Stage every descriptor entity into a :class:`Deployment`.
+
+    Device types, attribute names/values and driver names are validated
+    against the design and the catalog before anything binds, so a bad
+    descriptor fails atomically.
+    """
+    instances = []
+    for record in descriptor.entities:
+        if record.device_type not in application.design.devices:
+            raise BindingError(
+                f"entity '{record.entity_id}': device type "
+                f"'{record.device_type}' is not in the design"
+            )
+        if record.driver not in catalog:
+            raise BindingError(
+                f"entity '{record.entity_id}': unknown driver "
+                f"'{record.driver}'"
+            )
+        driver = catalog.create(record.driver, **record.config)
+        instance = DeviceInstance(
+            application.design.devices[record.device_type],
+            record.entity_id,
+            driver,
+            record.attributes,
+        )
+        instances.append((record, instance))
+
+    deployment = Deployment(application)
+    for record, instance in instances:
+        deployment.stage(instance, record.binding)
+    return deployment

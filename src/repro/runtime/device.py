@@ -1,0 +1,237 @@
+"""Runtime device instances and drivers.
+
+A :class:`DeviceInstance` is one concrete entity bound to the environment:
+a presence sensor in lot A22, the kitchen cooker.  Its behaviour comes
+from a :class:`DeviceDriver` — "implementing a device driver" in the
+paper's words (Section III) — which must support all **three data delivery
+modes** so client applications are free to choose any of them:
+
+* **query-driven**: the runtime calls :meth:`DeviceDriver.read`;
+* **periodic**: the runtime polls :meth:`DeviceDriver.read` on a schedule;
+* **event-driven**: the driver pushes via :meth:`DeviceInstance.publish`.
+
+Attribute values (``parkingLot = "A22"``) are validated against the
+design's declared attribute types at construction, reproducing the
+registration step of entity binding.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import ActuationError, BindingError, DeliveryError
+from repro.naming import action_method_name, camel_to_snake, query_method_name
+from repro.sema.symbols import DeviceInfo
+from repro.typesys.values import check_value, coerce_value
+
+
+class DeviceDriver:
+    """Base class for device behaviour.
+
+    Subclasses implement sources as ``read_<source>()`` methods (snake
+    case) and actions as ``do_<action>(**params)`` methods, or override
+    :meth:`read` / :meth:`invoke` wholesale.  The driver gains access to
+    its bound instance through ``self.instance`` (set at bind time), which
+    it uses to push event-driven readings.
+    """
+
+    instance: Optional["DeviceInstance"] = None
+
+    def read(self, source: str) -> Any:
+        """Query-driven delivery: return the current value of ``source``."""
+        method = getattr(self, f"read_{query_method_name(source)}", None)
+        if method is None:
+            raise DeliveryError(
+                f"{type(self).__name__} implements no reader for source "
+                f"'{source}'"
+            )
+        return method()
+
+    def invoke(self, action: str, **params: Any) -> Any:
+        """Actuation: perform ``action`` with ``params``.
+
+        Parameter names arrive in DiaSpec spelling (``questionId``) and are
+        converted to the ``do_*`` method's snake_case spelling.
+        """
+        method = getattr(self, f"do_{action_method_name(action)}", None)
+        if method is None:
+            raise ActuationError(
+                f"{type(self).__name__} implements no handler for action "
+                f"'{action}'"
+            )
+        return method(
+            **{camel_to_snake(name): value for name, value in params.items()}
+        )
+
+    def push(self, source: str, value: Any, index: Any = None) -> None:
+        """Event-driven delivery: publish a reading through the instance."""
+        if self.instance is None:
+            raise DeliveryError("driver is not bound to a device instance")
+        self.instance.publish(source, value, index=index)
+
+
+class CallableDriver(DeviceDriver):
+    """Driver assembled from plain callables — convenient for tests.
+
+    >>> driver = CallableDriver(
+    ...     sources={"consumption": lambda: 1500.0},
+    ...     actions={"Off": lambda: turn_off()},
+    ... )
+    """
+
+    def __init__(
+        self,
+        sources: Optional[Dict[str, Callable[[], Any]]] = None,
+        actions: Optional[Dict[str, Callable[..., Any]]] = None,
+    ):
+        self._sources = dict(sources or {})
+        self._actions = dict(actions or {})
+
+    def read(self, source: str) -> Any:
+        try:
+            reader = self._sources[source]
+        except KeyError:
+            raise DeliveryError(f"no reader for source '{source}'") from None
+        return reader()
+
+    def invoke(self, action: str, **params: Any) -> Any:
+        try:
+            handler = self._actions[action]
+        except KeyError:
+            raise ActuationError(f"no handler for action '{action}'") from None
+        return handler(**params)
+
+
+class DeviceInstance:
+    """One bound entity: identity + attributes + driver.
+
+    Every entity in a typical IoT infrastructure "has a unique identity,
+    as well as network, computing and storage capabilities" (Section I);
+    here that is the ``entity_id``, the attribute record, and the driver.
+    """
+
+    def __init__(
+        self,
+        info: DeviceInfo,
+        entity_id: str,
+        driver: DeviceDriver,
+        attributes: Optional[Dict[str, Any]] = None,
+    ):
+        attributes = dict(attributes or {})
+        declared = set(info.attributes)
+        supplied = set(attributes)
+        missing = declared - supplied
+        extra = supplied - declared
+        if missing:
+            raise BindingError(
+                f"device '{entity_id}' of type {info.name}: attribute(s) "
+                f"{sorted(missing)} must be set at registration"
+            )
+        if extra:
+            raise BindingError(
+                f"device '{entity_id}' of type {info.name}: unknown "
+                f"attribute(s) {sorted(extra)}"
+            )
+        for name, value in attributes.items():
+            # Store the canonicalized value (e.g. dicts become immutable
+            # StructureValue records) so attribute records are hashable
+            # and indexable.
+            attributes[name] = check_value(
+                info.attributes[name].dia_type, value
+            )
+
+        self.info = info
+        self.entity_id = entity_id
+        self.driver = driver
+        self.attributes = attributes
+        self.failed = False
+        self._publish_hook: Optional[Callable[..., None]] = None
+        driver.instance = self
+
+    # -- wiring -------------------------------------------------------------
+
+    def attach(self, publish_hook: Callable[..., None]) -> None:
+        """Connect the instance to an application's event plumbing."""
+        self._publish_hook = publish_hook
+
+    def detach(self) -> None:
+        self._publish_hook = None
+
+    # -- the three delivery modes --------------------------------------------
+
+    def read(self, source: str) -> Any:
+        """Query-driven read, validated against the declared source type.
+
+        Applies the source's declared error policy (``expect timeout ...
+        retry N``): failed reads are retried up to N times, and a read
+        exceeding the timeout (wall-clock) is treated as failed.
+        """
+        if self.failed:
+            raise DeliveryError(
+                f"device '{self.entity_id}' has failed and cannot be read"
+            )
+        source_info = self.info.source(source)
+        attempts = 1 + source_info.retries
+        last_error: Optional[DeliveryError] = None
+        for __ in range(attempts):
+            started = time.perf_counter()
+            try:
+                value = self.driver.read(source)
+            except DeliveryError as exc:
+                last_error = exc
+                continue
+            if (
+                source_info.timeout_seconds is not None
+                and time.perf_counter() - started
+                > source_info.timeout_seconds
+            ):
+                last_error = DeliveryError(
+                    f"read of '{source}' on '{self.entity_id}' exceeded "
+                    f"its {source_info.timeout_seconds}s timeout"
+                )
+                continue
+            return coerce_value(source_info.dia_type, value)
+        raise last_error  # type: ignore[misc]
+
+    def publish(self, source: str, value: Any, index: Any = None) -> None:
+        """Event-driven push from the driver into the application."""
+        if self.failed:
+            return
+        source_info = self.info.source(source)
+        value = coerce_value(source_info.dia_type, value)
+        if source_info.is_indexed and index is not None:
+            check_value(source_info.index_type, index)
+        if self._publish_hook is not None:
+            self._publish_hook(self, source, value, index)
+
+    def act(self, action: str, **params: Any) -> Any:
+        """Issue an action, validating parameters against the declaration."""
+        if self.failed:
+            raise ActuationError(
+                f"device '{self.entity_id}' has failed and cannot act"
+            )
+        action_info = self.info.action(action)
+        declared = [name for name, __ in action_info.params]
+        if sorted(declared) != sorted(params):
+            raise ActuationError(
+                f"action '{action}' on '{self.entity_id}' expects parameters "
+                f"{declared}, got {sorted(params)}"
+            )
+        types = dict(action_info.params)
+        for name, value in params.items():
+            check_value(types[name], value)
+        return self.driver.invoke(action, **params)
+
+    # -- failure injection ----------------------------------------------------
+
+    def fail(self) -> None:
+        """Mark the device as failed (Section VI: device-failure dimension)."""
+        self.failed = True
+
+    def recover(self) -> None:
+        self.failed = False
+
+    def __repr__(self) -> str:
+        attrs = ", ".join(f"{k}={v!r}" for k, v in self.attributes.items())
+        return f"<{self.info.name} {self.entity_id} {attrs}>"

@@ -1,0 +1,237 @@
+"""Device proxies: how application code touches entities.
+
+Figure 11 of the paper shows a controller displaying availability with::
+
+    discover.parkingEntrancePanels().whereLocation(lot).update(status)
+
+— "a set of proxies for invoking remote devices without the need for
+managing distributed systems details".  :class:`DeviceProxy` wraps one
+instance; :class:`ProxySet` is an immutable collection with chainable
+attribute filters (``where_location(...)``) and broadcast actions.
+
+Proxy methods are resolved dynamically from the device declaration:
+sources become query methods (``proxy.consumption()``), actions become
+action methods (``panel.update(status="FULL: 0")``), attributes become
+read-only properties (``sensor.parking_lot``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Tuple
+
+from repro.errors import ActuationError, DiscoveryError
+from repro.naming import action_method_name, camel_to_snake, query_method_name
+from repro.runtime.device import DeviceInstance
+
+
+class DeviceProxy:
+    """A typed handle on a single bound device instance."""
+
+    __slots__ = ("_instance", "_sources", "_actions", "_attributes")
+
+    def __init__(self, instance: DeviceInstance):
+        object.__setattr__(self, "_instance", instance)
+        info = instance.info
+        object.__setattr__(
+            self,
+            "_sources",
+            {query_method_name(name): name for name in info.sources},
+        )
+        object.__setattr__(
+            self,
+            "_actions",
+            {action_method_name(name): name for name in info.actions},
+        )
+        object.__setattr__(
+            self,
+            "_attributes",
+            {camel_to_snake(name): name for name in info.attributes},
+        )
+
+    @property
+    def entity_id(self) -> str:
+        return self._instance.entity_id
+
+    @property
+    def device_type(self) -> str:
+        return self._instance.info.name
+
+    @property
+    def attributes(self) -> Dict[str, Any]:
+        return dict(self._instance.attributes)
+
+    @property
+    def instance(self) -> DeviceInstance:
+        """Escape hatch for tooling; applications should not need it."""
+        return self._instance
+
+    def query(self, source: str) -> Any:
+        """Query-driven delivery of one source reading."""
+        return self._instance.read(source)
+
+    def act(self, action: str, **params: Any) -> Any:
+        return self._instance.act(action, **params)
+
+    def __getattr__(self, name: str) -> Any:
+        sources = object.__getattribute__(self, "_sources")
+        if name in sources:
+            source = sources[name]
+            return lambda: self._instance.read(source)
+        actions = object.__getattribute__(self, "_actions")
+        if name in actions:
+            action = actions[name]
+            return lambda **params: self._instance.act(action, **params)
+        attributes = object.__getattribute__(self, "_attributes")
+        if name in attributes:
+            return self._instance.attributes[attributes[name]]
+        raise AttributeError(
+            f"device {self.device_type} has no facet '{name}'"
+        )
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("device proxies are read-only handles")
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, DeviceProxy)
+            and other._instance is self._instance
+        )
+
+    def __hash__(self) -> int:
+        return hash(id(self._instance))
+
+    def __repr__(self) -> str:
+        return f"<proxy {self.device_type} {self.entity_id}>"
+
+
+class ProxySet:
+    """An immutable, order-preserving set of device proxies.
+
+    Filters return new sets; calling an action method broadcasts to every
+    member and returns the per-entity results.
+    """
+
+    def __init__(self, device_type: str, proxies: List[DeviceProxy]):
+        self._device_type = device_type
+        self._proxies: Tuple[DeviceProxy, ...] = tuple(proxies)
+
+    # -- collection protocol --------------------------------------------------
+
+    def __iter__(self) -> Iterator[DeviceProxy]:
+        return iter(self._proxies)
+
+    def __len__(self) -> int:
+        return len(self._proxies)
+
+    def __bool__(self) -> bool:
+        return bool(self._proxies)
+
+    def __getitem__(self, index: int) -> DeviceProxy:
+        return self._proxies[index]
+
+    @property
+    def device_type(self) -> str:
+        return self._device_type
+
+    def entity_ids(self) -> List[str]:
+        return [proxy.entity_id for proxy in self._proxies]
+
+    # -- selection -------------------------------------------------------------
+
+    def where(self, **attribute_filters: Any) -> "ProxySet":
+        """Keep proxies whose attributes match all given values (snake-case
+        attribute names)."""
+        kept = []
+        for proxy in self._proxies:
+            attrs = {
+                camel_to_snake(k): v for k, v in proxy.attributes.items()
+            }
+            if all(
+                attrs.get(name) == value
+                for name, value in attribute_filters.items()
+            ):
+                kept.append(proxy)
+        return ProxySet(self._device_type, kept)
+
+    def one(self) -> DeviceProxy:
+        """Exactly one match, or :class:`DiscoveryError`."""
+        if len(self._proxies) != 1:
+            raise DiscoveryError(
+                f"expected exactly one {self._device_type}, found "
+                f"{len(self._proxies)}"
+            )
+        return self._proxies[0]
+
+    def first(self) -> DeviceProxy:
+        if not self._proxies:
+            raise DiscoveryError(f"no {self._device_type} entity is bound")
+        return self._proxies[0]
+
+    # -- dynamic filter / broadcast methods --------------------------------------
+
+    def __getattr__(self, name: str) -> Any:
+        if name.startswith("where_"):
+            attribute = name[len("where_") :]
+            return lambda value: self.where(**{attribute: value})
+        if self._proxies:
+            sample = self._proxies[0]
+            if name in object.__getattribute__(sample, "_actions"):
+                def broadcast(**params: Any) -> Dict[str, Any]:
+                    return {
+                        proxy.entity_id: proxy.act(
+                            object.__getattribute__(proxy, "_actions")[name],
+                            **params,
+                        )
+                        for proxy in self._proxies
+                    }
+
+                return broadcast
+            if name in object.__getattribute__(sample, "_sources"):
+                def gather() -> Dict[str, Any]:
+                    return {
+                        proxy.entity_id: proxy.query(
+                            object.__getattribute__(proxy, "_sources")[name]
+                        )
+                        for proxy in self._proxies
+                    }
+
+                return gather
+        raise AttributeError(
+            f"proxy set of {self._device_type} has no method '{name}' "
+            "(empty sets only support filtering)"
+        )
+
+    def act(self, action: str, **params: Any) -> Dict[str, Any]:
+        """Broadcast an action by its DiaSpec name."""
+        if not self._proxies:
+            raise ActuationError(
+                f"no {self._device_type} entity to receive '{action}'"
+            )
+        return {
+            proxy.entity_id: proxy.act(action, **params)
+            for proxy in self._proxies
+        }
+
+    def __repr__(self) -> str:
+        return f"<proxies {self._device_type} x{len(self._proxies)}>"
+
+
+def make_proxy(instance: DeviceInstance) -> DeviceProxy:
+    """Proxy for ``instance``, cached on the instance.
+
+    Proxies are immutable views (facet tables derive from the device
+    *declaration*; attribute reads go through to the live instance), so
+    one proxy per instance is safe and saves rebuilding the facet tables
+    on every event and every gathering sweep.
+    """
+    proxy = getattr(instance, "_cached_proxy", None)
+    if proxy is None:
+        proxy = DeviceProxy(instance)
+        instance._cached_proxy = proxy
+    return proxy
+
+
+def make_proxy_set(
+    device_type: str, instances: List[DeviceInstance]
+) -> ProxySet:
+    return ProxySet(device_type, [DeviceProxy(i) for i in instances])

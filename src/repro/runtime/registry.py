@@ -1,0 +1,145 @@
+"""Entity registry: which devices are bound to the environment.
+
+Registration is the first orchestration activity (*binding entities*,
+Section IV): "when sensors are deployed in a house or in a parking lot,
+each sensor needs to be registered and attribute values defined".  The
+registry indexes instances by device type — including ancestor types, so a
+query for ``DisplayPanel`` finds ``ParkingEntrancePanel`` instances — and
+notifies listeners, which is how runtime-time binding reaches running
+applications.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, List
+
+from repro.errors import BindingError
+from repro.runtime.device import DeviceInstance
+
+Listener = Callable[[str, DeviceInstance], None]
+
+
+def _index_key(type_name: str, attribute: str, value: Any):
+    """Index key for an attribute value, or None when unhashable
+    (structure-typed attributes fall back to the type-bucket scan)."""
+    try:
+        hash(value)
+    except TypeError:
+        return None
+    return (type_name, attribute, value)
+
+
+class EntityRegistry:
+    """Mutable index of bound :class:`DeviceInstance` objects.
+
+    Instances are indexed by type (including ancestors) and by
+    ``(type, attribute, value)`` so attribute-filtered discovery over a
+    city-scale fleet touches only the matching entities rather than
+    scanning the registry.  Attribute values are fixed at registration
+    (the paper's binding model), which is what makes the index sound.
+    """
+
+    def __init__(self):
+        self._by_id: Dict[str, DeviceInstance] = {}
+        self._by_type: Dict[str, List[DeviceInstance]] = {}
+        self._by_attribute: Dict[tuple, List[DeviceInstance]] = {}
+        self._listeners: List[Listener] = []
+
+    def register(self, instance: DeviceInstance) -> DeviceInstance:
+        """Bind an instance; rejects duplicate entity ids."""
+        if instance.entity_id in self._by_id:
+            raise BindingError(
+                f"entity id '{instance.entity_id}' is already registered"
+            )
+        self._by_id[instance.entity_id] = instance
+        for type_name in (instance.info.name, *instance.info.ancestors):
+            self._by_type.setdefault(type_name, []).append(instance)
+            for attribute, value in instance.attributes.items():
+                key = _index_key(type_name, attribute, value)
+                if key is not None:
+                    self._by_attribute.setdefault(key, []).append(instance)
+        for listener in list(self._listeners):
+            listener("register", instance)
+        return instance
+
+    def unregister(self, entity_id: str) -> DeviceInstance:
+        try:
+            instance = self._by_id.pop(entity_id)
+        except KeyError:
+            raise BindingError(f"no entity with id '{entity_id}'") from None
+        for type_name in (instance.info.name, *instance.info.ancestors):
+            self._by_type[type_name].remove(instance)
+            for attribute, value in instance.attributes.items():
+                key = _index_key(type_name, attribute, value)
+                if key is not None:
+                    self._by_attribute[key].remove(instance)
+        for listener in list(self._listeners):
+            listener("unregister", instance)
+        return instance
+
+    def get(self, entity_id: str) -> DeviceInstance:
+        try:
+            return self._by_id[entity_id]
+        except KeyError:
+            raise BindingError(f"no entity with id '{entity_id}'") from None
+
+    def instances_of(
+        self,
+        device_type: str,
+        include_failed: bool = False,
+        **attribute_filters: Any,
+    ) -> List[DeviceInstance]:
+        """All instances whose type is ``device_type`` or a subtype of it,
+        optionally filtered by exact attribute values.
+
+        With filters, the narrowest ``(type, attribute, value)`` index
+        bucket seeds the scan, so cost tracks the match count rather than
+        the fleet size.
+        """
+        candidates: Iterable[DeviceInstance]
+        buckets = []
+        for name, value in attribute_filters.items():
+            key = _index_key(device_type, name, value)
+            if key is None:
+                # Unhashable filter value: the index cannot serve it;
+                # fall back to scanning the type bucket.
+                buckets = []
+                break
+            buckets.append(self._by_attribute.get(key, []))
+        if buckets:
+            candidates = min(buckets, key=len)
+        else:
+            candidates = self._by_type.get(device_type, ())
+        results = []
+        for instance in candidates:
+            if instance.failed and not include_failed:
+                continue
+            if all(
+                instance.attributes.get(name) == value
+                for name, value in attribute_filters.items()
+            ):
+                results.append(instance)
+        return results
+
+    def add_listener(self, listener: Listener) -> Callable[[], None]:
+        """Subscribe to register/unregister events; returns a remover."""
+        self._listeners.append(listener)
+
+        def remove() -> None:
+            if listener in self._listeners:
+                self._listeners.remove(listener)
+
+        return remove
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __iter__(self):
+        return iter(self._by_id.values())
+
+    def entity_ids(self) -> List[str]:
+        return sorted(self._by_id)
+
+    def clear(self) -> None:
+        for entity_id in list(self._by_id):
+            self.unregister(entity_id)

@@ -1,0 +1,216 @@
+"""Execution tracing: what the orchestration actually did, when.
+
+A :class:`Tracer` attaches to an :class:`~repro.runtime.app.Application`
+and records a timeline of orchestration events — source readings entering
+the application, context publications, controller activations, and
+actions issued to devices.  Traces serve the examples ("show me the day"),
+debugging, and assertions about *ordering* that per-component counters
+cannot express.
+
+The tracer hooks the application's bus topics and wraps device actuation;
+it is observation-only (no behavioural change) and can be detached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional
+
+from repro.runtime.component import ContextEvent, SourceEvent
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One recorded orchestration event."""
+
+    timestamp: float
+    kind: str          # 'source' | 'context' | 'action'
+    subject: str       # device entity id or context name
+    detail: str        # source/action name or empty
+    value: Any = None
+
+    def render(self) -> str:
+        clock = _format_time(self.timestamp)
+        if self.kind == "source":
+            return (f"{clock}  source   {self.subject}.{self.detail} = "
+                    f"{_short(self.value)}")
+        if self.kind == "context":
+            return (f"{clock}  context  {self.subject} published "
+                    f"{_short(self.value)}")
+        return (f"{clock}  action   {self.detail} on {self.subject}"
+                + (f" {_short(self.value)}" if self.value else ""))
+
+
+def _format_time(seconds: float) -> str:
+    hours = int(seconds // 3600)
+    minutes = int(seconds % 3600 // 60)
+    secs = seconds % 60
+    return f"{hours:03d}:{minutes:02d}:{secs:06.3f}"
+
+
+def _short(value: Any, limit: int = 60) -> str:
+    text = repr(value)
+    return text if len(text) <= limit else text[: limit - 3] + "..."
+
+
+class Tracer:
+    """Records a bounded timeline of an application's orchestration events.
+
+    >>> tracer = Tracer(app).attach()
+    >>> app.advance(600)
+    >>> print(tracer.render())
+    """
+
+    def __init__(self, application, capacity: int = 10_000):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.application = application
+        self.capacity = capacity
+        self.entries: List[TraceEntry] = []
+        self.dropped = 0
+        self._patched_instances: List[Any] = []
+        self._attached = False
+        self._original_publish = None
+        self._last_source_event = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def attach(self) -> "Tracer":
+        """Start recording.
+
+        Intercepts the application's bus publication (recording *before*
+        delivery, so entries appear in causal order: source → context →
+        action) and wraps device actuation.
+        """
+        if self._attached:
+            raise RuntimeError("tracer already attached")
+        self._attached = True
+        app = self.application
+        self._original_publish = app.bus.publish
+        self._last_source_event = None
+
+        def traced_publish(topic, payload):
+            self._on_bus_publish(topic, payload)
+            return self._original_publish(topic, payload)
+
+        app.bus.publish = traced_publish
+        for instance in app.registry:
+            self._patch_instance(instance)
+        self._registry_remover = app.registry.add_listener(
+            self._on_registry_change
+        )
+        return self
+
+    def detach(self) -> None:
+        if not self._attached:
+            return
+        self.application.bus.publish = self._original_publish
+        for instance, original in self._patched_instances:
+            instance.act = original
+        self._patched_instances.clear()
+        self._registry_remover()
+        self._attached = False
+
+    def _on_bus_publish(self, topic, payload) -> None:
+        if not isinstance(topic, tuple) or not topic:
+            return
+        if topic[0] == "source" and isinstance(payload, SourceEvent):
+            # The same event is published once per ancestor device type;
+            # record it only once.
+            if payload is self._last_source_event:
+                return
+            self._last_source_event = payload
+            self._on_source(payload)
+        elif topic[0] == "context" and isinstance(payload, ContextEvent):
+            self._on_context(payload)
+
+    # -- hooks -----------------------------------------------------------------
+
+    def _on_registry_change(self, kind, instance) -> None:
+        if kind == "register" and self._attached:
+            self._patch_instance(instance)
+
+    def _patch_instance(self, instance) -> None:
+        original = instance.act
+
+        def traced_act(action, **params):
+            self._record(
+                TraceEntry(
+                    timestamp=self.application.clock.now(),
+                    kind="action",
+                    subject=instance.entity_id,
+                    detail=action,
+                    value=params or None,
+                )
+            )
+            return original(action, **params)
+
+        instance.act = traced_act
+        self._patched_instances.append((instance, original))
+
+    def _on_source(self, event: SourceEvent) -> None:
+        self._record(
+            TraceEntry(
+                timestamp=event.timestamp,
+                kind="source",
+                subject=event.device.entity_id,
+                detail=event.source,
+                value=event.value,
+            )
+        )
+
+    def _on_context(self, event: ContextEvent) -> None:
+        self._record(
+            TraceEntry(
+                timestamp=event.timestamp,
+                kind="context",
+                subject=event.context,
+                detail="",
+                value=event.value,
+            )
+        )
+
+    def _record(self, entry: TraceEntry) -> None:
+        if len(self.entries) >= self.capacity:
+            self.dropped += 1
+            return
+        self.entries.append(entry)
+
+    # -- queries ------------------------------------------------------------------
+
+    def of_kind(self, kind: str) -> List[TraceEntry]:
+        return [entry for entry in self.entries if entry.kind == kind]
+
+    def between(self, start: float, end: float) -> List[TraceEntry]:
+        return [
+            entry
+            for entry in self.entries
+            if start <= entry.timestamp < end
+        ]
+
+    def find(
+        self, kind: Optional[str] = None, subject: Optional[str] = None,
+        predicate: Optional[Callable[[TraceEntry], bool]] = None,
+    ) -> List[TraceEntry]:
+        results = self.entries
+        if kind is not None:
+            results = [e for e in results if e.kind == kind]
+        if subject is not None:
+            results = [e for e in results if e.subject == subject]
+        if predicate is not None:
+            results = [e for e in results if predicate(e)]
+        return list(results)
+
+    def render(self, limit: Optional[int] = None) -> str:
+        entries = self.entries if limit is None else self.entries[-limit:]
+        lines = [entry.render() for entry in entries]
+        if self.dropped:
+            lines.append(f"... and {self.dropped} dropped entries")
+        return "\n".join(lines)
+
+    def clear(self) -> None:
+        self.entries.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)

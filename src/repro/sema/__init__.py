@@ -1,0 +1,44 @@
+"""Semantic analysis of DiaSpec designs.
+
+Parsing produces a raw AST; this package turns it into an
+:class:`~repro.sema.analyzer.AnalyzedSpec`, the validated, resolved model
+that both the code generator and the runtime consume.  Analysis is a
+sequence of passes:
+
+1. **Resolution** (:mod:`repro.sema.resolver`) — build the symbol table,
+   register enumeration/structure types, flatten device inheritance.
+2. **Type checking** (:mod:`repro.sema.typecheck`) — every referenced name
+   exists, every type resolves, MapReduce phase types are consistent.
+3. **SCC rules** (:mod:`repro.sema.rules`) — the design respects the
+   Sense-Compute-Control paradigm of Figure 2: data flows from device
+   sources through contexts to controllers to device actions, never
+   backwards, and never cyclically.
+4. **Graph construction** (:mod:`repro.sema.graph`) — the component
+   dataflow graph with layers, used by the runtime for wiring and by the
+   tooling for visualization.
+"""
+
+from repro.sema.analyzer import AnalyzedSpec, analyze
+from repro.sema.graph import ComponentGraph, Edge, EdgeKind
+from repro.sema.symbols import (
+    ActionInfo,
+    ContextInfo,
+    ControllerInfo,
+    DeviceInfo,
+    SourceInfo,
+    SymbolTable,
+)
+
+__all__ = [
+    "ActionInfo",
+    "AnalyzedSpec",
+    "ComponentGraph",
+    "ContextInfo",
+    "ControllerInfo",
+    "DeviceInfo",
+    "Edge",
+    "EdgeKind",
+    "SourceInfo",
+    "SymbolTable",
+    "analyze",
+]

@@ -1,0 +1,61 @@
+"""Top-level semantic analyzer: AST in, :class:`AnalyzedSpec` out.
+
+The :class:`AnalyzedSpec` is the contract between the front end and the
+back ends (code generator and runtime): it bundles the validated AST, the
+type environment, the resolved symbol table, the dataflow graph and the
+design report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.lang.ast_nodes import Spec
+from repro.lang.parser import parse
+from repro.sema.graph import ComponentGraph, build_graph
+from repro.sema.resolver import build_symbols, build_types
+from repro.sema.rules import DesignReport, check_scc
+from repro.sema.symbols import SymbolTable
+from repro.sema.typecheck import check_spec
+from repro.typesys.core import TypeEnvironment
+
+
+@dataclass
+class AnalyzedSpec:
+    """A fully validated DiaSpec design, ready for codegen or execution."""
+
+    spec: Spec
+    types: TypeEnvironment
+    symbols: SymbolTable
+    graph: ComponentGraph
+    report: DesignReport
+
+    @property
+    def devices(self):
+        return self.symbols.devices
+
+    @property
+    def contexts(self):
+        return self.symbols.contexts
+
+    @property
+    def controllers(self):
+        return self.symbols.controllers
+
+
+def analyze(design: Union[str, Spec]) -> AnalyzedSpec:
+    """Analyze a design given as DiaSpec text or as a parsed AST.
+
+    Raises a :class:`~repro.errors.DiaSpecError` subclass on any syntax or
+    semantic violation.  Non-fatal observations end up in ``.report``.
+    """
+    spec = parse(design) if isinstance(design, str) else design
+    types = build_types(spec)
+    symbols = build_symbols(spec, types)
+    check_spec(symbols, types)
+    graph = build_graph(symbols)
+    report = check_scc(symbols, graph)
+    return AnalyzedSpec(
+        spec=spec, types=types, symbols=symbols, graph=graph, report=report
+    )

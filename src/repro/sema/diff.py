@@ -1,0 +1,192 @@
+"""Structural diffing of two design versions.
+
+Design-driven development lives across iterations; tool support for
+evolution means answering "what changed, and what does it break?" at the
+design level rather than by eyeballing text.  :func:`diff_designs`
+compares two analyzed designs declaration by declaration and classifies
+the impact of each change on existing *implementations*:
+
+* **compatible** — additions: new devices/facets/contexts; implementations
+  written against the old framework still run.
+* **breaking** — removals or signature changes: removed declarations,
+  changed result types, changed interaction sets, changed action
+  parameters; existing implementations must be revisited.
+
+Available on the command line as ``python -m repro diff old.diaspec
+new.diaspec`` (exit status 0 = compatible, 3 = breaking changes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Union
+
+from repro.sema.analyzer import AnalyzedSpec, analyze
+
+
+@dataclass(frozen=True)
+class Change:
+    """One classified difference between design versions."""
+
+    kind: str          # 'added' | 'removed' | 'changed'
+    subject: str       # e.g. "device Cooker", "context Alert"
+    detail: str = ""
+    breaking: bool = False
+
+    def render(self) -> str:
+        marker = "!" if self.breaking else "+" if self.kind == "added" else "~"
+        text = f"{marker} {self.kind} {self.subject}"
+        if self.detail:
+            text += f": {self.detail}"
+        return text
+
+
+@dataclass
+class DesignDiff:
+    """All changes between two design versions."""
+
+    changes: List[Change] = field(default_factory=list)
+
+    @property
+    def breaking(self) -> List[Change]:
+        return [change for change in self.changes if change.breaking]
+
+    @property
+    def compatible(self) -> List[Change]:
+        return [change for change in self.changes if not change.breaking]
+
+    @property
+    def is_breaking(self) -> bool:
+        return bool(self.breaking)
+
+    def __bool__(self) -> bool:
+        return bool(self.changes)
+
+    def render(self) -> str:
+        if not self.changes:
+            return "designs are structurally identical"
+        lines = [change.render() for change in self.changes]
+        summary = (
+            f"{len(self.changes)} change(s), "
+            f"{len(self.breaking)} breaking"
+        )
+        return "\n".join(lines + [summary])
+
+
+def diff_designs(
+    old: Union[str, AnalyzedSpec], new: Union[str, AnalyzedSpec]
+) -> DesignDiff:
+    """Compare two designs; see the module docstring for semantics."""
+    if isinstance(old, str):
+        old = analyze(old)
+    if isinstance(new, str):
+        new = analyze(new)
+    diff = DesignDiff()
+    _diff_devices(old, new, diff)
+    _diff_contexts(old, new, diff)
+    _diff_controllers(old, new, diff)
+    return diff
+
+
+def _diff_devices(old, new, diff) -> None:
+    for name in sorted(set(old.devices) - set(new.devices)):
+        diff.changes.append(
+            Change("removed", f"device {name}", breaking=True)
+        )
+    for name in sorted(set(new.devices) - set(old.devices)):
+        diff.changes.append(Change("added", f"device {name}"))
+    for name in sorted(set(old.devices) & set(new.devices)):
+        _diff_device(old.devices[name], new.devices[name], diff)
+
+
+def _diff_device(old_info, new_info, diff) -> None:
+    subject = f"device {old_info.name}"
+    for facet, old_facets, new_facets in (
+        ("source", old_info.sources, new_info.sources),
+        ("action", old_info.actions, new_info.actions),
+        ("attribute", old_info.attributes, new_info.attributes),
+    ):
+        for name in sorted(set(old_facets) - set(new_facets)):
+            diff.changes.append(
+                Change("removed", subject, f"{facet} '{name}'",
+                       breaking=True)
+            )
+        for name in sorted(set(new_facets) - set(old_facets)):
+            breaking = facet == "attribute"  # new registration obligation
+            detail = f"{facet} '{name}'"
+            if breaking:
+                detail += " (existing deployments must set it)"
+            diff.changes.append(
+                Change("added", subject, detail, breaking=breaking)
+            )
+        for name in sorted(set(old_facets) & set(new_facets)):
+            if _facet_signature(old_facets[name]) != _facet_signature(
+                new_facets[name]
+            ):
+                diff.changes.append(
+                    Change("changed", subject,
+                           f"{facet} '{name}' signature", breaking=True)
+                )
+
+
+def _facet_signature(facet) -> tuple:
+    if hasattr(facet, "params"):  # action
+        return tuple(
+            (name, dia_type.name) for name, dia_type in facet.params
+        )
+    signature = (facet.dia_type.name,)
+    if hasattr(facet, "index_name"):
+        signature += (facet.index_name,)
+    return signature
+
+
+def _interaction_shape(decl) -> tuple:
+    """Shape of a context's contracts, as seen by an implementation."""
+    from repro.runtime.component import required_callbacks
+
+    return tuple(sorted(required_callbacks(decl)))
+
+
+def _diff_contexts(old, new, diff) -> None:
+    for name in sorted(set(old.contexts) - set(new.contexts)):
+        diff.changes.append(
+            Change("removed", f"context {name}", breaking=True)
+        )
+    for name in sorted(set(new.contexts) - set(old.contexts)):
+        diff.changes.append(Change("added", f"context {name}"))
+    for name in sorted(set(old.contexts) & set(new.contexts)):
+        old_info, new_info = old.contexts[name], new.contexts[name]
+        subject = f"context {name}"
+        if old_info.result_type.name != new_info.result_type.name:
+            diff.changes.append(
+                Change(
+                    "changed", subject,
+                    f"result type {old_info.result_type.name} -> "
+                    f"{new_info.result_type.name}",
+                    breaking=True,
+                )
+            )
+        if _interaction_shape(old_info.decl) != _interaction_shape(
+            new_info.decl
+        ):
+            diff.changes.append(
+                Change("changed", subject, "interaction contracts",
+                       breaking=True)
+            )
+
+
+def _diff_controllers(old, new, diff) -> None:
+    for name in sorted(set(old.controllers) - set(new.controllers)):
+        diff.changes.append(
+            Change("removed", f"controller {name}", breaking=True)
+        )
+    for name in sorted(set(new.controllers) - set(old.controllers)):
+        diff.changes.append(Change("added", f"controller {name}"))
+    for name in sorted(set(old.controllers) & set(new.controllers)):
+        old_decl = old.controllers[name].decl
+        new_decl = new.controllers[name].decl
+        if _interaction_shape(old_decl) != _interaction_shape(new_decl):
+            diff.changes.append(
+                Change("changed", f"controller {name}",
+                       "reaction contracts", breaking=True)
+            )

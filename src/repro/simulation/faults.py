@@ -1,0 +1,102 @@
+"""Device-failure injection.
+
+The paper's conclusion names device failure as a non-functional dimension
+a design language should eventually cover; its earlier work [14]
+architected error handling at the design level.  :class:`FaultInjector`
+provides the experimental substrate: devices fail and recover following
+exponential MTBF/MTTR processes, while the runtime masks failed devices
+from discovery and periodic gathering.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from repro.runtime.clock import Clock
+from repro.runtime.registry import EntityRegistry
+
+
+class FaultInjector:
+    """Schedules stochastic fail/recover cycles for registered devices."""
+
+    def __init__(
+        self,
+        registry: EntityRegistry,
+        clock: Clock,
+        mtbf_seconds: float,
+        mttr_seconds: float,
+        device_type: Optional[str] = None,
+        seed: int = 0,
+    ):
+        if mtbf_seconds <= 0 or mttr_seconds <= 0:
+            raise ValueError("MTBF and MTTR must be > 0")
+        self.registry = registry
+        self.clock = clock
+        self.mtbf_seconds = mtbf_seconds
+        self.mttr_seconds = mttr_seconds
+        self.device_type = device_type
+        self._rng = random.Random(seed)
+        self._jobs: List = []
+        self.failures = 0
+        self.recoveries = 0
+        self._downtime_started: Dict[str, float] = {}
+        self.total_downtime = 0.0
+        self._running = False
+
+    def start(self) -> "FaultInjector":
+        """Arm a failure timer for every eligible device."""
+        if self._running:
+            raise RuntimeError("fault injector already started")
+        self._running = True
+        for instance in list(self.registry):
+            if self._eligible(instance):
+                self._arm_failure(instance)
+        return self
+
+    def stop(self) -> None:
+        self._running = False
+        for job in self._jobs:
+            job.cancel()
+        self._jobs.clear()
+
+    def _eligible(self, instance) -> bool:
+        if self.device_type is None:
+            return True
+        return instance.info.is_subtype_of(self.device_type)
+
+    def _arm_failure(self, instance) -> None:
+        delay = self._rng.expovariate(1.0 / self.mtbf_seconds)
+        self._jobs.append(
+            self.clock.schedule(delay, lambda: self._fail(instance))
+        )
+
+    def _fail(self, instance) -> None:
+        if not self._running or instance.failed:
+            return
+        instance.fail()
+        self.failures += 1
+        self._downtime_started[instance.entity_id] = self.clock.now()
+        delay = self._rng.expovariate(1.0 / self.mttr_seconds)
+        self._jobs.append(
+            self.clock.schedule(delay, lambda: self._recover(instance))
+        )
+
+    def _recover(self, instance) -> None:
+        if not self._running or not instance.failed:
+            return
+        instance.recover()
+        self.recoveries += 1
+        started = self._downtime_started.pop(instance.entity_id, None)
+        if started is not None:
+            self.total_downtime += self.clock.now() - started
+        self._arm_failure(instance)
+
+    @property
+    def stats(self) -> Dict[str, float]:
+        return {
+            "failures": self.failures,
+            "recoveries": self.recoveries,
+            "total_downtime": self.total_downtime,
+            "currently_failed": len(self._downtime_started),
+        }

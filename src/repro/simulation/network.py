@@ -1,0 +1,78 @@
+"""Network-conditions model for event-driven delivery.
+
+Wide-area IoT networks (Sigfox, LoRa — Section I) deliver sensor messages
+with latency, jitter and loss.  :class:`NetworkConditions` injects those
+effects between a device's event push and the application's bus: attach
+one to an :class:`~repro.runtime.app.Application` and every event-driven
+reading is delayed by ``latency ± jitter`` seconds and dropped with
+probability ``loss``.
+
+Query-driven and periodic delivery poll through the same model using
+:meth:`sample_read_ok` when the application is constructed with
+``apply_network_to_reads=True``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from repro.runtime.clock import Clock
+
+
+class NetworkConditions:
+    """Latency / jitter / loss injection, deterministic under a seed."""
+
+    def __init__(
+        self,
+        latency: float = 0.0,
+        jitter: float = 0.0,
+        loss: float = 0.0,
+        seed: int = 0,
+    ):
+        if latency < 0 or jitter < 0:
+            raise ValueError("latency and jitter must be >= 0")
+        if not 0.0 <= loss < 1.0:
+            raise ValueError("loss must be within [0, 1)")
+        if jitter > latency:
+            raise ValueError("jitter cannot exceed latency")
+        self.latency = latency
+        self.jitter = jitter
+        self.loss = loss
+        self._rng = random.Random(seed)
+        self.delivered = 0
+        self.dropped = 0
+
+    def transmit(self, clock: Clock, deliver: Callable[[], None]) -> bool:
+        """Route one message: schedule ``deliver`` after the sampled delay,
+        or drop it.  Returns True when the message will be delivered."""
+        if self.loss and self._rng.random() < self.loss:
+            self.dropped += 1
+            return False
+        self.delivered += 1
+        delay = self.sample_delay()
+        if delay <= 0:
+            deliver()
+        else:
+            clock.schedule(delay, deliver)
+        return True
+
+    def sample_delay(self) -> float:
+        if self.jitter:
+            return self.latency + self._rng.uniform(-self.jitter, self.jitter)
+        return self.latency
+
+    def sample_read_ok(self) -> bool:
+        """Whether a polled read survives the network."""
+        if not self.loss:
+            return True
+        return self._rng.random() >= self.loss
+
+    @property
+    def stats(self):
+        total = self.delivered + self.dropped
+        return {
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "loss_rate": self.dropped / total if total else 0.0,
+        }

@@ -1,0 +1,151 @@
+"""Simulated device drivers.
+
+Bridges between environments and the runtime's device model.  All drivers
+honour the three delivery modes: readers serve query-driven and periodic
+delivery, and the push-based drivers emit event-driven readings.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.errors import DeliveryError
+from repro.runtime.clock import Clock
+from repro.runtime.device import DeviceDriver
+
+
+class EnvironmentDriver(DeviceDriver):
+    """A driver whose sources and actions are closures over an environment.
+
+    >>> driver = EnvironmentDriver(
+    ...     sources={"presence": lambda: env.is_occupied("A22", 3)},
+    ...     actions={"update": panel_update},
+    ... )
+    """
+
+    def __init__(
+        self,
+        sources: Optional[Dict[str, Callable[[], Any]]] = None,
+        actions: Optional[Dict[str, Callable[..., Any]]] = None,
+    ):
+        self._sources = dict(sources or {})
+        self._actions = dict(actions or {})
+
+    def read(self, source: str) -> Any:
+        try:
+            reader = self._sources[source]
+        except KeyError:
+            raise DeliveryError(
+                f"simulated device has no source '{source}'"
+            ) from None
+        return reader()
+
+    def invoke(self, action: str, **params: Any) -> Any:
+        try:
+            handler = self._actions[action]
+        except KeyError:
+            raise DeliveryError(
+                f"simulated device has no action '{action}'"
+            ) from None
+        return handler(**params)
+
+
+class ClockDeviceDriver(DeviceDriver):
+    """The Clock *device* of Figure 5, driven by the simulation clock.
+
+    Once started, pushes ``tickSecond`` / ``tickMinute`` / ``tickHour``
+    events (whichever the device declaration includes) and serves them as
+    query-driven readings too.
+    """
+
+    def __init__(self, tick_seconds: float = 1.0):
+        self.tick_seconds = tick_seconds
+        self._ticks = 0
+        self._jobs = []
+
+    def start(self, clock: Clock) -> "ClockDeviceDriver":
+        """Begin pushing tick events on ``clock``."""
+        if self.instance is None:
+            raise DeliveryError(
+                "bind the driver to a device instance before starting it"
+            )
+        declared = set(self.instance.info.sources)
+        if "tickSecond" in declared:
+            self._jobs.append(
+                clock.schedule_periodic(self.tick_seconds, self._second)
+            )
+        if "tickMinute" in declared:
+            self._jobs.append(clock.schedule_periodic(60.0, self._minute))
+        if "tickHour" in declared:
+            self._jobs.append(clock.schedule_periodic(3600.0, self._hour))
+        self._clock = clock
+        return self
+
+    def stop(self) -> None:
+        for job in self._jobs:
+            job.cancel()
+        self._jobs.clear()
+
+    def _second(self) -> None:
+        self._ticks += 1
+        self.push("tickSecond", self._ticks)
+
+    def _minute(self) -> None:
+        self.push("tickMinute", int(self._clock.now() // 60))
+
+    def _hour(self) -> None:
+        self.push("tickHour", int(self._clock.now() // 3600))
+
+    def read_tick_second(self) -> int:
+        return self._ticks
+
+    def read_tick_minute(self) -> int:
+        return self._ticks // 60
+
+    def read_tick_hour(self) -> int:
+        return self._ticks // 3600
+
+
+class ThresholdPushDriver(EnvironmentDriver):
+    """Polls a reading and pushes an event when it crosses a threshold.
+
+    Models event-driven sensors (door opened, tank above level): the
+    driver samples ``probe`` every ``sample_seconds`` and pushes on each
+    rising edge of ``predicate``.
+    """
+
+    def __init__(
+        self,
+        source: str,
+        probe: Callable[[], Any],
+        predicate: Callable[[Any], bool],
+        sample_seconds: float = 1.0,
+        **kwargs,
+    ):
+        super().__init__(sources={source: probe}, **kwargs)
+        self.source = source
+        self.probe = probe
+        self.predicate = predicate
+        self.sample_seconds = sample_seconds
+        self._armed = True
+        self._job = None
+
+    def start(self, clock: Clock) -> "ThresholdPushDriver":
+        if self._job is not None:
+            raise DeliveryError("driver already started")
+        self._job = clock.schedule_periodic(self.sample_seconds, self._sample)
+        return self
+
+    def stop(self) -> None:
+        if self._job is not None:
+            self._job.cancel()
+            self._job = None
+
+    def _sample(self) -> None:
+        value = self.probe()
+        if self.predicate(value):
+            if self._armed:
+                self._armed = False
+                self.push(self.source, value)
+        else:
+            self._armed = True

@@ -1,0 +1,19 @@
+"""Reusable device taxonomies.
+
+"Device declarations are factorized and form a taxonomy dedicated to a
+given area, used across applications" (§III).  This package ships two
+such taxonomies as DiaSpec fragments — assisted living and smart city —
+plus :func:`combine` for composing a taxonomy with application-specific
+declarations into one design.
+"""
+
+from repro.taxonomies.assisted_living import ASSISTED_LIVING_TAXONOMY
+from repro.taxonomies.smart_city import SMART_CITY_TAXONOMY
+from repro.taxonomies.compose import combine, taxonomy_device_names
+
+__all__ = [
+    "ASSISTED_LIVING_TAXONOMY",
+    "SMART_CITY_TAXONOMY",
+    "combine",
+    "taxonomy_device_names",
+]

@@ -1,0 +1,61 @@
+"""The assisted-living taxonomy (§III: "we created a taxonomy of entities
+for the domain of assisted living").
+
+Shared device declarations for home applications: both the cooker
+monitoring application and the HomeAssist platform can be expressed over
+this vocabulary.  Appliances share an ``Appliance`` supertype (so a
+safety application can discover everything that draws power), sensors
+carry a ``room`` attribute, and interaction devices (prompter,
+notification service) round out the home.
+"""
+
+ASSISTED_LIVING_TAXONOMY = """\
+enumeration HomeRoomEnum { KITCHEN, LIVING_ROOM, BEDROOM, BATHROOM, HALLWAY }
+
+enumeration HomeDoorEnum { FRONT, BACK }
+
+enumeration AlertLevelEnum { INFO, WARNING, URGENT }
+
+device Appliance {
+    source consumption as Float;
+    action On;
+    action Off;
+}
+
+device HomeCooker extends Appliance {
+}
+
+device Kettle extends Appliance {
+}
+
+device HomeClock {
+    source tickSecond as Integer;
+    source tickMinute as Integer;
+    source tickHour as Integer;
+}
+
+device RoomMotionSensor {
+    attribute room as HomeRoomEnum;
+    source motion as Boolean;
+}
+
+device DoorContactSensor {
+    attribute door as HomeDoorEnum;
+    source open as Boolean;
+}
+
+device RoomLamp {
+    attribute room as HomeRoomEnum;
+    action On;
+    action Off;
+}
+
+device HomePrompter {
+    source answer as String indexed by questionId as String;
+    action askQuestion(question as String, questionId as String);
+}
+
+device CaregiverService {
+    action notify(message as String, level as AlertLevelEnum);
+}
+"""

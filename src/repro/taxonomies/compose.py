@@ -1,0 +1,30 @@
+"""Composing taxonomies with application designs."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.lang.ast_nodes import DeviceDecl, Spec
+from repro.lang.parser import parse
+
+
+def combine(*fragments: str) -> Spec:
+    """Concatenate DiaSpec fragments into one design.
+
+    Fragments are plain DiaSpec text (a taxonomy, then application
+    declarations); duplicate declarations across fragments are rejected
+    by the analyzer, exactly as they would be in a single file.
+    """
+    declarations = []
+    for fragment in fragments:
+        declarations.extend(parse(fragment).declarations)
+    return Spec(tuple(declarations))
+
+
+def taxonomy_device_names(fragment: str) -> List[str]:
+    """The device types a taxonomy contributes (sorted)."""
+    return sorted(
+        declaration.name
+        for declaration in parse(fragment).declarations
+        if isinstance(declaration, DeviceDecl)
+    )

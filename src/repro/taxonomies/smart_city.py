@@ -1,0 +1,40 @@
+"""The smart-city taxonomy: the shared vocabulary of city-scale
+applications (parking, transportation, environment).
+
+The display-panel hierarchy mirrors Figure 6; environmental sensors and
+traffic counters extend the vocabulary beyond the paper's parking study
+so other city applications (pollution monitoring, traffic steering) can
+be designed over the same taxonomy.
+"""
+
+SMART_CITY_TAXONOMY = """\
+enumeration CityZoneEnum { CENTER, NORTH, SOUTH, EAST, WEST }
+
+device CityDisplayPanel {
+    action update(status as String);
+}
+
+device ZonePanel extends CityDisplayPanel {
+    attribute zone as CityZoneEnum;
+}
+
+device CityPresenceSensor {
+    attribute zone as CityZoneEnum;
+    source presence as Boolean;
+}
+
+device TrafficCounter {
+    attribute zone as CityZoneEnum;
+    source vehicleCount as Integer;
+}
+
+device PollutionSensor {
+    attribute zone as CityZoneEnum;
+    source pm10 as Float;
+    source no2 as Float;
+}
+
+device CityMessenger {
+    action sendMessage(message as String);
+}
+"""

@@ -1,0 +1,45 @@
+"""DiaSpec type system.
+
+Types appear everywhere in a DiaSpec design: source and attribute
+declarations (``source presence as Boolean``), context result types
+(``context ParkingAvailability as Availability[]``), action parameters
+(``action update(status as String)``), indexed sources, and the Map/Reduce
+phase types of the ``grouped by … with map … reduce …`` construct.
+
+This package models those types (:mod:`repro.typesys.core`) and checks that
+runtime Python values conform to them (:mod:`repro.typesys.values`).
+"""
+
+from repro.typesys.core import (
+    ArrayType,
+    BOOLEAN,
+    DiaType,
+    EnumerationType,
+    FLOAT,
+    INTEGER,
+    PRIMITIVES,
+    PrimitiveType,
+    STRING,
+    StructureType,
+    TypeEnvironment,
+    parse_type_name,
+)
+from repro.typesys.values import StructureValue, check_value, coerce_value
+
+__all__ = [
+    "ArrayType",
+    "BOOLEAN",
+    "DiaType",
+    "EnumerationType",
+    "FLOAT",
+    "INTEGER",
+    "PRIMITIVES",
+    "PrimitiveType",
+    "STRING",
+    "StructureType",
+    "StructureValue",
+    "TypeEnvironment",
+    "check_value",
+    "coerce_value",
+    "parse_type_name",
+]

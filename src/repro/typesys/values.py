@@ -1,0 +1,157 @@
+"""Runtime value conformance for DiaSpec types.
+
+The generated frameworks of the paper are statically typed (Java).  In the
+Python host we enforce the same guarantees dynamically: every value that
+crosses a component boundary (a source reading, a published context value,
+an action argument) is checked against its declared type before delivery.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.errors import ValueConformanceError
+from repro.typesys.core import (
+    ArrayType,
+    DiaType,
+    EnumerationType,
+    PrimitiveType,
+    StructureType,
+)
+
+
+class StructureValue:
+    """A runtime instance of a declared ``structure`` type.
+
+    Behaves like a lightweight record: fields are attributes, equality is
+    structural, and construction validates field values against the
+    structure's declared field types.
+
+    >>> availability = StructureValue(availability_type, parkingLot="A22", count=3)
+    >>> availability.count
+    3
+    """
+
+    __slots__ = ("_type", "_values")
+
+    def __init__(self, structure_type: StructureType, **field_values: Any):
+        declared = set(structure_type.field_names)
+        supplied = set(field_values)
+        if declared != supplied:
+            missing = sorted(declared - supplied)
+            extra = sorted(supplied - declared)
+            parts = []
+            if missing:
+                parts.append(f"missing fields {missing}")
+            if extra:
+                parts.append(f"unknown fields {extra}")
+            raise ValueConformanceError(
+                f"structure {structure_type.name}: " + ", ".join(parts)
+            )
+        checked = {}
+        for name, dia_type in structure_type.fields:
+            checked[name] = check_value(dia_type, field_values[name])
+        object.__setattr__(self, "_type", structure_type)
+        object.__setattr__(self, "_values", checked)
+
+    @property
+    def structure_type(self) -> StructureType:
+        return self._type
+
+    def __getattr__(self, name: str) -> Any:
+        try:
+            return self._values[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("StructureValue instances are immutable")
+
+    def as_dict(self) -> Mapping[str, Any]:
+        return dict(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, StructureValue)
+            and self._type == other._type
+            and self._values == other._values
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._type.name, tuple(sorted(self._values.items()))))
+
+    def __repr__(self) -> str:
+        fields = ", ".join(f"{k}={v!r}" for k, v in self._values.items())
+        return f"{self._type.name}({fields})"
+
+
+def check_value(dia_type: DiaType, value: Any) -> Any:
+    """Validate ``value`` against ``dia_type`` and return it unchanged.
+
+    Raises :class:`ValueConformanceError` on mismatch.  Lists and tuples are
+    both accepted for array types; tuples are returned as-is (no copying).
+    """
+    if isinstance(dia_type, PrimitiveType):
+        _check_primitive(dia_type, value)
+        return value
+    if isinstance(dia_type, EnumerationType):
+        if value not in dia_type:
+            raise ValueConformanceError(
+                f"{value!r} is not a member of enumeration {dia_type.name}"
+            )
+        return value
+    if isinstance(dia_type, StructureType):
+        if isinstance(value, StructureValue) and value.structure_type == dia_type:
+            return value
+        if isinstance(value, Mapping):
+            return StructureValue(dia_type, **value)
+        as_dict = getattr(value, "as_dict", None)
+        if callable(as_dict):
+            # Generated structure classes expose their fields via as_dict().
+            return StructureValue(dia_type, **as_dict())
+        raise ValueConformanceError(
+            f"{value!r} is not a value of structure {dia_type.name}"
+        )
+    if isinstance(dia_type, ArrayType):
+        if not isinstance(value, (list, tuple)):
+            raise ValueConformanceError(
+                f"{value!r} is not an array of {dia_type.element.name}"
+            )
+        return [check_value(dia_type.element, item) for item in value]
+    raise ValueConformanceError(f"unsupported type {dia_type!r}")
+
+
+def coerce_value(dia_type: DiaType, value: Any) -> Any:
+    """Like :func:`check_value`, but applies safe numeric widening.
+
+    ``Integer`` readings are widened to float for a ``Float`` position;
+    mappings are promoted to structure values.  Used at the device boundary
+    where drivers may produce plain Python data.
+    """
+    if isinstance(dia_type, PrimitiveType) and dia_type.name == "Float":
+        if isinstance(value, bool):
+            raise ValueConformanceError("Boolean is not a Float")
+        if isinstance(value, int):
+            return float(value)
+    return check_value(dia_type, value)
+
+
+def _check_primitive(dia_type: PrimitiveType, value: Any) -> None:
+    name = dia_type.name
+    if name == "Boolean":
+        if not isinstance(value, bool):
+            raise ValueConformanceError(f"{value!r} is not a Boolean")
+        return
+    if name == "Integer":
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ValueConformanceError(f"{value!r} is not an Integer")
+        return
+    if name == "Float":
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ValueConformanceError(f"{value!r} is not a Float")
+        return
+    if name == "String":
+        if not isinstance(value, str):
+            raise ValueConformanceError(f"{value!r} is not a String")
+        return
+    raise ValueConformanceError(f"unknown primitive {name}")

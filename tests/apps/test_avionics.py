@@ -1,0 +1,122 @@
+"""CS1: the automated pilot over simulated flight dynamics."""
+
+import pytest
+
+from repro.apps.avionics import PID, build_avionics_app
+from repro.simulation.environment import FlightEnvironment
+
+
+@pytest.fixture
+def app():
+    return build_avionics_app()
+
+
+class TestPid:
+    def test_proportional_response(self):
+        pid = PID(kp=0.5, output_limit=10.0)
+        assert pid.step(4.0) == 2.0
+
+    def test_output_clamped(self):
+        pid = PID(kp=100.0, output_limit=1.0)
+        assert pid.step(50.0) == 1.0
+        assert pid.step(-50.0) == -1.0
+
+    def test_integral_accumulates(self):
+        pid = PID(kp=0.0, ki=1.0, dt=1.0, output_limit=100.0)
+        pid.step(1.0)
+        assert pid.step(1.0) > 0.0
+
+    def test_anti_windup(self):
+        pid = PID(kp=1.0, ki=1.0, output_limit=1.0)
+        for __ in range(100):
+            pid.step(10.0)  # saturated the whole time
+        # After the error flips, output recovers quickly because the
+        # integral never wound up.
+        assert pid.step(-1.0) < 1.0
+
+    def test_reset(self):
+        pid = PID(kp=0.0, ki=1.0, dt=1.0, output_limit=10.0)
+        pid.step(5.0)
+        pid.reset()
+        assert pid.step(0.0) == 0.0
+
+    def test_invalid_limit(self):
+        with pytest.raises(ValueError):
+            PID(kp=1.0, output_limit=0.0)
+
+
+class TestHoldLoops:
+    def test_altitude_capture(self, app):
+        app.command(altitude=1400.0)
+        app.advance(240)
+        assert app.environment.altitude == pytest.approx(1400.0, abs=40.0)
+
+    def test_altitude_hold_is_stable(self, app):
+        app.command(altitude=1200.0)
+        app.advance(600)
+        before = app.environment.altitude
+        app.advance(120)
+        assert abs(app.environment.altitude - before) < 10.0
+
+    def test_descent(self, app):
+        app.command(altitude=600.0)
+        app.advance(300)
+        assert app.environment.altitude == pytest.approx(600.0, abs=40.0)
+
+    def test_heading_capture_takes_short_way_around(self, app):
+        app.environment.heading = 350.0
+        app.command(heading=10.0)
+        app.advance(60)
+        # 20 degrees via north, not 340 degrees the long way
+        assert app.environment.heading == pytest.approx(10.0, abs=5.0)
+
+    def test_airspeed_capture(self, app):
+        app.command(airspeed=180.0)
+        app.advance(600)
+        assert app.environment.airspeed == pytest.approx(180.0, abs=10.0)
+
+    def test_simultaneous_captures(self, app):
+        app.command(altitude=1300.0, heading=45.0, airspeed=140.0)
+        app.advance(600)
+        assert app.environment.altitude == pytest.approx(1300.0, abs=40.0)
+        assert app.environment.heading == pytest.approx(45.0, abs=5.0)
+        assert app.environment.airspeed == pytest.approx(140.0, abs=10.0)
+
+    def test_holds_under_turbulence(self):
+        environment = FlightEnvironment(turbulence=0.3, seed=8)
+        app = build_avionics_app(environment=environment)
+        app.command(altitude=1100.0)
+        app.advance(600)
+        assert app.environment.altitude == pytest.approx(1100.0, abs=60.0)
+
+
+class TestEnvelopeProtection:
+    def test_terrain_warning(self, app):
+        app.command(altitude=50.0)
+        app.advance(600)
+        assert any("TERRAIN" in w for w in app.annunciator.warnings)
+
+    def test_warning_is_edge_triggered(self, app):
+        app.command(altitude=50.0)
+        app.advance(900)
+        terrain = [w for w in app.annunciator.warnings if "TERRAIN" in w]
+        assert len(terrain) <= 2  # once per excursion episode, not per tick
+
+    def test_stall_warning(self, app):
+        app.command(airspeed=30.0)
+        app.advance(900)
+        assert any("STALL" in w for w in app.alarms.warnings)
+
+    def test_no_warnings_in_normal_flight(self, app):
+        app.command(altitude=1200.0, airspeed=150.0)
+        app.advance(600)
+        assert app.annunciator.warnings == []
+
+
+class TestScc:
+    def test_avionics_uses_the_same_stack(self, app):
+        stats = app.application.stats
+        app.advance(10)
+        stats = app.application.stats
+        assert stats["context_activations"]["AltitudeHold"] == 10
+        assert stats["controller_activations"]["ElevatorController"] == 10

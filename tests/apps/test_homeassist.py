@@ -1,0 +1,115 @@
+"""CS2: the assisted-living platform over the simulated home."""
+
+import pytest
+
+from repro.apps.homeassist import build_homeassist_app
+
+
+@pytest.fixture
+def app():
+    return build_homeassist_app(inactivity_threshold_minutes=60)
+
+
+class TestActivityLevel:
+    def test_query_reflects_routine(self, app):
+        app.advance(10 * 3600)  # 10:00, resident in the living room
+        levels = {
+            level.room: level.level
+            for level in app.application.query_context("ActivityLevel")
+        }
+        assert levels["LIVING_ROOM"] > levels["KITCHEN"]
+
+    def test_levels_are_floats_in_range(self, app):
+        app.advance(6 * 3600)
+        for level in app.application.query_context("ActivityLevel"):
+            assert 0.0 <= level.level <= 1.0
+
+
+class TestInactivityAlert:
+    def test_no_alert_during_active_day(self, app):
+        app.advance(14 * 3600)
+        assert not any(
+            "No activity" in message
+            for __, message in app.notifications.sent
+        )
+
+    def test_alert_after_silence(self, app):
+        app.advance(10 * 3600)
+        app.environment.force_room("nowhere")
+        app.advance(90 * 60)
+        inactivity = [
+            message
+            for __, message in app.notifications.sent
+            if "No activity" in message
+        ]
+        assert inactivity
+        assert "60 minutes" in inactivity[0]
+
+    def test_escalation_to_urgent(self, app):
+        app.advance(10 * 3600)
+        app.environment.force_room("nowhere")
+        app.advance(3 * 3600)
+        levels = {
+            level
+            for level, message in app.notifications.sent
+            if "No activity" in message
+        }
+        assert "URGENT" in levels
+
+    def test_night_silence_is_not_an_alert(self, app):
+        app.advance(23 * 3600)  # resident asleep
+        app.environment.force_room("nowhere")
+        app.advance(4 * 3600)  # dead of night
+        assert not any(
+            "No activity" in message
+            for __, message in app.notifications.sent
+        )
+
+
+class TestNightWandering:
+    def test_lamp_follows_wanderer(self, app):
+        app.advance(int(23.5 * 3600))
+        app.environment.force_room("hallway")
+        app.advance(300)
+        assert app.lamp("HALLWAY").is_on
+
+    def test_daytime_movement_is_ignored(self, app):
+        app.advance(12 * 3600)
+        assert app.night_light.lit_rooms == []
+
+    def test_bedroom_movement_at_night_is_ignored(self, app):
+        app.advance(int(23.5 * 3600))
+        app.advance(1800)  # routine keeps resident in the bedroom
+        assert "BEDROOM" not in app.night_light.lit_rooms
+
+
+class TestDoorLeftOpen:
+    def test_open_door_alert(self, app):
+        app.advance(9 * 3600)
+        app.front_door.set_open(True)
+        app.advance(20 * 60)
+        assert any(
+            "FRONT door" in message
+            for __, message in app.notifications.sent
+        )
+
+    def test_closed_door_resets(self, app):
+        app.advance(9 * 3600)
+        app.front_door.set_open(True)
+        app.advance(10 * 60)
+        app.front_door.set_open(False)
+        app.advance(3600)
+        assert not any(
+            "door" in message for __, message in app.notifications.sent
+        )
+
+    def test_alert_fires_once_per_episode(self, app):
+        app.advance(9 * 3600)
+        app.back_door.set_open(True)
+        app.advance(2 * 3600)
+        door_alerts = [
+            message
+            for __, message in app.notifications.sent
+            if "BACK door" in message
+        ]
+        assert len(door_alerts) == 1

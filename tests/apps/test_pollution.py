@@ -1,0 +1,113 @@
+"""The pollution-advisory application (taxonomy-backed city app)."""
+
+import pytest
+
+from repro.apps.pollution import (
+    CityAirEnvironment,
+    build_pollution_app,
+)
+
+
+@pytest.fixture
+def app():
+    return build_pollution_app(seed=5)
+
+
+class TestEnvironment:
+    def test_pollution_follows_traffic(self, clock):
+        env = CityAirEnvironment({"CENTER": 1.0, "WEST": 0.2},
+                                 step_seconds=300.0, seed=1)
+        env.attach(clock)
+        clock.advance(10 * 3600)  # through the morning rush
+        assert env.pm10_level("CENTER") > env.pm10_level("WEST")
+        assert env.traffic("CENTER") > env.traffic("WEST")
+
+    def test_pollution_decays_at_night(self, clock):
+        env = CityAirEnvironment({"CENTER": 1.0}, step_seconds=300.0,
+                                 noise=0.0)
+        env.attach(clock)
+        clock.advance(10 * 3600)
+        rush = env.pm10_level("CENTER")
+        clock.advance(16 * 3600)  # to 02:00
+        assert env.pm10_level("CENTER") < rush
+
+    def test_requires_zones(self):
+        with pytest.raises(ValueError):
+            CityAirEnvironment({})
+
+    def test_force_pollution(self):
+        env = CityAirEnvironment({"CENTER": 1.0})
+        env.force_pollution("CENTER", pm10=99.0, no2=88.0)
+        assert env.pm10_level("CENTER") == 99.0
+        assert env.no2_level("CENTER") == 88.0
+
+
+class TestPipelines:
+    def test_traffic_level_published(self, app):
+        app.advance(600)
+        stats = app.application.stats
+        assert stats["context_activations"]["TrafficLevel"] == 1
+        assert stats["context_activations"]["PollutionAdvisory"] == 1
+
+    def test_air_quality_query(self, app):
+        app.advance(1200)
+        records = app.application.query_context("AirQuality")
+        zones = [record.zone for record in records]
+        assert zones == sorted(app.zone_panels)
+        for record in records:
+            assert record.pm10 > 0.0
+            assert record.no2 > 0.0
+
+    def test_clean_morning_no_advisory(self, app):
+        app.advance(3 * 3600)  # 03:00, little traffic, clean air
+        assert app.advisories_sent == []
+
+    def test_rush_hour_produces_advisory_in_center(self):
+        app = build_pollution_app(seed=7, environment_step_seconds=300.0)
+        app.advance(10 * 3600)  # through the 09:00 rush
+        assert app.advisories_sent
+        assert any("CENTER" in message for message in app.advisories_sent)
+
+    def test_zone_panels_show_status(self):
+        app = build_pollution_app(seed=7, environment_step_seconds=300.0)
+        app.advance(10 * 3600)
+        center = app.zone_panels["CENTER"].status
+        west = app.zone_panels["WEST"].status
+        assert center.startswith("CENTER:")
+        assert west == "Air quality: OK"
+
+    def test_forced_episode_flags_specific_zone(self, app):
+        app.advance(600)
+        app.environment.force_pollution("EAST", pm10=120.0)
+        app.environment.noise = 0.0
+        # freeze environment evolution so the forced level survives
+        app.environment.detach()
+        app.advance(600)
+        assert app.zone_panels["EAST"].status.startswith("EAST: PM10")
+
+    def test_advisory_mentions_both_pollutants(self, app):
+        app.advance(600)
+        # High enough that the EWMA crosses both limits within two sweeps.
+        app.environment.force_pollution("NORTH", pm10=300.0, no2=200.0)
+        app.environment.detach()
+        app.advance(1200)
+        status = app.zone_panels["NORTH"].status
+        assert "PM10" in status and "NO2" in status
+
+
+class TestTaxonomyIntegration:
+    def test_design_includes_taxonomy_devices(self, app):
+        design = app.application.design
+        assert "TrafficCounter" in design.devices
+        assert design.devices["ZonePanel"].is_subtype_of("CityDisplayPanel")
+
+    def test_unknown_zone_rejected(self):
+        with pytest.raises(ValueError, match="CityZoneEnum"):
+            build_pollution_app(zone_factors={"MIDTOWN": 1.0})
+
+    def test_only_taxonomy_reuse_warnings(self, app):
+        """The application uses a subset of the shared taxonomy, so the
+        only acceptable warnings are unused *taxonomy* devices (the paper
+        treats such spare vocabulary as normal, §III)."""
+        warnings = app.application.design.report.warnings
+        assert all("CityPresenceSensor" in warning for warning in warnings)

@@ -1,0 +1,67 @@
+"""The compiler handles every bundled design, end to end."""
+
+import pytest
+
+from repro.apps.avionics.design import DESIGN_SOURCE as AVIONICS
+from repro.apps.cooker.design import DESIGN_SOURCE as COOKER
+from repro.apps.homeassist.design import DESIGN_SOURCE as HOMEASSIST
+from repro.apps.parking.design import DESIGN_SOURCE as PARKING
+from repro.apps.pollution.design import DESIGN_SOURCE as POLLUTION
+from repro.codegen.framework_gen import compile_design
+from repro.codegen.stub_gen import generate_stubs
+from repro.sema.analyzer import analyze
+
+ALL_DESIGNS = [
+    ("Cooker", COOKER),
+    ("Parking", PARKING),
+    ("Avionics", AVIONICS),
+    ("HomeAssist", HOMEASSIST),
+    ("Pollution", POLLUTION),
+]
+
+
+@pytest.mark.parametrize("name,source", ALL_DESIGNS)
+class TestEveryDesign:
+    def test_framework_compiles_and_registry_is_complete(self, name,
+                                                         source):
+        module = compile_design(source, name)
+        framework_class = getattr(module, f"{name}Framework")
+        design = analyze(source)
+        expected = set(design.contexts) | set(design.controllers)
+        assert set(framework_class.ABSTRACTS) == expected
+
+    def test_every_abstract_subclasses_the_right_base(self, name, source):
+        from repro.runtime.component import Context, Controller
+
+        module = compile_design(source, name)
+        design = analyze(source)
+        framework_class = getattr(module, f"{name}Framework")
+        for component, abstract in framework_class.ABSTRACTS.items():
+            if component in design.contexts:
+                assert issubclass(abstract, Context)
+            else:
+                assert issubclass(abstract, Controller)
+
+    def test_driver_base_per_device(self, name, source):
+        module = compile_design(source, name)
+        design = analyze(source)
+        for device in design.devices:
+            assert hasattr(module, f"Abstract{device}Driver"), device
+
+    def test_structure_and_enumeration_classes(self, name, source):
+        module = compile_design(source, name)
+        design = analyze(source)
+        for enum_decl in design.spec.enumerations:
+            cls = getattr(module, enum_decl.name)
+            assert cls.MEMBERS == tuple(enum_decl.members)
+        for struct_decl in design.spec.structures:
+            assert hasattr(module, struct_decl.name)
+
+    def test_stubs_compile(self, name, source):
+        stubs = generate_stubs(source, name)
+        compile(stubs, f"<{name}-stubs>", "exec")
+
+    def test_embedded_design_reanalyzes_identically(self, name, source):
+        module = compile_design(source, name)
+        original = analyze(source)
+        assert module.DESIGN.graph.render() == original.graph.render()

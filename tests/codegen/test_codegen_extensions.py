@@ -1,0 +1,107 @@
+"""Compiler handling of the reproduction's design extensions and
+synthesized designs."""
+
+import time
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codegen.framework_gen import compile_design
+from repro.lang.synth import synthesize_design
+from repro.runtime.device import CallableDriver
+from repro.sema.analyzer import analyze
+
+EXPECT_DESIGN = """\
+device Sensor {
+    source reading as Float expect timeout <50 ms> retry 2;
+}
+device Horn { action honk(level as Integer); }
+
+context Watch as Float {
+    expect deadline <25 ms>;
+
+    when provided reading from Sensor
+    maybe publish;
+}
+
+controller K {
+    when provided Watch
+    do honk on Horn;
+}
+"""
+
+
+class TestExpectClausesSurviveCompilation:
+    def test_framework_compiles_with_expect_clauses(self):
+        module = compile_design(EXPECT_DESIGN, "Guard")
+        # The framework embeds the canonical design text: the expect
+        # clauses must round-trip through the pretty-printer.
+        assert "expect timeout <50 ms> retry 2" in module.DESIGN_SOURCE
+        assert "expect deadline <25 ms>" in module.DESIGN_SOURCE
+
+    def test_generated_app_monitors_qos(self):
+        module = compile_design(EXPECT_DESIGN, "Guard")
+
+        class Watch(module.AbstractWatch):
+            def on_reading_from_sensor(self, event, discover):
+                time.sleep(0.04)  # beyond the 25 ms deadline
+                return event.value
+
+        class K(module.AbstractK):
+            def on_watch(self, value, discover):
+                pass
+
+        framework = module.GuardFramework()
+        framework.implement_watch(Watch())
+        framework.implement_k(K())
+        sensor = framework.create_sensor(
+            "s", CallableDriver(sources={"reading": lambda: 1.0})
+        )
+        framework.create_horn(
+            "h", CallableDriver(actions={"honk": lambda level: None})
+        )
+        framework.start()
+        sensor.publish("reading", 1.0)
+        qos = framework.stats["qos"]["Watch"]
+        assert qos["violations"] == 1
+
+    def test_generated_app_applies_retry_policy(self):
+        from repro.errors import DeliveryError
+        from repro.runtime.device import DeviceDriver
+
+        module = compile_design(EXPECT_DESIGN, "Guard")
+
+        class Flaky(module.AbstractSensorDriver):
+            def __init__(self):
+                self.attempts = 0
+
+            def read_reading(self):
+                self.attempts += 1
+                if self.attempts == 1:
+                    raise DeliveryError("glitch")
+                return 3.0
+
+        design = analyze(EXPECT_DESIGN)
+        from repro.runtime.device import DeviceInstance
+
+        driver = Flaky()
+        instance = DeviceInstance(design.devices["Sensor"], "s", driver)
+        assert instance.read("reading") == 3.0
+        assert driver.attempts == 2
+        assert isinstance(driver, DeviceDriver)
+
+
+@given(
+    st.integers(min_value=1, max_value=12),
+    st.integers(min_value=1, max_value=20),
+)
+@settings(max_examples=20, deadline=None)
+def test_synthesized_designs_always_compile(devices, contexts):
+    controllers = min(3, contexts)
+    source = synthesize_design(devices, contexts, controllers)
+    module = compile_design(source, "Synth")
+    design = analyze(source)
+    framework_class = module.SynthFramework
+    assert set(framework_class.ABSTRACTS) == (
+        set(design.contexts) | set(design.controllers)
+    )

@@ -1,0 +1,91 @@
+"""The design documentation generator."""
+
+import pytest
+
+from repro.apps.parking.design import DESIGN_SOURCE as PARKING
+from repro.cli import main
+from repro.codegen.docgen import generate_docs
+
+
+@pytest.fixture(scope="module")
+def parking_docs():
+    return generate_docs(PARKING, "Parking management")
+
+
+class TestStructure:
+    def test_title_and_summary(self, parking_docs):
+        assert parking_docs.startswith("# Parking management\n")
+        assert "5 device type(s), 4 context(s), 3 controller(s)" in (
+            parking_docs
+        )
+
+    def test_devices_section(self, parking_docs):
+        assert "### PresenceSensor" in parking_docs
+        assert "`parkingLot` : ParkingLotEnum" in parking_docs
+        assert "`presence` : Boolean" in parking_docs
+
+    def test_inheritance_annotated(self, parking_docs):
+        assert "### ParkingEntrancePanel *(extends DisplayPanel)*" in (
+            parking_docs
+        )
+        assert "*(from DisplayPanel)*" in parking_docs
+
+    def test_data_types_section(self, parking_docs):
+        assert "enumeration `ParkingLotEnum`: A22, B16, D6" in parking_docs
+        assert ("structure `Availability` { parkingLot: ParkingLotEnum, "
+                "count: Integer }") in parking_docs
+
+    def test_contexts_in_layer_order(self, parking_docs):
+        availability = parking_docs.index("### ParkingAvailability")
+        suggestion = parking_docs.index("### ParkingSuggestion")
+        assert availability < suggestion
+
+    def test_interaction_descriptions(self, parking_docs):
+        assert ("gathers `presence` from `PresenceSensor` every <10 min>, "
+                "grouped by `parkingLot` via MapReduce (Boolean → Integer)"
+                ) in parking_docs
+        assert "accumulated over <24 hr>" in parking_docs
+        assert "serves query-driven pulls (`when required`)" in parking_docs
+        assert "queries context `ParkingUsagePattern`" in parking_docs
+
+    def test_controllers_section(self, parking_docs):
+        assert ("- on `ParkingAvailability` → `update` on "
+                "`ParkingEntrancePanel`") in parking_docs
+
+    def test_functional_chains_section(self, parking_docs):
+        assert "## Functional chains" in parking_docs
+        assert "PresenceSensor → ParkingAvailability" in parking_docs
+
+
+class TestDetails:
+    def test_expect_clauses_documented(self):
+        docs = generate_docs(
+            "device S { source v as Float expect timeout <1 s> retry 2; }\n"
+            "context C as Float { expect deadline <5 ms>; "
+            "when provided v from S always publish; }\n"
+        )
+        assert "*(expect timeout 1.0s, retry 2)*" in docs
+        assert "QoS deadline: <5 ms>." in docs
+
+    def test_warnings_documented(self):
+        docs = generate_docs("device Lonely { }")
+        assert "## Warnings" in docs
+        assert "Lonely" in docs
+
+    def test_no_warning_section_when_clean(self, parking_docs):
+        assert "## Warnings" not in parking_docs
+
+
+class TestCliDoc:
+    def test_doc_command(self, tmp_path, capsys):
+        path = tmp_path / "p.diaspec"
+        path.write_text(PARKING, encoding="utf-8")
+        assert main(["doc", str(path), "--title", "Parking"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# Parking\n")
+
+    def test_default_title_is_filename(self, tmp_path, capsys):
+        path = tmp_path / "myapp.diaspec"
+        path.write_text("device D { }", encoding="utf-8")
+        assert main(["doc", str(path)]) == 0
+        assert capsys.readouterr().out.startswith("# myapp\n")

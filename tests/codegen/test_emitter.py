@@ -1,0 +1,76 @@
+"""The indentation-aware code emitter."""
+
+from repro.codegen.emitter import Emitter
+
+
+class TestEmitter:
+    def test_lines_and_render(self):
+        emitter = Emitter()
+        emitter.line("a = 1")
+        emitter.line("b = 2")
+        assert emitter.render() == "a = 1\nb = 2\n"
+
+    def test_indentation_guard(self):
+        emitter = Emitter()
+        emitter.line("class Foo:")
+        with emitter.indented():
+            emitter.line("def bar(self):")
+            with emitter.indented():
+                emitter.line("return 1")
+        assert emitter.render() == (
+            "class Foo:\n    def bar(self):\n        return 1\n"
+        )
+
+    def test_indent_restored_after_guard(self):
+        emitter = Emitter()
+        with emitter.indented():
+            emitter.line("inner")
+        emitter.line("outer")
+        assert emitter.render() == "    inner\nouter\n"
+
+    def test_blank_lines_carry_no_indent(self):
+        emitter = Emitter()
+        with emitter.indented():
+            emitter.line("x")
+            emitter.blank()
+            emitter.line("y")
+        assert emitter.render() == "    x\n\n    y\n"
+
+    def test_empty_line_via_line(self):
+        emitter = Emitter()
+        emitter.line("")
+        assert emitter.render() == "\n"
+
+    def test_lines_helper(self):
+        emitter = Emitter()
+        emitter.lines(["a", "b"])
+        assert emitter.render() == "a\nb\n"
+
+    def test_short_docstring_single_line(self):
+        emitter = Emitter()
+        emitter.docstring("One liner.")
+        assert emitter.render() == '"""One liner."""\n'
+
+    def test_long_docstring_multi_line(self):
+        emitter = Emitter()
+        emitter.docstring("First paragraph.", "Second paragraph\nwith wrap.")
+        rendered = emitter.render()
+        assert rendered.startswith('"""First paragraph.\n')
+        assert rendered.endswith('"""\n')
+        assert "Second paragraph" in rendered
+
+    def test_line_count(self):
+        emitter = Emitter()
+        emitter.line("x")
+        emitter.blank(2)
+        assert emitter.line_count == 3
+
+    def test_generated_code_compiles(self):
+        emitter = Emitter()
+        emitter.line("def f(x):")
+        with emitter.indented():
+            emitter.docstring("Doubles x.")
+            emitter.line("return x * 2")
+        namespace = {}
+        exec(emitter.render(), namespace)
+        assert namespace["f"](4) == 8

@@ -1,0 +1,100 @@
+"""Name conversions shared by the compiler and the runtime."""
+
+from repro.naming import (
+    abstract_class_name,
+    camel_to_snake,
+    class_name,
+    context_handler_name,
+    event_handler_name,
+    periodic_handler_short_name,
+    pluralize,
+    proxy_set_method_name,
+    publishable_name,
+    snake_to_camel,
+    where_method_name,
+)
+
+
+class TestCamelToSnake:
+    def test_simple(self):
+        assert camel_to_snake("tickSecond") == "tick_second"
+
+    def test_multiword(self):
+        assert camel_to_snake("parkingEntrancePanel") == (
+            "parking_entrance_panel"
+        )
+
+    def test_leading_capital(self):
+        assert camel_to_snake("ParkingAvailability") == "parking_availability"
+
+    def test_acronym_runs(self):
+        assert camel_to_snake("HTTPServer") == "http_server"
+
+    def test_digits(self):
+        assert camel_to_snake("zone2Sensor") == "zone2_sensor"
+
+    def test_already_snake(self):
+        assert camel_to_snake("already_snake") == "already_snake"
+
+
+class TestSnakeToCamel:
+    def test_roundtrip_simple(self):
+        assert snake_to_camel("tick_second") == "tickSecond"
+
+    def test_single_word(self):
+        assert snake_to_camel("presence") == "presence"
+
+
+class TestPaperNames:
+    """The generated names match Figures 9-11 (modulo PEP 8 casing)."""
+
+    def test_figure_9_callback(self):
+        assert event_handler_name("tickSecond", "Clock") == (
+            "on_tick_second_from_clock"
+        )
+
+    def test_figure_9_abstract_class(self):
+        assert abstract_class_name("Alert") == "AbstractAlert"
+
+    def test_figure_9_publishable(self):
+        assert publishable_name("Alert") == "AlertValuePublishable"
+
+    def test_figure_10_periodic_callback(self):
+        assert periodic_handler_short_name("presence") == (
+            "on_periodic_presence"
+        )
+
+    def test_figure_11_controller_callback(self):
+        assert context_handler_name("ParkingAvailability") == (
+            "on_parking_availability"
+        )
+
+    def test_figure_11_where_filter(self):
+        assert where_method_name("location") == "where_location"
+
+    def test_figure_11_proxy_set(self):
+        assert proxy_set_method_name("ParkingEntrancePanel") == (
+            "parking_entrance_panels"
+        )
+
+
+class TestPluralize:
+    def test_regular(self):
+        assert pluralize("sensor") == "sensors"
+
+    def test_sibilant(self):
+        assert pluralize("bus") == "buses"
+
+    def test_y_to_ies(self):
+        assert pluralize("battery") == "batteries"
+
+    def test_vowel_y(self):
+        assert pluralize("display") == "displays"
+
+
+class TestClassName:
+    def test_identity_for_wellformed(self):
+        assert class_name("ParkingAvailability") == "ParkingAvailability"
+
+    def test_capitalizes_first(self):
+        assert class_name("alert") == "Alert"

@@ -1,0 +1,41 @@
+"""Generated-code accounting (the 80 % claim, C1)."""
+
+from repro.apps.cooker.design import DESIGN_SOURCE as COOKER
+from repro.codegen.report import measure_generation
+
+
+class TestGenerationReport:
+    def test_fields_populated(self):
+        report = measure_generation(COOKER, "x = 1\ny = 2\n", name="Cooker")
+        assert report.design_loc > 0
+        assert report.generated_loc > report.design_loc
+        assert report.handwritten_loc == 2
+
+    def test_ratio_definition(self):
+        report = measure_generation(COOKER, "x = 1\n" * 10, name="Cooker")
+        expected = report.generated_loc / (
+            report.generated_loc + report.handwritten_loc
+        )
+        assert report.generated_ratio == expected
+
+    def test_leverage(self):
+        report = measure_generation(COOKER, "", name="Cooker")
+        assert report.leverage == report.generated_loc / report.design_loc
+        assert report.leverage > 1.0
+
+    def test_empty_handwritten(self):
+        report = measure_generation(COOKER, "", name="Cooker")
+        assert report.generated_ratio == 1.0
+
+    def test_row_formatting(self):
+        report = measure_generation(COOKER, "x = 1\n", name="Cooker")
+        row = report.row("cooker")
+        assert "cooker" in row
+        assert "%" in row
+
+    def test_paper_claim_shape_for_typical_app(self):
+        """A typical implementation (~100 lines) against the cooker design
+        lands in the paper's 'up to 80%' generated-code regime."""
+        handwritten = "\n".join(f"line_{i} = {i}" for i in range(100))
+        report = measure_generation(COOKER, handwritten, name="Cooker")
+        assert report.generated_ratio > 0.5

@@ -1,0 +1,57 @@
+"""Stub generation: the developer skeleton of Figures 9-10."""
+
+import pytest
+
+from repro.apps.cooker.design import DESIGN_SOURCE as COOKER
+from repro.apps.parking.design import DESIGN_SOURCE as PARKING
+from repro.codegen.stub_gen import generate_stubs
+
+
+class TestStubShape:
+    def test_stubs_are_valid_python(self):
+        compile(generate_stubs(COOKER, "Cooker"), "<stubs>", "exec")
+        compile(generate_stubs(PARKING, "Parking"), "<stubs>", "exec")
+
+    def test_todo_markers_present(self):
+        stubs = generate_stubs(COOKER)
+        assert "# TODO Auto-generated method stub" in stubs
+
+    def test_one_class_per_component(self):
+        stubs = generate_stubs(COOKER)
+        for name in ("Alert", "Notify", "RemoteTurnOff", "TurnOff"):
+            assert f"class {name}(Abstract{name})" in stubs
+
+    def test_mapreduce_stubs_for_figure_10(self):
+        stubs = generate_stubs(PARKING)
+        assert "def map(self, key, value, collector):" in stubs
+        assert "def reduce(self, key, values, collector):" in stubs
+
+    def test_when_required_stub(self):
+        stubs = generate_stubs(PARKING)
+        assert "def when_required(self, discover):" in stubs
+
+    def test_periodic_argument_names(self):
+        stubs = generate_stubs(PARKING)
+        assert "presence_by_parking_lot" in stubs
+
+    def test_stub_methods_raise(self):
+        stubs = generate_stubs(COOKER, framework_module="framework")
+        namespace = {}
+        # Provide fake abstract bases so the stub module can execute.
+        import types
+
+        framework = types.ModuleType("framework")
+        for line in stubs.splitlines():
+            if line.startswith("class "):
+                base = line.split("(")[1].rstrip("):")
+                setattr(framework, base, type(base, (), {}))
+        import sys
+
+        sys.modules["framework"] = framework
+        try:
+            exec(compile(stubs, "<stubs>", "exec"), namespace)
+        finally:
+            del sys.modules["framework"]
+        alert = namespace["Alert"]()
+        with pytest.raises(NotImplementedError):
+            alert.on_tick_second_from_clock(None, None)

@@ -1,0 +1,64 @@
+"""Shared fixtures: canonical designs and pre-built applications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.cooker.design import DESIGN_SOURCE as COOKER_DESIGN
+from repro.apps.parking.design import DESIGN_SOURCE as PARKING_DESIGN
+from repro.runtime.clock import SimulationClock
+from repro.sema.analyzer import analyze
+
+# A compact design used by many unit tests: one device of each flavour,
+# an event-driven context, a periodic grouped context, and a controller.
+SMALL_DESIGN = """\
+device Sensor {
+    attribute zone as ZoneEnum;
+    source reading as Float;
+}
+
+device Button {
+    source pressed as Boolean;
+}
+
+device Siren {
+    action sound(level as Integer);
+}
+
+enumeration ZoneEnum { NORTH, SOUTH }
+
+context Average as Float {
+    when periodic reading from Sensor <10 s>
+    always publish;
+}
+
+context Spike as Float {
+    when provided reading from Sensor
+    maybe publish;
+}
+
+controller SirenController {
+    when provided Spike
+    do sound on Siren;
+}
+"""
+
+
+@pytest.fixture
+def small_design():
+    return analyze(SMALL_DESIGN)
+
+
+@pytest.fixture
+def cooker_design():
+    return analyze(COOKER_DESIGN)
+
+
+@pytest.fixture
+def parking_design():
+    return analyze(PARKING_DESIGN)
+
+
+@pytest.fixture
+def clock():
+    return SimulationClock()

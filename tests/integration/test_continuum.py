@@ -1,0 +1,78 @@
+"""F1: the small-to-large continuum (Figure 1).
+
+One stack — language, analyzer, runtime — serves a 3-device home, a
+thousand-sensor city, an aircraft, and an assisted-living platform; and
+the same large-scale design runs unchanged at any infrastructure size.
+"""
+
+from repro.apps.avionics import build_avionics_app
+from repro.apps.cooker import build_cooker_app
+from repro.apps.homeassist import build_homeassist_app
+from repro.apps.parking import build_parking_app
+
+
+class TestOneStackManyScales:
+    def test_all_four_apps_share_the_runtime(self):
+        from repro.runtime.app import Application
+
+        apps = [
+            build_cooker_app(),
+            build_parking_app(capacities={"A22": 5}),
+            build_avionics_app(),
+            build_homeassist_app(),
+        ]
+        for bundle in apps:
+            assert isinstance(bundle.application, Application)
+            assert bundle.application.started
+
+    def test_entity_counts_span_orders_of_magnitude(self):
+        small = build_cooker_app()
+        large = build_parking_app(
+            capacities={f"L{i}": 50 for i in range(20)}
+        )
+        small_entities = len(small.application.registry)
+        large_entities = len(large.application.registry)
+        assert small_entities <= 5
+        assert large_entities >= 1000
+
+    def test_same_parking_design_small_and_large(self):
+        """The design text differs only in the generated lot enumeration;
+        contexts, controllers and implementations are identical."""
+        small = build_parking_app(capacities={"A22": 4}, seed=1)
+        large = build_parking_app(
+            capacities={f"L{i:02d}": 25 for i in range(40)}, seed=1
+        )
+        assert set(small.application.design.contexts) == set(
+            large.application.design.contexts
+        )
+        small.advance(600)
+        large.advance(600)
+        assert small.entrance_panels["A22"].history
+        assert all(p.history for p in large.entrance_panels.values())
+
+    def test_sweep_cost_grows_with_scale_not_design(self):
+        """Gathering touches every bound sensor; the design stays O(1)."""
+        sizes = [10, 100, 400]
+        sweeps = []
+        for size in sizes:
+            app = build_parking_app(capacities={"X": size}, seed=2)
+            app.advance(600)
+            sweeps.append(app.application.stats["gather_sweeps"])
+        assert sweeps[0] == sweeps[1] == sweeps[2]
+
+
+class TestCrossAppIsolation:
+    def test_two_apps_do_not_interfere(self):
+        from repro.runtime.clock import SimulationClock
+
+        clock = SimulationClock()
+        cooker = build_cooker_app(clock=clock, threshold_seconds=120)
+        parking = build_parking_app(clock=clock, capacities={"A22": 5})
+        cooker.environment.set_cooker(True)
+        clock.advance(600)
+        assert cooker.prompter_driver.displayed
+        assert parking.entrance_panels["A22"].history
+        # registries are disjoint
+        assert len(cooker.application.registry) == 3
+        # 5 sensors + 1 entrance panel + 2 city panels + 1 messenger
+        assert len(parking.application.registry) == 9

@@ -1,0 +1,38 @@
+"""Every bundled example runs cleanly (their asserts are their checks)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..",
+                            "examples")
+
+EXAMPLES = [
+    "quickstart.py",
+    "cooker_monitoring.py",
+    "parking_management.py",
+    "avionics_autopilot.py",
+    "homeassist_day.py",
+    "generate_framework.py",
+    "city_air.py",
+    "traced_deployment.py",
+]
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, tmp_path):
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, script))
+    assert os.path.exists(path), f"example {script} is missing"
+    result = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=240,
+        cwd=tmp_path,  # examples must not depend on the repo cwd
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\n{result.stdout}\n{result.stderr}"
+    )
+    assert result.stdout.strip(), f"{script} printed nothing"

@@ -1,0 +1,125 @@
+"""Unit tests for the DiaSpec tokenizer."""
+
+import pytest
+
+from repro.errors import DiaSpecSyntaxError
+from repro.lang.lexer import KEYWORDS, Token, TokenKind, tokenize
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)]
+
+
+def texts(source):
+    return [t.text for t in tokenize(source) if t.kind is not TokenKind.EOF]
+
+
+class TestBasicTokens:
+    def test_empty_source_yields_only_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.EOF
+
+    def test_identifier(self):
+        (token, __) = tokenize("tickSecond")
+        assert token.kind is TokenKind.IDENT
+        assert token.text == "tickSecond"
+
+    def test_keywords_are_distinguished(self):
+        (token, __) = tokenize("device")
+        assert token.kind is TokenKind.KEYWORD
+
+    def test_every_keyword_lexes_as_keyword(self):
+        for word in KEYWORDS:
+            (token, __) = tokenize(word)
+            assert token.kind is TokenKind.KEYWORD, word
+
+    def test_identifier_containing_keyword_prefix(self):
+        (token, __) = tokenize("devices")
+        assert token.kind is TokenKind.IDENT
+
+    def test_underscore_identifier(self):
+        (token, __) = tokenize("NORTH_EAST_14Y")
+        assert token.kind is TokenKind.IDENT
+        assert token.text == "NORTH_EAST_14Y"
+
+    def test_integer_number(self):
+        (token, __) = tokenize("42")
+        assert token.kind is TokenKind.NUMBER
+        assert token.text == "42"
+
+    def test_decimal_number(self):
+        (token, __) = tokenize("2.5")
+        assert token.text == "2.5"
+
+    def test_punctuation(self):
+        assert kinds("{ } ( ) [ ] < > ; ,")[:-1] == [
+            TokenKind.LBRACE,
+            TokenKind.RBRACE,
+            TokenKind.LPAREN,
+            TokenKind.RPAREN,
+            TokenKind.LBRACKET,
+            TokenKind.RBRACKET,
+            TokenKind.LANGLE,
+            TokenKind.RANGLE,
+            TokenKind.SEMI,
+            TokenKind.COMMA,
+        ]
+
+
+class TestComments:
+    def test_line_comment_is_skipped(self):
+        assert texts("a // comment here\nb") == ["a", "b"]
+
+    def test_line_comment_at_eof(self):
+        assert texts("a // trailing") == ["a"]
+
+    def test_block_comment_is_skipped(self):
+        assert texts("a /* x y z */ b") == ["a", "b"]
+
+    def test_multiline_block_comment_keeps_line_numbers(self):
+        tokens = tokenize("/* one\ntwo\nthree */ x")
+        assert tokens[0].line == 4 or tokens[0].line == 3
+        assert tokens[0].text == "x"
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(DiaSpecSyntaxError, match="unterminated"):
+            tokenize("device /* oops")
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("device Clock {\n    source x as Integer;\n}")
+        by_text = {t.text: t for t in tokens if t.text}
+        assert by_text["device"].line == 1
+        assert by_text["device"].column == 1
+        assert by_text["source"].line == 2
+        assert by_text["source"].column == 5
+        assert by_text["}"].line == 3
+
+    def test_error_carries_position(self):
+        with pytest.raises(DiaSpecSyntaxError) as excinfo:
+            tokenize("device @")
+        assert excinfo.value.line == 1
+        assert excinfo.value.column == 8
+
+
+class TestErrors:
+    def test_unexpected_character(self):
+        with pytest.raises(DiaSpecSyntaxError, match="unexpected"):
+            tokenize("$")
+
+    def test_malformed_decimal(self):
+        with pytest.raises(DiaSpecSyntaxError, match="decimal"):
+            tokenize("3.")
+
+
+class TestTokenApi:
+    def test_is_keyword(self):
+        token = Token(TokenKind.KEYWORD, "when", 1, 1)
+        assert token.is_keyword("when")
+        assert not token.is_keyword("device")
+
+    def test_ident_is_not_keyword(self):
+        token = Token(TokenKind.IDENT, "when2", 1, 1)
+        assert not token.is_keyword("when2")

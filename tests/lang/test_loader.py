@@ -1,0 +1,66 @@
+"""File loading and the shipped .diaspec design files."""
+
+import os
+
+import pytest
+
+from repro.errors import DiaSpecSyntaxError
+from repro.lang.loader import load_file, load_source
+from repro.lang.parser import parse
+
+DESIGNS_DIR = os.path.join(os.path.dirname(__file__), "..", "..", "designs")
+
+SHIPPED = {
+    "cooker_monitoring.diaspec": "repro.apps.cooker.design",
+    "parking_management.diaspec": "repro.apps.parking.design",
+    "automated_pilot.diaspec": "repro.apps.avionics.design",
+    "homeassist.diaspec": "repro.apps.homeassist.design",
+    "pollution_advisory.diaspec": "repro.apps.pollution.design",
+}
+
+
+class TestLoader:
+    def test_load_source_is_parse(self):
+        assert load_source("device D { }") == parse("device D { }")
+
+    def test_load_file(self, tmp_path):
+        path = tmp_path / "d.diaspec"
+        path.write_text("device D { source s as Float; }",
+                        encoding="utf-8")
+        spec = load_file(path)
+        assert spec.devices[0].name == "D"
+
+    def test_load_file_accepts_str_and_pathlike(self, tmp_path):
+        path = tmp_path / "d.diaspec"
+        path.write_text("device D { }", encoding="utf-8")
+        assert load_file(str(path)) == load_file(path)
+
+    def test_missing_file(self):
+        with pytest.raises(OSError):
+            load_file("/nonexistent/of/course.diaspec")
+
+    def test_syntax_error_propagates(self, tmp_path):
+        path = tmp_path / "bad.diaspec"
+        path.write_text("device {", encoding="utf-8")
+        with pytest.raises(DiaSpecSyntaxError):
+            load_file(path)
+
+
+class TestShippedDesignFiles:
+    @pytest.mark.parametrize("filename,module_name",
+                             sorted(SHIPPED.items()))
+    def test_file_matches_embedded_source(self, filename, module_name):
+        """The .diaspec files under designs/ are the single sources of
+        truth the app packages embed — they must never drift apart."""
+        import importlib
+
+        module = importlib.import_module(module_name)
+        path = os.path.join(DESIGNS_DIR, filename)
+        spec_from_file = load_file(path)
+        assert spec_from_file == parse(module.DESIGN_SOURCE)
+
+    @pytest.mark.parametrize("filename", sorted(SHIPPED))
+    def test_file_analyzes(self, filename):
+        from repro.sema.analyzer import analyze
+
+        analyze(load_file(os.path.join(DESIGNS_DIR, filename)))

@@ -1,0 +1,217 @@
+"""Parsing context declarations (Figures 7-8)."""
+
+import pytest
+
+from repro.errors import DiaSpecSyntaxError
+from repro.lang.ast_nodes import (
+    Duration,
+    GetContext,
+    GetSource,
+    GroupBy,
+    Publish,
+    WhenPeriodic,
+    WhenProvidedContext,
+    WhenProvidedSource,
+    WhenRequired,
+)
+from repro.lang.parser import parse
+
+FIGURE_7_ALERT = """\
+context Alert as Integer {
+    when provided tickSecond from Clock
+    get consumption from Cooker
+    maybe publish;
+}
+"""
+
+FIGURE_8_AVAILABILITY = """\
+context ParkingAvailability as Availability[] {
+    when periodic presence from PresenceSensor <10 min>
+    grouped by parkingLot
+    with map as Boolean reduce as Integer
+    always publish;
+}
+"""
+
+FIGURE_8_USAGE = """\
+context ParkingUsagePattern as UsagePattern[] {
+    when periodic presence from PresenceSensor <1 hr>
+    grouped by parkingLot
+    no publish;
+
+    when required;
+}
+"""
+
+FIGURE_8_OCCUPANCY = """\
+context AverageOccupancy as ParkingOccupancy[] {
+    when periodic presence from PresenceSensor <10 min>
+    grouped by parkingLot every <24 hr>
+    always publish;
+}
+"""
+
+FIGURE_8_SUGGESTION = """\
+context ParkingSuggestion as ParkingLotEnum[] {
+    when provided ParkingAvailability
+    get ParkingUsagePattern
+    always publish;
+}
+"""
+
+
+class TestFigure7:
+    def test_alert_interaction_shape(self):
+        context = parse(FIGURE_7_ALERT).contexts[0]
+        assert context.name == "Alert"
+        assert context.type_name == "Integer"
+        (interaction,) = context.interactions
+        assert interaction == WhenProvidedSource(
+            source="tickSecond",
+            device="Clock",
+            gets=(GetSource("consumption", "Cooker"),),
+            publish=Publish.MAYBE,
+        )
+
+
+class TestFigure8:
+    def test_availability_mapreduce_group(self):
+        context = parse(FIGURE_8_AVAILABILITY).contexts[0]
+        assert context.type_name == "Availability[]"
+        (interaction,) = context.interactions
+        assert isinstance(interaction, WhenPeriodic)
+        assert interaction.period == Duration(10, "min")
+        assert interaction.group == GroupBy(
+            attribute="parkingLot",
+            map_type_name="Boolean",
+            reduce_type_name="Integer",
+        )
+        assert interaction.publish is Publish.ALWAYS
+
+    def test_usage_pattern_no_publish_plus_required(self):
+        context = parse(FIGURE_8_USAGE).contexts[0]
+        periodic, required = context.interactions
+        assert periodic.publish is Publish.NO
+        assert isinstance(required, WhenRequired)
+        assert context.is_queryable
+
+    def test_occupancy_window(self):
+        context = parse(FIGURE_8_OCCUPANCY).contexts[0]
+        (interaction,) = context.interactions
+        assert interaction.group.window == Duration(24, "hr")
+        assert not interaction.group.uses_mapreduce
+
+    def test_suggestion_context_subscription(self):
+        context = parse(FIGURE_8_SUGGESTION).contexts[0]
+        (interaction,) = context.interactions
+        assert interaction == WhenProvidedContext(
+            context="ParkingAvailability",
+            gets=(GetContext("ParkingUsagePattern"),),
+            publish=Publish.ALWAYS,
+        )
+
+
+class TestDurations:
+    @pytest.mark.parametrize(
+        "text,seconds",
+        [
+            ("<500 ms>", 0.5),
+            ("<1 s>", 1.0),
+            ("<2 sec>", 2.0),
+            ("<10 min>", 600.0),
+            ("<1 hr>", 3600.0),
+            ("<1 day>", 86400.0),
+        ],
+    )
+    def test_units(self, text, seconds):
+        source = (
+            "context C as Integer { when periodic s from D "
+            + text
+            + " always publish; }"
+        )
+        (interaction,) = parse(source).contexts[0].interactions
+        assert interaction.period.seconds == seconds
+
+    def test_fractional_duration(self):
+        source = (
+            "context C as Integer { when periodic s from D <2.5 s> "
+            "always publish; }"
+        )
+        (interaction,) = parse(source).contexts[0].interactions
+        assert interaction.period.seconds == 2.5
+
+    def test_unknown_unit_rejected(self):
+        with pytest.raises(DiaSpecSyntaxError, match="unit"):
+            parse(
+                "context C as Integer { when periodic s from D "
+                "<5 fortnight> always publish; }"
+            )
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(DiaSpecSyntaxError, match="positive"):
+            parse(
+                "context C as Integer { when periodic s from D <0 s> "
+                "always publish; }"
+            )
+
+
+class TestPublishDisciplines:
+    @pytest.mark.parametrize(
+        "keyword,expected",
+        [
+            ("always", Publish.ALWAYS),
+            ("maybe", Publish.MAYBE),
+            ("no", Publish.NO),
+        ],
+    )
+    def test_each_discipline(self, keyword, expected):
+        source = (
+            f"context C as Integer {{ when provided s from D {keyword} "
+            "publish; }"
+        )
+        (interaction,) = parse(source).contexts[0].interactions
+        assert interaction.publish is expected
+
+    def test_missing_publish_keyword(self):
+        with pytest.raises(DiaSpecSyntaxError, match="publish"):
+            parse("context C as Integer { when provided s from D always; }")
+
+
+class TestGets:
+    def test_multiple_get_clauses(self):
+        source = (
+            "context C as Integer { when provided s from D "
+            "get a from X get b from Y get Other always publish; }"
+        )
+        (interaction,) = parse(source).contexts[0].interactions
+        assert interaction.gets == (
+            GetSource("a", "X"),
+            GetSource("b", "Y"),
+            GetContext("Other"),
+        )
+
+
+class TestContextErrors:
+    def test_context_requires_type(self):
+        with pytest.raises(DiaSpecSyntaxError):
+            parse("context C { when required; }")
+
+    def test_group_requires_attribute(self):
+        with pytest.raises(DiaSpecSyntaxError):
+            parse(
+                "context C as Integer { when periodic s from D <1 s> "
+                "grouped by always publish; }"
+            )
+
+    def test_map_without_reduce_rejected(self):
+        with pytest.raises(DiaSpecSyntaxError):
+            parse(
+                "context C as Integer { when periodic s from D <1 s> "
+                "grouped by a with map as Boolean always publish; }"
+            )
+
+    def test_array_of_array_type(self):
+        context = parse(
+            "context C as Integer[][] { when required; }"
+        ).contexts[0]
+        assert context.type_name == "Integer[][]"

@@ -1,0 +1,88 @@
+"""Parsing controller declarations and whole-spec structure."""
+
+import pytest
+
+from repro.errors import DiaSpecSyntaxError
+from repro.lang.ast_nodes import (
+    ContextDecl,
+    ControllerDecl,
+    ControllerReaction,
+    DeviceDecl,
+    DoClause,
+)
+from repro.lang.parser import parse
+
+
+class TestControllers:
+    def test_single_reaction(self):
+        spec = parse(
+            "controller Notify { when provided Alert "
+            "do askQuestion on TVPrompter; }"
+        )
+        controller = spec.controllers[0]
+        assert controller == ControllerDecl(
+            "Notify",
+            (
+                ControllerReaction(
+                    "Alert", (DoClause("askQuestion", "TVPrompter"),)
+                ),
+            ),
+        )
+
+    def test_multiple_do_clauses_in_one_reaction(self):
+        spec = parse(
+            "controller C { when provided X do a on D do b on E; }"
+        )
+        (reaction,) = spec.controllers[0].reactions
+        assert reaction.dos == (DoClause("a", "D"), DoClause("b", "E"))
+
+    def test_multiple_reactions(self):
+        spec = parse(
+            "controller C { when provided X do a on D; "
+            "when provided Y do b on E; }"
+        )
+        assert len(spec.controllers[0].reactions) == 2
+
+    def test_reaction_without_do_rejected(self):
+        with pytest.raises(DiaSpecSyntaxError, match="do"):
+            parse("controller C { when provided X; }")
+
+    def test_do_requires_on(self):
+        with pytest.raises(DiaSpecSyntaxError):
+            parse("controller C { when provided X do a D; }")
+
+
+class TestWholeSpec:
+    def test_declaration_order_is_preserved(self):
+        spec = parse(
+            "device D { source s as Float; }\n"
+            "context C as Float { when provided s from D always publish; }\n"
+            "controller K { when provided C do a on D; }\n"
+        )
+        kinds = [type(d) for d in spec.declarations]
+        assert kinds == [DeviceDecl, ContextDecl, ControllerDecl]
+
+    def test_spec_accessors(self):
+        spec = parse(
+            "device D { }\n"
+            "enumeration E { A }\n"
+            "structure S { f as Integer; }\n"
+            "context C as Integer { when required; }\n"
+            "controller K { when provided C do a on D; }\n"
+        )
+        assert len(spec.devices) == 1
+        assert len(spec.enumerations) == 1
+        assert len(spec.structures) == 1
+        assert len(spec.contexts) == 1
+        assert len(spec.controllers) == 1
+
+    def test_empty_spec(self):
+        assert parse("").declarations == ()
+
+    def test_garbage_toplevel_rejected(self):
+        with pytest.raises(DiaSpecSyntaxError, match="expected"):
+            parse("frobnicate X { }")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(DiaSpecSyntaxError):
+            parse("device D { } ;")

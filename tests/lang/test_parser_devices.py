@@ -1,0 +1,204 @@
+"""Parsing device, enumeration and structure declarations (Figures 5-6)."""
+
+import pytest
+
+from repro.errors import DiaSpecSyntaxError
+from repro.lang.ast_nodes import (
+    ActionDecl,
+    AttributeDecl,
+    DeviceDecl,
+    EnumerationDecl,
+    Param,
+    SourceDecl,
+    StructureDecl,
+)
+from repro.lang.parser import parse
+
+FIGURE_5 = """\
+device Clock {
+    source tickSecond as Integer;
+    source tickMinute as Integer;
+    source tickHour as Integer;
+}
+
+device Cooker {
+    source consumption as Float;
+    action On;
+    action Off;
+}
+
+device Prompter {
+    source answer as String indexed by questionId as String;
+    action askQuestion;
+}
+"""
+
+FIGURE_6 = """\
+device PresenceSensor {
+    attribute parkingLot as ParkingLotEnum;
+    source presence as Boolean;
+}
+
+device DisplayPanel {
+    action update(status as String);
+}
+
+device ParkingEntrancePanel extends DisplayPanel {
+    attribute location as ParkingLotEnum;
+}
+
+device CityEntrancePanel extends DisplayPanel {
+    attribute location as CityEntranceEnum;
+}
+
+device Messenger {
+    action sendMessage(message as String);
+}
+
+enumeration ParkingLotEnum {
+    A22, B16, D6,
+}
+
+enumeration CityEntranceEnum {
+    NORTH_EAST_14Y, SOUTH_EAST_1A,
+}
+"""
+
+
+class TestFigure5:
+    """The cooker monitoring device declarations parse exactly."""
+
+    def test_clock_has_three_sources(self):
+        spec = parse(FIGURE_5)
+        clock = spec.devices[0]
+        assert clock.name == "Clock"
+        assert [s.name for s in clock.sources] == [
+            "tickSecond",
+            "tickMinute",
+            "tickHour",
+        ]
+        assert all(s.type_name == "Integer" for s in clock.sources)
+
+    def test_cooker_sources_and_actions(self):
+        spec = parse(FIGURE_5)
+        cooker = spec.devices[1]
+        assert cooker.sources == (SourceDecl("consumption", "Float"),)
+        assert cooker.actions == (ActionDecl("On"), ActionDecl("Off"))
+
+    def test_indexed_source(self):
+        spec = parse(FIGURE_5)
+        prompter = spec.devices[2]
+        answer = prompter.sources[0]
+        assert answer.is_indexed
+        assert answer.index_name == "questionId"
+        assert answer.index_type_name == "String"
+
+    def test_unindexed_source_has_no_index(self):
+        spec = parse(FIGURE_5)
+        assert not spec.devices[0].sources[0].is_indexed
+
+
+class TestFigure6:
+    """The parking management device declarations parse exactly."""
+
+    def test_attribute_declaration(self):
+        spec = parse(FIGURE_6)
+        sensor = spec.devices[0]
+        assert sensor.attributes == (
+            AttributeDecl("parkingLot", "ParkingLotEnum"),
+        )
+
+    def test_inheritance(self):
+        spec = parse(FIGURE_6)
+        entrance = next(d for d in spec.devices
+                        if d.name == "ParkingEntrancePanel")
+        assert entrance.extends == "DisplayPanel"
+
+    def test_action_with_parameter(self):
+        spec = parse(FIGURE_6)
+        panel = next(d for d in spec.devices if d.name == "DisplayPanel")
+        assert panel.actions[0].params == (Param("status", "String"),)
+
+    def test_enumeration_with_trailing_comma(self):
+        spec = parse(FIGURE_6)
+        lots = spec.enumerations[0]
+        assert lots == EnumerationDecl(
+            "ParkingLotEnum", ("A22", "B16", "D6")
+        )
+
+    def test_identifier_members_with_digits(self):
+        spec = parse(FIGURE_6)
+        entrances = spec.enumerations[1]
+        assert "NORTH_EAST_14Y" in entrances.members
+
+
+class TestStructures:
+    def test_structure_fields_in_order(self):
+        spec = parse(
+            "structure Availability { parkingLot as LotEnum; "
+            "count as Integer; }"
+        )
+        structure = spec.structures[0]
+        assert structure == StructureDecl(
+            "Availability",
+            (Param("parkingLot", "LotEnum"), Param("count", "Integer")),
+        )
+
+    def test_empty_structure(self):
+        spec = parse("structure Empty { }")
+        assert spec.structures[0].fields == ()
+
+    def test_array_field_type(self):
+        spec = parse("structure Wrapper { values as Integer[]; }")
+        assert spec.structures[0].fields[0].type_name == "Integer[]"
+
+
+class TestDeviceVariants:
+    def test_empty_device(self):
+        spec = parse("device Null { }")
+        assert spec.devices[0] == DeviceDecl("Null")
+
+    def test_action_with_multiple_parameters(self):
+        spec = parse(
+            "device D { action go(speed as Float, direction as String); }"
+        )
+        action = spec.devices[0].actions[0]
+        assert [p.name for p in action.params] == ["speed", "direction"]
+
+    def test_multiple_attributes(self):
+        spec = parse(
+            "device D { attribute a as Integer; attribute b as String; }"
+        )
+        assert len(spec.devices[0].attributes) == 2
+
+    def test_facets_interleaved_in_any_order(self):
+        spec = parse(
+            "device D { action x; source s as Float; attribute a as "
+            "Integer; source t as Boolean; }"
+        )
+        device = spec.devices[0]
+        assert len(device.sources) == 2
+        assert len(device.actions) == 1
+        assert len(device.attributes) == 1
+
+
+class TestDeviceErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(DiaSpecSyntaxError):
+            parse("device D { source x as Integer }")
+
+    def test_missing_as(self):
+        with pytest.raises(DiaSpecSyntaxError):
+            parse("device D { source x Integer; }")
+
+    def test_unknown_facet_keyword(self):
+        with pytest.raises(DiaSpecSyntaxError, match="attribute"):
+            parse("device D { publish x; }")
+
+    def test_keyword_as_device_name(self):
+        with pytest.raises(DiaSpecSyntaxError):
+            parse("device context { }")
+
+    def test_empty_enumeration_rejected(self):
+        with pytest.raises(DiaSpecSyntaxError):
+            parse("enumeration E { }")

@@ -1,0 +1,231 @@
+"""Pretty-printer round-trip: parse(pretty(spec)) == spec.
+
+Exercised on the paper's designs and on randomly generated ASTs
+(property-based), so the printer and parser can never drift apart.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.avionics.design import DESIGN_SOURCE as AVIONICS
+from repro.apps.cooker.design import DESIGN_SOURCE as COOKER
+from repro.apps.homeassist.design import DESIGN_SOURCE as HOMEASSIST
+from repro.apps.parking.design import DESIGN_SOURCE as PARKING
+from repro.lang.ast_nodes import (
+    ActionDecl,
+    AttributeDecl,
+    ContextDecl,
+    ControllerDecl,
+    ControllerReaction,
+    DeviceDecl,
+    DoClause,
+    Duration,
+    EnumerationDecl,
+    GetContext,
+    GetSource,
+    GroupBy,
+    Param,
+    Publish,
+    SourceDecl,
+    Spec,
+    StructureDecl,
+    WhenPeriodic,
+    WhenProvidedContext,
+    WhenProvidedSource,
+    WhenRequired,
+)
+from repro.lang.parser import parse
+from repro.lang.pretty import pretty
+
+
+class TestPaperDesigns:
+    def test_cooker_roundtrip(self):
+        spec = parse(COOKER)
+        assert parse(pretty(spec)) == spec
+
+    def test_parking_roundtrip(self):
+        spec = parse(PARKING)
+        assert parse(pretty(spec)) == spec
+
+    def test_avionics_roundtrip(self):
+        spec = parse(AVIONICS)
+        assert parse(pretty(spec)) == spec
+
+    def test_homeassist_roundtrip(self):
+        spec = parse(HOMEASSIST)
+        assert parse(pretty(spec)) == spec
+
+    def test_pretty_is_idempotent(self):
+        spec = parse(PARKING)
+        once = pretty(spec)
+        assert pretty(parse(once)) == once
+
+
+# ---------------------------------------------------------------------------
+# Property-based round-trip over random ASTs
+# ---------------------------------------------------------------------------
+
+identifiers = st.from_regex(r"[a-z][A-Za-z0-9]{0,8}", fullmatch=True).filter(
+    lambda s: s not in {
+        "action", "always", "as", "attribute", "by", "context", "controller",
+        "device", "do", "enumeration", "every", "extends", "from", "get",
+        "grouped", "indexed", "map", "maybe", "no", "on", "periodic",
+        "provided", "publish", "reduce", "required", "source", "structure",
+        "when", "with",
+    }
+)
+type_names = st.sampled_from(["Integer", "Float", "Boolean", "String"])
+upper_identifiers = st.from_regex(r"[A-Z][A-Za-z0-9]{0,8}", fullmatch=True)
+durations = st.builds(
+    Duration,
+    value=st.integers(min_value=1, max_value=999).map(float),
+    unit=st.sampled_from(["ms", "s", "min", "hr", "day"]),
+)
+publishes = st.sampled_from(list(Publish))
+
+params = st.builds(Param, name=identifiers, type_name=type_names)
+
+sources = st.builds(
+    SourceDecl,
+    name=identifiers,
+    type_name=type_names,
+    index_name=st.none() | identifiers,
+).map(
+    lambda s: SourceDecl(s.name, s.type_name, s.index_name,
+                         "String" if s.index_name else None)
+)
+
+devices = st.builds(
+    DeviceDecl,
+    name=upper_identifiers,
+    extends=st.none(),
+    attributes=st.lists(
+        st.builds(AttributeDecl, name=identifiers, type_name=type_names),
+        max_size=2,
+        unique_by=lambda a: a.name,
+    ).map(tuple),
+    sources=st.lists(sources, max_size=2, unique_by=lambda s: s.name).map(
+        tuple
+    ),
+    actions=st.lists(
+        st.builds(
+            ActionDecl,
+            name=identifiers,
+            params=st.lists(params, max_size=2,
+                            unique_by=lambda p: p.name).map(tuple),
+        ),
+        max_size=2,
+        unique_by=lambda a: a.name,
+    ).map(tuple),
+)
+
+groups = st.builds(
+    GroupBy,
+    attribute=identifiers,
+    window=st.none() | durations,
+    map_type_name=st.none(),
+    reduce_type_name=st.none(),
+) | st.builds(
+    GroupBy,
+    attribute=identifiers,
+    window=st.none(),
+    map_type_name=type_names,
+    reduce_type_name=type_names,
+)
+
+gets = st.lists(
+    st.builds(GetSource, source=identifiers, device=upper_identifiers)
+    | st.builds(GetContext, context=upper_identifiers),
+    max_size=2,
+).map(tuple)
+
+interactions = (
+    st.builds(
+        WhenProvidedSource,
+        source=identifiers,
+        device=upper_identifiers,
+        group=st.none(),
+        gets=gets,
+        publish=publishes,
+    )
+    | st.builds(
+        WhenPeriodic,
+        source=identifiers,
+        device=upper_identifiers,
+        period=durations,
+        group=st.none() | groups,
+        gets=gets,
+        publish=publishes,
+    )
+    | st.builds(
+        WhenProvidedContext,
+        context=upper_identifiers,
+        gets=gets,
+        publish=publishes,
+    )
+    | st.just(WhenRequired())
+)
+
+contexts = st.builds(
+    ContextDecl,
+    name=upper_identifiers,
+    type_name=type_names,
+    interactions=st.lists(interactions, min_size=1, max_size=3).map(tuple),
+)
+
+controllers = st.builds(
+    ControllerDecl,
+    name=upper_identifiers,
+    reactions=st.lists(
+        st.builds(
+            ControllerReaction,
+            context=upper_identifiers,
+            dos=st.lists(
+                st.builds(DoClause, action=identifiers,
+                          device=upper_identifiers),
+                min_size=1,
+                max_size=2,
+            ).map(tuple),
+        ),
+        min_size=1,
+        max_size=2,
+    ).map(tuple),
+)
+
+enumerations = st.builds(
+    EnumerationDecl,
+    name=upper_identifiers,
+    members=st.lists(
+        upper_identifiers, min_size=1, max_size=4, unique=True
+    ).map(tuple),
+)
+
+structures = st.builds(
+    StructureDecl,
+    name=upper_identifiers,
+    fields=st.lists(params, max_size=3, unique_by=lambda p: p.name).map(
+        tuple
+    ),
+)
+
+specs = st.builds(
+    Spec,
+    declarations=st.lists(
+        devices | contexts | controllers | enumerations | structures,
+        max_size=5,
+        unique_by=lambda d: d.name,
+    ).map(tuple),
+)
+
+
+@given(specs)
+@settings(max_examples=120, deadline=None)
+def test_roundtrip_random_specs(spec):
+    assert parse(pretty(spec)) == spec
+
+
+@given(specs)
+@settings(max_examples=60, deadline=None)
+def test_pretty_idempotent_random_specs(spec):
+    once = pretty(spec)
+    assert pretty(parse(once)) == once

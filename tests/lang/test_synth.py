@@ -1,0 +1,53 @@
+"""The synthetic design generator (stress-test substrate)."""
+
+import pytest
+
+from repro.codegen.framework_gen import compile_design
+from repro.lang.parser import parse
+from repro.lang.pretty import pretty
+from repro.lang.synth import synthesize_design
+from repro.sema.analyzer import analyze
+
+
+class TestSynthesis:
+    def test_small_design_is_valid(self):
+        design = analyze(synthesize_design(devices=3, contexts=5,
+                                           controllers=2))
+        assert len(design.devices) == 3
+        assert len(design.contexts) == 5
+        assert len(design.controllers) == 2
+
+    def test_large_design_is_valid(self):
+        design = analyze(
+            synthesize_design(devices=40, contexts=60, controllers=20)
+        )
+        assert len(design.contexts) == 60
+        # depth builds up through chained context subscriptions
+        assert max(design.graph.layers.values()) > 3
+
+    def test_roundtrips(self):
+        source = synthesize_design(devices=5, contexts=9, controllers=3)
+        spec = parse(source)
+        assert parse(pretty(spec)) == spec
+
+    def test_mapreduce_contexts_present(self):
+        source = synthesize_design(
+            devices=6, contexts=30, controllers=5,
+            grouped_share=1.0, mapreduce_share=1.0,
+        )
+        assert "with map as Float reduce as Float" in source
+
+    def test_compiles_to_framework(self):
+        source = synthesize_design(devices=8, contexts=12, controllers=4)
+        module = compile_design(source, "Synth")
+        assert hasattr(module, "SynthFramework")
+        assert len(module.SynthFramework.ABSTRACTS) == 16
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            synthesize_design(devices=0)
+        with pytest.raises(ValueError):
+            synthesize_design(contexts=2, controllers=3)
+
+    def test_deterministic(self):
+        assert synthesize_design(5, 7, 2) == synthesize_design(5, 7, 2)

@@ -1,0 +1,90 @@
+"""Partitioning helpers, with property-based invariants."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mapreduce.partition import (
+    group_pairs,
+    hash_partition,
+    partition_items,
+    stable_hash,
+)
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert stable_hash("A22") == stable_hash("A22")
+
+    def test_non_negative(self):
+        assert stable_hash("x") >= 0
+        assert stable_hash(("t", 1)) >= 0
+
+
+class TestHashPartition:
+    def test_same_key_same_bucket(self):
+        pairs = [("a", 1), ("b", 2), ("a", 3), ("c", 4), ("a", 5)]
+        buckets = hash_partition(pairs, 3)
+        locations = {}
+        for index, bucket in enumerate(buckets):
+            for key, __ in bucket:
+                locations.setdefault(key, set()).add(index)
+        assert all(len(where) == 1 for where in locations.values())
+
+    def test_partition_count(self):
+        assert len(hash_partition([("a", 1)], 5)) == 5
+
+    def test_invalid_partitions(self):
+        with pytest.raises(ValueError):
+            hash_partition([], 0)
+
+
+class TestPartitionItems:
+    def test_balanced_split(self):
+        chunks = partition_items(list(range(10)), 3)
+        assert [len(c) for c in chunks] == [4, 3, 3]
+
+    def test_fewer_items_than_chunks(self):
+        chunks = partition_items([1, 2], 5)
+        assert [len(c) for c in chunks] == [1, 1]
+
+    def test_empty(self):
+        assert partition_items([], 4) == []
+
+    def test_invalid_chunks(self):
+        with pytest.raises(ValueError):
+            partition_items([1], 0)
+
+
+class TestGroupPairs:
+    def test_grouping_preserves_order(self):
+        grouped = group_pairs([("a", 1), ("b", 2), ("a", 3)])
+        assert grouped == {"a": [1, 3], "b": [2]}
+
+
+# ---------------------------------------------------------------------------
+# Properties
+# ---------------------------------------------------------------------------
+
+pairs_strategy = st.lists(
+    st.tuples(st.text(max_size=4), st.integers()), max_size=80
+)
+
+
+@given(pairs_strategy, st.integers(min_value=1, max_value=16))
+def test_hash_partition_loses_nothing(pairs, partitions):
+    buckets = hash_partition(pairs, partitions)
+    flattened = [pair for bucket in buckets for pair in bucket]
+    assert sorted(map(repr, flattened)) == sorted(map(repr, pairs))
+
+
+@given(
+    st.lists(st.integers(), max_size=100),
+    st.integers(min_value=1, max_value=12),
+)
+def test_partition_items_concatenates_to_input(items, chunks):
+    split = partition_items(items, chunks)
+    assert [x for chunk in split for x in chunk] == items
+    if items:
+        sizes = [len(chunk) for chunk in split]
+        assert max(sizes) - min(sizes) <= 1

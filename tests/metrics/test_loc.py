@@ -1,0 +1,61 @@
+"""LoC counting used by the generated-ratio measurement."""
+
+from repro.metrics.loc import count_loc, count_module_loc
+
+
+class TestPythonCounting:
+    def test_plain_statements(self):
+        assert count_loc("x = 1\ny = 2\n") == 2
+
+    def test_blank_lines_excluded(self):
+        assert count_loc("x = 1\n\n\ny = 2\n") == 2
+
+    def test_comments_excluded(self):
+        assert count_loc("# header\nx = 1  # trailing\n") == 1
+
+    def test_docstrings_excluded(self):
+        source = (
+            '"""Module doc."""\n'
+            "def f():\n"
+            '    """Function doc\n'
+            '    spanning lines."""\n'
+            "    return 1\n"
+        )
+        assert count_loc(source) == 2
+
+    def test_class_docstrings_excluded(self):
+        source = (
+            "class C:\n"
+            '    """Doc."""\n'
+            "    x = 1\n"
+        )
+        assert count_loc(source) == 2
+
+    def test_string_assignment_is_code(self):
+        assert count_loc('x = """not a docstring"""\n') == 1
+
+    def test_multiline_statement_counts_each_line(self):
+        source = "x = (\n    1 +\n    2\n)\n"
+        assert count_loc(source) == 4
+
+
+class TestPlainTextFallback:
+    def test_diaspec_counting(self):
+        source = (
+            "// a comment\n"
+            "device D {\n"
+            "    source x as Integer;\n"
+            "}\n"
+            "\n"
+        )
+        assert count_loc(source) == 3
+
+    def test_hash_comments_in_plain_text(self):
+        assert count_loc("device D {\n# note\n}\n") == 2
+
+
+class TestModuleCounting:
+    def test_count_module_loc(self):
+        from repro.metrics import stats
+
+        assert count_module_loc(stats) > 10

@@ -1,0 +1,69 @@
+"""Summary-statistics helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics.stats import mean, percentile, stdev, summarize
+
+
+class TestMean:
+    def test_basic(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+
+class TestStdev:
+    def test_known_value(self):
+        assert stdev([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) == (
+            pytest.approx(2.138, abs=1e-3)
+        )
+
+    def test_single_value_is_zero(self):
+        assert stdev([5.0]) == 0.0
+
+    def test_constant_sequence(self):
+        assert stdev([3.0, 3.0, 3.0]) == 0.0
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3
+
+    def test_interpolation(self):
+        assert percentile([0, 10], 25) == 2.5
+
+    def test_extremes(self):
+        values = [5, 1, 9]
+        assert percentile(values, 0) == 1
+        assert percentile(values, 100) == 9
+
+    def test_bounds_validated(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+
+class TestSummarize:
+    def test_fields(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary["min"] == 1.0
+        assert summary["max"] == 3.0
+        assert summary["mean"] == 2.0
+        assert summary["p50"] == 2.0
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1))
+def test_percentile_bounded_by_extremes(values):
+    for q in (0, 25, 50, 75, 100):
+        p = percentile(values, q)
+        assert min(values) <= p <= max(values)
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1))
+def test_mean_between_extremes(values):
+    assert min(values) - 1e-6 <= mean(values) <= max(values) + 1e-6

@@ -1,0 +1,228 @@
+"""End-to-end dataflow through the Application runtime (SCC, Figure 2)."""
+
+import pytest
+
+from repro.errors import RuntimeOrchestrationError, ValueConformanceError
+from repro.runtime.app import Application
+from repro.runtime.component import Context, Controller, Publishable
+from repro.runtime.device import CallableDriver
+from repro.sema.analyzer import analyze
+
+DESIGN = """\
+device Sensor {
+    attribute zone as ZoneEnum;
+    source reading as Float;
+}
+device Button { source pressed as Boolean; }
+device Siren { action sound(level as Integer); }
+enumeration ZoneEnum { NORTH, SOUTH }
+
+context Spike as Float {
+    when provided reading from Sensor
+    maybe publish;
+}
+
+context Severity as Integer {
+    when provided Spike
+    always publish;
+}
+
+controller SirenController {
+    when provided Severity
+    do sound on Siren;
+}
+"""
+
+
+class SpikeImpl(Context):
+    def __init__(self, threshold=10.0):
+        super().__init__()
+        self.threshold = threshold
+        self.seen = []
+
+    def on_reading_from_sensor(self, event, discover):
+        self.seen.append((event.device.entity_id, event.value))
+        if event.value > self.threshold:
+            return event.value
+        return None
+
+
+class SeverityImpl(Context):
+    def on_spike(self, value, discover):
+        return Publishable(int(value // 10))
+
+
+class SirenImpl(Controller):
+    def on_severity(self, level, discover):
+        discover.devices("Siren").act("sound", level=level)
+
+
+@pytest.fixture
+def app():
+    application = Application(analyze(DESIGN))
+    application.implement("Spike", SpikeImpl())
+    application.implement("Severity", SeverityImpl())
+    application.implement("SirenController", SirenImpl())
+    return application
+
+
+def add_sensor(app, entity_id, zone="NORTH"):
+    return app.create_device(
+        "Sensor",
+        entity_id,
+        CallableDriver(sources={"reading": lambda: 0.0}),
+        zone=zone,
+    )
+
+
+def add_siren(app, log):
+    return app.create_device(
+        "Siren",
+        "siren",
+        CallableDriver(actions={"sound": lambda level: log.append(level)}),
+    )
+
+
+class TestEventDrivenChain:
+    def test_source_to_action_flow(self, app):
+        log = []
+        sensor = add_sensor(app, "s1")
+        add_siren(app, log)
+        app.start()
+        sensor.publish("reading", 42.0)
+        assert log == [4]
+
+    def test_maybe_publish_blocks_chain(self, app):
+        log = []
+        sensor = add_sensor(app, "s1")
+        add_siren(app, log)
+        app.start()
+        sensor.publish("reading", 5.0)
+        assert log == []
+        assert app.implementation("Spike").seen == [("s1", 5.0)]
+
+    def test_event_carries_device_proxy_and_timestamp(self, app):
+        add_siren(app, [])
+        sensor = add_sensor(app, "s1", zone="SOUTH")
+        app.start()
+        app.clock.advance(7.0)
+        sensor.publish("reading", 1.0)
+        spike = app.implementation("Spike")
+        assert spike.seen == [("s1", 1.0)]
+
+    def test_publishable_wrapper_unwrapped(self, app):
+        log = []
+        sensor = add_sensor(app, "s1")
+        add_siren(app, log)
+        app.start()
+        sensor.publish("reading", 99.0)
+        assert log == [9]
+
+    def test_multiple_sensors_share_subscription(self, app):
+        log = []
+        first = add_sensor(app, "s1")
+        second = add_sensor(app, "s2")
+        add_siren(app, log)
+        app.start()
+        first.publish("reading", 20.0)
+        second.publish("reading", 30.0)
+        assert log == [2, 3]
+
+    def test_stats_track_activations(self, app):
+        log = []
+        sensor = add_sensor(app, "s1")
+        add_siren(app, log)
+        app.start()
+        sensor.publish("reading", 20.0)
+        stats = app.stats
+        assert stats["context_activations"]["Spike"] == 1
+        assert stats["context_activations"]["Severity"] == 1
+        assert stats["controller_activations"]["SirenController"] == 1
+
+
+class TestPublishDisciplineEnforcement:
+    def test_always_publish_with_none_raises(self, app):
+        class BadSeverity(Context):
+            def on_spike(self, value, discover):
+                return None
+
+        application = Application(analyze(DESIGN))
+        application.implement("Spike", SpikeImpl())
+        application.implement("Severity", BadSeverity())
+        application.implement("SirenController", SirenImpl())
+        sensor = application.create_device(
+            "Sensor", "s1",
+            CallableDriver(sources={"reading": lambda: 0.0}), zone="NORTH",
+        )
+        application.start()
+        with pytest.raises(RuntimeOrchestrationError, match="always publish"):
+            sensor.publish("reading", 50.0)
+
+    def test_published_value_type_checked(self, app):
+        class WrongType(Context):
+            def on_spike(self, value, discover):
+                return "severe"
+
+        application = Application(analyze(DESIGN))
+        application.implement("Spike", SpikeImpl())
+        application.implement("Severity", WrongType())
+        application.implement("SirenController", SirenImpl())
+        sensor = application.create_device(
+            "Sensor", "s1",
+            CallableDriver(sources={"reading": lambda: 0.0}), zone="NORTH",
+        )
+        application.start()
+        with pytest.raises(ValueConformanceError):
+            sensor.publish("reading", 50.0)
+
+
+class TestLifecycle:
+    def test_start_twice_rejected(self, app):
+        add_siren(app, [])
+        app.start()
+        with pytest.raises(RuntimeOrchestrationError):
+            app.start()
+
+    def test_stop_silences_dispatch(self, app):
+        log = []
+        sensor = add_sensor(app, "s1")
+        add_siren(app, log)
+        app.start()
+        app.stop()
+        sensor.publish("reading", 42.0)
+        assert log == []
+
+    def test_stop_without_start_is_noop(self, app):
+        app.stop()
+
+    def test_on_start_and_on_stop_hooks(self):
+        events = []
+
+        class Hooked(Context):
+            def on_reading_from_sensor(self, event, discover):
+                return None
+
+            def on_start(self):
+                events.append("start")
+
+            def on_stop(self):
+                events.append("stop")
+
+        design = analyze(
+            "device Sensor { source reading as Float; }\n"
+            "context Spike as Float { when provided reading from Sensor "
+            "maybe publish; }"
+        )
+        application = Application(design)
+        application.implement("Spike", Hooked())
+        application.start()
+        application.stop()
+        assert events == ["start", "stop"]
+
+    def test_components_bound_with_name_discover_clock(self, app):
+        add_siren(app, [])
+        app.start()
+        spike = app.implementation("Spike")
+        assert spike.name == "Spike"
+        assert spike.discover is app.discover
+        assert spike.now() == app.clock.now()

@@ -1,0 +1,157 @@
+"""Contexts with several interaction contracts at once."""
+
+import pytest
+
+from repro.runtime.app import Application
+from repro.runtime.component import Context
+from repro.runtime.device import CallableDriver
+from repro.sema.analyzer import analyze
+
+DESIGN = """\
+device Button { source pressed as Boolean; }
+device Meter { source level as Float; }
+device OtherMeter { source level as Float; }
+
+context Mixed as Float {
+    when provided pressed from Button
+    maybe publish;
+
+    when periodic level from Meter <1 min>
+    always publish;
+
+    when required;
+}
+
+context TwoDevices as Float {
+    when provided level from Meter
+    maybe publish;
+
+    when provided level from OtherMeter
+    maybe publish;
+}
+"""
+
+
+class MixedImpl(Context):
+    """Event-driven, periodic, and query-served in one component."""
+
+    def __init__(self):
+        super().__init__()
+        self.presses = 0
+        self.last_sweep = 0.0
+
+    def on_pressed_from_button(self, event, discover):
+        self.presses += 1
+        return None
+
+    def on_periodic_level(self, readings, discover):
+        self.last_sweep = sum(r.value for r in readings)
+        return self.last_sweep
+
+    def when_required(self, discover):
+        return self.last_sweep
+
+
+class TwoDevicesImpl(Context):
+    """The same source name on two devices: long handler names
+    disambiguate."""
+
+    def __init__(self):
+        super().__init__()
+        self.from_meter = []
+        self.from_other = []
+
+    def on_level_from_meter(self, event, discover):
+        self.from_meter.append(event.value)
+        return None
+
+    def on_level_from_other_meter(self, event, discover):
+        self.from_other.append(event.value)
+        return None
+
+
+@pytest.fixture
+def app():
+    application = Application(analyze(DESIGN))
+    application.implement("Mixed", MixedImpl())
+    application.implement("TwoDevices", TwoDevicesImpl())
+    return application
+
+
+def bind_all(app):
+    button = app.create_device(
+        "Button", "b1", CallableDriver(sources={"pressed": lambda: False})
+    )
+    meter = app.create_device(
+        "Meter", "m1", CallableDriver(sources={"level": lambda: 2.0})
+    )
+    other = app.create_device(
+        "OtherMeter", "o1", CallableDriver(sources={"level": lambda: 9.0})
+    )
+    return button, meter, other
+
+
+class TestMixedContext:
+    def test_all_three_delivery_paths_coexist(self, app):
+        button, __, __ = bind_all(app)
+        app.start()
+        button.publish("pressed", True)
+        app.advance(60)
+        mixed = app.implementation("Mixed")
+        assert mixed.presses == 1
+        assert mixed.last_sweep == 2.0
+        assert app.query_context("Mixed") == 2.0
+
+    def test_activation_count_spans_interactions(self, app):
+        button, __, __ = bind_all(app)
+        app.start()
+        button.publish("pressed", True)
+        button.publish("pressed", True)
+        app.advance(120)
+        assert app.stats["context_activations"]["Mixed"] == 4  # 2 + 2
+
+
+class TestSameSourceTwoDevices:
+    def test_events_route_to_the_right_handler(self, app):
+        __, meter, other = bind_all(app)
+        app.start()
+        meter.publish("level", 1.0)
+        other.publish("level", 2.0)
+        meter.publish("level", 3.0)
+        two = app.implementation("TwoDevices")
+        assert two.from_meter == [1.0, 3.0]
+        assert two.from_other == [2.0]
+
+    def test_validation_requires_both_handlers(self):
+        class OnlyOne(Context):
+            def on_level_from_meter(self, event, discover):
+                return None
+
+        application = Application(analyze(DESIGN))
+        application.implement("Mixed", MixedImpl())
+        application.implement("TwoDevices", OnlyOne())
+        with pytest.raises(Exception, match="on_level_from_other_meter"):
+            application.start()
+
+    def test_short_handler_name_would_be_ambiguous_but_works_alone(self):
+        """A single short-named handler serves both subscriptions — the
+        documented fallback when the developer wants unified handling."""
+
+        class Unified(Context):
+            def __init__(self):
+                super().__init__()
+                self.seen = []
+
+            def on_level(self, event, discover):
+                self.seen.append(event.device.entity_id)
+                return None
+
+        application = Application(analyze(DESIGN))
+        application.implement("Mixed", MixedImpl())
+        unified = Unified()
+        application.implement("TwoDevices", unified)
+        __, meter, other = bind_all(application)
+        application.start()
+        meter.publish("level", 1.0)
+        other.publish("level", 1.0)
+        assert unified.seen == ["m1", "o1"]

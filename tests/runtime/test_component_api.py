@@ -1,0 +1,95 @@
+"""Component base classes and helpers."""
+
+import pytest
+
+from repro.errors import RuntimeOrchestrationError
+from repro.lang.parser import parse
+from repro.runtime.component import (
+    Context,
+    Controller,
+    Publishable,
+    required_callbacks,
+)
+from repro.runtime.clock import SimulationClock
+
+
+class TestPublishable:
+    def test_wraps_value(self):
+        wrapped = Publishable([1, 2])
+        assert wrapped.value == [1, 2]
+        assert "Publishable" in repr(wrapped)
+
+
+class TestComponentBinding:
+    def test_unbound_defaults(self):
+        context = Context()
+        assert context.name is None
+        assert context.discover is None
+        assert context.now() == 0.0
+
+    def test_bind_sets_everything(self):
+        clock = SimulationClock(start=42.0)
+        context = Context()
+        context.bind("Alert", discover="fake-discover", clock=clock)
+        assert context.name == "Alert"
+        assert context.discover == "fake-discover"
+        assert context.now() == 42.0
+
+    def test_default_when_required_raises(self):
+        with pytest.raises(RuntimeOrchestrationError, match="when_required"):
+            Context().when_required(None)
+
+
+class TestHandlerLookup:
+    def test_long_name_preferred_over_short(self):
+        calls = []
+
+        class C(Context):
+            def on_reading_from_sensor(self, event, discover):
+                calls.append("long")
+
+            def on_reading(self, event, discover):
+                calls.append("short")
+
+        handler = C().find_event_handler("reading", "Sensor")
+        handler(None, None)
+        assert calls == ["long"]
+
+    def test_short_name_fallback(self):
+        class C(Context):
+            def on_reading(self, event, discover):
+                return 1
+
+        assert C().find_event_handler("reading", "Sensor") is not None
+
+    def test_missing_handler_is_none(self):
+        assert Context().find_event_handler("x", "Y") is None
+        assert Context().find_periodic_handler("x", "Y") is None
+        assert Context().find_context_handler("X") is None
+        assert Controller().find_context_handler("X") is None
+
+
+class TestRequiredCallbacks:
+    def test_context_callbacks(self):
+        (decl,) = parse(
+            "context C as Float {\n"
+            "when provided s from D always publish;\n"
+            "when periodic t from E <1 s> grouped by a "
+            "with map as Float reduce as Float always publish;\n"
+            "when provided Other always publish;\n"
+            "when required;\n"
+            "}"
+        ).contexts
+        names = required_callbacks(decl)
+        assert "on_s_from_d" in names
+        assert "on_periodic_t_from_e" in names
+        assert "map" in names and "reduce" in names
+        assert "on_other" in names
+        assert "when_required" in names
+
+    def test_controller_callbacks(self):
+        (decl,) = parse(
+            "controller K { when provided A do x on D; "
+            "when provided B do y on E; }"
+        ).controllers
+        assert required_callbacks(decl) == ["on_a", "on_b"]

@@ -1,0 +1,181 @@
+"""Deployment descriptors: declarative entity binding."""
+
+import json
+
+import pytest
+
+from repro.errors import BindingError
+from repro.runtime.app import Application
+from repro.runtime.binding import BindingTime
+from repro.runtime.component import Context
+from repro.runtime.descriptor import (
+    DriverCatalog,
+    apply_descriptor,
+    load_descriptor,
+)
+from repro.runtime.device import CallableDriver
+from repro.sema.analyzer import analyze
+
+DESIGN = """\
+device Sensor {
+    attribute zone as ZoneEnum;
+    source reading as Float;
+}
+enumeration ZoneEnum { NORTH, SOUTH }
+context Sweep as Integer {
+    when periodic reading from Sensor <1 min>
+    always publish;
+}
+"""
+
+DESCRIPTOR = {
+    "name": "pilot",
+    "entities": [
+        {"type": "Sensor", "id": "s1",
+         "attributes": {"zone": "NORTH"},
+         "driver": "constant", "config": {"value": 1.0}},
+        {"type": "Sensor", "id": "s2",
+         "attributes": {"zone": "SOUTH"},
+         "driver": "constant", "config": {"value": 2.0},
+         "binding": "runtime"},
+    ],
+}
+
+
+class SweepImpl(Context):
+    def on_periodic_reading(self, readings, discover):
+        return len(readings)
+
+
+@pytest.fixture
+def catalog():
+    catalog = DriverCatalog()
+    catalog.register(
+        "constant",
+        lambda value: CallableDriver(sources={"reading": lambda: value}),
+    )
+    return catalog
+
+
+@pytest.fixture
+def app():
+    application = Application(analyze(DESIGN))
+    application.implement("Sweep", SweepImpl())
+    return application
+
+
+class TestLoadDescriptor:
+    def test_from_dict(self):
+        descriptor = load_descriptor(DESCRIPTOR)
+        assert descriptor.name == "pilot"
+        assert descriptor.entity_count == 2
+
+    def test_from_json_text(self):
+        descriptor = load_descriptor(json.dumps(DESCRIPTOR))
+        assert descriptor.entities[0].entity_id == "s1"
+
+    def test_binding_times_parsed(self):
+        descriptor = load_descriptor(DESCRIPTOR)
+        assert descriptor.entities[0].binding is BindingTime.DEPLOYMENT
+        assert descriptor.entities[1].binding is BindingTime.RUNTIME
+        assert len(descriptor.by_binding(BindingTime.RUNTIME)) == 1
+
+    def test_invalid_json(self):
+        with pytest.raises(BindingError, match="JSON"):
+            load_descriptor("{not json")
+
+    def test_missing_entities(self):
+        with pytest.raises(BindingError, match="entities"):
+            load_descriptor({"name": "x"})
+
+    def test_missing_required_field(self):
+        with pytest.raises(BindingError, match="missing 'driver'"):
+            load_descriptor({"entities": [{"type": "Sensor", "id": "x"}]})
+
+    def test_duplicate_ids(self):
+        with pytest.raises(BindingError, match="duplicate"):
+            load_descriptor({
+                "entities": [
+                    {"type": "Sensor", "id": "x", "driver": "d"},
+                    {"type": "Sensor", "id": "x", "driver": "d"},
+                ]
+            })
+
+    def test_unknown_binding_time(self):
+        with pytest.raises(BindingError, match="binding time"):
+            load_descriptor({
+                "entities": [
+                    {"type": "Sensor", "id": "x", "driver": "d",
+                     "binding": "someday"},
+                ]
+            })
+
+
+class TestDriverCatalog:
+    def test_register_and_create(self, catalog):
+        driver = catalog.create("constant", value=5.0)
+        assert driver.read("reading") == 5.0
+
+    def test_duplicate_registration(self, catalog):
+        with pytest.raises(BindingError):
+            catalog.register("constant", lambda: None)
+
+    def test_unknown_driver(self, catalog):
+        with pytest.raises(BindingError, match="catalog"):
+            catalog.create("ghost")
+
+    def test_names(self, catalog):
+        assert catalog.names() == ["constant"]
+        assert "constant" in catalog
+
+
+class TestApplyDescriptor:
+    def test_staged_then_bound(self, app, catalog):
+        deployment = apply_descriptor(
+            app, load_descriptor(DESCRIPTOR), catalog
+        )
+        deployment.deploy()
+        deployment.launch()
+        assert app.registry.entity_ids() == ["s1"]
+        deployment.bind_runtime()
+        assert app.registry.entity_ids() == ["s1", "s2"]
+
+    def test_bound_entities_serve_readings(self, app, catalog):
+        deployment = apply_descriptor(
+            app, load_descriptor(DESCRIPTOR), catalog
+        )
+        deployment.deploy()
+        deployment.launch()
+        deployment.bind_runtime()
+        assert app.registry.get("s2").read("reading") == 2.0
+
+    def test_unknown_device_type_fails_atomically(self, app, catalog):
+        bad = {
+            "entities": [
+                {"type": "Toaster", "id": "t1", "driver": "constant"},
+            ]
+        }
+        with pytest.raises(BindingError, match="Toaster"):
+            apply_descriptor(app, load_descriptor(bad), catalog)
+        assert len(app.registry) == 0
+
+    def test_unknown_driver_fails_atomically(self, app, catalog):
+        bad = {
+            "entities": [
+                {"type": "Sensor", "id": "s9",
+                 "attributes": {"zone": "NORTH"}, "driver": "ghost"},
+            ]
+        }
+        with pytest.raises(BindingError, match="ghost"):
+            apply_descriptor(app, load_descriptor(bad), catalog)
+
+    def test_attribute_validation_applies(self, app, catalog):
+        bad = {
+            "entities": [
+                {"type": "Sensor", "id": "s9",
+                 "attributes": {"zone": "WEST"},
+                 "driver": "constant", "config": {"value": 0.0}},
+            ]
+        }
+        with pytest.raises(Exception, match="ZoneEnum|WEST"):
+            apply_descriptor(app, load_descriptor(bad), catalog)

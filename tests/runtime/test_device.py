@@ -1,0 +1,233 @@
+"""Device instances, drivers and the three delivery modes."""
+
+import pytest
+
+from repro.errors import (
+    ActuationError,
+    BindingError,
+    DeliveryError,
+    ValueConformanceError,
+)
+from repro.runtime.device import CallableDriver, DeviceDriver, DeviceInstance
+from repro.sema.analyzer import analyze
+
+DESIGN = """\
+device PresenceSensor {
+    attribute parkingLot as LotEnum;
+    source presence as Boolean;
+}
+device Prompter {
+    source answer as String indexed by questionId as String;
+    action askQuestion(question as String);
+}
+device Cooker {
+    source consumption as Float;
+    action Off;
+}
+enumeration LotEnum { A22, B16 }
+"""
+
+
+@pytest.fixture
+def design():
+    return analyze(DESIGN)
+
+
+def sensor(design, value=True, **attrs):
+    attrs = attrs or {"parkingLot": "A22"}
+    return DeviceInstance(
+        design.devices["PresenceSensor"],
+        "s1",
+        CallableDriver(sources={"presence": lambda: value}),
+        attrs,
+    )
+
+
+class TestAttributeRegistration:
+    def test_attributes_required(self, design):
+        with pytest.raises(BindingError, match="must be set"):
+            DeviceInstance(
+                design.devices["PresenceSensor"], "s1", CallableDriver(), {}
+            )
+
+    def test_unknown_attribute_rejected(self, design):
+        with pytest.raises(BindingError, match="unknown"):
+            DeviceInstance(
+                design.devices["PresenceSensor"],
+                "s1",
+                CallableDriver(),
+                {"parkingLot": "A22", "floor": 2},
+            )
+
+    def test_attribute_value_type_checked(self, design):
+        with pytest.raises(ValueConformanceError):
+            sensor(design, parkingLot="Z99")
+
+    def test_device_without_attributes(self, design):
+        DeviceInstance(
+            design.devices["Cooker"],
+            "c1",
+            CallableDriver(sources={"consumption": lambda: 0.0}),
+        )
+
+
+class TestQueryDelivery:
+    def test_read_returns_driver_value(self, design):
+        assert sensor(design, value=True).read("presence") is True
+
+    def test_read_checks_type(self, design):
+        bad = DeviceInstance(
+            design.devices["PresenceSensor"],
+            "s1",
+            CallableDriver(sources={"presence": lambda: "yes"}),
+            {"parkingLot": "A22"},
+        )
+        with pytest.raises(ValueConformanceError):
+            bad.read("presence")
+
+    def test_read_widens_int_to_float(self, design):
+        cooker = DeviceInstance(
+            design.devices["Cooker"],
+            "c1",
+            CallableDriver(sources={"consumption": lambda: 1500}),
+        )
+        value = cooker.read("consumption")
+        assert value == 1500.0 and isinstance(value, float)
+
+    def test_read_unknown_source(self, design):
+        with pytest.raises(Exception):
+            sensor(design).read("humidity")
+
+
+class TestEventDelivery:
+    def test_publish_reaches_hook(self, design):
+        instance = sensor(design)
+        got = []
+        instance.attach(lambda *args: got.append(args))
+        instance.publish("presence", False)
+        ((published_instance, source, value, index),) = got
+        assert published_instance is instance
+        assert (source, value, index) == ("presence", False, None)
+
+    def test_publish_without_hook_is_silent(self, design):
+        sensor(design).publish("presence", True)
+
+    def test_publish_type_checked(self, design):
+        instance = sensor(design)
+        with pytest.raises(ValueConformanceError):
+            instance.publish("presence", "maybe")
+
+    def test_indexed_publish_checks_index_type(self, design):
+        prompter = DeviceInstance(
+            design.devices["Prompter"], "p1", CallableDriver()
+        )
+        with pytest.raises(ValueConformanceError):
+            prompter.publish("answer", "yes", index=42)
+
+    def test_driver_push_helper(self, design):
+        class Driver(DeviceDriver):
+            def trigger(self):
+                self.push("presence", True)
+
+        driver = Driver()
+        instance = DeviceInstance(
+            design.devices["PresenceSensor"], "s1", driver,
+            {"parkingLot": "A22"},
+        )
+        got = []
+        instance.attach(lambda *args: got.append(args))
+        driver.trigger()
+        assert len(got) == 1
+
+    def test_unbound_driver_push_rejected(self):
+        with pytest.raises(DeliveryError, match="not bound"):
+            DeviceDriver().push("x", 1)
+
+
+class TestActuation:
+    def test_action_dispatch(self, design):
+        asked = []
+        prompter = DeviceInstance(
+            design.devices["Prompter"],
+            "p1",
+            CallableDriver(
+                actions={"askQuestion": lambda question: asked.append(question)}
+            ),
+        )
+        # CallableDriver receives raw DiaSpec parameter names.
+        prompter.act("askQuestion", question="hello?")
+        assert asked == ["hello?"]
+
+    def test_missing_parameter_rejected(self, design):
+        prompter = DeviceInstance(
+            design.devices["Prompter"], "p1", CallableDriver()
+        )
+        with pytest.raises(ActuationError, match="expects parameters"):
+            prompter.act("askQuestion")
+
+    def test_extra_parameter_rejected(self, design):
+        prompter = DeviceInstance(
+            design.devices["Prompter"], "p1", CallableDriver()
+        )
+        with pytest.raises(ActuationError):
+            prompter.act("askQuestion", question="q", volume=10)
+
+    def test_parameter_type_checked(self, design):
+        prompter = DeviceInstance(
+            design.devices["Prompter"], "p1", CallableDriver()
+        )
+        with pytest.raises(ValueConformanceError):
+            prompter.act("askQuestion", question=42)
+
+    def test_snake_case_method_drivers(self, design):
+        class Driver(DeviceDriver):
+            def __init__(self):
+                self.questions = []
+
+            def do_ask_question(self, question):
+                self.questions.append(question)
+
+        driver = Driver()
+        prompter = DeviceInstance(
+            design.devices["Prompter"], "p1", driver
+        )
+        prompter.act("askQuestion", question="hi")
+        assert driver.questions == ["hi"]
+
+    def test_missing_action_handler(self, design):
+        cooker = DeviceInstance(
+            design.devices["Cooker"], "c1", DeviceDriver()
+        )
+        with pytest.raises(ActuationError, match="no handler"):
+            cooker.act("Off")
+
+
+class TestFailureState:
+    def test_failed_device_refuses_reads(self, design):
+        instance = sensor(design)
+        instance.fail()
+        with pytest.raises(DeliveryError, match="failed"):
+            instance.read("presence")
+
+    def test_failed_device_drops_pushes(self, design):
+        instance = sensor(design)
+        got = []
+        instance.attach(lambda *args: got.append(args))
+        instance.fail()
+        instance.publish("presence", True)
+        assert got == []
+
+    def test_failed_device_refuses_actions(self, design):
+        cooker = DeviceInstance(
+            design.devices["Cooker"], "c1",
+            CallableDriver(actions={"Off": lambda: None}),
+        )
+        cooker.fail()
+        with pytest.raises(ActuationError):
+            cooker.act("Off")
+
+    def test_recovery_restores_service(self, design):
+        instance = sensor(design)
+        instance.fail()
+        instance.recover()
+        assert instance.read("presence") is True

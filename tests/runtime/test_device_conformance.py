@@ -1,0 +1,121 @@
+"""C5 — heterogeneity and taxonomy (§III).
+
+"An implementation of a device is required to implement the three data
+delivery modes, providing flexibility to client applications": every
+bundled driver must serve query-driven reads, survive periodic polling,
+and (where it pushes) emit well-typed events.  Device declarations form
+a reusable taxonomy: supertypes are shared across applications.
+"""
+
+import pytest
+
+from repro.apps.cooker import build_cooker_app
+from repro.apps.homeassist import build_homeassist_app
+from repro.apps.parking import build_parking_app
+from repro.errors import ValueConformanceError
+from repro.sema.analyzer import analyze
+from repro.typesys.values import check_value
+
+
+def all_apps():
+    return [
+        build_cooker_app(),
+        build_parking_app(capacities={"A22": 3}),
+        build_homeassist_app(),
+    ]
+
+
+class TestThreeDeliveryModes:
+    def test_every_bound_source_serves_query_driven_reads(self):
+        """Mode 1 (query) and mode 2 (periodic) both go through read();
+        every source of every bound device must serve it with a value of
+        the declared type."""
+        for bundle in all_apps():
+            for instance in bundle.application.registry:
+                for source_name, source_info in instance.info.sources.items():
+                    value = instance.read(source_name)
+                    check_value(source_info.dia_type, value)
+
+    def test_periodic_polling_covers_whole_fleet(self):
+        app = build_parking_app(capacities={"A22": 10}, seed=1)
+        app.advance(600)
+        # every sensor was polled exactly once per sweep: free + occupied
+        # spaces sum to capacity
+        status = app.entrance_panels["A22"].status
+        free = 0 if status == "FULL" else int(status.split(": ")[1])
+        occupied = round(app.environment.occupancy("A22") * 10)
+        assert free + occupied == 10
+
+    def test_event_driven_pushes_are_type_checked(self):
+        app = build_cooker_app()
+        prompter = app.application.registry.get("tv-living-room")
+        with pytest.raises(ValueConformanceError):
+            prompter.publish("answer", 42)  # answer is a String
+
+    def test_clock_driver_supports_all_three_modes(self):
+        app = build_cooker_app()
+        instance = app.application.registry.get("wall-clock")
+        app.advance(65)
+        # query-driven
+        assert instance.read("tickSecond") == 65
+        assert instance.read("tickMinute") == 1
+        # event-driven already proven: Alert activated every second
+        assert app.application.stats["context_activations"]["Alert"] == 65
+
+
+class TestTaxonomyReuse:
+    def test_display_panel_supertype_shared(self):
+        """Figure 6: ParkingEntrancePanel and CityEntrancePanel both
+        extend DisplayPanel and are discoverable through it."""
+        app = build_parking_app(capacities={"A22": 1})
+        panels = app.application.discover.display_panels()
+        types = {proxy.device_type for proxy in panels}
+        assert types == {"ParkingEntrancePanel", "CityEntrancePanel"}
+
+    def test_supertype_action_reaches_all_variants(self):
+        app = build_parking_app(capacities={"A22": 1})
+        results = app.application.discover.display_panels().update(
+            status="MAINTENANCE"
+        )
+        assert len(results) == 3  # 1 entrance + 2 city panels
+        assert app.entrance_panels["A22"].status == "MAINTENANCE"
+
+    def test_taxonomy_fragment_reusable_across_designs(self):
+        """The same device declarations can seed a different application
+        — the 'taxonomy dedicated to a given area, used across
+        applications' of §III."""
+        taxonomy = """
+device DisplayPanel { action update(status as String); }
+device ParkingEntrancePanel extends DisplayPanel {
+    attribute location as LotEnum;
+}
+enumeration LotEnum { A22 }
+"""
+        other_app = taxonomy + """
+context Heartbeat as Integer { when required; }
+controller Refresher {
+    when provided Heartbeat
+    do update on DisplayPanel;
+}
+"""
+        # Only publishable contexts can drive controllers: make Heartbeat
+        # publish via a device-less design? Controllers need publishing
+        # providers, so this design must fail analysis...
+        with pytest.raises(Exception):
+            analyze(other_app)
+        # ...while the taxonomy plus a periodic design analyzes cleanly.
+        periodic_app = taxonomy + """
+device Pinger { source ping as Integer; }
+context Heartbeat as Integer {
+    when provided ping from Pinger
+    always publish;
+}
+controller Refresher {
+    when provided Heartbeat
+    do update on DisplayPanel;
+}
+"""
+        design = analyze(periodic_app)
+        assert design.devices["ParkingEntrancePanel"].is_subtype_of(
+            "DisplayPanel"
+        )

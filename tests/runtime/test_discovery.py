@@ -1,0 +1,112 @@
+"""The discover façade: device accessors and context queries."""
+
+import pytest
+
+from repro.errors import DiscoveryError
+from repro.runtime.device import CallableDriver, DeviceInstance
+from repro.runtime.discovery import Discover
+from repro.runtime.registry import EntityRegistry
+from repro.sema.analyzer import analyze
+
+DESIGN = """\
+device DisplayPanel { action update(status as String); }
+device ParkingEntrancePanel extends DisplayPanel {
+    attribute location as LotEnum;
+}
+device PresenceSensor {
+    attribute parkingLot as LotEnum;
+    source presence as Boolean;
+}
+enumeration LotEnum { A22, B16 }
+context Usage as Float { when required; }
+"""
+
+
+@pytest.fixture
+def design():
+    return analyze(DESIGN)
+
+
+@pytest.fixture
+def registry():
+    return EntityRegistry()
+
+
+@pytest.fixture
+def discover(design, registry):
+    return Discover(design, registry, context_query=lambda name: 0.5)
+
+
+def bind_panel(design, registry, entity_id, lot):
+    registry.register(
+        DeviceInstance(
+            design.devices["ParkingEntrancePanel"],
+            entity_id,
+            CallableDriver(actions={"update": lambda status: None}),
+            {"location": lot},
+        )
+    )
+
+
+class TestDeviceDiscovery:
+    def test_devices_by_name(self, design, registry, discover):
+        bind_panel(design, registry, "p1", "A22")
+        assert len(discover.devices("ParkingEntrancePanel")) == 1
+
+    def test_snake_case_accessor(self, design, registry, discover):
+        bind_panel(design, registry, "p1", "A22")
+        panels = discover.parking_entrance_panels()
+        assert panels.entity_ids() == ["p1"]
+
+    def test_accessor_with_attribute_filter(self, design, registry, discover):
+        bind_panel(design, registry, "p1", "A22")
+        bind_panel(design, registry, "p2", "B16")
+        assert discover.devices(
+            "ParkingEntrancePanel", location="B16"
+        ).entity_ids() == ["p2"]
+
+    def test_supertype_accessor_sees_subtypes(self, design, registry,
+                                              discover):
+        bind_panel(design, registry, "p1", "A22")
+        assert len(discover.display_panels()) == 1
+
+    def test_unknown_device_type(self, discover):
+        with pytest.raises(DiscoveryError):
+            discover.devices("Toaster")
+
+    def test_unknown_accessor(self, discover):
+        with pytest.raises(AttributeError):
+            discover.toasters()
+
+    def test_device_by_entity_id(self, design, registry, discover):
+        bind_panel(design, registry, "p1", "A22")
+        assert discover.device("p1").entity_id == "p1"
+
+    def test_runtime_binding_is_visible_immediately(self, design, registry,
+                                                    discover):
+        assert len(discover.parking_entrance_panels()) == 0
+        bind_panel(design, registry, "p1", "A22")
+        assert len(discover.parking_entrance_panels()) == 1
+
+
+class TestContextQueries:
+    def test_queryable_context(self, discover):
+        assert discover.context_value("Usage") == 0.5
+
+    def test_unknown_context(self, discover):
+        with pytest.raises(DiscoveryError):
+            discover.context_value("Ghost")
+
+    def test_unqueryable_context_rejected(self, design, registry):
+        design2 = analyze(
+            "device S { source s as Float; }\n"
+            "context C as Float { when provided s from S always publish; }"
+        )
+        discover = Discover(design2, registry, context_query=lambda n: 1.0)
+        with pytest.raises(DiscoveryError, match="when required"):
+            discover.context_value("C")
+
+    def test_disconnected_discover_rejects_queries(self, design, registry):
+        discover = Discover(design, registry)
+        with pytest.raises(DiscoveryError, match="not connected"):
+            discover.context_value("Usage")

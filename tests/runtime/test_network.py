@@ -1,0 +1,128 @@
+"""Network-conditions injection between devices and the application."""
+
+import pytest
+
+from repro.runtime.app import Application
+from repro.runtime.component import Context
+from repro.runtime.device import CallableDriver
+from repro.sema.analyzer import analyze
+from repro.simulation.network import NetworkConditions
+
+DESIGN = """\
+device Sensor { source reading as Float; }
+context Sink as Float {
+    when provided reading from Sensor
+    maybe publish;
+}
+context Sweep as Integer {
+    when periodic reading from Sensor <1 min>
+    always publish;
+}
+"""
+
+
+class SinkImpl(Context):
+    def __init__(self):
+        super().__init__()
+        self.received = []
+
+    def on_reading_from_sensor(self, event, discover):
+        self.received.append((event.timestamp, event.value))
+        return None
+
+
+class SweepImpl(Context):
+    def __init__(self):
+        super().__init__()
+        self.sizes = []
+
+    def on_periodic_reading(self, readings, discover):
+        self.sizes.append(len(readings))
+        return len(readings)
+
+
+def build(network=None, apply_to_reads=False):
+    app = Application(
+        analyze(DESIGN),
+        network=network,
+        apply_network_to_reads=apply_to_reads,
+    )
+    sink = SinkImpl()
+    sweep = SweepImpl()
+    app.implement("Sink", sink)
+    app.implement("Sweep", sweep)
+    sensor = app.create_device(
+        "Sensor", "s1", CallableDriver(sources={"reading": lambda: 1.0})
+    )
+    app.start()
+    return app, sensor, sink, sweep
+
+
+class TestNetworkConditionsModel:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkConditions(latency=-1)
+        with pytest.raises(ValueError):
+            NetworkConditions(loss=1.0)
+        with pytest.raises(ValueError):
+            NetworkConditions(latency=1.0, jitter=2.0)
+
+    def test_zero_loss_never_drops(self):
+        network = NetworkConditions(loss=0.0)
+        assert all(network.sample_read_ok() for __ in range(100))
+
+    def test_stats(self):
+        from repro.runtime.clock import SimulationClock
+
+        network = NetworkConditions(loss=0.5, seed=1)
+        clock = SimulationClock()
+        for __ in range(200):
+            network.transmit(clock, lambda: None)
+        stats = network.stats
+        assert stats["delivered"] + stats["dropped"] == 200
+        assert 0.3 < stats["loss_rate"] < 0.7
+
+
+class TestEventDeliveryThroughNetwork:
+    def test_latency_delays_event(self):
+        network = NetworkConditions(latency=5.0)
+        app, sensor, sink, __ = build(network)
+        sensor.publish("reading", 3.0)
+        assert sink.received == []  # still in flight
+        app.advance(5.0)
+        assert sink.received == [(5.0, 3.0)]
+
+    def test_loss_drops_events(self):
+        network = NetworkConditions(loss=0.5, seed=3)
+        app, sensor, sink, __ = build(network)
+        for __ in range(100):
+            sensor.publish("reading", 1.0)
+        app.advance(1.0)
+        assert 20 < len(sink.received) < 80
+        assert network.dropped + len(sink.received) == 100
+
+    def test_jitter_stays_within_bounds(self):
+        network = NetworkConditions(latency=10.0, jitter=2.0, seed=9)
+        delays = [network.sample_delay() for __ in range(200)]
+        assert all(8.0 <= d <= 12.0 for d in delays)
+
+    def test_no_network_is_synchronous(self):
+        app, sensor, sink, __ = build(None)
+        sensor.publish("reading", 1.0)
+        assert len(sink.received) == 1
+
+
+class TestPolledReadsThroughNetwork:
+    def test_lossy_reads_shrink_sweeps(self):
+        network = NetworkConditions(loss=0.9, seed=5)
+        app, __, __, sweep = build(network, apply_to_reads=True)
+        app.advance(60 * 50)
+        assert len(sweep.sizes) == 50
+        assert sum(sweep.sizes) < 50  # many polls lost
+        assert app.stats["gather_errors"] > 0
+
+    def test_reads_unaffected_by_default(self):
+        network = NetworkConditions(loss=0.9, seed=5)
+        app, __, __, sweep = build(network, apply_to_reads=False)
+        app.advance(60 * 10)
+        assert sweep.sizes == [1] * 10

@@ -1,0 +1,103 @@
+"""Property-based invariants of the core runtime substrates."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.bus import EventBus
+from repro.runtime.clock import SimulationClock
+
+
+# ---------------------------------------------------------------------------
+# SimulationClock
+# ---------------------------------------------------------------------------
+
+delays = st.lists(
+    st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+    min_size=1,
+    max_size=30,
+)
+
+
+@given(delays)
+def test_jobs_fire_in_time_order(delay_list):
+    clock = SimulationClock()
+    fired = []
+    for delay in delay_list:
+        clock.schedule(delay, lambda d=delay: fired.append(clock.now()))
+    clock.advance(2000.0)
+    assert fired == sorted(fired)
+    assert len(fired) == len(delay_list)
+
+
+@given(delays)
+def test_every_job_fires_exactly_at_its_time(delay_list):
+    clock = SimulationClock()
+    fired = []
+    for delay in delay_list:
+        clock.schedule(delay, lambda d=delay: fired.append((clock.now(), d)))
+    clock.advance(2000.0)
+    for fired_at, delay in fired:
+        assert fired_at == delay
+
+
+@given(delays, st.floats(min_value=0.0, max_value=1000.0))
+def test_advance_splits_are_equivalent(delay_list, split):
+    def run(splits):
+        clock = SimulationClock()
+        fired = []
+        for delay in delay_list:
+            clock.schedule(delay, lambda d=delay: fired.append(d))
+        for duration in splits:
+            clock.advance(duration)
+        return fired
+
+    whole = run([2000.0])
+    parts = run([split, 2000.0 - split if split <= 2000.0 else 0.0])
+    assert whole == parts
+
+
+@given(
+    st.floats(min_value=0.1, max_value=100.0),
+    st.floats(min_value=0.0, max_value=2000.0),
+)
+def test_periodic_fire_count_matches_period(period, horizon):
+    clock = SimulationClock()
+    count = [0]
+    clock.schedule_periodic(period, lambda: count.__setitem__(0,
+                                                              count[0] + 1))
+    clock.advance(horizon)
+    expected = int(horizon / period)
+    # floating division may be off by one at exact multiples
+    assert abs(count[0] - expected) <= 1
+
+
+# ---------------------------------------------------------------------------
+# EventBus
+# ---------------------------------------------------------------------------
+
+
+@given(
+    st.lists(st.tuples(st.sampled_from("abc"), st.integers()), max_size=40)
+)
+def test_bus_delivers_everything_to_topic_subscribers(publications):
+    bus = EventBus()
+    received = {topic: [] for topic in "abc"}
+    for topic in "abc":
+        bus.subscribe(topic, received[topic].append)
+    for topic, value in publications:
+        bus.publish(topic, value)
+    for topic in "abc":
+        expected = [v for t, v in publications if t == topic]
+        assert received[topic] == expected
+
+
+@given(st.integers(min_value=0, max_value=20), st.integers(min_value=0,
+                                                           max_value=10))
+def test_bus_fanout_counts(subscribers, publications):
+    bus = EventBus()
+    for __ in range(subscribers):
+        bus.subscribe("t", lambda __: None)
+    for __ in range(publications):
+        assert bus.publish("t", None) == subscribers
+    assert bus.stats["delivered"] == subscribers * publications
+    assert bus.stats["published"] == publications

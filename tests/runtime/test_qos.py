@@ -1,0 +1,283 @@
+"""The QoS/error-handling extension (§VI's non-functional dimensions).
+
+``expect deadline <...>`` on contexts/controllers and ``expect timeout
+<...> retry N`` on device sources.
+"""
+
+import time
+
+import pytest
+
+from repro.errors import DeliveryError
+from repro.lang.ast_nodes import Duration
+from repro.lang.parser import parse
+from repro.lang.pretty import pretty
+from repro.runtime.app import Application
+from repro.runtime.component import Context, Controller
+from repro.runtime.device import CallableDriver, DeviceDriver
+from repro.runtime.qos import ComponentQoS, QoSMonitor
+from repro.sema.analyzer import analyze
+
+DESIGN = """\
+device Sensor {
+    source reading as Float expect retry 2;
+    source slow as Float expect timeout <5 ms>;
+}
+device Siren { action sound(level as Integer); }
+
+context Watch as Float {
+    expect deadline <20 ms>;
+
+    when provided reading from Sensor
+    always publish;
+}
+
+controller K {
+    expect deadline <20 ms>;
+
+    when provided Watch
+    do sound on Siren;
+}
+"""
+
+
+class TestParsingExpectClauses:
+    def test_source_retry(self):
+        spec = parse(DESIGN)
+        sensor = spec.devices[0]
+        assert sensor.sources[0].retries == 2
+        assert sensor.sources[0].timeout is None
+
+    def test_source_timeout(self):
+        spec = parse(DESIGN)
+        slow = spec.devices[0].sources[1]
+        assert slow.timeout == Duration(5, "ms")
+        assert slow.retries == 0
+
+    def test_both_timeout_and_retry(self):
+        spec = parse(
+            "device D { source s as Float expect timeout <1 s> retry 3; }"
+        )
+        source = spec.devices[0].sources[0]
+        assert source.timeout == Duration(1, "s")
+        assert source.retries == 3
+
+    def test_context_deadline(self):
+        spec = parse(DESIGN)
+        watch = spec.contexts[0]
+        assert watch.deadline == Duration(20, "ms")
+
+    def test_controller_deadline(self):
+        spec = parse(DESIGN)
+        assert spec.controllers[0].deadline == Duration(20, "ms")
+
+    def test_roundtrip(self):
+        spec = parse(DESIGN)
+        assert parse(pretty(spec)) == spec
+
+    def test_empty_expect_rejected(self):
+        with pytest.raises(Exception, match="timeout|retry"):
+            parse("device D { source s as Float expect; }")
+
+    def test_duplicate_deadline_rejected(self):
+        with pytest.raises(Exception, match="duplicate"):
+            parse(
+                "context C as Float { expect deadline <1 ms>; "
+                "expect deadline <2 ms>; when required; }"
+            )
+
+    def test_fractional_retry_rejected(self):
+        with pytest.raises(Exception, match="integer"):
+            parse("device D { source s as Float expect retry 1.5; }")
+
+    def test_analyzer_carries_policy(self):
+        design = analyze(DESIGN)
+        source = design.devices["Sensor"].sources["reading"]
+        assert source.retries == 2
+        slow = design.devices["Sensor"].sources["slow"]
+        assert slow.timeout_seconds == pytest.approx(0.005)
+
+
+class FlakyDriver(DeviceDriver):
+    """Fails the first N reads, then serves."""
+
+    def __init__(self, failures):
+        self.failures = failures
+        self.attempts = 0
+
+    def read_reading(self):
+        self.attempts += 1
+        if self.attempts <= self.failures:
+            raise DeliveryError("transient sensor glitch")
+        return 1.5
+
+    def read_slow(self):
+        time.sleep(0.02)  # exceeds the 5 ms timeout
+        return 2.0
+
+
+class WatchImpl(Context):
+    def on_reading_from_sensor(self, event, discover):
+        return event.value
+
+
+class SlowWatch(Context):
+    def on_reading_from_sensor(self, event, discover):
+        time.sleep(0.03)  # exceeds the 20 ms deadline
+        return event.value
+
+
+class KImpl(Controller):
+    def on_watch(self, value, discover):
+        pass
+
+
+def build(watch=None):
+    app = Application(analyze(DESIGN))
+    app.implement("Watch", watch or WatchImpl())
+    app.implement("K", KImpl())
+    app.create_device(
+        "Siren", "siren",
+        CallableDriver(actions={"sound": lambda level: None}),
+    )
+    return app
+
+
+class TestRetryPolicy:
+    def test_transient_failures_masked_by_retry(self):
+        app = build()
+        driver = FlakyDriver(failures=2)
+        instance = app.create_device("Sensor", "s1", driver)
+        app.start()
+        assert instance.read("reading") == 1.5
+        assert driver.attempts == 3  # 2 failures + 1 success
+
+    def test_exhausted_retries_raise(self):
+        app = build()
+        driver = FlakyDriver(failures=5)
+        instance = app.create_device("Sensor", "s1", driver)
+        app.start()
+        with pytest.raises(DeliveryError, match="glitch"):
+            instance.read("reading")
+        assert driver.attempts == 3  # initial + 2 retries, then give up
+
+    def test_no_policy_means_no_retry(self):
+        design = analyze("device D { source s as Float; }")
+        from repro.runtime.device import DeviceInstance
+
+        class Failing(DeviceDriver):
+            def __init__(self):
+                self.attempts = 0
+
+            def read_s(self):
+                self.attempts += 1
+                raise DeliveryError("down")
+
+        driver = Failing()
+        instance = DeviceInstance(design.devices["D"], "d1", driver)
+        with pytest.raises(DeliveryError):
+            instance.read("s")
+        assert driver.attempts == 1
+
+
+class TestTimeoutPolicy:
+    def test_slow_read_times_out(self):
+        app = build()
+        instance = app.create_device("Sensor", "s1", FlakyDriver(0))
+        app.start()
+        with pytest.raises(DeliveryError, match="timeout"):
+            instance.read("slow")
+
+    def test_fast_read_passes_timeout(self):
+        app = build()
+        instance = app.create_device(
+            "Sensor", "s1",
+            CallableDriver(sources={"reading": lambda: 0.0,
+                                    "slow": lambda: 2.0}),
+        )
+        app.start()
+        assert instance.read("slow") == 2.0
+
+
+class TestDeadlineMonitoring:
+    def test_fast_component_has_no_violations(self):
+        app = build()
+        instance = app.create_device(
+            "Sensor", "s1",
+            CallableDriver(sources={"reading": lambda: 1.0,
+                                    "slow": lambda: 1.0}),
+        )
+        app.start()
+        instance.publish("reading", 1.0)
+        watch = app.qos.component("Watch")
+        assert watch.activations == 1
+        assert watch.violations == 0
+        assert watch.worst_seconds < 0.02
+
+    def test_slow_component_violates_deadline(self):
+        app = build(watch=SlowWatch())
+        instance = app.create_device(
+            "Sensor", "s1",
+            CallableDriver(sources={"reading": lambda: 1.0,
+                                    "slow": lambda: 1.0}),
+        )
+        app.start()
+        instance.publish("reading", 1.0)
+        watch = app.qos.component("Watch")
+        assert watch.violations == 1
+        assert watch.worst_seconds > 0.02
+
+    def test_violation_listener_fires(self):
+        app = build(watch=SlowWatch())
+        instance = app.create_device(
+            "Sensor", "s1",
+            CallableDriver(sources={"reading": lambda: 1.0,
+                                    "slow": lambda: 1.0}),
+        )
+        violations = []
+        app.qos.on_violation(lambda name, secs: violations.append(name))
+        app.start()
+        instance.publish("reading", 1.0)
+        assert violations == ["Watch"]
+
+    def test_stats_expose_qos(self):
+        app = build()
+        instance = app.create_device(
+            "Sensor", "s1",
+            CallableDriver(sources={"reading": lambda: 1.0,
+                                    "slow": lambda: 1.0}),
+        )
+        app.start()
+        instance.publish("reading", 1.0)
+        qos = app.stats["qos"]
+        assert set(qos) == {"Watch", "K"}
+        assert qos["K"]["activations"] == 1
+
+    def test_undeclared_components_not_monitored(self):
+        design = analyze(
+            "device D { source s as Float; }\n"
+            "context C as Float { when provided s from D always publish; }"
+        )
+        app = Application(design)
+
+        class C(Context):
+            def on_s_from_d(self, event, discover):
+                return event.value
+
+        app.implement("C", C())
+        app.start()
+        assert app.stats["qos"] == {}
+
+
+class TestQoSUnits:
+    def test_component_qos_mean(self):
+        record = ComponentQoS(deadline_seconds=1.0)
+        record.record(0.2)
+        record.record(0.4)
+        assert record.mean_seconds == pytest.approx(0.3)
+
+    def test_monitor_contains(self):
+        monitor = QoSMonitor()
+        monitor.register("X", 0.1)
+        assert "X" in monitor
+        assert "Y" not in monitor

@@ -1,0 +1,149 @@
+"""Component-error supervision (error_policy='isolate')."""
+
+import pytest
+
+from repro.runtime.app import Application
+from repro.runtime.component import Context, Controller
+from repro.runtime.device import CallableDriver
+from repro.sema.analyzer import analyze
+
+DESIGN = """\
+device Sensor { source reading as Float; }
+device Horn { action honk(level as Integer); }
+
+context Healthy as Float {
+    when provided reading from Sensor
+    always publish;
+}
+
+context Buggy as Float {
+    when provided reading from Sensor
+    maybe publish;
+}
+
+context Periodic as Float {
+    when periodic reading from Sensor <1 min>
+    always publish;
+}
+
+controller K {
+    when provided Healthy
+    do honk on Horn;
+}
+"""
+
+
+class Healthy(Context):
+    def on_reading_from_sensor(self, event, discover):
+        return event.value
+
+
+class Buggy(Context):
+    def on_reading_from_sensor(self, event, discover):
+        raise RuntimeError("bug in context logic")
+
+
+class BuggyPeriodic(Context):
+    def on_periodic_reading(self, readings, discover):
+        raise RuntimeError("bug in periodic logic")
+
+
+class HealthyPeriodic(Context):
+    def on_periodic_reading(self, readings, discover):
+        return float(len(readings))
+
+
+class BuggyController(Controller):
+    def on_healthy(self, value, discover):
+        raise RuntimeError("bug in controller logic")
+
+
+class HonkController(Controller):
+    def __init__(self):
+        super().__init__()
+        self.honks = 0
+
+    def on_healthy(self, value, discover):
+        self.honks += 1
+        discover.devices("Horn").act("honk", level=int(value))
+
+
+def build(policy, buggy_context=True, buggy_controller=False,
+          buggy_periodic=False):
+    app = Application(analyze(DESIGN), error_policy=policy)
+    app.implement("Healthy", Healthy())
+    app.implement("Buggy", Buggy() if buggy_context else Healthy())
+    app.implement(
+        "Periodic", BuggyPeriodic() if buggy_periodic else HealthyPeriodic()
+    )
+    controller = BuggyController() if buggy_controller else HonkController()
+    app.implement("K", controller)
+    sensor = app.create_device(
+        "Sensor", "s1", CallableDriver(sources={"reading": lambda: 1.0})
+    )
+    app.create_device(
+        "Horn", "h1", CallableDriver(actions={"honk": lambda level: None})
+    )
+    app.start()
+    return app, sensor, controller
+
+
+class TestRaisePolicy:
+    def test_default_policy_propagates(self):
+        app, sensor, __ = build("raise")
+        with pytest.raises(RuntimeError, match="bug in context"):
+            sensor.publish("reading", 1.0)
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            Application(analyze(DESIGN), error_policy="pray")
+
+
+class TestIsolatePolicy:
+    def test_failure_is_contained(self):
+        app, sensor, controller = build("isolate")
+        sensor.publish("reading", 2.0)
+        # The buggy context failed, but the healthy chain completed.
+        assert controller.honks == 1
+        assert len(app.component_errors) == 1
+        name, exc = app.component_errors[0]
+        assert name == "Buggy"
+        assert isinstance(exc, RuntimeError)
+
+    def test_failed_component_publishes_nothing(self):
+        app, sensor, __ = build("isolate")
+        before = app.bus.stats["published"]
+        sensor.publish("reading", 2.0)
+        # Buggy never published a ("context", "Buggy") event.
+        assert app.bus.subscriber_count(("context", "Buggy")) == 0
+        del before
+
+    def test_controller_failure_contained(self):
+        app, sensor, __ = build("isolate", buggy_context=False,
+                                buggy_controller=True)
+        sensor.publish("reading", 2.0)
+        assert [name for name, __ in app.component_errors] == ["K"]
+
+    def test_periodic_failure_does_not_kill_schedule(self):
+        app, __, __ = build("isolate", buggy_periodic=True)
+        app.advance(180)
+        names = [name for name, __ in app.component_errors]
+        assert names == ["Periodic", "Periodic", "Periodic"]
+
+    def test_error_listener_notified(self):
+        app, sensor, __ = build("isolate")
+        seen = []
+        app.on_component_error(lambda name, exc: seen.append(name))
+        sensor.publish("reading", 1.0)
+        assert seen == ["Buggy"]
+
+    def test_stats_expose_errors(self):
+        app, sensor, __ = build("isolate")
+        sensor.publish("reading", 1.0)
+        assert app.stats["component_errors"] == [("Buggy", "RuntimeError")]
+
+    def test_healthy_app_records_nothing(self):
+        app, sensor, __ = build("isolate", buggy_context=False)
+        sensor.publish("reading", 1.0)
+        app.advance(60)
+        assert app.component_errors == []

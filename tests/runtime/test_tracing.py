@@ -1,0 +1,151 @@
+"""The execution tracer."""
+
+import pytest
+
+from repro.apps.cooker import build_cooker_app
+from repro.runtime.tracing import TraceEntry, Tracer
+
+
+@pytest.fixture
+def traced_app():
+    app = build_cooker_app(threshold_seconds=3, renotify_seconds=60)
+    tracer = Tracer(app.application).attach()
+    return app, tracer
+
+
+class TestRecording:
+    def test_source_events_recorded(self, traced_app):
+        app, tracer = traced_app
+        app.advance(2)
+        sources = tracer.of_kind("source")
+        assert len(sources) == 2
+        assert sources[0].subject == "wall-clock"
+        assert sources[0].detail == "tickSecond"
+
+    def test_context_publications_recorded(self, traced_app):
+        app, tracer = traced_app
+        app.environment.set_cooker(True)
+        app.advance(3)
+        contexts = tracer.of_kind("context")
+        assert [entry.subject for entry in contexts] == ["Alert"]
+        assert contexts[0].value == 3
+
+    def test_actions_recorded(self, traced_app):
+        app, tracer = traced_app
+        app.environment.set_cooker(True)
+        app.advance(3)
+        actions = tracer.of_kind("action")
+        assert actions
+        assert actions[0].subject == "tv-living-room"
+        assert actions[0].detail == "askQuestion"
+
+    def test_ordering_follows_the_chain(self, traced_app):
+        app, tracer = traced_app
+        app.environment.set_cooker(True)
+        app.advance(3)
+        kinds = [entry.kind for entry in tracer.entries[-3:]]
+        assert kinds == ["source", "context", "action"]
+
+    def test_tracing_does_not_change_behaviour(self):
+        def run(traced):
+            app = build_cooker_app(threshold_seconds=3)
+            if traced:
+                Tracer(app.application).attach()
+            app.environment.set_cooker(True)
+            app.advance(10)
+            return app.application.stats["context_activations"]
+
+        assert run(False) == run(True)
+
+
+class TestQueries:
+    def test_between(self, traced_app):
+        app, tracer = traced_app
+        app.advance(5)
+        window = tracer.between(2.0, 4.0)
+        assert {entry.timestamp for entry in window} == {2.0, 3.0}
+
+    def test_find_with_predicate(self, traced_app):
+        app, tracer = traced_app
+        app.advance(5)
+        late = tracer.find(
+            kind="source", predicate=lambda e: e.value >= 4
+        )
+        assert [entry.value for entry in late] == [4, 5]
+
+    def test_find_by_subject(self, traced_app):
+        app, tracer = traced_app
+        app.advance(3)
+        assert len(tracer.find(subject="wall-clock")) == 3
+
+
+class TestRendering:
+    def test_render_lines(self, traced_app):
+        app, tracer = traced_app
+        app.environment.set_cooker(True)
+        app.advance(3)
+        text = tracer.render()
+        assert "source   wall-clock.tickSecond" in text
+        assert "context  Alert published 3" in text
+        assert "action   askQuestion on tv-living-room" in text
+
+    def test_render_limit(self, traced_app):
+        app, tracer = traced_app
+        app.advance(10)
+        assert len(tracer.render(limit=2).splitlines()) == 2
+
+    def test_timestamp_format(self):
+        entry = TraceEntry(3723.5, "context", "X", "", 1)
+        assert entry.render().startswith("001:02:03.500")
+
+
+class TestLifecycle:
+    def test_capacity_bound(self):
+        app = build_cooker_app(threshold_seconds=10 ** 6)
+        tracer = Tracer(app.application, capacity=5).attach()
+        app.advance(20)
+        assert len(tracer) == 5
+        assert tracer.dropped == 15
+        assert "dropped" in tracer.render()
+
+    def test_detach_stops_recording(self, traced_app):
+        app, tracer = traced_app
+        app.advance(2)
+        tracer.detach()
+        app.advance(5)
+        assert len(tracer.of_kind("source")) == 2
+
+    def test_detach_restores_act(self, traced_app):
+        app, tracer = traced_app
+        instance = app.application.registry.get("tv-living-room")
+        tracer.detach()
+        assert instance.act.__name__ != "traced_act"
+
+    def test_double_attach_rejected(self, traced_app):
+        __, tracer = traced_app
+        with pytest.raises(RuntimeError):
+            tracer.attach()
+
+    def test_runtime_bound_devices_are_traced(self, traced_app):
+        app, tracer = traced_app
+        from repro.runtime.device import CallableDriver
+
+        hits = []
+        app.application.create_device(
+            "Cooker", "cooker-2",
+            CallableDriver(sources={"consumption": lambda: 0.0},
+                           actions={"Off": lambda: hits.append(1)}),
+        )
+        app.application.registry.get("cooker-2").act("Off")
+        assert tracer.find(subject="cooker-2", kind="action")
+
+    def test_clear(self, traced_app):
+        app, tracer = traced_app
+        app.advance(3)
+        tracer.clear()
+        assert len(tracer) == 0
+
+    def test_invalid_capacity(self, traced_app):
+        app, __ = traced_app
+        with pytest.raises(ValueError):
+            Tracer(app.application, capacity=0)

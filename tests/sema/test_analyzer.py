@@ -1,0 +1,60 @@
+"""End-to-end analysis of whole designs, including the paper's."""
+
+import pytest
+
+from repro.apps.avionics.design import DESIGN_SOURCE as AVIONICS
+from repro.apps.homeassist.design import DESIGN_SOURCE as HOMEASSIST
+from repro.errors import DiaSpecError
+from repro.lang.parser import parse
+from repro.sema.analyzer import analyze
+
+
+class TestAnalyzeEntryPoints:
+    def test_accepts_source_text(self):
+        design = analyze("device D { }")
+        assert "D" in design.devices
+
+    def test_accepts_parsed_spec(self):
+        spec = parse("device D { }")
+        design = analyze(spec)
+        assert design.spec is spec
+
+    def test_syntax_error_is_diaspec_error(self):
+        with pytest.raises(DiaSpecError):
+            analyze("device {")
+
+    def test_accessors(self, cooker_design):
+        assert set(cooker_design.contexts) == {"Alert", "RemoteTurnOff"}
+        assert set(cooker_design.controllers) == {"Notify", "TurnOff"}
+        assert "Cooker" in cooker_design.devices
+
+
+class TestPaperDesignsAnalyze:
+    def test_cooker(self, cooker_design):
+        alert = cooker_design.contexts["Alert"]
+        assert alert.result_type.name == "Integer"
+        assert not alert.is_queryable
+
+    def test_parking(self, parking_design):
+        availability = parking_design.contexts["ParkingAvailability"]
+        assert availability.result_type.name == "Availability[]"
+        usage = parking_design.contexts["ParkingUsagePattern"]
+        assert usage.is_queryable
+        assert not usage.ever_publishes
+
+    def test_avionics(self):
+        design = analyze(AVIONICS)
+        assert len(design.contexts) == 4
+        assert len(design.controllers) == 4
+        assert design.report.warnings == []
+
+    def test_homeassist(self):
+        design = analyze(HOMEASSIST)
+        assert design.contexts["ActivityLevel"].is_queryable
+        assert design.report.warnings == []
+
+    def test_parking_enumeration_types(self, parking_design):
+        lots = parking_design.types.lookup("ParkingLotEnum")
+        assert "A22" in lots
+        availability = parking_design.types.lookup("Availability")
+        assert availability.field_names == ("parkingLot", "count")

@@ -1,0 +1,157 @@
+"""Design-evolution diffing."""
+
+import pytest
+
+from repro.sema.diff import diff_designs
+
+V1 = """\
+device Cooker {
+    source consumption as Float;
+    action Off;
+}
+device Clock { source tickSecond as Integer; }
+
+context Alert as Integer {
+    when provided tickSecond from Clock
+    maybe publish;
+}
+
+controller TurnOff {
+    when provided Alert
+    do Off on Cooker;
+}
+"""
+
+
+class TestNoChanges:
+    def test_identical_designs(self):
+        diff = diff_designs(V1, V1)
+        assert not diff
+        assert not diff.is_breaking
+        assert diff.render() == "designs are structurally identical"
+
+    def test_formatting_does_not_matter(self):
+        reformatted = V1.replace("\n    ", " ").replace("{ ", "{\n")
+        assert not diff_designs(V1, reformatted)
+
+
+class TestCompatibleChanges:
+    def test_added_device(self):
+        diff = diff_designs(V1, V1 + "\ndevice Lamp { action On; }\n")
+        assert not diff.is_breaking
+        assert [c.subject for c in diff.compatible] == ["device Lamp"]
+
+    def test_added_source(self):
+        new = V1.replace(
+            "source consumption as Float;",
+            "source consumption as Float;\n    source temperature as Float;",
+        )
+        diff = diff_designs(V1, new)
+        assert not diff.is_breaking
+        (change,) = diff.changes
+        assert "source 'temperature'" in change.detail
+
+    def test_added_context(self):
+        new = V1 + (
+            "\ncontext Extra as Float { when provided tickSecond from "
+            "Clock always publish; }\n"
+        )
+        diff = diff_designs(V1, new)
+        assert not diff.is_breaking
+
+
+class TestBreakingChanges:
+    def test_removed_device(self):
+        new = V1.replace(
+            "device Clock { source tickSecond as Integer; }", ""
+        ).replace(
+            "when provided tickSecond from Clock",
+            "when provided consumption from Cooker",
+        )
+        diff = diff_designs(V1, new)
+        assert diff.is_breaking
+        subjects = [c.subject for c in diff.breaking]
+        assert "device Clock" in subjects
+
+    def test_removed_action(self):
+        new = V1.replace("    action Off;\n", "    action On;\n").replace(
+            "do Off on Cooker", "do On on Cooker"
+        )
+        diff = diff_designs(V1, new)
+        assert diff.is_breaking
+
+    def test_changed_source_type(self):
+        new = V1.replace("consumption as Float", "consumption as Integer")
+        diff = diff_designs(V1, new)
+        assert diff.is_breaking
+        assert any("signature" in c.detail for c in diff.breaking)
+
+    def test_changed_action_parameters(self):
+        new = V1.replace("action Off;", "action Off(delay as Integer);")
+        assert diff_designs(V1, new).is_breaking
+
+    def test_new_attribute_is_breaking_for_deployments(self):
+        new = V1.replace(
+            "device Clock { source tickSecond as Integer; }",
+            "device Clock { attribute room as String; "
+            "source tickSecond as Integer; }",
+        )
+        diff = diff_designs(V1, new)
+        assert diff.is_breaking
+        assert any("deployments" in c.detail for c in diff.breaking)
+
+    def test_changed_context_result_type(self):
+        new = V1.replace("context Alert as Integer", "context Alert as Float")
+        diff = diff_designs(V1, new)
+        assert any("result type" in c.detail for c in diff.breaking)
+
+    def test_changed_interaction_contract(self):
+        new = V1.replace(
+            "when provided tickSecond from Clock\n    maybe publish;",
+            "when periodic tickSecond from Clock <1 s>\n    maybe publish;",
+        )
+        diff = diff_designs(V1, new)
+        assert any("interaction contracts" in c.detail
+                   for c in diff.breaking)
+
+    def test_changed_controller_reactions(self):
+        new = V1 + (
+            "\ncontext Extra as Float { when provided tickSecond from "
+            "Clock always publish; }\n"
+        )
+        new = new.replace(
+            "when provided Alert\n    do Off on Cooker;",
+            "when provided Extra\n    do Off on Cooker;",
+        )
+        diff = diff_designs(V1, new)
+        assert any(c.subject == "controller TurnOff" for c in diff.breaking)
+
+
+class TestRendering:
+    def test_markers(self):
+        new = (V1 + "\ndevice Lamp { action On; }\n").replace(
+            "consumption as Float", "consumption as Integer"
+        )
+        rendered = diff_designs(V1, new).render()
+        assert "+ added device Lamp" in rendered
+        assert "! changed device Cooker" in rendered
+        assert "2 change(s), 1 breaking" in rendered
+
+
+class TestCliDiff:
+    def test_exit_codes(self, tmp_path, capsys):
+        from repro.cli import main
+
+        old = tmp_path / "old.diaspec"
+        old.write_text(V1, encoding="utf-8")
+        same = tmp_path / "same.diaspec"
+        same.write_text(V1, encoding="utf-8")
+        broken = tmp_path / "broken.diaspec"
+        broken.write_text(
+            V1.replace("consumption as Float", "consumption as Integer"),
+            encoding="utf-8",
+        )
+        assert main(["diff", str(old), str(same)]) == 0
+        assert main(["diff", str(old), str(broken)]) == 3
+        out = capsys.readouterr().out
+        assert "breaking" in out

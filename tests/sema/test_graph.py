@@ -1,0 +1,132 @@
+"""Dataflow graph construction, layering, cycles, functional chains."""
+
+import pytest
+
+from repro.errors import SccViolationError
+from repro.sema.analyzer import analyze
+from repro.sema.graph import EdgeKind
+
+CHAIN = """\
+device Sensor { source reading as Float; }
+device Siren { action sound(level as Integer); }
+context A as Float { when provided reading from Sensor always publish; }
+context B as Float { when provided A always publish; }
+controller K { when provided B do sound on Siren; }
+"""
+
+
+class TestGraphShape:
+    def test_nodes_cover_all_declarations(self, parking_design):
+        graph = parking_design.graph
+        assert graph.nodes["PresenceSensor"] == "device"
+        assert graph.nodes["ParkingAvailability"] == "context"
+        assert graph.nodes["MessengerController"] == "controller"
+
+    def test_subscribe_edges(self):
+        graph = analyze(CHAIN).graph
+        edges = {(e.source, e.target, e.kind) for e in graph.edges}
+        assert ("Sensor", "A", EdgeKind.SUBSCRIBE) in edges
+        assert ("A", "B", EdgeKind.SUBSCRIBE) in edges
+        assert ("B", "K", EdgeKind.SUBSCRIBE) in edges
+        assert ("K", "Siren", EdgeKind.ACT) in edges
+
+    def test_query_edges_from_gets(self, cooker_design):
+        graph = cooker_design.graph
+        query_edges = [e for e in graph.edges if e.kind is EdgeKind.QUERY]
+        assert any(
+            e.source == "Cooker" and e.target == "Alert"
+            for e in query_edges
+        )
+
+    def test_edge_facets(self):
+        graph = analyze(CHAIN).graph
+        source_edge = next(
+            e for e in graph.edges if e.source == "Sensor"
+        )
+        assert source_edge.facet == "reading"
+        act_edge = next(e for e in graph.edges if e.kind is EdgeKind.ACT)
+        assert act_edge.facet == "sound"
+
+
+class TestLayering:
+    def test_chain_layers_increase(self):
+        graph = analyze(CHAIN).graph
+        assert graph.layers["Sensor"] == 0
+        assert graph.layers["A"] == 1
+        assert graph.layers["B"] == 2
+        assert graph.layers["K"] == 3
+
+    def test_parking_layers(self, parking_design):
+        layers = parking_design.graph.layers
+        assert layers["ParkingAvailability"] == 1
+        assert layers["ParkingSuggestion"] == 2
+        assert layers["CityEntrancePanelController"] == 3
+
+    def test_context_order_respects_dependencies(self, parking_design):
+        order = parking_design.graph.context_order()
+        assert order.index("ParkingAvailability") < order.index(
+            "ParkingSuggestion"
+        )
+
+    def test_query_dependencies_count_for_layering(self, parking_design):
+        layers = parking_design.graph.layers
+        # ParkingSuggestion queries ParkingUsagePattern, so it sits deeper.
+        assert layers["ParkingSuggestion"] > layers["ParkingUsagePattern"]
+
+
+class TestCycles:
+    def test_subscription_cycle_rejected(self):
+        with pytest.raises(SccViolationError, match="cycle"):
+            analyze(
+                "device D { source s as Float; }\n"
+                "context A as Float { when provided B always publish; }\n"
+                "context B as Float { when provided A always publish; }\n"
+            )
+
+    def test_self_subscription_rejected(self):
+        with pytest.raises(SccViolationError, match="cycle"):
+            analyze(
+                "context A as Float { when provided A always publish; }"
+            )
+
+    def test_query_cycle_rejected(self):
+        with pytest.raises(SccViolationError, match="cycle"):
+            analyze(
+                "device D { source s as Float; }\n"
+                "context A as Float { when provided s from D get B "
+                "always publish; when required; }\n"
+                "context B as Float { when provided s from D get A "
+                "always publish; when required; }\n"
+            )
+
+
+class TestFunctionalChains:
+    def test_cooker_chains_match_figure_3(self, cooker_design):
+        chains = cooker_design.graph.functional_chains()
+        assert [
+            "Clock",
+            "Alert",
+            "Notify",
+            "TVPrompter",
+            "RemoteTurnOff",
+            "TurnOff",
+            "Cooker",
+        ] in chains
+
+    def test_every_chain_starts_at_device(self, parking_design):
+        graph = parking_design.graph
+        for chain in graph.functional_chains():
+            assert graph.nodes[chain[0]] == "device"
+            assert graph.nodes[chain[-1]] == "device"
+
+    def test_render_is_stable(self, cooker_design):
+        text = cooker_design.graph.render()
+        assert "context Alert" in text
+        assert text == cooker_design.graph.render()
+
+
+class TestGraphQueries:
+    def test_successors_predecessors(self):
+        graph = analyze(CHAIN).graph
+        assert [e.target for e in graph.successors("A")] == ["B"]
+        assert [e.source for e in graph.predecessors("K")] == ["B"]

@@ -1,0 +1,46 @@
+"""Graphviz DOT rendering of the dataflow graph."""
+
+from repro.sema.analyzer import analyze
+
+
+class TestDotRendering:
+    def test_valid_dot_structure(self, cooker_design):
+        dot = cooker_design.graph.render_dot("cooker")
+        assert dot.startswith('digraph "cooker" {')
+        assert dot.rstrip().endswith("}")
+
+    def test_nodes_have_kind_shapes(self, cooker_design):
+        dot = cooker_design.graph.render_dot()
+        assert '"Clock" [shape=box' in dot
+        assert '"Alert" [shape=ellipse' in dot
+        assert '"Notify" [shape=hexagon' in dot
+
+    def test_edge_styles_by_kind(self, cooker_design):
+        dot = cooker_design.graph.render_dot()
+        assert '"Clock" -> "Alert" [style=solid, label="tickSecond"];' in dot
+        assert '"Cooker" -> "Alert" [style=dashed' in dot  # query (get)
+        assert '"TurnOff" -> "Cooker" [style=bold' in dot  # action
+
+    def test_deterministic(self, parking_design):
+        assert (
+            parking_design.graph.render_dot()
+            == parking_design.graph.render_dot()
+        )
+
+    def test_cli_dot_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "d.diaspec"
+        path.write_text(
+            "device D { source s as Float; }\n"
+            "context C as Float { when provided s from D always publish; }\n",
+            encoding="utf-8",
+        )
+        assert main(["graph", str(path), "--dot"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+
+    def test_quotes_protect_names(self):
+        design = analyze("device Weird_1 { source s2 as Float; }")
+        dot = design.graph.render_dot()
+        assert '"Weird_1"' in dot

@@ -1,0 +1,186 @@
+"""Name resolution: types, symbol table, device-inheritance flattening."""
+
+import pytest
+
+from repro.errors import (
+    DuplicateDeclarationError,
+    SemanticError,
+    UnknownNameError,
+)
+from repro.lang.parser import parse
+from repro.sema.resolver import build_symbols, build_types
+from repro.typesys.core import EnumerationType, INTEGER
+
+
+def resolve(source):
+    spec = parse(source)
+    types = build_types(spec)
+    return build_types(spec), build_symbols(spec, types)
+
+
+class TestTypeBuilding:
+    def test_enumeration_registered(self):
+        types = build_types(parse("enumeration E { A, B }"))
+        assert types.lookup("E") == EnumerationType("E", ("A", "B"))
+
+    def test_structure_field_types_resolved(self):
+        types = build_types(
+            parse(
+                "enumeration E { A }\n"
+                "structure S { kind as E; count as Integer; }"
+            )
+        )
+        structure = types.lookup("S")
+        assert structure.field_type("count") is INTEGER
+        assert structure.field_type("kind") == EnumerationType("E", ("A",))
+
+    def test_structure_referencing_structure(self):
+        types = build_types(
+            parse(
+                "structure Outer { inner as Inner; }\n"
+                "structure Inner { x as Integer; }"
+            )
+        )
+        outer = types.lookup("Outer")
+        assert outer.field_type("inner") == types.lookup("Inner")
+
+    def test_structure_cycle_rejected(self):
+        with pytest.raises(SemanticError, match="cycle|unknown"):
+            build_types(
+                parse(
+                    "structure A { b as B; }\n"
+                    "structure B { a as A; }"
+                )
+            )
+
+    def test_structure_with_unknown_field_type(self):
+        with pytest.raises(SemanticError):
+            build_types(parse("structure S { x as Mystery; }"))
+
+    def test_duplicate_structures_rejected(self):
+        with pytest.raises(DuplicateDeclarationError):
+            build_types(
+                parse("structure S { a as Integer; }\nstructure S { }")
+            )
+
+
+class TestDeviceFlattening:
+    HIERARCHY = """\
+device DisplayPanel {
+    attribute brightness as Integer;
+    action update(status as String);
+}
+device ParkingEntrancePanel extends DisplayPanel {
+    attribute location as LotEnum;
+    source temperature as Float;
+}
+device FancyPanel extends ParkingEntrancePanel {
+    action blink;
+}
+enumeration LotEnum { A22 }
+"""
+
+    def test_inherited_facets_present(self):
+        __, table = resolve(self.HIERARCHY)
+        fancy = table.device("FancyPanel")
+        assert set(fancy.attributes) == {"brightness", "location"}
+        assert set(fancy.actions) == {"update", "blink"}
+        assert set(fancy.sources) == {"temperature"}
+
+    def test_ancestors_nearest_first(self):
+        __, table = resolve(self.HIERARCHY)
+        assert table.device("FancyPanel").ancestors == (
+            "ParkingEntrancePanel",
+            "DisplayPanel",
+        )
+
+    def test_subtypes_recorded(self):
+        __, table = resolve(self.HIERARCHY)
+        assert table.device("DisplayPanel").subtypes == (
+            "FancyPanel",
+            "ParkingEntrancePanel",
+        )
+
+    def test_is_subtype_of(self):
+        __, table = resolve(self.HIERARCHY)
+        fancy = table.device("FancyPanel")
+        assert fancy.is_subtype_of("DisplayPanel")
+        assert fancy.is_subtype_of("FancyPanel")
+        assert not table.device("DisplayPanel").is_subtype_of("FancyPanel")
+
+    def test_declared_by_tracks_origin(self):
+        __, table = resolve(self.HIERARCHY)
+        fancy = table.device("FancyPanel")
+        assert fancy.actions["update"].declared_by == "DisplayPanel"
+        assert fancy.actions["blink"].declared_by == "FancyPanel"
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(UnknownNameError):
+            resolve("device D extends Ghost { }")
+
+    def test_inheritance_cycle_rejected(self):
+        with pytest.raises(SemanticError, match="cycle"):
+            resolve(
+                "device A extends B { }\ndevice B extends A { }"
+            )
+
+    def test_facet_redeclaration_rejected(self):
+        with pytest.raises(DuplicateDeclarationError):
+            resolve(
+                "device P { action go; }\n"
+                "device C extends P { action go; }"
+            )
+
+
+class TestUniqueness:
+    def test_duplicate_toplevel_names_rejected(self):
+        with pytest.raises(DuplicateDeclarationError):
+            resolve("device X { }\ncontext X as Integer { when required; }")
+
+    def test_kind_of(self):
+        __, table = resolve(
+            "device D { }\n"
+            "context C as Integer { when required; }\n"
+            "controller K { when provided C do a on D; }"
+        )
+        assert table.kind_of("D") == "device"
+        assert table.kind_of("C") == "context"
+        assert table.kind_of("K") == "controller"
+        assert table.kind_of("Ghost") is None
+
+    def test_symbol_lookups_raise_on_unknown(self):
+        __, table = resolve("device D { }")
+        with pytest.raises(UnknownNameError):
+            table.context("Nope")
+        with pytest.raises(UnknownNameError):
+            table.controller("Nope")
+        with pytest.raises(UnknownNameError):
+            table.device("Nope")
+
+
+class TestContextResolution:
+    def test_result_type_resolved(self):
+        __, table = resolve(
+            "structure S { x as Integer; }\n"
+            "context C as S[] { when required; }"
+        )
+        context = table.context("C")
+        assert context.result_type.name == "S[]"
+
+    def test_unknown_result_type_rejected(self):
+        with pytest.raises(UnknownNameError):
+            resolve("context C as Mystery { when required; }")
+
+    def test_queryable_flag(self):
+        __, table = resolve("context C as Integer { when required; }")
+        assert table.context("C").is_queryable
+
+    def test_ever_publishes(self):
+        __, table = resolve(
+            "device D { source s as Float; }\n"
+            "context A as Float { when provided s from D always publish; }\n"
+            "context B as Float { when provided s from D no publish; "
+            "when required; }"
+        )
+        assert table.context("A").ever_publishes
+        assert not table.context("B").ever_publishes

@@ -1,0 +1,83 @@
+"""Whole-design SCC rules and warnings (Figure 2 conformance)."""
+
+from repro.sema.analyzer import analyze
+
+
+class TestSccConformance:
+    """The SCC paradigm holds structurally for every analyzed design."""
+
+    def test_controllers_never_feed_contexts(self, parking_design):
+        graph = parking_design.graph
+        for edge in graph.edges:
+            if graph.nodes[edge.source] == "controller":
+                assert graph.nodes[edge.target] == "device"
+
+    def test_data_flows_down_layers(self, parking_design):
+        """Subscription edges never point to an equal-or-lower layer
+        (acyclicity made quantitative)."""
+        graph = parking_design.graph
+        for edge in graph.edges:
+            if (
+                graph.nodes[edge.source] == "context"
+                and graph.nodes[edge.target] == "context"
+            ):
+                assert graph.layers[edge.source] < graph.layers[edge.target]
+
+    def test_devices_are_leaves_and_roots_only(self, cooker_design):
+        graph = cooker_design.graph
+        for edge in graph.edges:
+            if graph.nodes[edge.source] == "device":
+                assert edge.kind.value in ("subscribe", "query")
+            if graph.nodes[edge.target] == "device":
+                assert edge.kind.value == "act"
+
+
+class TestWarnings:
+    def test_clean_designs_have_no_warnings(
+        self, cooker_design, parking_design
+    ):
+        assert cooker_design.report.warnings == []
+        assert parking_design.report.warnings == []
+
+    def test_unused_device_flagged(self):
+        design = analyze(
+            "device Used { source s as Float; }\n"
+            "device Unused { source t as Float; }\n"
+            "context C as Float { when provided s from Used "
+            "always publish; }"
+        )
+        assert design.report.unused_devices == ["Unused"]
+        assert any("Unused" in w for w in design.report.warnings)
+
+    def test_supertype_counts_as_used_via_subtype(self):
+        design = analyze(
+            "device Panel { action update(status as String); }\n"
+            "device LotPanel extends Panel { }\n"
+            "device S { source s as Float; }\n"
+            "context C as Float { when provided s from S always publish; }\n"
+            "controller K { when provided C do update on LotPanel; }"
+        )
+        assert "Panel" not in design.report.unused_devices
+
+    def test_unobserved_context_flagged(self):
+        design = analyze(
+            "device S { source s as Float; }\n"
+            "context C as Float { when provided s from S always publish; }"
+        )
+        assert design.report.unobserved_contexts == ["C"]
+
+    def test_queried_context_is_observed(self):
+        design = analyze(
+            "device S { source s as Float; }\n"
+            "context A as Float { when provided s from S maybe publish; "
+            "when required; }\n"
+            "context B as Float { when provided s from S get A "
+            "always publish; }"
+        )
+        assert "A" not in design.report.unobserved_contexts
+        # B itself is unobserved
+        assert design.report.unobserved_contexts == ["B"]
+
+    def test_warnings_do_not_fail_analysis(self):
+        design = analyze("device Lonely { }")
+        assert design.report.unused_devices == ["Lonely"]

@@ -1,0 +1,259 @@
+"""Interaction-level semantic checks."""
+
+import pytest
+
+from repro.errors import SccViolationError, SemanticError, UnknownNameError
+from repro.lang.ast_nodes import Publish
+from repro.sema.analyzer import analyze
+from repro.sema.typecheck import publish_discipline
+
+BASE = """\
+device Sensor {
+    attribute zone as ZoneEnum;
+    source reading as Float;
+}
+device Siren { action sound(level as Integer); }
+enumeration ZoneEnum { NORTH, SOUTH }
+"""
+
+
+class TestDeviceSubscriptions:
+    def test_valid_subscription_passes(self):
+        analyze(
+            BASE
+            + "context C as Float { when provided reading from Sensor "
+            "always publish; }"
+        )
+
+    def test_unknown_device(self):
+        with pytest.raises(UnknownNameError, match="Ghost"):
+            analyze(
+                "context C as Float { when provided r from Ghost "
+                "always publish; }"
+            )
+
+    def test_unknown_source_on_device(self):
+        with pytest.raises(UnknownNameError, match="no source"):
+            analyze(
+                BASE
+                + "context C as Float { when provided humidity from Sensor "
+                "always publish; }"
+            )
+
+    def test_subscribing_to_controller_name_as_device(self):
+        with pytest.raises(UnknownNameError):
+            analyze(
+                BASE
+                + "context C as Float { when provided reading from K "
+                "always publish; }\n"
+                "controller K { when provided C do sound on Siren; }"
+            )
+
+
+class TestGrouping:
+    def test_group_by_attribute_passes(self):
+        analyze(
+            BASE
+            + "context C as Float { when periodic reading from Sensor "
+            "<1 min> grouped by zone always publish; }"
+        )
+
+    def test_group_by_unknown_attribute(self):
+        with pytest.raises(UnknownNameError, match="attribute"):
+            analyze(
+                BASE
+                + "context C as Float { when periodic reading from Sensor "
+                "<1 min> grouped by floor always publish; }"
+            )
+
+    def test_group_on_event_driven_rejected(self):
+        with pytest.raises(SemanticError, match="periodic"):
+            analyze(
+                BASE
+                + "context C as Float { when provided reading from Sensor "
+                "grouped by zone always publish; }"
+            )
+
+    def test_window_shorter_than_period_rejected(self):
+        with pytest.raises(SemanticError, match="shorter"):
+            analyze(
+                BASE
+                + "context C as Float { when periodic reading from Sensor "
+                "<1 hr> grouped by zone every <10 min> always publish; }"
+            )
+
+    def test_window_equal_to_period_allowed(self):
+        analyze(
+            BASE
+            + "context C as Float { when periodic reading from Sensor "
+            "<10 min> grouped by zone every <10 min> always publish; }"
+        )
+
+    def test_mapreduce_types_must_resolve(self):
+        with pytest.raises(UnknownNameError):
+            analyze(
+                BASE
+                + "context C as Float { when periodic reading from Sensor "
+                "<1 min> grouped by zone with map as Ghost reduce as "
+                "Integer always publish; }"
+            )
+
+
+class TestContextSubscriptions:
+    def test_subscribe_to_publishing_context(self):
+        analyze(
+            BASE
+            + "context A as Float { when provided reading from Sensor "
+            "always publish; }\n"
+            "context B as Float { when provided A always publish; }"
+        )
+
+    def test_subscribe_to_never_publishing_context_rejected(self):
+        with pytest.raises(SemanticError, match="never publishes"):
+            analyze(
+                BASE
+                + "context A as Float { when provided reading from Sensor "
+                "no publish; }\n"
+                "context B as Float { when provided A always publish; }"
+            )
+
+    def test_subscribe_to_controller_rejected(self):
+        with pytest.raises(SccViolationError):
+            analyze(
+                BASE
+                + "context A as Float { when provided reading from Sensor "
+                "always publish; }\n"
+                "controller K { when provided A do sound on Siren; }\n"
+                "context B as Float { when provided K always publish; }"
+            )
+
+    def test_unknown_context(self):
+        with pytest.raises(UnknownNameError):
+            analyze(
+                "context B as Float { when provided Ghost always publish; }"
+            )
+
+
+class TestGetClauses:
+    def test_get_source_passes(self):
+        analyze(
+            BASE
+            + "context C as Float { when provided reading from Sensor "
+            "get reading from Sensor always publish; }"
+        )
+
+    def test_get_unknown_source(self):
+        with pytest.raises(UnknownNameError):
+            analyze(
+                BASE
+                + "context C as Float { when provided reading from Sensor "
+                "get humidity from Sensor always publish; }"
+            )
+
+    def test_get_context_requires_when_required(self):
+        with pytest.raises(SemanticError, match="when\\s+required|required"):
+            analyze(
+                BASE
+                + "context A as Float { when provided reading from Sensor "
+                "always publish; }\n"
+                "context B as Float { when provided reading from Sensor "
+                "get A always publish; }"
+            )
+
+    def test_get_queryable_context_passes(self):
+        analyze(
+            BASE
+            + "context A as Float { when provided reading from Sensor "
+            "no publish; when required; }\n"
+            "context B as Float { when provided reading from Sensor "
+            "get A always publish; }"
+        )
+
+    def test_get_controller_rejected(self):
+        with pytest.raises(SccViolationError):
+            analyze(
+                BASE
+                + "context A as Float { when provided reading from Sensor "
+                "always publish; }\n"
+                "controller K { when provided A do sound on Siren; }\n"
+                "context B as Float { when provided reading from Sensor "
+                "get K always publish; }"
+            )
+
+
+class TestControllers:
+    def test_valid_controller(self):
+        analyze(
+            BASE
+            + "context A as Float { when provided reading from Sensor "
+            "always publish; }\n"
+            "controller K { when provided A do sound on Siren; }"
+        )
+
+    def test_controller_subscribing_to_device_rejected(self):
+        with pytest.raises(SccViolationError, match="context"):
+            analyze(
+                BASE
+                + "controller K { when provided Sensor do sound on Siren; }"
+            )
+
+    def test_controller_on_silent_context_rejected(self):
+        with pytest.raises(SemanticError, match="never publishes"):
+            analyze(
+                BASE
+                + "context A as Float { when provided reading from Sensor "
+                "no publish; }\n"
+                "controller K { when provided A do sound on Siren; }"
+            )
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(UnknownNameError, match="no action"):
+            analyze(
+                BASE
+                + "context A as Float { when provided reading from Sensor "
+                "always publish; }\n"
+                "controller K { when provided A do explode on Siren; }"
+            )
+
+    def test_action_on_unknown_device_rejected(self):
+        with pytest.raises(UnknownNameError):
+            analyze(
+                BASE
+                + "context A as Float { when provided reading from Sensor "
+                "always publish; }\n"
+                "controller K { when provided A do sound on Ghost; }"
+            )
+
+
+class TestEmptyDeclarations:
+    def test_context_without_interactions_rejected(self):
+        from repro.lang.ast_nodes import ContextDecl, Spec
+
+        with pytest.raises(SemanticError, match="interaction"):
+            analyze(Spec((ContextDecl("C", "Integer", ()),)))
+
+    def test_controller_without_reactions_rejected(self):
+        from repro.lang.ast_nodes import ControllerDecl, Spec
+
+        with pytest.raises(SemanticError, match="reaction"):
+            analyze(Spec((ControllerDecl("K", ()),)))
+
+
+class TestPublishDiscipline:
+    def test_strongest_discipline_wins(self):
+        design = analyze(
+            BASE
+            + "context C as Float {\n"
+            "when provided reading from Sensor maybe publish;\n"
+            "when periodic reading from Sensor <1 min> always publish;\n"
+            "}"
+        )
+        assert publish_discipline(design.contexts["C"]) is Publish.ALWAYS
+
+    def test_no_only(self):
+        design = analyze(
+            BASE
+            + "context C as Float { when provided reading from Sensor "
+            "no publish; when required; }"
+        )
+        assert publish_discipline(design.contexts["C"]) is Publish.NO

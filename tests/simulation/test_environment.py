@@ -1,0 +1,186 @@
+"""Simulated environments: parking lots, homes, flight dynamics."""
+
+import pytest
+
+from repro.runtime.clock import SimulationClock
+from repro.simulation.environment import (
+    Environment,
+    FlightEnvironment,
+    HomeEnvironment,
+    ParkingLotEnvironment,
+)
+
+
+class TestEnvironmentBase:
+    def test_attach_steps_with_clock(self, clock):
+        env = Environment(step_seconds=10.0)
+        env.attach(clock)
+        clock.advance(35.0)
+        assert env.steps == 3
+
+    def test_double_attach_rejected(self, clock):
+        env = Environment()
+        env.attach(clock)
+        with pytest.raises(RuntimeError):
+            env.attach(clock)
+
+    def test_detach_stops_stepping(self, clock):
+        env = Environment(step_seconds=10.0)
+        env.attach(clock)
+        clock.advance(10.0)
+        env.detach()
+        clock.advance(100.0)
+        assert env.steps == 1
+
+    def test_invalid_step(self):
+        with pytest.raises(ValueError):
+            Environment(step_seconds=0)
+
+
+class TestParkingLotEnvironment:
+    def test_initially_empty(self):
+        env = ParkingLotEnvironment({"A": 10})
+        assert env.occupancy("A") == 0.0
+        assert env.free_count("A") == 10
+
+    def test_occupancy_rises_during_day(self, clock):
+        env = ParkingLotEnvironment({"A": 100}, step_seconds=600.0, seed=1)
+        env.attach(clock)
+        clock.advance(9 * 3600.0)  # into the morning rush
+        assert env.occupancy("A") > 0.3
+
+    def test_occupancy_bounded(self, clock):
+        env = ParkingLotEnvironment(
+            {"A": 50}, step_seconds=600.0, pressure={"A": 5.0}, seed=2
+        )
+        env.attach(clock)
+        clock.advance(12 * 3600.0)
+        assert 0.0 <= env.occupancy("A") <= 1.0
+
+    def test_per_space_sensing(self, clock):
+        env = ParkingLotEnvironment({"A": 5}, seed=3)
+        env.force("A", 2, True)
+        assert env.is_occupied("A", 2)
+        assert not env.is_occupied("A", 0)
+
+    def test_determinism(self):
+        def run():
+            clock = SimulationClock()
+            env = ParkingLotEnvironment({"A": 30, "B": 20},
+                                        step_seconds=600.0, seed=9)
+            env.attach(clock)
+            clock.advance(6 * 3600.0)
+            return (env.occupancy("A"), env.occupancy("B"))
+
+        assert run() == run()
+
+    def test_requires_lots(self):
+        with pytest.raises(ValueError):
+            ParkingLotEnvironment({})
+
+
+class TestHomeEnvironment:
+    def test_routine_drives_location(self, clock):
+        env = HomeEnvironment(step_seconds=60.0)
+        env.attach(clock)
+        clock.advance(7.5 * 3600.0)  # breakfast time
+        assert env.current_room == "kitchen"
+        assert env.cooker_on
+        assert env.consumption() == 1500.0
+
+    def test_cooker_off_outside_meals(self, clock):
+        env = HomeEnvironment(step_seconds=60.0)
+        env.attach(clock)
+        clock.advance(10 * 3600.0)
+        assert not env.cooker_on
+        assert env.consumption() == 0.0
+
+    def test_actuation_overrides_routine(self, clock):
+        env = HomeEnvironment(step_seconds=60.0)
+        env.attach(clock)
+        env.set_cooker(True)
+        clock.advance(10 * 3600.0)
+        assert env.cooker_on  # override holds
+        env.release_cooker()
+        clock.advance(60.0)
+        assert not env.cooker_on  # routine resumes
+
+    def test_presence_per_room(self, clock):
+        env = HomeEnvironment(step_seconds=60.0)
+        env.attach(clock)
+        clock.advance(9 * 3600.0)
+        assert env.presence("living_room")
+        assert not env.presence("kitchen")
+
+    def test_force_room(self, clock):
+        env = HomeEnvironment(step_seconds=60.0)
+        env.attach(clock)
+        env.force_room("hallway")
+        clock.advance(3600.0)
+        assert env.current_room == "hallway"
+        env.force_room(None)
+        clock.advance(9 * 3600.0)
+        assert env.current_room != "hallway"
+
+
+class TestFlightEnvironment:
+    def test_level_flight_without_inputs(self, clock):
+        env = FlightEnvironment(altitude=1000.0, step_seconds=1.0)
+        env.set_throttle(120.0 / 250.0)
+        env.attach(clock)
+        clock.advance(60.0)
+        assert env.altitude == pytest.approx(1000.0, abs=1.0)
+
+    def test_elevator_climbs(self, clock):
+        env = FlightEnvironment(altitude=1000.0)
+        env.attach(clock)
+        env.set_elevator(1.0)
+        clock.advance(30.0)
+        assert env.altitude > 1100.0
+
+    def test_throttle_converges_airspeed(self, clock):
+        env = FlightEnvironment(airspeed=120.0, max_airspeed=250.0)
+        env.attach(clock)
+        env.set_throttle(1.0)
+        clock.advance(120.0)
+        assert env.airspeed > 200.0
+
+    def test_aileron_turns(self, clock):
+        env = FlightEnvironment(heading=0.0)
+        env.attach(clock)
+        env.set_aileron(0.5)
+        clock.advance(60.0)
+        assert env.heading == pytest.approx(90.0, abs=1.0)
+
+    def test_heading_wraps(self, clock):
+        env = FlightEnvironment(heading=350.0)
+        env.attach(clock)
+        env.set_aileron(1.0)
+        clock.advance(10.0)
+        assert 0.0 <= env.heading < 360.0
+
+    def test_actuator_clamping(self):
+        env = FlightEnvironment()
+        env.set_elevator(5.0)
+        assert env.elevator == 1.0
+        env.set_throttle(-1.0)
+        assert env.throttle == 0.0
+        env.set_aileron(-9.0)
+        assert env.aileron == -1.0
+
+    def test_altitude_floor(self, clock):
+        env = FlightEnvironment(altitude=5.0)
+        env.attach(clock)
+        env.set_elevator(-1.0)
+        clock.advance(30.0)
+        assert env.altitude == 0.0
+
+    def test_turbulence_is_seeded(self):
+        def run():
+            clock = SimulationClock()
+            env = FlightEnvironment(turbulence=0.5, seed=4)
+            env.attach(clock)
+            clock.advance(60.0)
+            return env.altitude
+
+        assert run() == run()

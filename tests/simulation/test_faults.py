@@ -1,0 +1,144 @@
+"""Failure injection and the runtime's failure masking (C6)."""
+
+import pytest
+
+from repro.runtime.app import Application
+from repro.runtime.component import Context
+from repro.runtime.device import CallableDriver
+from repro.sema.analyzer import analyze
+from repro.simulation.faults import FaultInjector
+
+DESIGN = """\
+device Sensor { source reading as Float; }
+context Sweep as Integer {
+    when periodic reading from Sensor <1 min>
+    always publish;
+}
+"""
+
+
+class SweepImpl(Context):
+    def __init__(self):
+        super().__init__()
+        self.sizes = []
+
+    def on_periodic_reading(self, readings, discover):
+        self.sizes.append(len(readings))
+        return len(readings)
+
+
+def build(sensors=10):
+    app = Application(analyze(DESIGN))
+    sweep = SweepImpl()
+    app.implement("Sweep", sweep)
+    for index in range(sensors):
+        app.create_device(
+            "Sensor",
+            f"s{index}",
+            CallableDriver(sources={"reading": lambda: 1.0}),
+        )
+    app.start()
+    return app, sweep
+
+
+class TestFaultInjector:
+    def test_devices_fail_and_recover(self):
+        app, sweep = build(sensors=20)
+        injector = FaultInjector(
+            app.registry, app.clock,
+            mtbf_seconds=600.0, mttr_seconds=300.0, seed=1,
+        ).start()
+        app.advance(4 * 3600.0)
+        assert injector.failures > 0
+        assert injector.recoveries > 0
+        assert injector.total_downtime > 0.0
+
+    def test_failed_devices_masked_from_gathering(self):
+        app, sweep = build(sensors=10)
+        injector = FaultInjector(
+            app.registry, app.clock,
+            mtbf_seconds=300.0, mttr_seconds=3000.0, seed=2,
+        ).start()
+        app.advance(3600.0)
+        assert min(sweep.sizes) < 10  # some sweeps saw fewer sensors
+        assert injector.stats["currently_failed"] > 0
+
+    def test_application_survives_total_failure(self):
+        app, sweep = build(sensors=3)
+        for instance in list(app.registry):
+            instance.fail()
+        app.advance(120.0)
+        assert sweep.sizes[-1] == 0  # empty sweep, no crash
+
+    def test_recovered_devices_rejoin(self):
+        app, sweep = build(sensors=5)
+        victim = app.registry.get("s0")
+        victim.fail()
+        app.advance(60.0)
+        victim.recover()
+        app.advance(60.0)
+        assert sweep.sizes == [4, 5]
+
+    def test_stats_accounting(self):
+        app, __ = build(sensors=50)
+        injector = FaultInjector(
+            app.registry, app.clock,
+            mtbf_seconds=1000.0, mttr_seconds=100.0, seed=3,
+        ).start()
+        app.advance(8 * 3600.0)
+        stats = injector.stats
+        assert stats["failures"] >= stats["recoveries"]
+        assert stats["failures"] - stats["recoveries"] == stats[
+            "currently_failed"
+        ]
+
+    def test_device_type_filter(self):
+        design = analyze(
+            "device A { source x as Float; }\n"
+            "device B { source y as Float; }\n"
+            "context C as Integer { when periodic x from A <1 min> "
+            "always publish; }"
+        )
+        class XSweep(Context):
+            def on_periodic_x(self, readings, discover):
+                return len(readings)
+
+        app = Application(design)
+        app.implement("C", XSweep())
+        app.create_device("A", "a1",
+                          CallableDriver(sources={"x": lambda: 0.0}))
+        app.create_device("B", "b1",
+                          CallableDriver(sources={"y": lambda: 0.0}))
+        app.start()
+        injector = FaultInjector(
+            app.registry, app.clock,
+            mtbf_seconds=1.0, mttr_seconds=1e9,
+            device_type="A", seed=4,
+        ).start()
+        app.advance(600.0)
+        assert app.registry.get("a1").failed
+        assert not app.registry.get("b1").failed
+
+    def test_validation(self, clock):
+        from repro.runtime.registry import EntityRegistry
+
+        with pytest.raises(ValueError):
+            FaultInjector(EntityRegistry(), clock, 0.0, 1.0)
+
+    def test_stop_cancels_pending_failures(self):
+        app, __ = build(sensors=10)
+        injector = FaultInjector(
+            app.registry, app.clock,
+            mtbf_seconds=100.0, mttr_seconds=100.0, seed=5,
+        ).start()
+        injector.stop()
+        app.advance(3600.0)
+        assert injector.failures == 0
+
+    def test_double_start_rejected(self):
+        app, __ = build(sensors=1)
+        injector = FaultInjector(
+            app.registry, app.clock, 100.0, 100.0
+        ).start()
+        with pytest.raises(RuntimeError):
+            injector.start()

@@ -1,0 +1,158 @@
+"""Simulated device drivers: environment probes and event pushers."""
+
+import pytest
+
+from repro.errors import DeliveryError
+from repro.runtime.app import Application
+from repro.runtime.component import Context
+from repro.sema.analyzer import analyze
+from repro.simulation.sensors import (
+    ClockDeviceDriver,
+    EnvironmentDriver,
+    ThresholdPushDriver,
+)
+
+DESIGN = """\
+device Clock {
+    source tickSecond as Integer;
+    source tickMinute as Integer;
+    source tickHour as Integer;
+}
+device Thermometer { source temperature as Float; }
+context Log as Integer {
+    when provided tickSecond from Clock
+    always publish;
+}
+context Heat as Float {
+    when provided temperature from Thermometer
+    maybe publish;
+}
+"""
+
+
+class LogImpl(Context):
+    def __init__(self):
+        super().__init__()
+        self.ticks = []
+
+    def on_tick_second_from_clock(self, event, discover):
+        self.ticks.append(event.value)
+        return event.value
+
+
+class HeatImpl(Context):
+    def __init__(self):
+        super().__init__()
+        self.alerts = []
+
+    def on_temperature_from_thermometer(self, event, discover):
+        self.alerts.append(event.value)
+        return None
+
+
+def build():
+    app = Application(analyze(DESIGN))
+    log, heat = LogImpl(), HeatImpl()
+    app.implement("Log", log)
+    app.implement("Heat", heat)
+    return app, log, heat
+
+
+class TestEnvironmentDriver:
+    def test_sources_and_actions(self):
+        state = {"level": 3}
+        driver = EnvironmentDriver(
+            sources={"x": lambda: state["level"]},
+            actions={"bump": lambda by: state.__setitem__(
+                "level", state["level"] + by)},
+        )
+        assert driver.read("x") == 3
+        driver.invoke("bump", by=2)
+        assert driver.read("x") == 5
+
+    def test_unknown_source(self):
+        with pytest.raises(DeliveryError):
+            EnvironmentDriver().read("ghost")
+
+    def test_unknown_action(self):
+        with pytest.raises(DeliveryError):
+            EnvironmentDriver().invoke("ghost")
+
+
+class TestClockDeviceDriver:
+    def test_tick_second_pushes(self):
+        app, log, __ = build()
+        driver = ClockDeviceDriver()
+        app.create_device("Clock", "clk", driver)
+        app.start()
+        driver.start(app.clock)
+        app.advance(5.0)
+        assert log.ticks == [1, 2, 3, 4, 5]
+
+    def test_query_driven_reads(self):
+        app, __, __ = build()
+        driver = ClockDeviceDriver()
+        instance = app.create_device("Clock", "clk", driver)
+        app.start()
+        driver.start(app.clock)
+        app.advance(125.0)
+        assert instance.read("tickSecond") == 125
+        assert instance.read("tickMinute") == 2
+        assert instance.read("tickHour") == 0
+
+    def test_start_requires_binding(self, clock):
+        with pytest.raises(DeliveryError, match="bind"):
+            ClockDeviceDriver().start(clock)
+
+    def test_stop(self):
+        app, log, __ = build()
+        driver = ClockDeviceDriver()
+        app.create_device("Clock", "clk", driver)
+        app.start()
+        driver.start(app.clock)
+        app.advance(2.0)
+        driver.stop()
+        app.advance(10.0)
+        assert log.ticks == [1, 2]
+
+
+class TestThresholdPushDriver:
+    def test_pushes_on_rising_edge_only(self):
+        app, __, heat = build()
+        temperature = {"value": 20.0}
+        driver = ThresholdPushDriver(
+            source="temperature",
+            probe=lambda: temperature["value"],
+            predicate=lambda v: v > 30.0,
+            sample_seconds=1.0,
+        )
+        app.create_device("Thermometer", "t1", driver)
+        app.start()
+        driver.start(app.clock)
+        app.advance(3.0)
+        assert heat.alerts == []
+        temperature["value"] = 35.0
+        app.advance(3.0)
+        assert heat.alerts == [35.0]  # one edge, not three samples
+        temperature["value"] = 20.0
+        app.advance(2.0)
+        temperature["value"] = 40.0
+        app.advance(1.0)
+        assert heat.alerts == [35.0, 40.0]
+
+    def test_query_driven_probe(self):
+        driver = ThresholdPushDriver(
+            source="temperature",
+            probe=lambda: 22.5,
+            predicate=lambda v: False,
+        )
+        assert driver.read("temperature") == 22.5
+
+    def test_double_start_rejected(self, clock):
+        driver = ThresholdPushDriver(
+            source="temperature", probe=lambda: 0.0,
+            predicate=lambda v: False,
+        )
+        driver.start(clock)
+        with pytest.raises(DeliveryError):
+            driver.start(clock)

@@ -1,0 +1,96 @@
+"""Synthetic workload generators."""
+
+import pytest
+
+from repro.simulation.traces import (
+    bernoulli_field,
+    daily_demand,
+    grouped_bernoulli,
+    occupancy_trace,
+    poisson_arrivals,
+)
+
+
+class TestDailyDemand:
+    def test_bounded(self):
+        for hour in range(24):
+            demand = daily_demand(hour * 3600.0)
+            assert 0.0 <= demand <= 1.0
+
+    def test_rush_hours_peak(self):
+        morning = daily_demand(9 * 3600.0)
+        night = daily_demand(3 * 3600.0)
+        assert morning > night
+
+    def test_periodic_over_days(self):
+        assert daily_demand(9 * 3600.0) == pytest.approx(
+            daily_demand(9 * 3600.0 + 86400.0)
+        )
+
+
+class TestPoissonArrivals:
+    def test_all_within_duration(self):
+        arrivals = poisson_arrivals(0.1, 1000.0, seed=1)
+        assert all(0 <= t < 1000.0 for t in arrivals)
+
+    def test_sorted(self):
+        arrivals = poisson_arrivals(0.5, 500.0, seed=2)
+        assert arrivals == sorted(arrivals)
+
+    def test_rate_controls_count(self):
+        low = len(poisson_arrivals(0.01, 10000.0, seed=3))
+        high = len(poisson_arrivals(0.1, 10000.0, seed=3))
+        assert high > low
+
+    def test_zero_rate(self):
+        assert poisson_arrivals(0.0, 100.0) == []
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(-1.0, 10.0)
+
+    def test_deterministic_under_seed(self):
+        assert poisson_arrivals(0.2, 100.0, seed=7) == poisson_arrivals(
+            0.2, 100.0, seed=7
+        )
+
+
+class TestOccupancyTrace:
+    def test_shape(self):
+        trace = occupancy_trace(spaces=20, duration_seconds=3600.0,
+                                step_seconds=600.0, seed=1)
+        assert len(trace) == 6
+        assert all(len(snapshot) == 20 for snapshot in trace)
+
+    def test_determinism(self):
+        a = occupancy_trace(10, 3600.0, seed=5)
+        b = occupancy_trace(10, 3600.0, seed=5)
+        assert a == b
+
+    def test_daytime_busier_than_night(self):
+        trace = occupancy_trace(
+            spaces=100, duration_seconds=86400.0, step_seconds=600.0, seed=2
+        )
+        def occupancy_at(hour):
+            return sum(trace[int(hour * 6)]) / 100.0
+        assert occupancy_at(9) > occupancy_at(2)
+
+
+class TestBernoulliField:
+    def test_length_and_type(self):
+        field = bernoulli_field(50, 0.5, seed=1)
+        assert len(field) == 50
+        assert all(isinstance(v, bool) for v in field)
+
+    def test_extremes(self):
+        assert bernoulli_field(20, 0.0) == [False] * 20
+        assert bernoulli_field(20, 1.0) == [True] * 20
+
+    def test_probability_validated(self):
+        with pytest.raises(ValueError):
+            bernoulli_field(10, 1.5)
+
+    def test_grouped_variant(self):
+        grouped = grouped_bernoulli(["A", "B"], 10, 0.5, seed=1)
+        assert set(grouped) == {"A", "B"}
+        assert all(len(v) == 10 for v in grouped.values())

@@ -1,0 +1,170 @@
+"""Edge cases across the stack that no single module suite owns."""
+
+import pytest
+
+from repro.errors import DiaSpecSyntaxError
+from repro.lang.ast_nodes import Duration, GroupBy
+from repro.lang.parser import parse
+from repro.lang.pretty import pretty
+from repro.sema.analyzer import analyze
+from repro.typesys.core import TypeEnvironment
+
+
+class TestDurations:
+    def test_str_integral(self):
+        assert str(Duration(10, "min")) == "<10 min>"
+
+    def test_str_fractional(self):
+        assert str(Duration(2.5, "s")) == "<2.5 s>"
+
+    def test_invalid_unit(self):
+        with pytest.raises(ValueError, match="unit"):
+            Duration(1, "parsec")
+
+    def test_nonpositive(self):
+        with pytest.raises(ValueError):
+            Duration(0, "s")
+        with pytest.raises(ValueError):
+            Duration(-1, "min")
+
+    def test_seconds_conversions(self):
+        assert Duration(1, "day").seconds == 86400.0
+        assert Duration(500, "ms").seconds == 0.5
+
+
+class TestGroupByNode:
+    def test_uses_mapreduce(self):
+        assert not GroupBy("zone").uses_mapreduce
+        assert GroupBy("zone", map_type_name="Float",
+                       reduce_type_name="Float").uses_mapreduce
+
+
+class TestTypeEnvironment:
+    def test_names_listing(self):
+        env = TypeEnvironment()
+        assert set(env.names()) == {"Boolean", "Float", "Integer", "String"}
+
+
+class TestParserEdgeCases:
+    def test_keywords_cannot_be_type_names(self):
+        with pytest.raises(DiaSpecSyntaxError):
+            parse("device D { source s as when; }")
+
+    def test_deeply_nested_array_roundtrips(self):
+        spec = parse("context C as Float[][][] { when required; }")
+        assert parse(pretty(spec)) == spec
+
+    def test_comment_only_source(self):
+        assert parse("// nothing here\n/* at all */").declarations == ()
+
+    def test_duration_with_keyword_unit_rejected(self):
+        with pytest.raises(DiaSpecSyntaxError):
+            parse(
+                "context C as Float { when periodic s from D <5 map> "
+                "always publish; }"
+            )
+
+    def test_crlf_line_endings(self):
+        spec = parse("device D {\r\n    source s as Float;\r\n}\r\n")
+        assert spec.devices[0].sources[0].name == "s"
+
+    def test_unicode_rejected_in_identifiers(self):
+        with pytest.raises(DiaSpecSyntaxError):
+            parse("device Dévice { }")
+
+
+class TestAnalyzerEdgeCases:
+    def test_enum_member_shadowing_allowed_across_enums(self):
+        # The same member name in two enumerations is fine (values are
+        # scoped by their enumeration type).
+        analyze(
+            "enumeration A { SHARED, ONLY_A }\n"
+            "enumeration B { SHARED, ONLY_B }\n"
+            "device D { attribute a as A; attribute b as B; }\n"
+        )
+
+    def test_device_attribute_of_structure_type(self):
+        design = analyze(
+            "structure GeoPoint { lat as Float; lon as Float; }\n"
+            "device D { attribute position as GeoPoint; "
+            "source s as Float; }\n"
+        )
+        assert (
+            design.devices["D"].attributes["position"].dia_type.name
+            == "GeoPoint"
+        )
+
+    def test_context_result_may_be_enum_array(self):
+        design = analyze(
+            "enumeration E { A, B }\n"
+            "context C as E[] { when required; }\n"
+        )
+        assert design.contexts["C"].result_type.name == "E[]"
+
+    def test_self_extends_rejected(self):
+        from repro.errors import SemanticError
+
+        with pytest.raises(SemanticError, match="cycle"):
+            analyze("device D extends D { }")
+
+    def test_two_contexts_subscribe_to_same_context(self):
+        design = analyze(
+            "device D { source s as Float; }\n"
+            "context A as Float { when provided s from D always publish; }\n"
+            "context B as Float { when provided A always publish; }\n"
+            "context C as Float { when provided A always publish; }\n"
+        )
+        assert design.graph.layers["B"] == design.graph.layers["C"] == 2
+
+
+class TestRuntimeEdgeCases:
+    def test_empty_design_application_starts(self):
+        from repro.runtime.app import Application
+
+        app = Application(analyze("device D { source s as Float; }"))
+        app.start()
+        app.advance(100)
+        assert app.stats["context_activations"] == {}
+
+    def test_structure_attribute_registration(self):
+        from repro.runtime.app import Application
+        from repro.runtime.device import CallableDriver
+
+        design = analyze(
+            "structure GeoPoint { lat as Float; lon as Float; }\n"
+            "device D { attribute position as GeoPoint; "
+            "source s as Float; }\n"
+        )
+        app = Application(design)
+        instance = app.create_device(
+            "D", "d1", CallableDriver(sources={"s": lambda: 1.0}),
+            position={"lat": 44.8, "lon": -0.58},
+        )
+        proxy = app.discover.devices("D").one()
+        assert proxy.position.lat == 44.8
+        del instance
+
+    def test_publish_enum_array_checked(self):
+        from repro.errors import ValueConformanceError
+        from repro.runtime.app import Application
+        from repro.runtime.component import Context
+        from repro.runtime.device import CallableDriver
+
+        design = analyze(
+            "enumeration E { A, B }\n"
+            "device D { source s as Float; }\n"
+            "context C as E[] { when provided s from D always publish; }\n"
+        )
+
+        class Bad(Context):
+            def on_s_from_d(self, event, discover):
+                return ["A", "Z"]  # Z is not a member
+
+        app = Application(design)
+        app.implement("C", Bad())
+        instance = app.create_device(
+            "D", "d1", CallableDriver(sources={"s": lambda: 0.0})
+        )
+        app.start()
+        with pytest.raises(ValueConformanceError):
+            instance.publish("s", 1.0)

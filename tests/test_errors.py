@@ -1,0 +1,66 @@
+"""The exception hierarchy: catchability contracts."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_is_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_design_errors_catchable_together(self):
+        assert issubclass(errors.DiaSpecSyntaxError, errors.DiaSpecError)
+        assert issubclass(errors.SemanticError, errors.DiaSpecError)
+        assert issubclass(errors.SccViolationError, errors.SemanticError)
+        assert issubclass(errors.DuplicateDeclarationError,
+                          errors.SemanticError)
+        assert issubclass(errors.UnknownNameError, errors.SemanticError)
+        assert issubclass(errors.TypeMismatchError, errors.SemanticError)
+
+    def test_runtime_errors_catchable_together(self):
+        for cls in (
+            errors.BindingError,
+            errors.DiscoveryError,
+            errors.DeliveryError,
+            errors.ActuationError,
+            errors.DeviceFailureError,
+            errors.ValueConformanceError,
+        ):
+            assert issubclass(cls, errors.RuntimeOrchestrationError)
+
+    def test_runtime_and_design_errors_disjoint(self):
+        assert not issubclass(errors.BindingError, errors.DiaSpecError)
+        assert not issubclass(errors.SemanticError,
+                              errors.RuntimeOrchestrationError)
+
+
+class TestMessages:
+    def test_syntax_error_carries_position(self):
+        error = errors.DiaSpecSyntaxError("oops", line=3, column=7)
+        assert error.line == 3
+        assert error.column == 7
+        assert "line 3" in str(error)
+        assert "column 7" in str(error)
+
+    def test_syntax_error_without_position(self):
+        error = errors.DiaSpecSyntaxError("oops")
+        assert str(error) == "oops"
+
+    def test_semantic_error_names_declaration(self):
+        error = errors.SemanticError("bad publish", declaration="Alert")
+        assert error.declaration == "Alert"
+        assert "'Alert'" in str(error)
+
+
+class TestCatchingAtBoundaries:
+    def test_one_except_covers_the_library(self):
+        from repro import analyze
+
+        with pytest.raises(errors.ReproError):
+            analyze("device {")
+        with pytest.raises(errors.ReproError):
+            analyze("context C as Ghost { when required; }")

@@ -1,0 +1,46 @@
+"""Shipped artifacts (designs/, docs/designs/) stay in sync with the code."""
+
+import os
+
+import pytest
+
+from repro.codegen.docgen import generate_docs
+from repro.lang.loader import load_file
+
+ROOT = os.path.join(os.path.dirname(__file__), "..")
+DESIGNS_DIR = os.path.join(ROOT, "designs")
+DOCS_DIR = os.path.join(ROOT, "docs", "designs")
+
+
+def design_files():
+    return sorted(
+        name for name in os.listdir(DESIGNS_DIR)
+        if name.endswith(".diaspec")
+    )
+
+
+class TestShippedDocs:
+    def test_every_design_has_generated_docs(self):
+        for filename in design_files():
+            base = filename[: -len(".diaspec")]
+            assert os.path.exists(
+                os.path.join(DOCS_DIR, base + ".md")
+            ), base
+
+    @pytest.mark.parametrize("filename", design_files())
+    def test_docs_are_current(self, filename):
+        """docs/designs/*.md must be regenerated whenever the design or
+        the doc generator changes (run:
+        ``python -m repro doc designs/X.diaspec --title X >
+        docs/designs/X.md``)."""
+        base = filename[: -len(".diaspec")]
+        from repro.sema.analyzer import analyze
+
+        design = analyze(
+            load_file(os.path.join(DESIGNS_DIR, filename))
+        )
+        expected = generate_docs(design, base)
+        with open(os.path.join(DOCS_DIR, base + ".md"),
+                  encoding="utf-8") as handle:
+            actual = handle.read()
+        assert actual == expected

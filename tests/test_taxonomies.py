@@ -1,0 +1,173 @@
+"""Taxonomy reuse across applications (§III)."""
+
+import pytest
+
+from repro.errors import DuplicateDeclarationError
+from repro.runtime.app import Application
+from repro.runtime.component import Context, Controller
+from repro.runtime.device import CallableDriver
+from repro.sema.analyzer import analyze
+from repro.taxonomies import (
+    ASSISTED_LIVING_TAXONOMY,
+    SMART_CITY_TAXONOMY,
+    combine,
+    taxonomy_device_names,
+)
+
+COOKER_APP_FRAGMENT = """\
+context CookerAlert as Integer {
+    when provided tickSecond from HomeClock
+    get consumption from HomeCooker
+    maybe publish;
+}
+
+controller CookerNotify {
+    when provided CookerAlert
+    do askQuestion on HomePrompter;
+}
+"""
+
+WANDERING_APP_FRAGMENT = """\
+context Wandering as HomeRoomEnum {
+    when provided motion from RoomMotionSensor
+    maybe publish;
+}
+
+controller WanderingLight {
+    when provided Wandering
+    do On on RoomLamp;
+}
+"""
+
+POLLUTION_APP_FRAGMENT = """\
+structure ZoneAir { zone as CityZoneEnum; pm10 as Float; }
+
+context AirQuality as ZoneAir[] {
+    when periodic pm10 from PollutionSensor <10 min>
+    grouped by zone
+    always publish;
+}
+
+controller AirPanels {
+    when provided AirQuality
+    do update on ZonePanel;
+}
+"""
+
+
+class TestTaxonomiesAnalyze:
+    def test_assisted_living_taxonomy_is_valid(self):
+        design = analyze(ASSISTED_LIVING_TAXONOMY)
+        assert "HomeCooker" in design.devices
+        assert design.devices["HomeCooker"].is_subtype_of("Appliance")
+
+    def test_smart_city_taxonomy_is_valid(self):
+        design = analyze(SMART_CITY_TAXONOMY)
+        assert design.devices["ZonePanel"].is_subtype_of("CityDisplayPanel")
+
+    def test_device_names(self):
+        names = taxonomy_device_names(SMART_CITY_TAXONOMY)
+        assert "PollutionSensor" in names
+        assert names == sorted(names)
+
+
+class TestReuseAcrossApplications:
+    def test_two_apps_over_one_taxonomy(self):
+        cooker = analyze(combine(ASSISTED_LIVING_TAXONOMY,
+                                 COOKER_APP_FRAGMENT))
+        wandering = analyze(combine(ASSISTED_LIVING_TAXONOMY,
+                                    WANDERING_APP_FRAGMENT))
+        # Same flattened device model in both designs.
+        assert (
+            set(cooker.devices["HomeCooker"].sources)
+            == set(wandering.devices["HomeCooker"].sources)
+        )
+
+    def test_city_taxonomy_supports_new_domain(self):
+        design = analyze(combine(SMART_CITY_TAXONOMY,
+                                 POLLUTION_APP_FRAGMENT))
+        assert "AirQuality" in design.contexts
+
+    def test_duplicate_declarations_rejected(self):
+        with pytest.raises(DuplicateDeclarationError):
+            analyze(combine(ASSISTED_LIVING_TAXONOMY,
+                            ASSISTED_LIVING_TAXONOMY))
+
+    def test_appliance_supertype_discovery(self):
+        """A safety app can watch every appliance through the supertype."""
+        fragment = """
+context PowerWatch as Float {
+    when periodic consumption from Appliance <1 min>
+    always publish;
+}
+"""
+        design = analyze(combine(ASSISTED_LIVING_TAXONOMY, fragment))
+
+        class PowerWatch(Context):
+            def __init__(self):
+                super().__init__()
+                self.totals = []
+
+            def on_periodic_consumption(self, readings, discover):
+                total = sum(reading.value for reading in readings)
+                self.totals.append(total)
+                return total
+
+        app = Application(design)
+        watch = PowerWatch()
+        app.implement("PowerWatch", watch)
+        app.create_device(
+            "HomeCooker", "cooker",
+            CallableDriver(sources={"consumption": lambda: 1500.0}),
+        )
+        app.create_device(
+            "Kettle", "kettle",
+            CallableDriver(sources={"consumption": lambda: 2000.0}),
+        )
+        app.start()
+        app.advance(60)
+        assert watch.totals == [3500.0]
+
+
+class TestTaxonomyBackedPollutionApp:
+    def test_air_quality_pipeline_runs(self):
+        design = analyze(combine(SMART_CITY_TAXONOMY,
+                                 POLLUTION_APP_FRAGMENT))
+
+        class AirQuality(Context):
+            def on_periodic_pm10(self, by_zone, discover):
+                return [
+                    {"zone": zone,
+                     "pm10": sum(values) / len(values)}
+                    for zone, values in sorted(by_zone.items())
+                ]
+
+        class AirPanels(Controller):
+            def on_air_quality(self, zones, discover):
+                for record in zones:
+                    discover.devices("ZonePanel").where(
+                        zone=record.zone
+                    ).act("update", status=f"PM10 {record.pm10:.0f}")
+
+        statuses = {}
+        app = Application(design)
+        app.implement("AirQuality", AirQuality())
+        app.implement("AirPanels", AirPanels())
+        for zone, level in [("CENTER", 42.0), ("NORTH", 17.0)]:
+            app.create_device(
+                "PollutionSensor", f"pm-{zone}",
+                CallableDriver(sources={"pm10": (lambda lv=level: lv),
+                                        "no2": lambda: 0.0}),
+                zone=zone,
+            )
+            app.create_device(
+                "ZonePanel", f"panel-{zone}",
+                CallableDriver(actions={
+                    "update": (lambda status, z=zone:
+                               statuses.__setitem__(z, status)),
+                }),
+                zone=zone,
+            )
+        app.start()
+        app.advance(600)
+        assert statuses == {"CENTER": "PM10 42", "NORTH": "PM10 17"}

@@ -1,0 +1,123 @@
+"""Unit tests for the DiaSpec type model."""
+
+import pytest
+
+from repro.errors import DuplicateDeclarationError, UnknownNameError
+from repro.typesys.core import (
+    ArrayType,
+    BOOLEAN,
+    EnumerationType,
+    FLOAT,
+    INTEGER,
+    PRIMITIVES,
+    STRING,
+    StructureType,
+    TypeEnvironment,
+    parse_type_name,
+)
+
+
+class TestPrimitives:
+    def test_four_primitives_exist(self):
+        assert set(PRIMITIVES) == {"Integer", "Float", "Boolean", "String"}
+
+    def test_primitives_compare_structurally(self):
+        assert INTEGER == PRIMITIVES["Integer"]
+        assert INTEGER != FLOAT
+
+    def test_str(self):
+        assert str(BOOLEAN) == "Boolean"
+
+
+class TestEnumerationType:
+    def test_membership(self):
+        lots = EnumerationType("LotEnum", ("A22", "B16"))
+        assert "A22" in lots
+        assert "Z99" not in lots
+
+    def test_duplicate_member_rejected(self):
+        with pytest.raises(DuplicateDeclarationError):
+            EnumerationType("E", ("A", "A"))
+
+    def test_structural_equality(self):
+        a = EnumerationType("E", ("X", "Y"))
+        b = EnumerationType("E", ("X", "Y"))
+        assert a == b
+
+
+class TestStructureType:
+    def test_field_type_lookup(self):
+        availability = StructureType(
+            "Availability", (("parkingLot", STRING), ("count", INTEGER))
+        )
+        assert availability.field_type("count") is INTEGER
+        assert availability.field_names == ("parkingLot", "count")
+
+    def test_unknown_field(self):
+        structure = StructureType("S", (("a", INTEGER),))
+        with pytest.raises(UnknownNameError):
+            structure.field_type("b")
+
+    def test_duplicate_field_rejected(self):
+        with pytest.raises(DuplicateDeclarationError):
+            StructureType("S", (("a", INTEGER), ("a", FLOAT)))
+
+
+class TestArrayType:
+    def test_name_derivation(self):
+        assert ArrayType(INTEGER).name == "Integer[]"
+        assert ArrayType(ArrayType(FLOAT)).name == "Float[][]"
+
+    def test_equality(self):
+        assert ArrayType(INTEGER) == ArrayType(INTEGER)
+        assert ArrayType(INTEGER) != ArrayType(FLOAT)
+
+
+class TestTypeEnvironment:
+    def test_primitives_preloaded(self):
+        env = TypeEnvironment()
+        assert env.lookup("Float") is FLOAT
+
+    def test_declare_and_lookup(self):
+        env = TypeEnvironment()
+        lots = EnumerationType("LotEnum", ("A",))
+        env.declare(lots)
+        assert env.lookup("LotEnum") == lots
+
+    def test_array_lookup(self):
+        env = TypeEnvironment()
+        assert env.lookup("Integer[]") == ArrayType(INTEGER)
+
+    def test_nested_array_lookup(self):
+        env = TypeEnvironment()
+        assert env.lookup("Integer[][]") == ArrayType(ArrayType(INTEGER))
+
+    def test_unknown_type(self):
+        env = TypeEnvironment()
+        with pytest.raises(UnknownNameError):
+            env.lookup("Mystery")
+
+    def test_redeclaration_rejected(self):
+        env = TypeEnvironment()
+        env.declare(EnumerationType("E", ("A",)))
+        with pytest.raises(DuplicateDeclarationError):
+            env.declare(EnumerationType("E", ("B",)))
+
+    def test_cannot_shadow_primitive(self):
+        env = TypeEnvironment()
+        with pytest.raises(DuplicateDeclarationError):
+            env.declare(EnumerationType("Integer", ("A",)))
+
+    def test_contains_and_get(self):
+        env = TypeEnvironment()
+        assert "Integer" in env
+        assert "Nope" not in env
+        assert env.get("Nope") is None
+
+
+class TestParseTypeName:
+    def test_scalar(self):
+        assert parse_type_name("Foo") == ("Foo", 0)
+
+    def test_array_depth(self):
+        assert parse_type_name("Foo[][]") == ("Foo", 2)

@@ -1,0 +1,193 @@
+"""Runtime value conformance, including property-based checks."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ValueConformanceError
+from repro.typesys.core import (
+    ArrayType,
+    BOOLEAN,
+    EnumerationType,
+    FLOAT,
+    INTEGER,
+    STRING,
+    StructureType,
+)
+from repro.typesys.values import StructureValue, check_value, coerce_value
+
+LOTS = EnumerationType("LotEnum", ("A22", "B16", "D6"))
+AVAILABILITY = StructureType(
+    "Availability", (("parkingLot", LOTS), ("count", INTEGER))
+)
+
+
+class TestPrimitiveChecks:
+    def test_integer_accepts_int(self):
+        assert check_value(INTEGER, 5) == 5
+
+    def test_integer_rejects_bool(self):
+        with pytest.raises(ValueConformanceError):
+            check_value(INTEGER, True)
+
+    def test_integer_rejects_float(self):
+        with pytest.raises(ValueConformanceError):
+            check_value(INTEGER, 5.0)
+
+    def test_float_accepts_int_and_float(self):
+        assert check_value(FLOAT, 2) == 2
+        assert check_value(FLOAT, 2.5) == 2.5
+
+    def test_float_rejects_bool(self):
+        with pytest.raises(ValueConformanceError):
+            check_value(FLOAT, True)
+
+    def test_boolean_strictness(self):
+        assert check_value(BOOLEAN, False) is False
+        with pytest.raises(ValueConformanceError):
+            check_value(BOOLEAN, 1)
+
+    def test_string(self):
+        assert check_value(STRING, "hi") == "hi"
+        with pytest.raises(ValueConformanceError):
+            check_value(STRING, b"hi")
+
+
+class TestEnumerationChecks:
+    def test_member_passes(self):
+        assert check_value(LOTS, "A22") == "A22"
+
+    def test_non_member_rejected(self):
+        with pytest.raises(ValueConformanceError, match="LotEnum"):
+            check_value(LOTS, "Z99")
+
+
+class TestStructureChecks:
+    def test_mapping_promoted_to_structure_value(self):
+        value = check_value(AVAILABILITY, {"parkingLot": "A22", "count": 3})
+        assert isinstance(value, StructureValue)
+        assert value.parkingLot == "A22"
+        assert value.count == 3
+
+    def test_structure_value_passes_through(self):
+        original = StructureValue(AVAILABILITY, parkingLot="B16", count=0)
+        assert check_value(AVAILABILITY, original) is original
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ValueConformanceError, match="missing"):
+            check_value(AVAILABILITY, {"parkingLot": "A22"})
+
+    def test_extra_field_rejected(self):
+        with pytest.raises(ValueConformanceError, match="unknown"):
+            check_value(
+                AVAILABILITY,
+                {"parkingLot": "A22", "count": 1, "bogus": 2},
+            )
+
+    def test_field_type_enforced(self):
+        with pytest.raises(ValueConformanceError):
+            check_value(AVAILABILITY, {"parkingLot": "A22", "count": "3"})
+
+    def test_as_dict_object_promoted(self):
+        class Record:
+            def as_dict(self):
+                return {"parkingLot": "D6", "count": 7}
+
+        value = check_value(AVAILABILITY, Record())
+        assert value.count == 7
+
+    def test_non_structure_rejected(self):
+        with pytest.raises(ValueConformanceError):
+            check_value(AVAILABILITY, 42)
+
+
+class TestArrayChecks:
+    def test_list_of_scalars(self):
+        assert check_value(ArrayType(INTEGER), [1, 2, 3]) == [1, 2, 3]
+
+    def test_tuple_accepted(self):
+        assert check_value(ArrayType(INTEGER), (1, 2)) == [1, 2]
+
+    def test_element_violation_rejected(self):
+        with pytest.raises(ValueConformanceError):
+            check_value(ArrayType(INTEGER), [1, "2"])
+
+    def test_array_of_structures(self):
+        values = check_value(
+            ArrayType(AVAILABILITY),
+            [{"parkingLot": "A22", "count": 1}],
+        )
+        assert values[0].parkingLot == "A22"
+
+    def test_scalar_rejected_for_array(self):
+        with pytest.raises(ValueConformanceError):
+            check_value(ArrayType(INTEGER), 1)
+
+
+class TestCoercion:
+    def test_int_widens_to_float(self):
+        assert coerce_value(FLOAT, 3) == 3.0
+        assert isinstance(coerce_value(FLOAT, 3), float)
+
+    def test_bool_does_not_widen(self):
+        with pytest.raises(ValueConformanceError):
+            coerce_value(FLOAT, True)
+
+
+class TestStructureValueSemantics:
+    def test_immutability(self):
+        value = StructureValue(AVAILABILITY, parkingLot="A22", count=1)
+        with pytest.raises(AttributeError):
+            value.count = 2
+
+    def test_equality_and_hash(self):
+        a = StructureValue(AVAILABILITY, parkingLot="A22", count=1)
+        b = StructureValue(AVAILABILITY, parkingLot="A22", count=1)
+        c = StructureValue(AVAILABILITY, parkingLot="A22", count=2)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != c
+
+    def test_repr_mentions_fields(self):
+        value = StructureValue(AVAILABILITY, parkingLot="A22", count=1)
+        assert "parkingLot" in repr(value)
+
+    def test_as_dict(self):
+        value = StructureValue(AVAILABILITY, parkingLot="A22", count=1)
+        assert value.as_dict() == {"parkingLot": "A22", "count": 1}
+
+
+# ---------------------------------------------------------------------------
+# Property-based conformance
+# ---------------------------------------------------------------------------
+
+
+@given(st.integers())
+def test_any_int_is_integer(value):
+    assert check_value(INTEGER, value) == value
+
+
+@given(st.floats(allow_nan=False, allow_infinity=False))
+def test_any_float_is_float(value):
+    assert check_value(FLOAT, value) == value
+
+
+@given(st.lists(st.booleans()))
+def test_boolean_arrays(values):
+    assert check_value(ArrayType(BOOLEAN), values) == values
+
+
+@given(
+    st.lists(
+        st.one_of(st.integers(), st.text(), st.booleans(), st.none()),
+        min_size=1,
+    )
+)
+def test_mixed_garbage_never_passes_string_silently(values):
+    """Every element either passes as String or raises — no silent drops."""
+    array_type = ArrayType(STRING)
+    if all(isinstance(v, str) for v in values):
+        assert check_value(array_type, values) == values
+    else:
+        with pytest.raises(ValueConformanceError):
+            check_value(array_type, values)
