@@ -16,6 +16,7 @@ import pytest
 
 from repro.mapreduce.api import MapReduce
 from repro.mapreduce.engine import (
+    MapReduceEngine,
     ProcessExecutor,
     SerialExecutor,
     ThreadExecutor,
@@ -33,6 +34,21 @@ class FreeSpaceCounter(MapReduce):
 
     def reduce(self, lot, values, collector):
         collector.emit_reduce(lot, len(values))
+
+
+class CombiningFreeSpaceCounter(MapReduce):
+    """Figure 10's job in combinable form: map emits 1 per free space,
+    combine and reduce both sum — same results, O(groups) shuffle."""
+
+    def map(self, lot, presence, collector):
+        if not presence:
+            collector.emit_map(lot, 1)
+
+    def combine(self, lot, counts, collector):
+        collector.emit_combine(lot, sum(counts))
+
+    def reduce(self, lot, counts, collector):
+        collector.emit_reduce(lot, sum(counts))
 
 
 class SpectralJob(MapReduce):
@@ -117,6 +133,51 @@ def test_executor_scaling_series(table, benchmark):
         heavy_serial = float(largest[3].rstrip(" ms"))
         heavy_process = float(largest[4].rstrip(" ms"))
         assert heavy_process < heavy_serial * 3
+
+
+def test_combiner_shuffle_volume(table, benchmark):
+    """C2b — map-side combining collapses shuffle volume to O(groups).
+
+    Without a combiner every intermediate pair (one per free space)
+    crosses the map->reduce boundary; with one, at most chunks x lots
+    partial sums do.  Results are identical either way.
+    """
+
+    def run_series():
+        rows = []
+        ratios = {}
+        for per_lot in (50, 500, 2000):
+            grouped = dataset(per_lot)
+            row = [per_lot * 8]
+            for make_executor, label in (
+                (SerialExecutor, "serial"),
+                (lambda: ThreadExecutor(4), "4 threads"),
+            ):
+                engine_plain = MapReduceEngine(make_executor())
+                engine_combine = MapReduceEngine(make_executor())
+                plain_result = engine_plain.run(FreeSpaceCounter(), grouped)
+                combine_result = engine_combine.run(
+                    CombiningFreeSpaceCounter(), grouped
+                )
+                assert plain_result == combine_result
+                plain = engine_plain.last_stats["shuffled"]
+                combined = engine_combine.last_stats["shuffled"]
+                ratios[(per_lot, label)] = plain / max(1, combined)
+                row.extend([plain, combined, f"{plain / combined:.0f}x"])
+            rows.append(tuple(row))
+        return rows, ratios
+
+    rows, ratios = benchmark.pedantic(run_series, rounds=1, iterations=1)
+    table(
+        "C2b: shuffled pairs, combine off vs on (8 lots)",
+        ("readings", "serial off", "serial on", "serial win",
+         "threads off", "threads on", "threads win"),
+        rows,
+    )
+    # Shape: at the largest scale point the combiner cuts shuffle volume
+    # by well over an order of magnitude on every executor.
+    assert ratios[(2000, "serial")] >= 10
+    assert ratios[(2000, "4 threads")] >= 10
 
 
 @pytest.mark.parametrize("per_lot", [100, 1000])

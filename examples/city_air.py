@@ -10,6 +10,16 @@ zones on their panels and messages city operations.
 Run:  python examples/city_air.py
 """
 
+# Allow running straight from a repo checkout (no installed package):
+# prepend the sibling ``src`` directory to the import path.
+import os
+import sys
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir, "src"),
+)
+
 from repro.apps.pollution import build_pollution_app
 
 

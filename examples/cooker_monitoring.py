@@ -10,6 +10,16 @@ the cooker off.
 Run:  python examples/cooker_monitoring.py
 """
 
+# Allow running straight from a repo checkout (no installed package):
+# prepend the sibling ``src`` directory to the import path.
+import os
+import sys
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir, "src"),
+)
+
 from repro.apps.cooker import build_cooker_app
 
 

@@ -9,6 +9,16 @@ paper's "up to 80 %" productivity claim.
 Run:  python examples/generate_framework.py
 """
 
+# Allow running straight from a repo checkout (no installed package):
+# prepend the sibling ``src`` directory to the import path.
+import os
+import sys
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir, "src"),
+)
+
 import os
 
 from repro.apps.cooker import DESIGN_SOURCE

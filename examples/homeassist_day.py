@@ -10,6 +10,16 @@ a night-time walk to the hallway.
 Run:  python examples/homeassist_day.py
 """
 
+# Allow running straight from a repo checkout (no installed package):
+# prepend the sibling ``src`` directory to the import path.
+import os
+import sys
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir, "src"),
+)
+
 from repro.apps.homeassist import build_homeassist_app
 
 

@@ -15,6 +15,16 @@ continuum (Figure 1).
 Run:  python examples/parking_management.py
 """
 
+# Allow running straight from a repo checkout (no installed package):
+# prepend the sibling ``src`` directory to the import path.
+import os
+import sys
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir, "src"),
+)
+
 import time
 
 from repro.apps.parking import build_parking_app

@@ -7,6 +7,16 @@ threshold context; when the room overheats, a controller starts the fan.
 Run:  python examples/quickstart.py
 """
 
+# Allow running straight from a repo checkout (no installed package):
+# prepend the sibling ``src`` directory to the import path.
+import os
+import sys
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir, "src"),
+)
+
 from repro import analyze
 from repro.runtime import Application, CallableDriver, Context, Controller
 

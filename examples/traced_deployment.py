@@ -9,6 +9,16 @@ context publications, and actions.
 Run:  python examples/traced_deployment.py
 """
 
+# Allow running straight from a repo checkout (no installed package):
+# prepend the sibling ``src`` directory to the import path.
+import os
+import sys
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir, "src"),
+)
+
 import json
 
 from repro import analyze

@@ -8,10 +8,17 @@ from repro.runtime.component import Context, Controller
 
 
 class TrafficLevelContext(Context):
-    """Sums zone traffic through the MapReduce interface."""
+    """Sums zone traffic through the MapReduce interface.
+
+    The combine hook pre-sums each map chunk, so at most one partial sum
+    per (chunk, zone) crosses the shuffle boundary.
+    """
 
     def map(self, zone, vehicle_count, collector) -> None:
         collector.emit_map(zone, vehicle_count)
+
+    def combine(self, zone, counts, collector) -> None:
+        collector.emit_combine(zone, sum(counts))
 
     def reduce(self, zone, counts, collector) -> None:
         collector.emit_reduce(zone, sum(counts))

@@ -464,6 +464,15 @@ class _FrameworkGenerator:
                     "``key``.  Emit with\ncollector.emit_reduce(key, value).",
                 )
                 e.line('raise NotImplementedError("implement reduce()")')
+        if "combine" not in emitted:
+            emitted.add("combine")
+            e.blank()
+            e.line("# Optional streaming fast path: define")
+            e.line("#     def combine(self, key, values, collector): ...")
+            e.line("# (associative, emitting via collector.emit_combine) to")
+            e.line("# collapse intermediate pairs per map chunk before the")
+            e.line("# shuffle and to fold `every <window>` deliveries")
+            e.line("# incrementally instead of buffering them.")
 
     # -- controllers --------------------------------------------------------------
 
@@ -563,7 +572,8 @@ class _FrameworkGenerator:
                     )
             e.line("}")
             e.blank()
-            e.line("def __init__(self, clock=None, mapreduce_executor=None):")
+            e.line("def __init__(self, clock=None, mapreduce_executor=None,")
+            e.line("             streaming_windows=True):")
             with e.indented():
                 e.line("self.design = DESIGN")
                 e.line("self.application = Application(")
@@ -571,6 +581,7 @@ class _FrameworkGenerator:
                 e.line("    clock=clock,")
                 e.line("    mapreduce_executor=mapreduce_executor,")
                 e.line(f'    name="{self.name}",')
+                e.line("    streaming_windows=streaming_windows,")
                 e.line(")")
             e.blank()
             e.line("def implement(self, name, implementation):")
@@ -715,9 +726,11 @@ def _periodic_argument(interaction) -> "tuple[str, str]":
     argument = f"{source_snake}_by_{attr_snake}"
     if group.uses_mapreduce and group.window is not None:
         detail = (
-            "``%s`` maps each %s to the list of per-sweep reduced values\n"
-            "accumulated over the %s window." % (argument, group.attribute,
-                                                 group.window)
+            "``%s`` maps each %s to the per-sweep reduced values folded\n"
+            "incrementally over the %s window through combine/reduce\n"
+            "(streaming mode, the default), or to their buffered list "
+            "when the\napplication is built with streaming_windows=False."
+            % (argument, group.attribute, group.window)
         )
     elif group.uses_mapreduce:
         detail = (

@@ -14,7 +14,14 @@ application logic" — accordingly, swapping executors never changes
 results, which the property-based tests assert.
 """
 
-from repro.mapreduce.api import MapCollector, MapReduce, ReduceCollector
+from repro.mapreduce.api import (
+    CombineCollector,
+    FoldCollector,
+    MapCollector,
+    MapReduce,
+    ReduceCollector,
+    job_combiner,
+)
 from repro.mapreduce.engine import (
     MapReduceEngine,
     ProcessExecutor,
@@ -25,6 +32,8 @@ from repro.mapreduce.engine import (
 from repro.mapreduce.partition import hash_partition, partition_items
 
 __all__ = [
+    "CombineCollector",
+    "FoldCollector",
     "MapCollector",
     "MapReduce",
     "MapReduceEngine",
@@ -33,6 +42,7 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "hash_partition",
+    "job_combiner",
     "partition_items",
     "run_mapreduce",
 ]

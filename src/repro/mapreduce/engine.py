@@ -17,6 +17,18 @@ data (``{group_key: [readings]}``) and returns the reduced results
 Results are identical across executors for deterministic jobs — the
 framework interface "prevents the specificities of a target MapReduce
 implementation to percolate to the application logic" (Section V.B).
+
+When the job provides the optional ``combine`` hook, every executor runs
+it per map chunk *before* partitioning, so only one partial aggregate per
+(chunk, key) crosses the shuffle boundary.  Each run records shuffle
+volume in ``executor.last_stats`` / ``engine.last_stats``::
+
+    {"map_emitted": <pairs the Map phase produced>,
+     "shuffled":    <pairs that crossed the map->reduce boundary>,
+     "reduced":     <final result count>,
+     "combined":    <whether the combine hook ran>}
+
+making the combiner's win (``map_emitted / shuffled``) observable.
 """
 
 from __future__ import annotations
@@ -24,7 +36,13 @@ from __future__ import annotations
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Any, Dict, Hashable, List, Mapping, Sequence, Tuple
 
-from repro.mapreduce.api import MapCollector, MapReduce, ReduceCollector
+from repro.mapreduce.api import (
+    CombineCollector,
+    MapCollector,
+    MapReduce,
+    ReduceCollector,
+    job_combiner,
+)
 from repro.mapreduce.partition import group_pairs, hash_partition, partition_items
 
 Pairs = List[Tuple[Hashable, Any]]
@@ -32,11 +50,25 @@ Pairs = List[Tuple[Hashable, Any]]
 
 def _run_map_chunk(
     job: MapReduce, chunk: Sequence[Tuple[Hashable, Any]]
-) -> Pairs:
+) -> Tuple[Pairs, int]:
+    """Map one chunk; returns (pairs to shuffle, raw map emission count).
+
+    With a combiner, the raw emissions are folded to one partial per key
+    here — inside the map task, before any pair crosses an executor
+    boundary — which is what makes this the *map-side* combine.
+    """
     collector = MapCollector()
     for key, value in chunk:
         job.map(key, value, collector)
-    return collector.pairs
+    pairs = collector.pairs
+    emitted = len(pairs)
+    combine = job_combiner(job)
+    if combine is not None and pairs:
+        combined = CombineCollector()
+        for key, values in group_pairs(pairs).items():
+            combine(key, values, combined)
+        pairs = combined.pairs
+    return pairs, emitted
 
 
 def _run_reduce_bucket(job: MapReduce, bucket: Pairs) -> Pairs:
@@ -46,17 +78,32 @@ def _run_reduce_bucket(job: MapReduce, bucket: Pairs) -> Pairs:
     return collector.pairs
 
 
+def _stats(map_emitted: int, shuffled: int, reduced: int, combined: bool):
+    return {
+        "map_emitted": map_emitted,
+        "shuffled": shuffled,
+        "reduced": reduced,
+        "combined": combined,
+    }
+
+
 class SerialExecutor:
     """Reference executor: both phases run inline."""
 
     workers = 1
+    last_stats: Dict[str, Any] = _stats(0, 0, 0, False)
 
     def run(self, job: MapReduce, grouped: Mapping[Hashable, Sequence[Any]]):
         inputs = [
             (key, value) for key, values in grouped.items() for value in values
         ]
-        intermediate = _run_map_chunk(job, inputs)
-        return dict(_run_reduce_bucket(job, intermediate))
+        intermediate, emitted = _run_map_chunk(job, inputs)
+        result = dict(_run_reduce_bucket(job, intermediate))
+        self.last_stats = _stats(
+            emitted, len(intermediate), len(result),
+            job_combiner(job) is not None,
+        )
+        return result
 
 
 class _PooledExecutor:
@@ -66,30 +113,35 @@ class _PooledExecutor:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
+        self.last_stats: Dict[str, Any] = _stats(0, 0, 0, False)
 
     def _pool(self):  # pragma: no cover - abstract
         raise NotImplementedError
 
     def run(self, job: MapReduce, grouped: Mapping[Hashable, Sequence[Any]]):
+        combined = job_combiner(job) is not None
         inputs = [
             (key, value) for key, values in grouped.items() for value in values
         ]
         chunks = partition_items(inputs, self.workers)
         if not chunks:
+            self.last_stats = _stats(0, 0, 0, combined)
             return {}
         with self._pool() as pool:
             map_results = list(
                 pool.map(_run_map_chunk, [job] * len(chunks), chunks)
             )
             intermediate: Pairs = [
-                pair for chunk in map_results for pair in chunk
+                pair for chunk_pairs, __ in map_results for pair in chunk_pairs
             ]
+            emitted = sum(count for __, count in map_results)
             buckets = [
                 bucket
                 for bucket in hash_partition(intermediate, self.workers)
                 if bucket
             ]
             if not buckets:
+                self.last_stats = _stats(emitted, 0, 0, combined)
                 return {}
             reduce_results = list(
                 pool.map(_run_reduce_bucket, [job] * len(buckets), buckets)
@@ -97,6 +149,9 @@ class _PooledExecutor:
         merged: Dict[Hashable, Any] = {}
         for pairs in reduce_results:
             merged.update(pairs)
+        self.last_stats = _stats(
+            emitted, len(intermediate), len(merged), combined
+        )
         return merged
 
 
@@ -124,6 +179,11 @@ class MapReduceEngine:
         self, job: MapReduce, grouped: Mapping[Hashable, Sequence[Any]]
     ) -> Dict[Hashable, Any]:
         return self.executor.run(job, grouped)
+
+    @property
+    def last_stats(self) -> Dict[str, Any]:
+        """Shuffle-volume counters of the most recent run."""
+        return dict(self.executor.last_stats)
 
 
 def run_mapreduce(

@@ -90,6 +90,7 @@ class Application:
         network=None,
         apply_network_to_reads: bool = False,
         error_policy: str = "raise",
+        streaming_windows: bool = True,
     ):
         if error_policy not in self.ERROR_POLICIES:
             raise ValueError(
@@ -100,6 +101,10 @@ class Application:
         self.network = network
         self.apply_network_to_reads = apply_network_to_reads
         self.error_policy = error_policy
+        # Streaming fast path: contexts declaring ``every <window>`` with
+        # MapReduce fold deliveries incrementally instead of buffering
+        # the whole window (disable to force buffered accumulation).
+        self.streaming_windows = streaming_windows
         self._component_errors: List[Any] = []
         self._error_listeners: List[Callable[[str, Exception], None]] = []
         self.clock: Clock = clock if clock is not None else SimulationClock()
@@ -112,6 +117,7 @@ class Application:
         self._implementations: Dict[str, Component] = {}
         self._jobs: List[Any] = []
         self._subscriptions: List[Any] = []
+        self._accumulators: Dict[str, WindowAccumulator] = {}
         self._gather_errors = 0
         self._gather_sweeps = 0
         self._context_activations: Dict[str, int] = {}
@@ -240,7 +246,11 @@ class Application:
     @property
     def stats(self) -> Dict[str, Any]:
         return {
-            "bus": self.bus.stats,
+            "bus": self.bus.stats(),
+            "windows": {
+                name: accumulator.stats()
+                for name, accumulator in self._accumulators.items()
+            },
             "gather_sweeps": self._gather_sweeps,
             "gather_errors": self._gather_errors,
             "context_activations": dict(self._context_activations),
@@ -390,11 +400,23 @@ class Application:
         accumulator = None
         group = interaction.group
         if group is not None and group.window is not None:
-            accumulator = WindowAccumulator.for_design(
-                interaction.period.seconds,
-                group.window.seconds,
-                flatten=not group.uses_mapreduce,
-            )
+            if group.uses_mapreduce and self.streaming_windows:
+                # Streaming fast path: each sweep's reduced value folds
+                # into one partial aggregate per group through the job's
+                # combine/reduce, so window state is O(groups) instead of
+                # O(deliveries x groups).
+                accumulator = WindowAccumulator.incremental_for_job(
+                    interaction.period.seconds,
+                    group.window.seconds,
+                    implementation,
+                )
+            else:
+                accumulator = WindowAccumulator.for_design(
+                    interaction.period.seconds,
+                    group.window.seconds,
+                    flatten=not group.uses_mapreduce,
+                )
+            self._accumulators[name] = accumulator
         job = self.clock.schedule_periodic(
             interaction.period.seconds,
             functools.partial(

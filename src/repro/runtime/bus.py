@@ -12,13 +12,18 @@ Topics are plain hashable tuples; the conventions used by the runtime:
   of ``device_type`` (subtype instances publish under every ancestor type
   as well, so subscriptions against a supertype see them);
 * ``("context", context_name)`` — a context's published value.
+
+Publishing is the hottest path of a periodic deployment (every sweep of
+every sensor funnels through it), so the per-topic subscriber snapshot is
+cached: it is rebuilt only when a subscription was added or removed since
+the last publish on that topic, not copied on every publish.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Hashable, List
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
 
 Subscriber = Callable[[Any], None]
 
@@ -29,9 +34,13 @@ class _Subscription:
     topic: Hashable = field(compare=False)
     callback: Subscriber = field(compare=False)
     active: bool = field(compare=False, default=True)
+    bus: Optional["EventBus"] = field(compare=False, default=None, repr=False)
 
     def unsubscribe(self) -> None:
-        self.active = False
+        if self.active:
+            self.active = False
+            if self.bus is not None:
+                self.bus._invalidate(self.topic)
 
 
 class EventBus:
@@ -39,14 +48,20 @@ class EventBus:
 
     def __init__(self):
         self._topics: Dict[Hashable, List[_Subscription]] = {}
+        # Per-topic immutable snapshot of active subscriptions, rebuilt
+        # lazily after a subscribe/unsubscribe touched the topic.
+        self._snapshots: Dict[Hashable, Tuple[_Subscription, ...]] = {}
         self._counter = itertools.count()
         self._delivered = 0
         self._published = 0
 
     def subscribe(self, topic: Hashable, callback: Subscriber) -> _Subscription:
         """Register ``callback`` for ``topic``; returns an unsubscribe handle."""
-        subscription = _Subscription(next(self._counter), topic, callback)
+        subscription = _Subscription(
+            next(self._counter), topic, callback, bus=self
+        )
         self._topics.setdefault(topic, []).append(subscription)
+        self._snapshots.pop(topic, None)
         return subscription
 
     def publish(self, topic: Hashable, payload: Any) -> int:
@@ -56,25 +71,45 @@ class EventBus:
         (snapshot semantics), keeping runtime entity binding race-free.
         """
         self._published += 1
-        subscriptions = list(self._topics.get(topic, ()))
+        snapshot = self._snapshots.get(topic)
+        if snapshot is None:
+            snapshot = self._rebuild_snapshot(topic)
         delivered = 0
-        for subscription in subscriptions:
+        for subscription in snapshot:
+            # A subscription cancelled mid-delivery stays in this (stale)
+            # snapshot but must not fire.
             if subscription.active:
                 subscription.callback(payload)
                 delivered += 1
         self._delivered += delivered
-        self._compact(topic)
         return delivered
+
+    def _rebuild_snapshot(
+        self, topic: Hashable
+    ) -> Tuple[_Subscription, ...]:
+        """Compact the topic's subscription list and cache the snapshot."""
+        subscriptions = self._topics.get(topic)
+        if not subscriptions:
+            snapshot: Tuple[_Subscription, ...] = ()
+        else:
+            if any(not s.active for s in subscriptions):
+                subscriptions = [s for s in subscriptions if s.active]
+                self._topics[topic] = subscriptions
+            snapshot = tuple(subscriptions)
+        self._snapshots[topic] = snapshot
+        return snapshot
+
+    def _invalidate(self, topic: Hashable) -> None:
+        self._snapshots.pop(topic, None)
 
     def subscriber_count(self, topic: Hashable) -> int:
         return sum(1 for s in self._topics.get(topic, ()) if s.active)
 
-    @property
     def stats(self) -> Dict[str, int]:
-        """Counters used by the delivery-model benchmarks."""
+        """Snapshot of the delivery counters (benchmarks, tracing)."""
         return {"published": self._published, "delivered": self._delivered}
 
-    def _compact(self, topic: Hashable) -> None:
-        subscriptions = self._topics.get(topic)
-        if subscriptions and any(not s.active for s in subscriptions):
-            self._topics[topic] = [s for s in subscriptions if s.active]
+    def reset_stats(self) -> None:
+        """Zero the delivery counters (e.g. between benchmark phases)."""
+        self._published = 0
+        self._delivered = 0

@@ -14,14 +14,27 @@ Accumulation semantics: without MapReduce the per-delivery reading lists
 are concatenated per group (the handler sees every reading of the window);
 with MapReduce each delivery contributes its *reduced* value, so the
 handler sees one value per delivery per group.
+
+Buffered accumulation keeps O(readings-per-window) state — fine for a
+house, linear-in-city-scale for the paper's parking study (thousands of
+sensors x 144 sweeps per day).  The *incremental* mode
+(:meth:`WindowAccumulator.incremental_for_job`) instead folds every
+delivery through the job's ``combine`` (or ``reduce``) as it arrives,
+keeping exactly one partial aggregate per group; the handler receives
+``{group: folded_value}`` when the window closes.  Incremental mode
+requires an associative fold — non-associative handlers (medians,
+order-sensitive analyses) must stay buffered.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, List, Sequence, Tuple
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.errors import BindingError
+from repro.mapreduce.api import FoldCollector, job_combiner
 from repro.runtime.device import DeviceInstance
+
+Fold = Callable[[Hashable, Any, Any], Any]
 
 
 def group_readings(
@@ -45,22 +58,65 @@ def group_readings(
     return grouped
 
 
+def fold_for_job(job: Any) -> Fold:
+    """Build an incremental fold from a MapReduce job.
+
+    The fold runs the job's ``combine`` hook when it defines one, else
+    its ``reduce`` phase, over the two-element list ``[accumulated,
+    new_value]`` and takes the single pair it emits.  Associativity of
+    the phase is what makes this equal to reducing the whole buffered
+    window at once.
+    """
+    phase = job_combiner(job) or job.reduce
+
+    def fold(key: Hashable, accumulated: Any, value: Any) -> Any:
+        collector = FoldCollector()
+        phase(key, [accumulated, value], collector)
+        pairs = collector.pairs
+        if len(pairs) != 1:
+            raise ValueError(
+                f"incremental fold for key {key!r} must emit exactly one "
+                f"pair, got {len(pairs)}"
+            )
+        return pairs[0][1]
+
+    return fold
+
+
 class WindowAccumulator:
-    """Buffers grouped deliveries until a window's worth has arrived.
+    """Accumulates grouped deliveries until a window's worth has arrived.
 
     The window length is expressed in *deliveries*: a 24-hour window over
     a 10-minute period completes after 144 deliveries.  Delivery counting
     (rather than timestamp comparison) keeps behaviour exact under the
     simulation clock and robust to jitter under a wall clock.
+
+    Two modes:
+
+    * **buffered** (default, ``fold=None``) — concatenate (``flatten``)
+      or append each delivery's per-group values; the completed window
+      maps each group to the full value list.
+    * **incremental** (``fold`` given) — fold each arriving value into
+      one partial aggregate per group; the completed window maps each
+      group to its folded value.  State is O(groups) regardless of the
+      number of deliveries or readings.
     """
 
-    def __init__(self, deliveries_per_window: int, flatten: bool):
+    def __init__(
+        self,
+        deliveries_per_window: int,
+        flatten: bool,
+        fold: Optional[Fold] = None,
+    ):
         if deliveries_per_window < 1:
             raise ValueError("a window must span at least one delivery")
         self.deliveries_per_window = deliveries_per_window
         self.flatten = flatten
-        self._buffer: Dict[Hashable, List[Any]] = {}
+        self.fold = fold
+        self._buffer: Dict[Hashable, Any] = {}
         self._count = 0
+        self._buffered_values = 0
+        self._peak_buffered_values = 0
 
     @classmethod
     def for_design(
@@ -69,22 +125,86 @@ class WindowAccumulator:
         deliveries = max(1, round(window_seconds / period_seconds))
         return cls(deliveries, flatten)
 
+    @classmethod
+    def incremental_for_job(
+        cls,
+        period_seconds: float,
+        window_seconds: float,
+        job: Any,
+        flatten: bool = False,
+    ) -> "WindowAccumulator":
+        """Incremental accumulator folding deliveries through ``job``.
+
+        ``job`` is any MapReduce implementation (a context declaring
+        ``with map ... reduce ...``); its ``combine`` hook is preferred,
+        its ``reduce`` phase is the fallback.
+        """
+        deliveries = max(1, round(window_seconds / period_seconds))
+        return cls(deliveries, flatten, fold=fold_for_job(job))
+
+    @property
+    def incremental(self) -> bool:
+        return self.fold is not None
+
     def add(self, grouped: Dict[Hashable, Any]):
         """Absorb one delivery; returns the accumulated window when it
         completes, else None."""
-        for key, value in grouped.items():
-            bucket = self._buffer.setdefault(key, [])
-            if self.flatten and isinstance(value, (list, tuple)):
-                bucket.extend(value)
-            else:
-                bucket.append(value)
+        if self.fold is not None:
+            self._add_incremental(grouped)
+        else:
+            self._add_buffered(grouped)
+        self._peak_buffered_values = max(
+            self._peak_buffered_values, self._buffered_values
+        )
         self._count += 1
         if self._count < self.deliveries_per_window:
             return None
         window, self._buffer = self._buffer, {}
         self._count = 0
+        self._buffered_values = 0
         return window
+
+    def _add_buffered(self, grouped: Dict[Hashable, Any]) -> None:
+        for key, value in grouped.items():
+            bucket = self._buffer.setdefault(key, [])
+            if self.flatten and isinstance(value, (list, tuple)):
+                bucket.extend(value)
+                self._buffered_values += len(value)
+            else:
+                bucket.append(value)
+                self._buffered_values += 1
+
+    def _add_incremental(self, grouped: Dict[Hashable, Any]) -> None:
+        buffer = self._buffer
+        fold = self.fold
+        for key, value in grouped.items():
+            values = (
+                value
+                if self.flatten and isinstance(value, (list, tuple))
+                else (value,)
+            )
+            for item in values:
+                if key in buffer:
+                    buffer[key] = fold(key, buffer[key], item)
+                else:
+                    buffer[key] = item
+                    self._buffered_values += 1
 
     @property
     def pending_deliveries(self) -> int:
         return self._count
+
+    @property
+    def peak_buffered_values(self) -> int:
+        """High-water mark of values held at once — O(readings) buffered,
+        O(groups) incremental; the delivery benchmarks report it."""
+        return self._peak_buffered_values
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "mode": "incremental" if self.incremental else "buffered",
+            "deliveries_per_window": self.deliveries_per_window,
+            "pending_deliveries": self._count,
+            "buffered_values": self._buffered_values,
+            "peak_buffered_values": self._peak_buffered_values,
+        }

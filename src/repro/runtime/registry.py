@@ -94,7 +94,10 @@ class EntityRegistry:
 
         With filters, the narrowest ``(type, attribute, value)`` index
         bucket seeds the scan, so cost tracks the match count rather than
-        the fleet size.
+        the fleet size.  Every instance in an index bucket matches that
+        bucket's attribute by construction, so only the *other* filters
+        are re-checked — with a single indexed filter the scan degenerates
+        to the failed-instance check alone.
         """
         candidates: Iterable[DeviceInstance]
         buckets = []
@@ -105,20 +108,31 @@ class EntityRegistry:
                 # fall back to scanning the type bucket.
                 buckets = []
                 break
-            buckets.append(self._by_attribute.get(key, []))
+            buckets.append((name, self._by_attribute.get(key, [])))
         if buckets:
-            candidates = min(buckets, key=len)
+            seed_name, candidates = min(
+                buckets, key=lambda bucket: len(bucket[1])
+            )
+            remaining = [
+                (name, value)
+                for name, value in attribute_filters.items()
+                if name != seed_name
+            ]
         else:
             candidates = self._by_type.get(device_type, ())
+            remaining = list(attribute_filters.items())
         results = []
         for instance in candidates:
             if instance.failed and not include_failed:
                 continue
-            if all(
-                instance.attributes.get(name) == value
-                for name, value in attribute_filters.items()
-            ):
-                results.append(instance)
+            if remaining:
+                attributes = instance.attributes
+                if not all(
+                    attributes.get(name) == value
+                    for name, value in remaining
+                ):
+                    continue
+            results.append(instance)
         return results
 
     def add_listener(self, listener: Listener) -> Callable[[], None]:

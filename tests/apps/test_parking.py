@@ -50,9 +50,21 @@ class TestParkingAvailability:
         collector = MapCollector()
         context.map("A22", False, collector)
         context.map("A22", True, collector)
-        assert collector.pairs == [("A22", True)]
+        assert collector.pairs == [("A22", 1)]
         reducer = ReduceCollector()
-        context.reduce("A22", [True, True, True], reducer)
+        context.reduce("A22", [1, 1, 1], reducer)
+        assert reducer.pairs == [("A22", 3)]
+
+    def test_mapreduce_combine_standalone(self):
+        """The combiner is a mini-reduce: partial sums per map chunk."""
+        from repro.mapreduce.api import CombineCollector, ReduceCollector
+
+        context = ParkingAvailabilityContext()
+        combiner = CombineCollector()
+        context.combine("A22", [1, 1], combiner)
+        assert combiner.pairs == [("A22", 2)]
+        reducer = ReduceCollector()
+        context.reduce("A22", [2, 1], reducer)
         assert reducer.pairs == [("A22", 3)]
 
 

@@ -8,6 +8,20 @@ import pytest
 
 EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "..",
                             "examples")
+SRC_DIR = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), "..", "..", "src")
+)
+
+
+def example_env():
+    """Subprocess environment with the repo's ``src`` on PYTHONPATH, so
+    examples resolve ``repro`` without an installed package."""
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        SRC_DIR + os.pathsep + existing if existing else SRC_DIR
+    )
+    return env
 
 EXAMPLES = [
     "quickstart.py",
@@ -31,6 +45,7 @@ def test_example_runs(script, tmp_path):
         text=True,
         timeout=240,
         cwd=tmp_path,  # examples must not depend on the repo cwd
+        env=example_env(),
     )
     assert result.returncode == 0, (
         f"{script} failed:\n{result.stdout}\n{result.stderr}"

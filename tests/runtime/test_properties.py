@@ -99,5 +99,5 @@ def test_bus_fanout_counts(subscribers, publications):
         bus.subscribe("t", lambda __: None)
     for __ in range(publications):
         assert bus.publish("t", None) == subscribers
-    assert bus.stats["delivered"] == subscribers * publications
-    assert bus.stats["published"] == publications
+    assert bus.stats()["delivered"] == subscribers * publications
+    assert bus.stats()["published"] == publications

@@ -127,6 +127,56 @@ class TestTypeQueries:
         assert registry.instances_of("DisplayPanel") == []
 
 
+class TestUnhashableAttributes:
+    """`_index_key` skips unhashable values; discovery must still work
+    through the linear type-bucket fallback (regression)."""
+
+    DESIGN = """\
+device Tagged {
+    attribute tags as String[];
+    source x as Float;
+}
+"""
+
+    @pytest.fixture
+    def tagged_design(self):
+        return analyze(self.DESIGN)
+
+    def tagged(self, design, entity_id, tags):
+        return DeviceInstance(
+            design.devices["Tagged"],
+            entity_id,
+            CallableDriver(sources={"x": lambda: 1.0}),
+            {"tags": tags},
+        )
+
+    def test_registration_skips_unhashable_index(self, tagged_design):
+        registry = EntityRegistry()
+        registry.register(self.tagged(tagged_design, "t1", ["a", "b"]))
+        assert len(registry) == 1
+
+    def test_discoverable_without_filters(self, tagged_design):
+        registry = EntityRegistry()
+        registry.register(self.tagged(tagged_design, "t1", ["a", "b"]))
+        assert [
+            i.entity_id for i in registry.instances_of("Tagged")
+        ] == ["t1"]
+
+    def test_unhashable_filter_uses_linear_fallback(self, tagged_design):
+        registry = EntityRegistry()
+        registry.register(self.tagged(tagged_design, "t1", ["a", "b"]))
+        registry.register(self.tagged(tagged_design, "t2", ["c"]))
+        matches = registry.instances_of("Tagged", tags=["a", "b"])
+        assert [i.entity_id for i in matches] == ["t1"]
+        assert registry.instances_of("Tagged", tags=["zzz"]) == []
+
+    def test_unregister_with_unhashable_attributes(self, tagged_design):
+        registry = EntityRegistry()
+        registry.register(self.tagged(tagged_design, "t1", ["a"]))
+        registry.unregister("t1")
+        assert registry.instances_of("Tagged") == []
+
+
 class TestListeners:
     def test_register_event(self, design, registry):
         events = []

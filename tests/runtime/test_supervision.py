@@ -112,7 +112,7 @@ class TestIsolatePolicy:
 
     def test_failed_component_publishes_nothing(self):
         app, sensor, __ = build("isolate")
-        before = app.bus.stats["published"]
+        before = app.bus.stats()["published"]
         sensor.publish("reading", 2.0)
         # Buggy never published a ("context", "Buggy") event.
         assert app.bus.subscriber_count(("context", "Buggy")) == 0
