@@ -21,14 +21,19 @@ implementation to percolate to the application logic" (Section V.B).
 When the job provides the optional ``combine`` hook, every executor runs
 it per map chunk *before* partitioning, so only one partial aggregate per
 (chunk, key) crosses the shuffle boundary.  Each run records shuffle
-volume in ``executor.last_stats`` / ``engine.last_stats``::
+volume in ``executor.last_stats`` / ``engine.last_stats``, with key
+names aligned with the bus's ``published``/``delivered`` convention
+(past-participle verb per phase)::
 
-    {"map_emitted": <pairs the Map phase produced>,
-     "shuffled":    <pairs that crossed the map->reduce boundary>,
-     "reduced":     <final result count>,
-     "combined":    <whether the combine hook ran>}
+    {"mapped":       <pairs the Map phase produced>,
+     "shuffled":     <pairs that crossed the map->reduce boundary>,
+     "reduced":      <final result count>,
+     "combine_used": <whether the combine hook ran>}
 
-making the combiner's win (``map_emitted / shuffled``) observable.
+making the combiner's win (``mapped / shuffled``) observable.  The
+engine additionally accumulates the same counters across runs and can
+export them through a telemetry registry (``mapreduce_mapped_total``
+and friends).
 """
 
 from __future__ import annotations
@@ -78,12 +83,12 @@ def _run_reduce_bucket(job: MapReduce, bucket: Pairs) -> Pairs:
     return collector.pairs
 
 
-def _stats(map_emitted: int, shuffled: int, reduced: int, combined: bool):
+def _stats(mapped: int, shuffled: int, reduced: int, combine_used: bool):
     return {
-        "map_emitted": map_emitted,
+        "mapped": mapped,
         "shuffled": shuffled,
         "reduced": reduced,
-        "combined": combined,
+        "combine_used": combine_used,
     }
 
 
@@ -172,18 +177,71 @@ class ProcessExecutor(_PooledExecutor):
 class MapReduceEngine:
     """Facade bundling an executor with result post-processing."""
 
-    def __init__(self, executor=None):
+    def __init__(self, executor=None, metrics=None):
         self.executor = executor or SerialExecutor()
+        self._runs = 0
+        self._combined_runs = 0
+        self._mapped = 0
+        self._shuffled = 0
+        self._reduced = 0
+        if metrics is not None:
+            self.attach_metrics(metrics)
+
+    def attach_metrics(self, metrics) -> None:
+        """Export cumulative run counters through a telemetry registry."""
+        metrics.callback(
+            "mapreduce_runs_total",
+            lambda: self._runs,
+            help="MapReduce jobs executed.",
+        )
+        metrics.callback(
+            "mapreduce_combined_runs_total",
+            lambda: self._combined_runs,
+            help="Runs whose job supplied a map-side combine hook.",
+        )
+        metrics.callback(
+            "mapreduce_mapped_total",
+            lambda: self._mapped,
+            help="Pairs produced by Map phases.",
+        )
+        metrics.callback(
+            "mapreduce_shuffled_total",
+            lambda: self._shuffled,
+            help="Pairs that crossed the map->reduce boundary.",
+        )
+        metrics.callback(
+            "mapreduce_reduced_total",
+            lambda: self._reduced,
+            help="Final pairs produced by Reduce phases.",
+        )
 
     def run(
         self, job: MapReduce, grouped: Mapping[Hashable, Sequence[Any]]
     ) -> Dict[Hashable, Any]:
-        return self.executor.run(job, grouped)
+        result = self.executor.run(job, grouped)
+        stats = self.executor.last_stats
+        self._runs += 1
+        self._combined_runs += 1 if stats["combine_used"] else 0
+        self._mapped += stats["mapped"]
+        self._shuffled += stats["shuffled"]
+        self._reduced += stats["reduced"]
+        return result
 
     @property
     def last_stats(self) -> Dict[str, Any]:
         """Shuffle-volume counters of the most recent run."""
         return dict(self.executor.last_stats)
+
+    def stats(self) -> Dict[str, int]:
+        """Cumulative counters across every run of this engine (the
+        view the telemetry registry exports)."""
+        return {
+            "runs": self._runs,
+            "combined_runs": self._combined_runs,
+            "mapped": self._mapped,
+            "shuffled": self._shuffled,
+            "reduced": self._reduced,
+        }
 
 
 def run_mapreduce(

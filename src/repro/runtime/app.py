@@ -60,6 +60,7 @@ from repro.runtime.proxies import make_proxy
 from repro.runtime.qos import QoSMonitor
 from repro.runtime.registry import EntityRegistry
 from repro.sema.analyzer import AnalyzedSpec
+from repro.telemetry import MetricsRegistry
 from repro.typesys.values import check_value
 
 # Sentinel distinguishing "isolated component failed" from a None result.
@@ -91,6 +92,7 @@ class Application:
         apply_network_to_reads: bool = False,
         error_policy: str = "raise",
         streaming_windows: bool = True,
+        metrics: Optional[MetricsRegistry] = None,
     ):
         if error_policy not in self.ERROR_POLICIES:
             raise ValueError(
@@ -108,10 +110,17 @@ class Application:
         self._component_errors: List[Any] = []
         self._error_listeners: List[Callable[[str, Exception], None]] = []
         self.clock: Clock = clock if clock is not None else SimulationClock()
-        self.bus = EventBus()
-        self.registry = EntityRegistry()
-        self.mapreduce = MapReduceEngine(mapreduce_executor)
-        self.qos = QoSMonitor()
+        # One registry captures every layer's counters; the per-layer
+        # stats()/last_stats surfaces remain as views over the same
+        # numbers.  Pass a shared registry to aggregate several
+        # applications into one scrape.
+        self.metrics: MetricsRegistry = (
+            metrics if metrics is not None else MetricsRegistry()
+        )
+        self.bus = EventBus(metrics=self.metrics)
+        self.registry = EntityRegistry(metrics=self.metrics)
+        self.mapreduce = MapReduceEngine(mapreduce_executor, self.metrics)
+        self.qos = QoSMonitor(metrics=self.metrics)
         self.discover = Discover(design, self.registry, self.query_context)
         self.started = False
         self._implementations: Dict[str, Component] = {}
@@ -122,6 +131,22 @@ class Application:
         self._gather_sweeps = 0
         self._context_activations: Dict[str, int] = {}
         self._controller_activations: Dict[str, int] = {}
+        self.metrics.callback(
+            "app_gather_sweeps_total",
+            lambda: self._gather_sweeps,
+            help="Periodic gathering sweeps executed.",
+        )
+        self.metrics.callback(
+            "app_gather_errors_total",
+            lambda: self._gather_errors,
+            help="Failed or dropped reads during gathering sweeps.",
+        )
+        self.metrics.callback(
+            "app_component_errors_total",
+            lambda: len(self._component_errors),
+            help="Component failures contained under error_policy="
+            "'isolate'.",
+        )
 
     # ------------------------------------------------------------------
     # Assembly
@@ -163,6 +188,7 @@ class Application:
             )
         self.registry.register(instance)
         instance.attach(self._on_device_publish)
+        instance.attach_metrics(self.metrics)
         return instance
 
     def create_device(
@@ -247,6 +273,8 @@ class Application:
     def stats(self) -> Dict[str, Any]:
         return {
             "bus": self.bus.stats(),
+            "registry": self.registry.stats(),
+            "mapreduce": self.mapreduce.stats(),
             "windows": {
                 name: accumulator.stats()
                 for name, accumulator in self._accumulators.items()
@@ -360,6 +388,12 @@ class Application:
     def _wire_context(self, name: str) -> None:
         info = self.design.contexts[name]
         implementation = self._implementations[name]
+        self.metrics.callback(
+            "context_activations_total",
+            lambda: self._context_activations.get(name, 0),
+            help="Context callback activations.",
+            component=name,
+        )
         for interaction in info.decl.interactions:
             if isinstance(interaction, WhenProvidedSource):
                 handler = self._qos_wrap(
@@ -416,6 +450,7 @@ class Application:
                     group.window.seconds,
                     flatten=not group.uses_mapreduce,
                 )
+            accumulator.attach_metrics(self.metrics, name)
             self._accumulators[name] = accumulator
         job = self.clock.schedule_periodic(
             interaction.period.seconds,
@@ -433,6 +468,12 @@ class Application:
     def _wire_controller(self, name: str) -> None:
         implementation = self._implementations[name]
         decl = self.design.controllers[name].decl
+        self.metrics.callback(
+            "controller_activations_total",
+            lambda: self._controller_activations.get(name, 0),
+            help="Controller callback activations.",
+            component=name,
+        )
         for reaction in decl.reactions:
             handler = self._qos_wrap(
                 name, implementation.find_context_handler(reaction.context)

@@ -17,6 +17,12 @@ Publishing is the hottest path of a periodic deployment (every sweep of
 every sensor funnels through it), so the per-topic subscriber snapshot is
 cached: it is rebuilt only when a subscription was added or removed since
 the last publish on that topic, not copied on every publish.
+
+Delivery counters are plain integers bumped inline; when a
+:class:`~repro.telemetry.MetricsRegistry` is attached (the application
+always attaches its own), they are exported as pull-time callback
+metrics — the publish path itself pays nothing for telemetry, which the
+``bench_telemetry_overhead`` benchmark enforces.
 """
 
 from __future__ import annotations
@@ -46,7 +52,7 @@ class _Subscription:
 class EventBus:
     """Deterministic synchronous pub/sub."""
 
-    def __init__(self):
+    def __init__(self, metrics=None):
         self._topics: Dict[Hashable, List[_Subscription]] = {}
         # Per-topic immutable snapshot of active subscriptions, rebuilt
         # lazily after a subscribe/unsubscribe touched the topic.
@@ -54,6 +60,48 @@ class EventBus:
         self._counter = itertools.count()
         self._delivered = 0
         self._published = 0
+        self._snapshot_rebuilds = 0
+        if metrics is not None:
+            self.attach_metrics(metrics)
+
+    def attach_metrics(self, metrics) -> None:
+        """Export the bus counters through a telemetry registry.
+
+        All metrics are pull-time callbacks over the inline integer
+        counters, so attaching telemetry adds zero work per publish.
+        """
+        metrics.callback(
+            "bus_published_total",
+            lambda: self._published,
+            help="Events published on the bus.",
+        )
+        metrics.callback(
+            "bus_delivered_total",
+            lambda: self._delivered,
+            help="Subscriber deliveries performed by the bus.",
+        )
+        metrics.callback(
+            "bus_snapshot_rebuilds_total",
+            lambda: self._snapshot_rebuilds,
+            help="Per-topic subscriber snapshots rebuilt after churn.",
+        )
+        metrics.callback(
+            "bus_topics",
+            lambda: len(self._topics),
+            kind="gauge",
+            help="Topics with at least one subscription ever made.",
+        )
+        metrics.callback(
+            "bus_subscriptions",
+            lambda: sum(
+                1
+                for subscriptions in self._topics.values()
+                for s in subscriptions
+                if s.active
+            ),
+            kind="gauge",
+            help="Currently active subscriptions.",
+        )
 
     def subscribe(self, topic: Hashable, callback: Subscriber) -> _Subscription:
         """Register ``callback`` for ``topic``; returns an unsubscribe handle."""
@@ -88,6 +136,7 @@ class EventBus:
         self, topic: Hashable
     ) -> Tuple[_Subscription, ...]:
         """Compact the topic's subscription list and cache the snapshot."""
+        self._snapshot_rebuilds += 1
         subscriptions = self._topics.get(topic)
         if not subscriptions:
             snapshot: Tuple[_Subscription, ...] = ()

@@ -147,6 +147,10 @@ class DeviceInstance:
         self.attributes = attributes
         self.failed = False
         self._publish_hook: Optional[Callable[..., None]] = None
+        self._m_reads = None
+        self._m_retries = None
+        self._m_timeouts = None
+        self._m_failures = None
         driver.instance = self
 
     # -- wiring -------------------------------------------------------------
@@ -154,6 +158,32 @@ class DeviceInstance:
     def attach(self, publish_hook: Callable[..., None]) -> None:
         """Connect the instance to an application's event plumbing."""
         self._publish_hook = publish_hook
+
+    def attach_metrics(self, metrics) -> None:
+        """Export read/retry/timeout counters (labelled by device type)
+        through a telemetry registry.  Instances of the same type share
+        the counters, so fleet-wide retry pressure reads as one series."""
+        device_type = self.info.name
+        self._m_reads = metrics.counter(
+            "device_reads_total",
+            help="Query-driven/periodic reads attempted per device type.",
+            device_type=device_type,
+        )
+        self._m_retries = metrics.counter(
+            "device_read_retries_total",
+            help="Re-attempts after a failed or timed-out read.",
+            device_type=device_type,
+        )
+        self._m_timeouts = metrics.counter(
+            "device_read_timeouts_total",
+            help="Read attempts that exceeded their declared timeout.",
+            device_type=device_type,
+        )
+        self._m_failures = metrics.counter(
+            "device_read_failures_total",
+            help="Reads that failed after exhausting their retry budget.",
+            device_type=device_type,
+        )
 
     def detach(self) -> None:
         self._publish_hook = None
@@ -174,7 +204,11 @@ class DeviceInstance:
         source_info = self.info.source(source)
         attempts = 1 + source_info.retries
         last_error: Optional[DeliveryError] = None
-        for __ in range(attempts):
+        if self._m_reads is not None:
+            self._m_reads.inc()
+        for attempt in range(attempts):
+            if attempt and self._m_retries is not None:
+                self._m_retries.inc()
             started = time.perf_counter()
             try:
                 value = self.driver.read(source)
@@ -190,8 +224,12 @@ class DeviceInstance:
                     f"read of '{source}' on '{self.entity_id}' exceeded "
                     f"its {source_info.timeout_seconds}s timeout"
                 )
+                if self._m_timeouts is not None:
+                    self._m_timeouts.inc()
                 continue
             return coerce_value(source_info.dia_type, value)
+        if self._m_failures is not None:
+            self._m_failures.inc()
         raise last_error  # type: ignore[misc]
 
     def publish(self, source: str, value: Any, index: Any = None) -> None:

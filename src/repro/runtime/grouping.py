@@ -117,6 +117,49 @@ class WindowAccumulator:
         self._count = 0
         self._buffered_values = 0
         self._peak_buffered_values = 0
+        self._deliveries = 0
+        self._closed_windows = 0
+
+    def attach_metrics(self, metrics, context: str) -> None:
+        """Export window-state gauges/counters labelled by context.
+
+        Pull-time callbacks over the accumulator's own counters — the
+        add() path is untouched by telemetry.
+        """
+        labels = {"context": context}
+        metrics.callback(
+            "window_deliveries_total",
+            lambda: self._deliveries,
+            help="Periodic deliveries absorbed into windows.",
+            **labels,
+        )
+        metrics.callback(
+            "window_closes_total",
+            lambda: self._closed_windows,
+            help="Windows completed and released to the handler.",
+            **labels,
+        )
+        metrics.callback(
+            "window_pending_deliveries",
+            lambda: self._count,
+            kind="gauge",
+            help="Deliveries absorbed into the currently open window.",
+            **labels,
+        )
+        metrics.callback(
+            "window_buffered_values",
+            lambda: self._buffered_values,
+            kind="gauge",
+            help="Values currently held by the open window.",
+            **labels,
+        )
+        metrics.callback(
+            "window_peak_buffered_values",
+            lambda: self._peak_buffered_values,
+            kind="gauge",
+            help="High-water mark of values held at once.",
+            **labels,
+        )
 
     @classmethod
     def for_design(
@@ -157,11 +200,13 @@ class WindowAccumulator:
             self._peak_buffered_values, self._buffered_values
         )
         self._count += 1
+        self._deliveries += 1
         if self._count < self.deliveries_per_window:
             return None
         window, self._buffer = self._buffer, {}
         self._count = 0
         self._buffered_values = 0
+        self._closed_windows += 1
         return window
 
     def _add_buffered(self, grouped: Dict[Hashable, Any]) -> None:
@@ -207,4 +252,6 @@ class WindowAccumulator:
             "pending_deliveries": self._count,
             "buffered_values": self._buffered_values,
             "peak_buffered_values": self._peak_buffered_values,
+            "deliveries": self._deliveries,
+            "closed_windows": self._closed_windows,
         }

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 
 @dataclass
@@ -54,16 +54,63 @@ class ComponentQoS:
 class QoSMonitor:
     """Tracks activation timing for all deadline-bearing components."""
 
-    def __init__(self):
+    def __init__(self, metrics=None):
         self._components: Dict[str, ComponentQoS] = {}
         self._listeners: List[Callable[[str, float], None]] = []
+        self._metrics = None
+        self._histograms: Dict[str, Any] = {}
+        if metrics is not None:
+            self.attach_metrics(metrics)
+
+    def attach_metrics(self, metrics) -> None:
+        """Export per-component QoS accounting through a telemetry
+        registry: activation/violation counters as pull-time callbacks
+        over the :class:`ComponentQoS` records, plus a push histogram of
+        activation durations (the only new cost, and only on
+        deadline-bearing callbacks)."""
+        self._metrics = metrics
+        for name in self._components:
+            self._register_metrics(name)
+
+    def _register_metrics(self, name: str) -> None:
+        record = self._components[name]
+        metrics = self._metrics
+        metrics.callback(
+            "qos_activations_total",
+            lambda: record.activations,
+            help="Activations of deadline-bearing components.",
+            component=name,
+        )
+        metrics.callback(
+            "qos_violations_total",
+            lambda: record.violations,
+            help="Activations that exceeded their declared deadline.",
+            component=name,
+        )
+        if record.deadline_seconds is not None:
+            metrics.callback(
+                "qos_deadline_seconds",
+                lambda: record.deadline_seconds,
+                kind="gauge",
+                help="Declared deadline per component.",
+                component=name,
+            )
+        self._histograms[name] = metrics.histogram(
+            "qos_activation_seconds",
+            help="Wall-clock activation durations of deadline-bearing "
+            "components.",
+            component=name,
+        )
 
     def register(self, name: str, deadline_seconds: Optional[float]) -> None:
         self._components[name] = ComponentQoS(deadline_seconds)
+        if self._metrics is not None:
+            self._register_metrics(name)
 
     def wrap(self, name: str, handler: Callable) -> Callable:
         """Wrap a component callback with timing instrumentation."""
         record = self._components[name]
+        histogram = self._histograms.get(name)
 
         def timed(*args, **kwargs):
             start = time.perf_counter()
@@ -71,6 +118,8 @@ class QoSMonitor:
                 return handler(*args, **kwargs)
             finally:
                 elapsed = time.perf_counter() - start
+                if histogram is not None:
+                    histogram.observe(elapsed)
                 if record.record(elapsed):
                     for listener in list(self._listeners):
                         listener(name, elapsed)

@@ -39,11 +39,51 @@ class EntityRegistry:
     (the paper's binding model), which is what makes the index sound.
     """
 
-    def __init__(self):
+    def __init__(self, metrics=None):
         self._by_id: Dict[str, DeviceInstance] = {}
         self._by_type: Dict[str, List[DeviceInstance]] = {}
         self._by_attribute: Dict[tuple, List[DeviceInstance]] = {}
         self._listeners: List[Listener] = []
+        self._lookups = 0
+        self._index_hits = 0
+        self._registrations = 0
+        self._unregistrations = 0
+        if metrics is not None:
+            self.attach_metrics(metrics)
+
+    def attach_metrics(self, metrics) -> None:
+        """Export lookup/index counters through a telemetry registry.
+
+        Pull-time callbacks over inline integers: discovery pays nothing
+        per lookup for being observable.
+        """
+        metrics.callback(
+            "registry_lookups_total",
+            lambda: self._lookups,
+            help="instances_of() discovery lookups served.",
+        )
+        metrics.callback(
+            "registry_index_hits_total",
+            lambda: self._index_hits,
+            help="Lookups served from a (type, attribute, value) index "
+            "bucket instead of a type scan.",
+        )
+        metrics.callback(
+            "registry_registrations_total",
+            lambda: self._registrations,
+            help="Entities registered over the registry's lifetime.",
+        )
+        metrics.callback(
+            "registry_unregistrations_total",
+            lambda: self._unregistrations,
+            help="Entities unregistered over the registry's lifetime.",
+        )
+        metrics.callback(
+            "registry_entities",
+            lambda: len(self._by_id),
+            kind="gauge",
+            help="Entities currently bound.",
+        )
 
     def register(self, instance: DeviceInstance) -> DeviceInstance:
         """Bind an instance; rejects duplicate entity ids."""
@@ -58,6 +98,7 @@ class EntityRegistry:
                 key = _index_key(type_name, attribute, value)
                 if key is not None:
                     self._by_attribute.setdefault(key, []).append(instance)
+        self._registrations += 1
         for listener in list(self._listeners):
             listener("register", instance)
         return instance
@@ -73,6 +114,7 @@ class EntityRegistry:
                 key = _index_key(type_name, attribute, value)
                 if key is not None:
                     self._by_attribute[key].remove(instance)
+        self._unregistrations += 1
         for listener in list(self._listeners):
             listener("unregister", instance)
         return instance
@@ -99,6 +141,7 @@ class EntityRegistry:
         are re-checked — with a single indexed filter the scan degenerates
         to the failed-instance check alone.
         """
+        self._lookups += 1
         candidates: Iterable[DeviceInstance]
         buckets = []
         for name, value in attribute_filters.items():
@@ -110,6 +153,7 @@ class EntityRegistry:
                 break
             buckets.append((name, self._by_attribute.get(key, [])))
         if buckets:
+            self._index_hits += 1
             seed_name, candidates = min(
                 buckets, key=lambda bucket: len(bucket[1])
             )
@@ -144,6 +188,17 @@ class EntityRegistry:
                 self._listeners.remove(listener)
 
         return remove
+
+    def stats(self) -> Dict[str, int]:
+        """Snapshot of the discovery counters (a view over the same
+        integers the telemetry registry exports)."""
+        return {
+            "lookups": self._lookups,
+            "index_hits": self._index_hits,
+            "registrations": self._registrations,
+            "unregistrations": self._unregistrations,
+            "entities": len(self._by_id),
+        }
 
     def __len__(self) -> int:
         return len(self._by_id)

@@ -115,27 +115,27 @@ class TestShuffleStats:
         engine.run(PlainSum(), GROUPED)
         stats = engine.last_stats
         assert stats == {
-            "map_emitted": 7,
+            "mapped": 7,
             "shuffled": 7,
             "reduced": 3,
-            "combined": False,
+            "combine_used": False,
         }
 
     def test_serial_combiner_shuffles_one_pair_per_group(self):
         engine = MapReduceEngine(SerialExecutor())
         engine.run(CombiningSum(), GROUPED)
         stats = engine.last_stats
-        assert stats["map_emitted"] == 7
+        assert stats["mapped"] == 7
         assert stats["shuffled"] == 3  # one partial per group
-        assert stats["combined"] is True
+        assert stats["combine_used"] is True
 
     def test_pooled_combiner_shuffles_at_most_chunks_x_groups(self):
         executor = ThreadExecutor(2)
         executor.run(CombiningSum(), GROUPED)
         stats = executor.last_stats
-        assert stats["map_emitted"] == 7
+        assert stats["mapped"] == 7
         assert stats["shuffled"] <= 2 * 3
-        assert stats["shuffled"] < stats["map_emitted"]
+        assert stats["shuffled"] < stats["mapped"]
 
     def test_empty_run_resets_stats(self):
         executor = ThreadExecutor(2)

@@ -1,10 +1,8 @@
 """Periodic gathering: polling, grouping, MapReduce, windows, queries."""
 
-import pytest
-
 from repro.mapreduce.engine import ThreadExecutor
 from repro.runtime.app import Application
-from repro.runtime.component import Context, Controller
+from repro.runtime.component import Context
 from repro.runtime.device import CallableDriver
 from repro.sema.analyzer import analyze
 

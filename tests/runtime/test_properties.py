@@ -1,6 +1,6 @@
 """Property-based invariants of the core runtime substrates."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.runtime.bus import EventBus

@@ -1,7 +1,5 @@
 """Design-evolution diffing."""
 
-import pytest
-
 from repro.sema.diff import diff_designs
 
 V1 = """\

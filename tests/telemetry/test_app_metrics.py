@@ -1,0 +1,268 @@
+"""One registry observes every runtime layer of a running application.
+
+The design below deliberately crosses all instrumented surfaces: device
+reads with a retry policy, periodic gathering, grouped MapReduce windows,
+context-to-context subscription, a controller actuation, and deadline
+monitoring.  Each assertion pairs a metric with the legacy ``stats()``
+view it mirrors, so the two surfaces cannot drift apart silently.
+"""
+
+from repro.errors import DeliveryError
+from repro.mapreduce.api import MapReduce
+from repro.runtime.app import Application
+from repro.runtime.component import Context, Controller
+from repro.runtime.device import CallableDriver, DeviceDriver
+from repro.sema.analyzer import analyze
+from repro.telemetry import MetricsRegistry
+
+DESIGN = """\
+device Meter {
+    attribute zone as ZoneEnum;
+    source load as Float expect retry 1;
+}
+device Horn { action honk; }
+enumeration ZoneEnum { NORTH, SOUTH }
+
+context ZoneLoad as Float {
+    when periodic load from Meter <1 min>
+    grouped by zone every <3 min>
+    with map as Float reduce as Float
+    always publish;
+}
+
+context Alarm as Boolean {
+    expect deadline <50 ms>;
+
+    when provided ZoneLoad
+    always publish;
+}
+
+controller HornController {
+    expect deadline <50 ms>;
+
+    when provided Alarm
+    do honk on Horn;
+}
+"""
+
+
+class ZoneLoadImpl(Context, MapReduce):
+    def map(self, zone, load, collector):
+        collector.emit_map(zone, load)
+
+    def combine(self, zone, loads, collector):
+        collector.emit_combine(zone, sum(loads))
+
+    def reduce(self, zone, loads, collector):
+        collector.emit_reduce(zone, sum(loads))
+
+    def on_periodic_load(self, load_by_zone, discover):
+        return float(sum(load_by_zone.values()))
+
+
+class AlarmImpl(Context):
+    def on_zone_load(self, value, discover):
+        return value > 100.0
+
+
+class HornControllerImpl(Controller):
+    def __init__(self):
+        super().__init__()
+        self.honks = 0
+
+    def on_alarm(self, value, discover):
+        self.honks += 1
+
+
+class GlitchOnceDriver(DeviceDriver):
+    """Fails exactly the first read, then serves — masked by `retry 1`."""
+
+    def __init__(self, value):
+        self.value = value
+        self.attempts = 0
+
+    def read_load(self):
+        self.attempts += 1
+        if self.attempts == 1:
+            raise DeliveryError("transient glitch")
+        return self.value
+
+
+def build(metrics=None):
+    app = Application(analyze(DESIGN), metrics=metrics)
+    app.implement("ZoneLoad", ZoneLoadImpl())
+    app.implement("Alarm", AlarmImpl())
+    controller = app.implement("HornController", HornControllerImpl())
+    app.create_device("Meter", "m-north-1", GlitchOnceDriver(4.0),
+                      zone="NORTH")
+    app.create_device(
+        "Meter", "m-north-2",
+        CallableDriver(sources={"load": lambda: 6.0}), zone="NORTH",
+    )
+    app.create_device(
+        "Meter", "m-south-1",
+        CallableDriver(sources={"load": lambda: 2.0}), zone="SOUTH",
+    )
+    app.create_device(
+        "Horn", "horn-1", CallableDriver(actions={"honk": lambda: None})
+    )
+    app.start()
+    return app, controller
+
+
+# 9 one-minute sweeps -> three 3-minute windows -> 3 published windows.
+RUN_SECONDS = 540
+SWEEPS = 9
+WINDOWS = 3
+
+
+class TestAppMetricsIntegration:
+    def test_default_application_owns_a_registry(self):
+        app, __ = build()
+        assert isinstance(app.metrics, MetricsRegistry)
+
+    def test_explicit_registry_is_adopted(self):
+        shared = MetricsRegistry()
+        app, __ = build(metrics=shared)
+        assert app.metrics is shared
+
+    def test_bus_metrics_mirror_stats_view(self):
+        app, __ = build()
+        app.advance(RUN_SECONDS)
+        stats = app.bus.stats()
+        assert stats["published"] > 0
+        assert app.metrics.value("bus_published_total") == stats["published"]
+        assert app.metrics.value("bus_delivered_total") == stats["delivered"]
+        assert app.metrics.value("bus_topics") > 0
+
+    def test_registry_metrics_mirror_stats_view(self):
+        app, __ = build()
+        app.advance(RUN_SECONDS)
+        stats = app.registry.stats()
+        assert stats["lookups"] >= SWEEPS
+        assert app.metrics.value("registry_lookups_total") == stats["lookups"]
+        assert (
+            app.metrics.value("registry_index_hits_total")
+            == stats["index_hits"]
+        )
+        assert app.metrics.value("registry_entities") == stats["entities"] == 4
+
+    def test_window_metrics_track_accumulator(self):
+        app, __ = build()
+        app.advance(RUN_SECONDS)
+        assert (
+            app.metrics.value("window_deliveries_total", context="ZoneLoad")
+            == SWEEPS
+        )
+        assert (
+            app.metrics.value("window_closes_total", context="ZoneLoad")
+            == WINDOWS
+        )
+        assert (
+            app.metrics.value(
+                "window_pending_deliveries", context="ZoneLoad"
+            )
+            == 0  # 9 deliveries fill exactly 3 windows
+        )
+        accumulator_stats = app.stats["windows"]["ZoneLoad"]
+        assert accumulator_stats["deliveries"] == SWEEPS
+        assert accumulator_stats["closed_windows"] == WINDOWS
+
+    def test_mapreduce_metrics_mirror_cumulative_stats(self):
+        app, __ = build()
+        app.advance(RUN_SECONDS)
+        stats = app.mapreduce.stats()
+        assert stats["runs"] == SWEEPS
+        assert app.metrics.value("mapreduce_runs_total") == stats["runs"]
+        assert app.metrics.value("mapreduce_mapped_total") == stats["mapped"]
+        assert (
+            app.metrics.value("mapreduce_reduced_total") == stats["reduced"]
+        )
+
+    def test_device_retry_counters(self):
+        app, __ = build()
+        app.advance(RUN_SECONDS)
+        reads = app.metrics.value("device_reads_total", device_type="Meter")
+        assert reads == 3 * SWEEPS
+        # The glitchy meter failed its very first read; `expect retry 1`
+        # masked it, so the sweep saw no error but telemetry did.
+        assert (
+            app.metrics.value(
+                "device_read_retries_total", device_type="Meter"
+            )
+            == 1
+        )
+        assert (
+            app.metrics.value(
+                "device_read_failures_total", device_type="Meter"
+            )
+            == 0
+        )
+        assert app.stats["gather_errors"] == 0
+        assert app.metrics.value("app_gather_errors_total") == 0
+
+    def test_qos_metrics_and_latency_histogram(self):
+        app, controller = build()
+        app.advance(RUN_SECONDS)
+        alarm = app.qos.component("Alarm")
+        assert alarm.activations == WINDOWS
+        assert (
+            app.metrics.value("qos_activations_total", component="Alarm")
+            == alarm.activations
+        )
+        assert (
+            app.metrics.value("qos_violations_total", component="Alarm")
+            == alarm.violations
+            == 0
+        )
+        # The push histogram saw one observation per activation.
+        assert (
+            app.metrics.value("qos_activation_seconds", component="Alarm")
+            == WINDOWS
+        )
+        assert (
+            app.metrics.value(
+                "qos_activation_seconds", component="HornController"
+            )
+            == controller.honks
+            == WINDOWS
+        )
+
+    def test_component_activation_callbacks(self):
+        app, __ = build()
+        app.advance(RUN_SECONDS)
+        assert app.metrics.value("app_gather_sweeps_total") == SWEEPS
+        assert (
+            app.metrics.value(
+                "context_activations_total", component="ZoneLoad"
+            )
+            == WINDOWS
+        )
+        assert (
+            app.metrics.value("context_activations_total", component="Alarm")
+            == WINDOWS
+        )
+        assert (
+            app.metrics.value(
+                "controller_activations_total", component="HornController"
+            )
+            == WINDOWS
+        )
+
+    def test_prometheus_snapshot_covers_every_layer(self):
+        app, __ = build()
+        app.advance(RUN_SECONDS)
+        text = app.metrics.render_prometheus()
+        for family in (
+            "bus_published_total",
+            "registry_lookups_total",
+            "window_deliveries_total",
+            "mapreduce_runs_total",
+            "device_read_retries_total",
+            "qos_activations_total",
+            "qos_activation_seconds_bucket",
+            "app_gather_sweeps_total",
+        ):
+            assert family in text, family
+        assert 'device_type="Meter"' in text
+        assert 'component="Alarm"' in text

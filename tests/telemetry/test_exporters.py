@@ -1,0 +1,174 @@
+"""Exporter formats: Prometheus text exposition and Chrome-trace JSON."""
+
+import json
+import re
+
+from repro.runtime.app import Application
+from repro.runtime.device import CallableDriver
+from repro.runtime.component import Context, Controller
+from repro.runtime.tracing import Tracer
+from repro.sema.analyzer import analyze
+from repro.telemetry import (
+    MetricsRegistry,
+    chrome_trace_events,
+    parse_chrome_trace,
+    render_chrome_trace,
+    render_prometheus,
+)
+
+SAMPLE_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+$"
+)
+
+
+class TestPrometheusFormat:
+    def test_counter_and_gauge_samples(self):
+        registry = MetricsRegistry()
+        registry.counter("events_total", help="Events seen.").inc(3)
+        registry.gauge("depth", help="Queue depth.").set(2.5)
+        text = render_prometheus(registry)
+        assert "# HELP events_total Events seen.\n" in text
+        assert "# TYPE events_total counter\n" in text
+        assert "\nevents_total 3\n" in text
+        assert "# TYPE depth gauge\n" in text
+        assert "\ndepth 2.5\n" in text
+
+    def test_labelled_samples_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("reads_total", zone="south").inc(1)
+        registry.counter("reads_total", zone="north").inc(2)
+        text = render_prometheus(registry)
+        north = text.index('reads_total{zone="north"} 2')
+        south = text.index('reads_total{zone="south"} 1')
+        assert north < south
+
+    def test_label_value_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("odd_total", path='a\\b"c\nd').inc()
+        text = render_prometheus(registry)
+        assert r'odd_total{path="a\\b\"c\nd"} 1' in text
+
+    def test_histogram_exposition(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram(
+            "lat_seconds", help="Latency.", buckets=(0.01, 0.1)
+        )
+        for value in (0.005, 0.05, 0.5):
+            histogram.observe(value)
+        text = render_prometheus(registry)
+        assert "# TYPE lat_seconds histogram\n" in text
+        assert 'lat_seconds_bucket{le="0.01"} 1\n' in text
+        assert 'lat_seconds_bucket{le="0.1"} 2\n' in text
+        assert 'lat_seconds_bucket{le="+Inf"} 3\n' in text
+        assert "lat_seconds_sum 0.555" in text
+        assert "lat_seconds_count 3" in text
+
+    def test_every_sample_line_is_well_formed(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", kind="x").inc()
+        registry.gauge("b")
+        registry.histogram("c_seconds", buckets=(1.0,)).observe(2.0)
+        registry.callback("d_total", lambda: 4)
+        for line in render_prometheus(registry).splitlines():
+            if line.startswith("#"):
+                assert line.startswith(("# HELP ", "# TYPE "))
+            else:
+                assert SAMPLE_LINE.match(line), line
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_registry_convenience_method(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total").inc()
+        assert registry.render_prometheus() == render_prometheus(registry)
+
+
+TRACE_DESIGN = """\
+device Button {
+    source pressed as Boolean;
+}
+
+device Bell {
+    action ring;
+}
+
+context Echo as Boolean {
+    when provided pressed from Button
+    always publish;
+}
+
+controller BellController {
+    when provided Echo
+    do ring on Bell;
+}
+"""
+
+
+class EchoImpl(Context):
+    def on_pressed_from_button(self, event, discover):
+        return event.value
+
+
+class BellControllerImpl(Controller):
+    def on_echo(self, value, discover):
+        discover.bells().ring()
+
+
+def traced_app():
+    app = Application(analyze(TRACE_DESIGN), name="bell")
+    app.implement("Echo", EchoImpl())
+    app.implement("BellController", BellControllerImpl())
+    button = app.create_device(
+        "Button", "button-1", CallableDriver(sources={"pressed": lambda: True})
+    )
+    app.create_device("Bell", "bell-1", CallableDriver(actions={"ring": lambda: None}))
+    tracer = Tracer(app).attach()
+    app.start()
+    app.advance(1)
+    button.publish("pressed", True)
+    app.advance(1)
+    button.publish("pressed", False)
+    return app, tracer
+
+
+class TestChromeTrace:
+    def test_export_is_valid_trace_event_json(self):
+        app, tracer = traced_app()
+        document = json.loads(render_chrome_trace(tracer, app.name))
+        assert document["displayTimeUnit"] == "ms"
+        events = document["traceEvents"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        instants = [e for e in events if e["ph"] == "i"]
+        assert {"name": "process_name", "ph": "M", "pid": 1, "tid": 0,
+                "args": {"name": "bell"}} in metadata
+        assert {m["args"]["name"] for m in metadata} >= {
+            "bell", "source", "context", "action"
+        }
+        assert len(instants) == len(tracer.entries) > 0
+        for event in instants:
+            assert event["cat"] in ("source", "context", "action")
+            assert event["s"] == "g"
+            assert isinstance(event["ts"], (int, float))
+
+    def test_round_trip_preserves_timeline(self):
+        app, tracer = traced_app()
+        parsed = parse_chrome_trace(render_chrome_trace(tracer, app.name))
+        assert len(parsed) == len(tracer.entries)
+        for original, back in zip(tracer.entries, parsed):
+            assert back.timestamp == original.timestamp
+            assert back.kind == original.kind
+            assert back.subject == original.subject
+            assert back.detail == original.detail
+            assert back.value == repr(original.value)
+
+    def test_parse_accepts_dict_documents(self):
+        app, tracer = traced_app()
+        events = chrome_trace_events(tracer)
+        parsed = parse_chrome_trace({"traceEvents": events})
+        assert len(parsed) == len(tracer.entries)
+
+    def test_causal_order_source_context_action(self):
+        __, tracer = traced_app()
+        kinds = [e.kind for e in tracer.entries[:3]]
+        assert kinds == ["source", "context", "action"]

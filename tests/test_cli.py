@@ -146,6 +146,32 @@ class TestCompile:
         assert hasattr(module, "CookerFramework")
 
 
+class TestMetrics:
+    def test_prometheus_snapshot_on_stdout(self, capsys):
+        assert main(["metrics", "--seconds", "600"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE bus_published_total counter" in out
+        assert "app_gather_sweeps_total" in out
+        assert "mapreduce_runs_total" in out
+        assert (
+            'window_deliveries_total{context="AverageOccupancy"}' in out
+        )
+
+    def test_chrome_trace_file(self, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "trace.json"
+        assert main([
+            "metrics", "--seconds", "600",
+            "--chrome-trace", str(trace_path),
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "wrote" in captured.err
+        document = json.loads(trace_path.read_text(encoding="utf-8"))
+        assert document["traceEvents"]
+        assert any(e["ph"] == "i" for e in document["traceEvents"])
+
+
 class TestUsage:
     def test_no_command_prints_help(self, capsys):
         assert main([]) == 2
