@@ -11,6 +11,7 @@ import time
 
 from repro.mapreduce.api import MapReduce
 from repro.runtime.app import Application
+from repro.runtime.config import RuntimeConfig
 from repro.runtime.component import Context
 from repro.runtime.device import CallableDriver
 from repro.sema.analyzer import analyze
@@ -210,7 +211,9 @@ class MapReduceWindowSink(Context, MapReduce):
 def build_windowed(design_template, sink, sensors, zones, streaming):
     zone_names = [f"Z{i}" for i in range(zones)]
     design = design_template.format(zones=", ".join(zone_names))
-    app = Application(analyze(design), streaming_windows=streaming)
+    app = Application(
+        analyze(design), RuntimeConfig(streaming_windows=streaming)
+    )
     app.implement("Sink", sink)
     published = []
     app.bus.subscribe(

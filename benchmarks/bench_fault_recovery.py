@@ -117,3 +117,43 @@ def test_bench_day_under_faults(benchmark):
     )
     assert updates == 144
     assert 0.0 < availability <= 1.0
+
+
+def test_supervised_chaos_stale_modes(table, benchmark):
+    """Supervised recovery (repro.faults): 30% of the sensors die for
+    30 minutes mid-run.  Both stale modes keep the publication schedule
+    (periodic gathers never abort), but only ``last_known`` keeps the
+    *cohort* full — the dark sensors are served from cache, counted by
+    ``supervision_stale_serves_total`` — and both fleets end the run
+    with every breaker closed and nothing quarantined."""
+    from repro.faults.chaos import run_parking_chaos
+
+    def run_modes():
+        reports = {}
+        for mode in ("skip", "last_known"):
+            reports[mode] = run_parking_chaos(seed=7, stale_mode=mode)
+        return reports
+
+    reports = benchmark.pedantic(run_modes, rounds=1, iterations=1)
+    table(
+        "Supervised chaos: 36/120 sensors down 30 min, by stale mode",
+        ("stale mode", "publishes", "stale serves", "breaker opens",
+         "recoveries", "unrecovered"),
+        [
+            (
+                mode,
+                f"{report['availability_publishes']}"
+                f"/{report['expected_sweeps']}",
+                report["supervision"]["stale_serves"],
+                report["supervision"]["breaker_opens"],
+                report["supervision"]["recoveries"],
+                report["unrecovered_failures"],
+            )
+            for mode, report in reports.items()
+        ],
+    )
+    for report in reports.values():
+        assert report["missed_publishes"] == 0
+        assert report["recovered"] is True
+    assert reports["skip"]["supervision"]["stale_serves"] == 0
+    assert reports["last_known"]["supervision"]["stale_serves"] > 0

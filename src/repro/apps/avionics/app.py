@@ -27,6 +27,7 @@ from repro.apps.avionics.logic import (
     ThrottleControllerImpl,
 )
 from repro.runtime.app import Application
+from repro.runtime.config import RuntimeConfig
 from repro.runtime.clock import SimulationClock
 from repro.simulation.environment import FlightEnvironment
 
@@ -71,7 +72,9 @@ def build_avionics_app(
     """Build (and by default start) the automated pilot."""
     clock = clock or SimulationClock()
     environment = environment or FlightEnvironment(step_seconds=1.0)
-    application = Application(get_design(), clock=clock, name="AutomatedPilot")
+    application = Application(
+        get_design(), RuntimeConfig(clock=clock, name="AutomatedPilot")
+    )
 
     altitude_hold = AltitudeHoldContext()
     heading_hold = HeadingHoldContext()

@@ -14,6 +14,7 @@ from repro.apps.cooker.logic import (
     TurnOffController,
 )
 from repro.runtime.app import Application
+from repro.runtime.config import RuntimeConfig
 from repro.runtime.clock import SimulationClock
 from repro.simulation.environment import HomeEnvironment
 from repro.simulation.sensors import ClockDeviceDriver
@@ -55,7 +56,9 @@ def build_cooker_app(
     """
     clock = clock or SimulationClock()
     environment = environment or HomeEnvironment(step_seconds=60.0)
-    application = Application(get_design(), clock=clock, name="CookerMonitoring")
+    application = Application(
+        get_design(), RuntimeConfig(clock=clock, name="CookerMonitoring")
+    )
 
     alert = AlertContext(threshold_seconds, renotify_seconds)
     notify = NotifyController()

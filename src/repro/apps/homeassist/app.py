@@ -22,6 +22,7 @@ from repro.apps.homeassist.logic import (
     NightWanderingContext,
 )
 from repro.runtime.app import Application
+from repro.runtime.config import RuntimeConfig
 from repro.runtime.clock import SimulationClock
 from repro.simulation.environment import HomeEnvironment
 
@@ -60,7 +61,9 @@ def build_homeassist_app(
     """Build (and by default start) the assisted-living platform."""
     clock = clock or SimulationClock()
     environment = environment or HomeEnvironment(step_seconds=60.0)
-    application = Application(get_design(), clock=clock, name="HomeAssist")
+    application = Application(
+        get_design(), RuntimeConfig(clock=clock, name="HomeAssist")
+    )
 
     activity = ActivityLevelContext()
     inactivity = InactivityAlertContext(

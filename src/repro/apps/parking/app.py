@@ -15,6 +15,7 @@ from repro.apps.parking.devices import (
 from repro.apps.parking.logic import default_implementations
 from repro.runtime.app import Application
 from repro.runtime.clock import SimulationClock
+from repro.runtime.config import RuntimeConfig
 from repro.simulation.environment import ParkingLotEnvironment
 
 PAPER_CAPACITIES: Dict[str, int] = {"A22": 40, "B16": 30, "D6": 50}
@@ -52,6 +53,7 @@ def build_parking_app(
     seed: int = 0,
     start: bool = True,
     extra_lots: Sequence[str] = (),
+    config: Optional[RuntimeConfig] = None,
 ) -> ParkingApp:
     """Build (and by default start) the parking management application.
 
@@ -59,9 +61,13 @@ def build_parking_app(
     are the default, and benchmarks pass hundreds of lots with thousands
     of sensors — the same design and implementations serve both, which is
     the continuum claim (Figure 1).
+
+    ``config`` carries runtime policy (supervision, stale delivery,
+    error policy...); its clock/executor/name are overridden by this
+    function's own arguments so existing callers keep their semantics.
     """
     capacities = dict(capacities or PAPER_CAPACITIES)
-    clock = clock or SimulationClock()
+    clock = clock or (config.clock if config else None) or SimulationClock()
     # ``extra_lots`` enter the design's enumeration (declared vocabulary)
     # without deploying sensors — they can be commissioned at runtime.
     design = get_design(
@@ -74,12 +80,17 @@ def build_parking_app(
     environment = ParkingLotEnvironment(
         capacities, step_seconds=environment_step_seconds, seed=seed
     )
-    application = Application(
-        design,
+    base = config if config is not None else RuntimeConfig()
+    config = base.replace(
         clock=clock,
-        mapreduce_executor=mapreduce_executor,
-        name="ParkingManagement",
+        mapreduce_executor=(
+            mapreduce_executor
+            if mapreduce_executor is not None
+            else base.mapreduce_executor
+        ),
+        name=base.name if base.name != "app" else "ParkingManagement",
     )
+    application = Application(design, config)
 
     implementations = default_implementations()
     for name, implementation in implementations.items():

@@ -10,6 +10,7 @@ from repro.apps.pollution.design import DESIGN_SOURCE, get_design
 from repro.apps.pollution.environment import CityAirEnvironment
 from repro.apps.pollution.logic import default_implementations
 from repro.runtime.app import Application
+from repro.runtime.config import RuntimeConfig
 from repro.runtime.clock import SimulationClock
 from repro.runtime.device import DeviceDriver
 
@@ -83,7 +84,7 @@ def build_pollution_app(
         zone_factors, step_seconds=environment_step_seconds, seed=seed
     )
     application = Application(
-        get_design(), clock=clock, name="PollutionAdvisory"
+        get_design(), RuntimeConfig(clock=clock, name="PollutionAdvisory")
     )
 
     implementations = default_implementations()

@@ -124,6 +124,36 @@ def _build_parser() -> argparse.ArgumentParser:
         "(loadable in chrome://tracing)",
     )
     metrics_parser.set_defaults(handler=_cmd_metrics)
+
+    chaos_parser = subparsers.add_parser(
+        "chaos",
+        help="run the parking example under a seeded fault plan and "
+        "report recovery",
+    )
+    chaos_parser.add_argument(
+        "--seed", type=int, default=7,
+        help="fault-plan seed (default: 7); the same seed always kills "
+        "the same sensors",
+    )
+    chaos_parser.add_argument(
+        "--duration", type=float, default=7200.0,
+        help="simulated seconds to run (default: 7200)",
+    )
+    chaos_parser.add_argument(
+        "--kill-fraction", type=float, default=0.3,
+        help="fraction of presence sensors taken down (default: 0.3)",
+    )
+    chaos_parser.add_argument(
+        "--stale", choices=("last_known", "skip", "fail"),
+        default="last_known",
+        help="degraded-delivery policy for failed reads "
+        "(default: last_known)",
+    )
+    chaos_parser.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="also write the JSON report to this path",
+    )
+    chaos_parser.set_defaults(handler=_cmd_chaos)
     return parser
 
 
@@ -281,6 +311,46 @@ def _cmd_metrics(arguments) -> int:
             f"({len(tracer.entries)} trace events)",
             file=sys.stderr,
         )
+    return 0
+
+
+def _cmd_chaos(arguments) -> int:
+    """Kill a slice of the parking sensors mid-run and report recovery.
+
+    Exit status is 0 only when every injected failure recovered: all
+    breakers closed, no entity quarantined or failed at the end of the
+    run, and no gather ever aborted.  CI runs this as a smoke test.
+    """
+    import json
+
+    from repro.faults.chaos import run_parking_chaos
+
+    report = run_parking_chaos(
+        seed=arguments.seed,
+        duration_seconds=arguments.duration,
+        kill_fraction=arguments.kill_fraction,
+        stale_mode=arguments.stale,
+    )
+    rendered = json.dumps(report, indent=2, sort_keys=True)
+    print(rendered)
+    if arguments.report:
+        with open(arguments.report, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"wrote {arguments.report}", file=sys.stderr)
+    if not report["recovered"]:
+        if report["injected_read_failures"] == 0:
+            print(
+                "chaos: no faults fired within the run window "
+                "(nothing was proven)",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                f"chaos: {report['unrecovered_failures']} unrecovered "
+                f"failure(s)",
+                file=sys.stderr,
+            )
+        return 1
     return 0
 
 

@@ -88,6 +88,7 @@ class _FrameworkGenerator:
         e.blank()
         e.line("from repro.mapreduce.api import MapReduce")
         e.line("from repro.runtime.app import Application")
+        e.line("from repro.runtime.config import RuntimeConfig")
         e.line("from repro.runtime.component import (")
         e.line("    Context,")
         e.line("    Controller,")
@@ -573,16 +574,17 @@ class _FrameworkGenerator:
             e.line("}")
             e.blank()
             e.line("def __init__(self, clock=None, mapreduce_executor=None,")
-            e.line("             streaming_windows=True):")
+            e.line("             streaming_windows=True, config=None):")
             with e.indented():
                 e.line("self.design = DESIGN")
-                e.line("self.application = Application(")
-                e.line("    DESIGN,")
-                e.line("    clock=clock,")
-                e.line("    mapreduce_executor=mapreduce_executor,")
-                e.line(f'    name="{self.name}",')
-                e.line("    streaming_windows=streaming_windows,")
-                e.line(")")
+                e.line("if config is None:")
+                e.line("    config = RuntimeConfig(")
+                e.line("        clock=clock,")
+                e.line("        mapreduce_executor=mapreduce_executor,")
+                e.line(f'        name="{self.name}",')
+                e.line("        streaming_windows=streaming_windows,")
+                e.line("    )")
+                e.line("self.application = Application(DESIGN, config)")
             e.blank()
             e.line("def implement(self, name, implementation):")
             with e.indented():

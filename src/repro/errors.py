@@ -9,6 +9,8 @@ running the orchestrating application.
 
 from __future__ import annotations
 
+from typing import NamedTuple, Optional
+
 
 class ReproError(Exception):
     """Base class for every error raised by the repro library."""
@@ -82,6 +84,30 @@ class DeliveryError(RuntimeOrchestrationError):
     """A data-delivery request could not be satisfied."""
 
 
+class DeviceUnavailableError(DeliveryError):
+    """A specific entity cannot serve reads right now.
+
+    Raised when a device has failed, exhausted its supervised retry
+    budget, or is quarantined.  Carries the originating ``entity_id`` so
+    supervision layers (and ``app.component_errors``) can attribute the
+    failure.  Subclasses :class:`DeliveryError` so pre-supervision code
+    that catches the broad type keeps working.
+    """
+
+    def __init__(self, message: str, entity_id: Optional[str] = None):
+        self.entity_id = entity_id
+        super().__init__(message)
+
+
+class CircuitOpenError(DeviceUnavailableError):
+    """An entity's circuit breaker is open; the call was not attempted.
+
+    Distinct from :class:`DeviceUnavailableError` proper: the runtime
+    *chose* not to touch the device (fail-fast), rather than trying and
+    failing.  Degraded-delivery policies treat both the same way.
+    """
+
+
 class ActuationError(RuntimeOrchestrationError):
     """An action could not be issued to a device."""
 
@@ -92,3 +118,16 @@ class DeviceFailureError(RuntimeOrchestrationError):
 
 class ValueConformanceError(RuntimeOrchestrationError):
     """A runtime value does not conform to its declared DiaSpec type."""
+
+
+class ComponentError(NamedTuple):
+    """One contained component failure (``error_policy='isolate'``).
+
+    ``entity_id`` is the originating entity when the failure carried one
+    (a :class:`DeviceUnavailableError` raised mid-gather, say); ``None``
+    for pure component-logic failures.
+    """
+
+    component: str
+    error: Exception
+    entity_id: Optional[str] = None

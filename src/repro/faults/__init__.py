@@ -1,0 +1,49 @@
+"""Fault tolerance for the device runtime.
+
+The paper's orchestration runtime must keep a city-scale deployment
+producing context values while individual entities fail — node churn and
+partial failure are the *normal* operating mode of an IoT choreography,
+not an exception.  This package is the reaction layer that pairs with
+the telemetry observation layer:
+
+* :mod:`repro.faults.policy` — :class:`SupervisionPolicy` (retry budget,
+  exponential breaker backoff with jitter, quarantine threshold) and
+  :class:`StalePolicy` (what a gather serves when a source is dark);
+* :mod:`repro.faults.breaker` — the circuit-breaker state machine,
+  driven entirely by the application clock;
+* :mod:`repro.faults.supervisor` — per-entity :class:`DeviceSupervisor`
+  state and the fleet-wide :class:`SupervisionManager` the application
+  owns;
+* :mod:`repro.faults.chaos` — the deterministic :class:`FaultPlan` /
+  :class:`ChaosInjector` pair behind the ``repro chaos`` CLI command.
+
+Everything here is deterministic under the simulation clock: breaker
+timers use ``clock.now()``, jitter and chaos-target selection come from
+seeded generators, and a fault-free plan is observationally identical to
+running with no injector at all.
+"""
+
+from repro.faults.policy import (
+    DEGRADED,
+    HEALTHY,
+    QUARANTINED,
+    StalePolicy,
+    SupervisionPolicy,
+)
+from repro.faults.breaker import CircuitBreaker
+from repro.faults.supervisor import DeviceSupervisor, SupervisionManager
+from repro.faults.chaos import ChaosInjector, FaultEvent, FaultPlan
+
+__all__ = [
+    "ChaosInjector",
+    "CircuitBreaker",
+    "DEGRADED",
+    "DeviceSupervisor",
+    "FaultEvent",
+    "FaultPlan",
+    "HEALTHY",
+    "QUARANTINED",
+    "StalePolicy",
+    "SupervisionManager",
+    "SupervisionPolicy",
+]

@@ -1,0 +1,137 @@
+"""Circuit breaker driven by the application clock.
+
+The classic three-state machine, specialised for a runtime whose time
+may be virtual:
+
+* **closed** — calls flow; consecutive failures are counted, and
+  reaching the policy's ``failure_threshold`` trips the breaker;
+* **open** — calls are refused without touching the device
+  (:class:`~repro.errors.CircuitOpenError` at the call site) until the
+  open window elapses on the *application clock*;
+* **half-open** — the next call(s) through are probes; enough successes
+  close the breaker, any failure re-trips it with a longer window
+  (exponential backoff with seeded jitter, see
+  :meth:`~repro.faults.policy.SupervisionPolicy.open_duration`).
+
+No wall time is consulted anywhere, so breaker traces are exactly
+reproducible under a :class:`~repro.runtime.clock.SimulationClock`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.faults.policy import SupervisionPolicy
+
+__all__ = ["CircuitBreaker", "CLOSED", "OPEN", "HALF_OPEN"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+TransitionListener = Callable[[str, str], None]
+
+
+class CircuitBreaker:
+    """One entity's breaker state machine."""
+
+    __slots__ = (
+        "policy",
+        "clock",
+        "rng",
+        "state",
+        "_failures",
+        "_half_open_successes",
+        "_open_until",
+        "_trips",
+        "_on_transition",
+    )
+
+    def __init__(
+        self,
+        policy: SupervisionPolicy,
+        clock,
+        rng,
+        on_transition: Optional[TransitionListener] = None,
+    ):
+        self.policy = policy
+        self.clock = clock
+        self.rng = rng
+        self.state = CLOSED
+        self._failures = 0
+        self._half_open_successes = 0
+        self._open_until = 0.0
+        # Consecutive trips without an intervening close; drives the
+        # exponential backoff and the quarantine threshold.
+        self._trips = 0
+        self._on_transition = on_transition
+
+    # -- gate ---------------------------------------------------------------
+
+    def allow(self) -> bool:
+        """May a call proceed right now?
+
+        An open breaker whose window has elapsed transitions to
+        half-open as a side effect, so the caller's very next read is
+        the probe — no separate scheduler is needed.
+        """
+        if self.state is CLOSED:
+            return True
+        if self.state is OPEN:
+            if self.clock.now() >= self._open_until:
+                self._transition(HALF_OPEN)
+                self._half_open_successes = 0
+                return True
+            return False
+        return True  # HALF_OPEN: probes flow
+
+    # -- outcome reporting --------------------------------------------------
+
+    def record_success(self) -> None:
+        if self.state is HALF_OPEN:
+            self._half_open_successes += 1
+            if self._half_open_successes >= self.policy.half_open_probes:
+                self._trips = 0
+                self._failures = 0
+                self._transition(CLOSED)
+        else:
+            self._failures = 0
+
+    def record_failure(self) -> None:
+        if self.state is HALF_OPEN:
+            self._trip()
+        elif self.state is CLOSED:
+            self._failures += 1
+            if self._failures >= self.policy.failure_threshold:
+                self._trip()
+        # OPEN: the gate refused the call; nothing to record.
+
+    def _trip(self) -> None:
+        self._trips += 1
+        self._failures = 0
+        self._open_until = self.clock.now() + self.policy.open_duration(
+            self._trips, self.rng
+        )
+        self._transition(OPEN)
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def trip_count(self) -> int:
+        """Consecutive trips since the breaker last closed."""
+        return self._trips
+
+    @property
+    def open_until(self) -> float:
+        return self._open_until
+
+    def _transition(self, new_state: str) -> None:
+        old_state, self.state = self.state, new_state
+        if self._on_transition is not None and old_state != new_state:
+            self._on_transition(old_state, new_state)
+
+    def __repr__(self) -> str:
+        return (
+            f"<CircuitBreaker {self.state} failures={self._failures} "
+            f"trips={self._trips}>"
+        )

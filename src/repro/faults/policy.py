@@ -1,0 +1,125 @@
+"""Supervision and stale-value policies.
+
+A :class:`SupervisionPolicy` declares, per device type, how the runtime
+reacts to read/actuation failures: how many immediate retries a call
+gets, when the circuit breaker trips, how long it stays open (exponential
+backoff with deterministic jitter), and when a chronically flapping
+entity is quarantined out of discovery.
+
+A :class:`StalePolicy` declares what periodic and query-driven gathers
+serve when a source is dark (breaker open, retries exhausted): the last
+known value within a freshness bound, nothing, or a hard error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "DEGRADED",
+    "HEALTHY",
+    "QUARANTINED",
+    "StalePolicy",
+    "SupervisionPolicy",
+]
+
+# Entity health states tracked by the supervision layer and filterable
+# through EntityRegistry.instances_of(..., health=...).
+HEALTHY = "healthy"
+DEGRADED = "degraded"
+QUARANTINED = "quarantined"
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """How reads and actuations on a device type are supervised.
+
+    ``max_retries``/``read_timeout`` of ``None`` defer to the source's
+    own ``expect timeout ... retry N`` declaration, so a policy can
+    tighten fleet behaviour without rewriting designs.  Breaker timings
+    are in *application clock* seconds — under a simulation clock a
+    30-second open window is exact and repeatable.
+    """
+
+    max_retries: Optional[int] = None
+    read_timeout: Optional[float] = None
+    failure_threshold: int = 3
+    backoff_base_seconds: float = 30.0
+    backoff_factor: float = 2.0
+    backoff_max_seconds: float = 600.0
+    jitter: float = 0.1
+    half_open_probes: int = 1
+    quarantine_after: Optional[int] = 3
+
+    def __post_init__(self):
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.backoff_base_seconds <= 0:
+            raise ValueError("backoff_base_seconds must be > 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        if self.half_open_probes < 1:
+            raise ValueError("half_open_probes must be >= 1")
+        if self.quarantine_after is not None and self.quarantine_after < 1:
+            raise ValueError("quarantine_after must be >= 1 or None")
+
+    def retries_for(self, source_info) -> int:
+        """Retry budget for one source (policy overrides the design)."""
+        if self.max_retries is not None:
+            return self.max_retries
+        return source_info.retries
+
+    def timeout_for(self, source_info) -> Optional[float]:
+        """Read timeout for one source (policy overrides the design)."""
+        if self.read_timeout is not None:
+            return self.read_timeout
+        return source_info.timeout_seconds
+
+    def open_duration(self, trip_count: int, rng) -> float:
+        """How long the breaker stays open after its ``trip_count``-th
+        consecutive trip: exponential backoff, capped, with a seeded
+        jitter factor so a fleet tripping together does not probe in
+        lock-step."""
+        base = min(
+            self.backoff_max_seconds,
+            self.backoff_base_seconds
+            * self.backoff_factor ** max(0, trip_count - 1),
+        )
+        if self.jitter:
+            base *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return base
+
+
+@dataclass(frozen=True)
+class StalePolicy:
+    """Degraded-delivery behaviour when a source cannot be read.
+
+    * ``skip`` (default) — drop the entity from this sweep; the gather
+      error counter ticks, the cohort shrinks.  This is the historical
+      behaviour.
+    * ``last_known`` — serve the entity's cached last good value if it
+      is younger than ``max_age_seconds`` (``None`` = any age), so
+      contexts and MapReduce windows keep closing with full cohorts.
+    * ``fail`` — re-raise; the failure propagates to whoever drove the
+      sweep.  For deployments where a partial answer is worse than none.
+    """
+
+    MODES = ("last_known", "skip", "fail")
+
+    mode: str = "skip"
+    max_age_seconds: Optional[float] = None
+
+    def __post_init__(self):
+        if self.mode not in self.MODES:
+            raise ValueError(
+                f"stale mode must be one of {self.MODES}, got '{self.mode}'"
+            )
+        if self.max_age_seconds is not None and self.max_age_seconds < 0:
+            raise ValueError("max_age_seconds must be >= 0 or None")
+
+    @property
+    def serves_stale(self) -> bool:
+        return self.mode == "last_known"

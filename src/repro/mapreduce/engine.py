@@ -48,6 +48,7 @@ from repro.mapreduce.api import (
     ReduceCollector,
     job_combiner,
 )
+from repro.telemetry.instrument import Instrumented, MetricSpec
 from repro.mapreduce.partition import group_pairs, hash_partition, partition_items
 
 Pairs = List[Tuple[Hashable, Any]]
@@ -174,8 +175,45 @@ class ProcessExecutor(_PooledExecutor):
         return ProcessPoolExecutor(max_workers=self.workers)
 
 
-class MapReduceEngine:
-    """Facade bundling an executor with result post-processing."""
+class MapReduceEngine(Instrumented):
+    """Facade bundling an executor with result post-processing.
+
+    Cumulative run counters are declared through the shared
+    :class:`Instrumented` protocol and exported as pull-time callbacks.
+    """
+
+    metric_specs = (
+        MetricSpec(
+            "mapreduce_runs_total",
+            "_runs",
+            stats_key="runs",
+            help="MapReduce jobs executed.",
+        ),
+        MetricSpec(
+            "mapreduce_combined_runs_total",
+            "_combined_runs",
+            stats_key="combined_runs",
+            help="Runs whose job supplied a map-side combine hook.",
+        ),
+        MetricSpec(
+            "mapreduce_mapped_total",
+            "_mapped",
+            stats_key="mapped",
+            help="Pairs produced by Map phases.",
+        ),
+        MetricSpec(
+            "mapreduce_shuffled_total",
+            "_shuffled",
+            stats_key="shuffled",
+            help="Pairs that crossed the map->reduce boundary.",
+        ),
+        MetricSpec(
+            "mapreduce_reduced_total",
+            "_reduced",
+            stats_key="reduced",
+            help="Final pairs produced by Reduce phases.",
+        ),
+    )
 
     def __init__(self, executor=None, metrics=None):
         self.executor = executor or SerialExecutor()
@@ -186,34 +224,6 @@ class MapReduceEngine:
         self._reduced = 0
         if metrics is not None:
             self.attach_metrics(metrics)
-
-    def attach_metrics(self, metrics) -> None:
-        """Export cumulative run counters through a telemetry registry."""
-        metrics.callback(
-            "mapreduce_runs_total",
-            lambda: self._runs,
-            help="MapReduce jobs executed.",
-        )
-        metrics.callback(
-            "mapreduce_combined_runs_total",
-            lambda: self._combined_runs,
-            help="Runs whose job supplied a map-side combine hook.",
-        )
-        metrics.callback(
-            "mapreduce_mapped_total",
-            lambda: self._mapped,
-            help="Pairs produced by Map phases.",
-        )
-        metrics.callback(
-            "mapreduce_shuffled_total",
-            lambda: self._shuffled,
-            help="Pairs that crossed the map->reduce boundary.",
-        )
-        metrics.callback(
-            "mapreduce_reduced_total",
-            lambda: self._reduced,
-            help="Final pairs produced by Reduce phases.",
-        )
 
     def run(
         self, job: MapReduce, grouped: Mapping[Hashable, Sequence[Any]]
@@ -231,17 +241,6 @@ class MapReduceEngine:
     def last_stats(self) -> Dict[str, Any]:
         """Shuffle-volume counters of the most recent run."""
         return dict(self.executor.last_stats)
-
-    def stats(self) -> Dict[str, int]:
-        """Cumulative counters across every run of this engine (the
-        view the telemetry registry exports)."""
-        return {
-            "runs": self._runs,
-            "combined_runs": self._combined_runs,
-            "mapped": self._mapped,
-            "shuffled": self._shuffled,
-            "reduced": self._reduced,
-        }
 
 
 def run_mapreduce(

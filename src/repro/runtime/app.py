@@ -26,10 +26,12 @@ declaration order and flows monotonically toward controllers.
 from __future__ import annotations
 
 import functools
+import warnings
 from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.errors import (
     BindingError,
+    ComponentError,
     DeliveryError,
     RuntimeOrchestrationError,
 )
@@ -44,6 +46,7 @@ from repro.mapreduce.api import MapReduce
 from repro.mapreduce.engine import MapReduceEngine
 from repro.runtime.bus import EventBus
 from repro.runtime.clock import Clock, SimulationClock
+from repro.runtime.config import RuntimeConfig
 from repro.runtime.component import (
     Component,
     Context,
@@ -72,12 +75,18 @@ class Application:
 
     Typical use::
 
-        app = Application(analyze(DESIGN))
+        config = RuntimeConfig(error_policy="isolate")
+        app = Application(analyze(DESIGN), config)
         app.implement("Alert", AlertImpl)
         app.implement("Notify", NotifyImpl)
         app.create_device("Clock", "clock-1", clock_driver)
         app.start()
         app.advance(60)        # drive virtual time
+
+    The keyword form (``Application(design, clock=..., error_policy=
+    ...)``) is deprecated; keywords are folded into a
+    :class:`RuntimeConfig` with a :class:`DeprecationWarning` for one
+    release.
     """
 
     ERROR_POLICIES = ("raise", "isolate")
@@ -85,42 +94,72 @@ class Application:
     def __init__(
         self,
         design: AnalyzedSpec,
-        clock: Optional[Clock] = None,
-        mapreduce_executor=None,
-        name: str = "app",
-        network=None,
-        apply_network_to_reads: bool = False,
-        error_policy: str = "raise",
-        streaming_windows: bool = True,
-        metrics: Optional[MetricsRegistry] = None,
+        config: Optional[RuntimeConfig] = None,
+        **legacy_kwargs: Any,
     ):
-        if error_policy not in self.ERROR_POLICIES:
-            raise ValueError(
-                f"error_policy must be one of {self.ERROR_POLICIES}"
+        if legacy_kwargs:
+            if config is not None:
+                raise TypeError(
+                    "pass either a RuntimeConfig or legacy keyword "
+                    "arguments, not both"
+                )
+            warnings.warn(
+                "Application(design, "
+                f"{', '.join(sorted(legacy_kwargs))}=...) keywords are "
+                "deprecated; pass Application(design, "
+                "RuntimeConfig(...)) instead",
+                DeprecationWarning,
+                stacklevel=2,
             )
+            config = RuntimeConfig.from_legacy_kwargs(**legacy_kwargs)
+        elif config is None:
+            config = RuntimeConfig()
+        self.config = config
         self.design = design
-        self.name = name
-        self.network = network
-        self.apply_network_to_reads = apply_network_to_reads
-        self.error_policy = error_policy
+        self.name = config.name
+        self.network = config.network
+        self.apply_network_to_reads = config.apply_network_to_reads
+        self.error_policy = config.error_policy
         # Streaming fast path: contexts declaring ``every <window>`` with
         # MapReduce fold deliveries incrementally instead of buffering
         # the whole window (disable to force buffered accumulation).
-        self.streaming_windows = streaming_windows
-        self._component_errors: List[Any] = []
+        self.streaming_windows = config.streaming_windows
+        self._component_errors: List[ComponentError] = []
         self._error_listeners: List[Callable[[str, Exception], None]] = []
-        self.clock: Clock = clock if clock is not None else SimulationClock()
+        self.clock: Clock = (
+            config.clock if config.clock is not None else SimulationClock()
+        )
         # One registry captures every layer's counters; the per-layer
         # stats()/last_stats surfaces remain as views over the same
         # numbers.  Pass a shared registry to aggregate several
         # applications into one scrape.
         self.metrics: MetricsRegistry = (
-            metrics if metrics is not None else MetricsRegistry()
+            config.metrics
+            if config.metrics is not None
+            else MetricsRegistry()
         )
         self.bus = EventBus(metrics=self.metrics)
         self.registry = EntityRegistry(metrics=self.metrics)
-        self.mapreduce = MapReduceEngine(mapreduce_executor, self.metrics)
+        self.mapreduce = MapReduceEngine(
+            config.mapreduce_executor, self.metrics
+        )
         self.qos = QoSMonitor(metrics=self.metrics)
+        # Fault-tolerance layer: per-entity breakers/health plus the
+        # degraded-delivery policy gathers apply when a source is dark.
+        # Imported here, not at module level: when repro.faults is the
+        # import entry point its own init chain re-enters this module
+        # (faults.supervisor -> telemetry -> chrometrace -> runtime).
+        from repro.faults.supervisor import SupervisionManager
+
+        self.supervision = SupervisionManager(
+            self.clock,
+            default_policy=config.supervision,
+            overrides=config.supervision_overrides,
+            seed=config.supervision_seed,
+        )
+        self.supervision.attach_metrics(self.metrics)
+        self.stale = config.stale_policy
+        self.registry.attach_health(self.supervision.health_of)
         self.discover = Discover(design, self.registry, self.query_context)
         self.started = False
         self._implementations: Dict[str, Component] = {}
@@ -189,6 +228,9 @@ class Application:
         self.registry.register(instance)
         instance.attach(self._on_device_publish)
         instance.attach_metrics(self.metrics)
+        supervisor = self.supervision.supervise(instance)
+        if supervisor is not None:
+            instance.attach_supervisor(supervisor)
         return instance
 
     def create_device(
@@ -211,6 +253,8 @@ class Application:
     def unbind_device(self, entity_id: str) -> DeviceInstance:
         instance = self.registry.unregister(entity_id)
         instance.detach()
+        self.supervision.release(entity_id)
+        instance.supervisor = None
         return instance
 
     def implementation(self, name: str) -> Component:
@@ -271,6 +315,8 @@ class Application:
 
     @property
     def stats(self) -> Dict[str, Any]:
+        # Each subsystem entry is its Instrumented ``stats()`` snapshot,
+        # so this view composes generically as layers are added.
         return {
             "bus": self.bus.stats(),
             "registry": self.registry.stats(),
@@ -284,16 +330,21 @@ class Application:
             "context_activations": dict(self._context_activations),
             "controller_activations": dict(self._controller_activations),
             "bound_entities": len(self.registry),
-            "qos": self.qos.stats,
+            "qos": self.qos.stats(),
+            "supervision": self.supervision.stats(),
             "component_errors": [
-                (name, type(exc).__name__)
-                for name, exc in self._component_errors
+                (record.component, type(record.error).__name__)
+                for record in self._component_errors
             ],
         }
 
     @property
-    def component_errors(self) -> List[Any]:
-        """(component name, exception) pairs captured under 'isolate'."""
+    def component_errors(self) -> List[ComponentError]:
+        """:class:`ComponentError` records captured under 'isolate'.
+
+        Each record carries the component name, the exception, and the
+        originating ``entity_id`` when the failure identified one (typed
+        device errors do)."""
         return list(self._component_errors)
 
     def query_context(self, context_name: str) -> Any:
@@ -450,7 +501,7 @@ class Application:
                     group.window.seconds,
                     flatten=not group.uses_mapreduce,
                 )
-            accumulator.attach_metrics(self.metrics, name)
+            accumulator.attach_metrics(self.metrics, context=name)
             self._accumulators[name] = accumulator
         job = self.clock.schedule_periodic(
             interaction.period.seconds,
@@ -548,7 +599,9 @@ class Application:
         try:
             return call()
         except Exception as exc:  # noqa: BLE001 - supervision boundary
-            self._component_errors.append((name, exc))
+            self._component_errors.append(
+                ComponentError(name, exc, getattr(exc, "entity_id", None))
+            )
             for listener in list(self._error_listeners):
                 listener(name, exc)
             return _FAILED
@@ -584,11 +637,20 @@ class Application:
     def _gather(
         self, name, interaction, implementation, handler, accumulator
     ) -> None:
-        """One periodic sweep: poll, group, mapreduce, window, deliver."""
+        """One periodic sweep: poll, group, mapreduce, window, deliver.
+
+        Quarantined entities stay in the sweep (hidden only from
+        application-level discovery): probing them is what lets a
+        half-open breaker observe a recovery.  When a supervised read
+        fails, the stale policy decides whether the entity drops out of
+        this sweep (``skip``), serves its last known value
+        (``last_known``), or fails the sweep (``fail``)."""
         self._gather_sweeps += 1
         readings = []
         lossy_reads = self.network is not None and self.apply_network_to_reads
-        for instance in self.registry.instances_of(interaction.device):
+        for instance in self.registry.instances_of(
+            interaction.device, include_quarantined=True
+        ):
             if lossy_reads and not self.network.sample_read_ok():
                 self._gather_errors += 1
                 continue
@@ -596,6 +658,14 @@ class Application:
                 readings.append((instance, instance.read(interaction.source)))
             except DeliveryError:
                 self._gather_errors += 1
+                if self.stale.mode == "fail":
+                    raise
+                if self.stale.serves_stale:
+                    stale = self._stale_reading(
+                        instance, interaction.source
+                    )
+                    if stale is not None:
+                        readings.append((instance, stale[0]))
         group = interaction.group
         if group is None:
             payload: Any = [
@@ -620,6 +690,19 @@ class Application:
         )
         if result is not _FAILED:
             self._publish_context(name, interaction.publish, result)
+
+    def _stale_reading(self, instance, source):
+        """Last-known cached reading for a dark source, or ``None``.
+
+        Returns ``(value, age_seconds)`` so a cached ``None`` reading is
+        distinguishable from a cache miss."""
+        supervisor = instance.supervisor
+        if supervisor is None:
+            return None
+        hit = supervisor.last_known(source, self.stale.max_age_seconds)
+        if hit is not None:
+            self.supervision.record_stale_serve()
+        return hit
 
     def _publish_context(self, name: str, discipline: Publish, result) -> None:
         if isinstance(result, PublishableWrapper):

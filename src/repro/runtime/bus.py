@@ -31,6 +31,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
 
+from repro.telemetry.instrument import Instrumented, MetricSpec
+
 Subscriber = Callable[[Any], None]
 
 
@@ -49,8 +51,47 @@ class _Subscription:
                 self.bus._invalidate(self.topic)
 
 
-class EventBus:
-    """Deterministic synchronous pub/sub."""
+class EventBus(Instrumented):
+    """Deterministic synchronous pub/sub.
+
+    The delivery counters are plain inline integers exported through the
+    shared :class:`Instrumented` protocol as pull-time callbacks, so
+    attaching telemetry adds zero work per publish.
+    """
+
+    metric_specs = (
+        MetricSpec(
+            "bus_published_total",
+            "_published",
+            stats_key="published",
+            resettable=True,
+            help="Events published on the bus.",
+        ),
+        MetricSpec(
+            "bus_delivered_total",
+            "_delivered",
+            stats_key="delivered",
+            resettable=True,
+            help="Subscriber deliveries performed by the bus.",
+        ),
+        MetricSpec(
+            "bus_snapshot_rebuilds_total",
+            "_snapshot_rebuilds",
+            help="Per-topic subscriber snapshots rebuilt after churn.",
+        ),
+        MetricSpec(
+            "bus_topics",
+            "_topic_count",
+            kind="gauge",
+            help="Topics with at least one subscription ever made.",
+        ),
+        MetricSpec(
+            "bus_subscriptions",
+            "_active_subscription_count",
+            kind="gauge",
+            help="Currently active subscriptions.",
+        ),
+    )
 
     def __init__(self, metrics=None):
         self._topics: Dict[Hashable, List[_Subscription]] = {}
@@ -64,43 +105,15 @@ class EventBus:
         if metrics is not None:
             self.attach_metrics(metrics)
 
-    def attach_metrics(self, metrics) -> None:
-        """Export the bus counters through a telemetry registry.
+    def _topic_count(self) -> int:
+        return len(self._topics)
 
-        All metrics are pull-time callbacks over the inline integer
-        counters, so attaching telemetry adds zero work per publish.
-        """
-        metrics.callback(
-            "bus_published_total",
-            lambda: self._published,
-            help="Events published on the bus.",
-        )
-        metrics.callback(
-            "bus_delivered_total",
-            lambda: self._delivered,
-            help="Subscriber deliveries performed by the bus.",
-        )
-        metrics.callback(
-            "bus_snapshot_rebuilds_total",
-            lambda: self._snapshot_rebuilds,
-            help="Per-topic subscriber snapshots rebuilt after churn.",
-        )
-        metrics.callback(
-            "bus_topics",
-            lambda: len(self._topics),
-            kind="gauge",
-            help="Topics with at least one subscription ever made.",
-        )
-        metrics.callback(
-            "bus_subscriptions",
-            lambda: sum(
-                1
-                for subscriptions in self._topics.values()
-                for s in subscriptions
-                if s.active
-            ),
-            kind="gauge",
-            help="Currently active subscriptions.",
+    def _active_subscription_count(self) -> int:
+        return sum(
+            1
+            for subscriptions in self._topics.values()
+            for s in subscriptions
+            if s.active
         )
 
     def subscribe(self, topic: Hashable, callback: Subscriber) -> _Subscription:
@@ -153,12 +166,3 @@ class EventBus:
 
     def subscriber_count(self, topic: Hashable) -> int:
         return sum(1 for s in self._topics.get(topic, ()) if s.active)
-
-    def stats(self) -> Dict[str, int]:
-        """Snapshot of the delivery counters (benchmarks, tracing)."""
-        return {"published": self._published, "delivered": self._delivered}
-
-    def reset_stats(self) -> None:
-        """Zero the delivery counters (e.g. between benchmark phases)."""
-        self._published = 0
-        self._delivered = 0

@@ -1,0 +1,145 @@
+"""Runtime configuration: one record instead of keyword sprawl.
+
+``Application.__init__`` had grown a new keyword argument per release
+(clock, executor, network knobs, error policy, streaming windows,
+metrics, and now the supervision/stale policies of :mod:`repro.faults`).
+:class:`RuntimeConfig` gathers them into a single validated dataclass::
+
+    from repro.runtime.config import RuntimeConfig
+
+    config = RuntimeConfig(
+        clock=SimulationClock(),
+        error_policy="isolate",
+        supervision=SupervisionPolicy(failure_threshold=3),
+        stale=StalePolicy("last_known", max_age_seconds=600),
+    )
+    app = Application(design, config)
+
+The legacy keyword form (``Application(design, clock=...,
+streaming_windows=...)``) still works for one release through a shim
+that folds the keywords into a config and emits a
+:class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, TYPE_CHECKING
+
+from repro.faults.policy import StalePolicy, SupervisionPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, hints only
+    from repro.runtime.clock import Clock
+    from repro.telemetry import MetricsRegistry
+
+__all__ = ["RuntimeConfig"]
+
+ERROR_POLICIES = ("raise", "isolate")
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Everything an :class:`~repro.runtime.app.Application` can tune.
+
+    Every field has the historical default, so ``RuntimeConfig()`` is
+    exactly the pre-redesign ``Application(design)`` behaviour.
+
+    * ``clock`` — application clock; ``None`` means a fresh
+      :class:`~repro.runtime.clock.SimulationClock`.
+    * ``mapreduce_executor`` — executor for ``with map ... reduce ...``
+      contexts (serial when ``None``).
+    * ``network`` / ``apply_network_to_reads`` — simulated network
+      conditions for event delivery and (optionally) gathering reads.
+    * ``error_policy`` — ``'raise'`` propagates component failures,
+      ``'isolate'`` contains them (see ``Application._run_component``).
+    * ``streaming_windows`` — incremental window accumulation fast path.
+    * ``metrics`` — shared telemetry registry (own registry when
+      ``None``).
+    * ``supervision`` — default :class:`SupervisionPolicy` applied to
+      every bound device; ``None`` disables supervision entirely
+      (legacy behaviour).
+    * ``supervision_overrides`` — per-device-type policies; they apply
+      to the named type and its subtypes, and win over ``supervision``.
+    * ``supervision_seed`` — seed for the deterministic per-entity
+      backoff jitter.
+    * ``stale`` — degraded-delivery policy for periodic gathers when a
+      supervised source is dark; ``None`` means ``StalePolicy('skip')``.
+    """
+
+    clock: Optional["Clock"] = None
+    mapreduce_executor: Any = None
+    name: str = "app"
+    network: Any = None
+    apply_network_to_reads: bool = False
+    error_policy: str = "raise"
+    streaming_windows: bool = True
+    metrics: Optional["MetricsRegistry"] = None
+    supervision: Optional[SupervisionPolicy] = None
+    supervision_overrides: Mapping[str, SupervisionPolicy] = field(
+        default_factory=dict
+    )
+    supervision_seed: int = 0
+    stale: Optional[StalePolicy] = None
+
+    def __post_init__(self):
+        if self.error_policy not in ERROR_POLICIES:
+            raise ValueError(
+                f"error_policy must be one of {ERROR_POLICIES}"
+            )
+        if self.stale is not None and not isinstance(self.stale, StalePolicy):
+            raise TypeError("stale must be a StalePolicy or None")
+        if self.supervision is not None and not isinstance(
+            self.supervision, SupervisionPolicy
+        ):
+            raise TypeError("supervision must be a SupervisionPolicy or None")
+
+    def replace(self, **changes: Any) -> "RuntimeConfig":
+        """A copy with ``changes`` applied (frozen-dataclass idiom)."""
+        return dataclasses.replace(self, **changes)
+
+    def supervised(self) -> bool:
+        """Is any device type supervised under this configuration?"""
+        return self.supervision is not None or bool(
+            self.supervision_overrides
+        )
+
+    @property
+    def stale_policy(self) -> StalePolicy:
+        """The effective stale policy (``skip`` when unset)."""
+        return self.stale if self.stale is not None else StalePolicy()
+
+    @classmethod
+    def from_legacy_kwargs(cls, **kwargs: Any) -> "RuntimeConfig":
+        """Build a config from the deprecated ``Application`` keywords.
+
+        Unknown keywords raise ``TypeError`` exactly as the old
+        constructor did.
+        """
+        fields = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(kwargs) - fields
+        if unknown:
+            raise TypeError(
+                "Application() got unexpected keyword argument(s) "
+                f"{sorted(unknown)}"
+            )
+        return cls(**kwargs)
+
+    def describe(self) -> Dict[str, Any]:
+        """Loggable summary (policies as reprs, objects as type names)."""
+        summary: Dict[str, Any] = {}
+        for f in dataclasses.fields(self):
+            value = getattr(self, f.name)
+            if value is None or isinstance(
+                value, (str, int, float, bool)
+            ):
+                summary[f.name] = value
+            elif isinstance(value, (SupervisionPolicy, StalePolicy)):
+                summary[f.name] = repr(value)
+            elif isinstance(value, Mapping):
+                summary[f.name] = {
+                    key: repr(item) for key, item in value.items()
+                }
+            else:
+                summary[f.name] = type(value).__name__
+        return summary

@@ -20,7 +20,13 @@ from __future__ import annotations
 import time
 from typing import Any, Callable, Dict, Optional
 
-from repro.errors import ActuationError, BindingError, DeliveryError
+from repro.errors import (
+    ActuationError,
+    BindingError,
+    CircuitOpenError,
+    DeliveryError,
+    DeviceUnavailableError,
+)
 from repro.naming import action_method_name, camel_to_snake, query_method_name
 from repro.sema.symbols import DeviceInfo
 from repro.typesys.values import check_value, coerce_value
@@ -146,6 +152,9 @@ class DeviceInstance:
         self.driver = driver
         self.attributes = attributes
         self.failed = False
+        # Supervision handle (repro.faults): None means unsupervised —
+        # the exact pre-supervision behaviour at zero added cost.
+        self.supervisor = None
         self._publish_hook: Optional[Callable[..., None]] = None
         self._m_reads = None
         self._m_retries = None
@@ -185,6 +194,16 @@ class DeviceInstance:
             device_type=device_type,
         )
 
+    def attach_supervisor(self, supervisor) -> None:
+        """Put the instance under a :class:`DeviceSupervisor`'s care.
+
+        The supervisor gates reads/actuations through its circuit
+        breaker, overrides the design's retry/timeout declarations when
+        its policy says so, and caches successful readings for
+        stale-value degraded delivery.
+        """
+        self.supervisor = supervisor
+
     def detach(self) -> None:
         self._publish_hook = None
 
@@ -198,11 +217,24 @@ class DeviceInstance:
         exceeding the timeout (wall-clock) is treated as failed.
         """
         if self.failed:
-            raise DeliveryError(
-                f"device '{self.entity_id}' has failed and cannot be read"
+            raise DeviceUnavailableError(
+                f"device '{self.entity_id}' has failed and cannot be read",
+                entity_id=self.entity_id,
             )
         source_info = self.info.source(source)
-        attempts = 1 + source_info.retries
+        supervisor = self.supervisor
+        if supervisor is not None:
+            if not supervisor.allow():
+                raise CircuitOpenError(
+                    f"circuit breaker open for '{self.entity_id}'; read "
+                    f"of '{source}' refused",
+                    entity_id=self.entity_id,
+                )
+            attempts = 1 + supervisor.policy.retries_for(source_info)
+            timeout = supervisor.policy.timeout_for(source_info)
+        else:
+            attempts = 1 + source_info.retries
+            timeout = source_info.timeout_seconds
         last_error: Optional[DeliveryError] = None
         if self._m_reads is not None:
             self._m_reads.inc()
@@ -215,21 +247,32 @@ class DeviceInstance:
             except DeliveryError as exc:
                 last_error = exc
                 continue
-            if (
-                source_info.timeout_seconds is not None
-                and time.perf_counter() - started
-                > source_info.timeout_seconds
-            ):
+            # Chaos-injected latency is virtual (no sleeping): the
+            # wrapper reports it and the timeout check honours it here.
+            elapsed = time.perf_counter() - started + getattr(
+                self.driver, "last_injected_latency", 0.0
+            )
+            if timeout is not None and elapsed > timeout:
                 last_error = DeliveryError(
                     f"read of '{source}' on '{self.entity_id}' exceeded "
-                    f"its {source_info.timeout_seconds}s timeout"
+                    f"its {timeout}s timeout"
                 )
                 if self._m_timeouts is not None:
                     self._m_timeouts.inc()
                 continue
-            return coerce_value(source_info.dia_type, value)
+            value = coerce_value(source_info.dia_type, value)
+            if supervisor is not None:
+                supervisor.record_success(source, value)
+            return value
         if self._m_failures is not None:
             self._m_failures.inc()
+        if supervisor is not None:
+            supervisor.record_failure()
+            raise DeviceUnavailableError(
+                f"read of '{source}' on '{self.entity_id}' failed after "
+                f"{attempts} attempt(s): {last_error}",
+                entity_id=self.entity_id,
+            ) from last_error
         raise last_error  # type: ignore[misc]
 
     def publish(self, source: str, value: Any, index: Any = None) -> None:
@@ -259,7 +302,22 @@ class DeviceInstance:
         types = dict(action_info.params)
         for name, value in params.items():
             check_value(types[name], value)
-        return self.driver.invoke(action, **params)
+        supervisor = self.supervisor
+        if supervisor is None:
+            return self.driver.invoke(action, **params)
+        if not supervisor.allow():
+            raise CircuitOpenError(
+                f"circuit breaker open for '{self.entity_id}'; action "
+                f"'{action}' refused",
+                entity_id=self.entity_id,
+            )
+        try:
+            result = self.driver.invoke(action, **params)
+        except (ActuationError, DeliveryError):
+            supervisor.record_failure()
+            raise
+        supervisor.record_success()
+        return result
 
     # -- failure injection ----------------------------------------------------
 

@@ -33,6 +33,7 @@ from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tupl
 from repro.errors import BindingError
 from repro.mapreduce.api import FoldCollector, job_combiner
 from repro.runtime.device import DeviceInstance
+from repro.telemetry.instrument import Instrumented, MetricSpec
 
 Fold = Callable[[Hashable, Any, Any], Any]
 
@@ -83,7 +84,7 @@ def fold_for_job(job: Any) -> Fold:
     return fold
 
 
-class WindowAccumulator:
+class WindowAccumulator(Instrumented):
     """Accumulates grouped deliveries until a window's worth has arrived.
 
     The window length is expressed in *deliveries*: a 24-hour window over
@@ -102,6 +103,42 @@ class WindowAccumulator:
       number of deliveries or readings.
     """
 
+    metric_specs = (
+        MetricSpec(
+            "window_deliveries_total",
+            "_deliveries",
+            stats_key="deliveries",
+            help="Periodic deliveries absorbed into windows.",
+        ),
+        MetricSpec(
+            "window_closes_total",
+            "_closed_windows",
+            stats_key="closed_windows",
+            help="Windows completed and released to the handler.",
+        ),
+        MetricSpec(
+            "window_pending_deliveries",
+            "_count",
+            kind="gauge",
+            stats_key="pending_deliveries",
+            help="Deliveries absorbed into the currently open window.",
+        ),
+        MetricSpec(
+            "window_buffered_values",
+            "_buffered_values",
+            kind="gauge",
+            stats_key="buffered_values",
+            help="Values currently held by the open window.",
+        ),
+        MetricSpec(
+            "window_peak_buffered_values",
+            "_peak_buffered_values",
+            kind="gauge",
+            stats_key="peak_buffered_values",
+            help="High-water mark of values held at once.",
+        ),
+    )
+
     def __init__(
         self,
         deliveries_per_window: int,
@@ -119,47 +156,6 @@ class WindowAccumulator:
         self._peak_buffered_values = 0
         self._deliveries = 0
         self._closed_windows = 0
-
-    def attach_metrics(self, metrics, context: str) -> None:
-        """Export window-state gauges/counters labelled by context.
-
-        Pull-time callbacks over the accumulator's own counters — the
-        add() path is untouched by telemetry.
-        """
-        labels = {"context": context}
-        metrics.callback(
-            "window_deliveries_total",
-            lambda: self._deliveries,
-            help="Periodic deliveries absorbed into windows.",
-            **labels,
-        )
-        metrics.callback(
-            "window_closes_total",
-            lambda: self._closed_windows,
-            help="Windows completed and released to the handler.",
-            **labels,
-        )
-        metrics.callback(
-            "window_pending_deliveries",
-            lambda: self._count,
-            kind="gauge",
-            help="Deliveries absorbed into the currently open window.",
-            **labels,
-        )
-        metrics.callback(
-            "window_buffered_values",
-            lambda: self._buffered_values,
-            kind="gauge",
-            help="Values currently held by the open window.",
-            **labels,
-        )
-        metrics.callback(
-            "window_peak_buffered_values",
-            lambda: self._peak_buffered_values,
-            kind="gauge",
-            help="High-water mark of values held at once.",
-            **labels,
-        )
 
     @classmethod
     def for_design(
@@ -245,13 +241,8 @@ class WindowAccumulator:
         O(groups) incremental; the delivery benchmarks report it."""
         return self._peak_buffered_values
 
-    def stats(self) -> Dict[str, Any]:
+    def _extra_stats(self) -> Dict[str, Any]:
         return {
             "mode": "incremental" if self.incremental else "buffered",
             "deliveries_per_window": self.deliveries_per_window,
-            "pending_deliveries": self._count,
-            "buffered_values": self._buffered_values,
-            "peak_buffered_values": self._peak_buffered_values,
-            "deliveries": self._deliveries,
-            "closed_windows": self._closed_windows,
         }

@@ -19,6 +19,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.telemetry.instrument import Instrumented
+
 
 @dataclass
 class ComponentQoS:
@@ -51,8 +53,15 @@ class ComponentQoS:
         return self.total_seconds / self.activations if self.activations else 0.0
 
 
-class QoSMonitor:
-    """Tracks activation timing for all deadline-bearing components."""
+class QoSMonitor(Instrumented):
+    """Tracks activation timing for all deadline-bearing components.
+
+    The observable surface is dynamic (one instrument set per
+    registered component), so :meth:`attach_metrics` is overridden
+    rather than spec-declared; the :class:`Instrumented` ``stats()``
+    protocol is kept via ``_extra_stats`` so ``Application.stats`` can
+    compose the monitor like every other subsystem.
+    """
 
     def __init__(self, metrics=None):
         self._components: Dict[str, ComponentQoS] = {}
@@ -62,7 +71,7 @@ class QoSMonitor:
         if metrics is not None:
             self.attach_metrics(metrics)
 
-    def attach_metrics(self, metrics) -> None:
+    def attach_metrics(self, metrics, **labels: Any) -> None:
         """Export per-component QoS accounting through a telemetry
         registry: activation/violation counters as pull-time callbacks
         over the :class:`ComponentQoS` records, plus a push histogram of
@@ -139,8 +148,7 @@ class QoSMonitor:
     def monitored(self) -> List[str]:
         return sorted(self._components)
 
-    @property
-    def stats(self) -> Dict[str, Dict[str, float]]:
+    def _extra_stats(self) -> Dict[str, Dict[str, float]]:
         return {
             name: {
                 "deadline": record.deadline_seconds,

@@ -11,12 +11,15 @@ applications.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, List
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
 from repro.errors import BindingError
+from repro.faults.policy import HEALTHY, QUARANTINED
 from repro.runtime.device import DeviceInstance
+from repro.telemetry.instrument import Instrumented, MetricSpec
 
 Listener = Callable[[str, DeviceInstance], None]
+HealthLookup = Callable[[str], str]
 
 
 def _index_key(type_name: str, attribute: str, value: Any):
@@ -29,7 +32,7 @@ def _index_key(type_name: str, attribute: str, value: Any):
     return (type_name, attribute, value)
 
 
-class EntityRegistry:
+class EntityRegistry(Instrumented):
     """Mutable index of bound :class:`DeviceInstance` objects.
 
     Instances are indexed by type (including ancestors) and by
@@ -37,13 +40,53 @@ class EntityRegistry:
     city-scale fleet touches only the matching entities rather than
     scanning the registry.  Attribute values are fixed at registration
     (the paper's binding model), which is what makes the index sound.
+
+    The lookup/index counters are pull-time callback metrics declared
+    through the shared :class:`Instrumented` protocol: discovery pays
+    nothing per lookup for being observable.
     """
+
+    metric_specs = (
+        MetricSpec(
+            "registry_lookups_total",
+            "_lookups",
+            stats_key="lookups",
+            help="instances_of() discovery lookups served.",
+        ),
+        MetricSpec(
+            "registry_index_hits_total",
+            "_index_hits",
+            stats_key="index_hits",
+            help="Lookups served from a (type, attribute, value) index "
+            "bucket instead of a type scan.",
+        ),
+        MetricSpec(
+            "registry_registrations_total",
+            "_registrations",
+            stats_key="registrations",
+            help="Entities registered over the registry's lifetime.",
+        ),
+        MetricSpec(
+            "registry_unregistrations_total",
+            "_unregistrations",
+            stats_key="unregistrations",
+            help="Entities unregistered over the registry's lifetime.",
+        ),
+        MetricSpec(
+            "registry_entities",
+            "__len__",
+            kind="gauge",
+            stats_key="entities",
+            help="Entities currently bound.",
+        ),
+    )
 
     def __init__(self, metrics=None):
         self._by_id: Dict[str, DeviceInstance] = {}
         self._by_type: Dict[str, List[DeviceInstance]] = {}
         self._by_attribute: Dict[tuple, List[DeviceInstance]] = {}
         self._listeners: List[Listener] = []
+        self._health_lookup: Optional[HealthLookup] = None
         self._lookups = 0
         self._index_hits = 0
         self._registrations = 0
@@ -51,39 +94,18 @@ class EntityRegistry:
         if metrics is not None:
             self.attach_metrics(metrics)
 
-    def attach_metrics(self, metrics) -> None:
-        """Export lookup/index counters through a telemetry registry.
+    def attach_health(self, lookup: HealthLookup) -> None:
+        """Give discovery a health view (entity_id -> health state).
 
-        Pull-time callbacks over inline integers: discovery pays nothing
-        per lookup for being observable.
+        The application wires its :class:`SupervisionManager` in here;
+        without one, every entity reads as healthy and the health
+        filters below are no-ops.
         """
-        metrics.callback(
-            "registry_lookups_total",
-            lambda: self._lookups,
-            help="instances_of() discovery lookups served.",
-        )
-        metrics.callback(
-            "registry_index_hits_total",
-            lambda: self._index_hits,
-            help="Lookups served from a (type, attribute, value) index "
-            "bucket instead of a type scan.",
-        )
-        metrics.callback(
-            "registry_registrations_total",
-            lambda: self._registrations,
-            help="Entities registered over the registry's lifetime.",
-        )
-        metrics.callback(
-            "registry_unregistrations_total",
-            lambda: self._unregistrations,
-            help="Entities unregistered over the registry's lifetime.",
-        )
-        metrics.callback(
-            "registry_entities",
-            lambda: len(self._by_id),
-            kind="gauge",
-            help="Entities currently bound.",
-        )
+        self._health_lookup = lookup
+
+    def health_of(self, entity_id: str) -> str:
+        lookup = self._health_lookup
+        return HEALTHY if lookup is None else lookup(entity_id)
 
     def register(self, instance: DeviceInstance) -> DeviceInstance:
         """Bind an instance; rejects duplicate entity ids."""
@@ -129,6 +151,8 @@ class EntityRegistry:
         self,
         device_type: str,
         include_failed: bool = False,
+        health: Optional[str] = None,
+        include_quarantined: bool = False,
         **attribute_filters: Any,
     ) -> List[DeviceInstance]:
         """All instances whose type is ``device_type`` or a subtype of it,
@@ -140,6 +164,14 @@ class EntityRegistry:
         bucket's attribute by construction, so only the *other* filters
         are re-checked — with a single indexed filter the scan degenerates
         to the failed-instance check alone.
+
+        Health filtering (supervision layer): by default *quarantined*
+        entities are hidden — chronically flapping devices drop out of
+        discovery until a successful probe restores them.  Pass
+        ``health='degraded'`` (or ``'healthy'``/``'quarantined'``) to
+        select one state, or ``include_quarantined=True`` to see the
+        whole fleet (the gather path does, so quarantined entities keep
+        receiving recovery probes when their breaker half-opens).
         """
         self._lookups += 1
         candidates: Iterable[DeviceInstance]
@@ -165,9 +197,23 @@ class EntityRegistry:
         else:
             candidates = self._by_type.get(device_type, ())
             remaining = list(attribute_filters.items())
+        lookup = self._health_lookup
+        check_health = lookup is not None and (
+            health is not None or not include_quarantined
+        )
         results = []
         for instance in candidates:
             if instance.failed and not include_failed:
+                continue
+            if check_health:
+                state = lookup(instance.entity_id)
+                if health is not None:
+                    if state != health:
+                        continue
+                elif state == QUARANTINED and not include_quarantined:
+                    continue
+            elif health is not None and health != HEALTHY:
+                # No health view attached: everything is healthy.
                 continue
             if remaining:
                 attributes = instance.attributes
@@ -188,17 +234,6 @@ class EntityRegistry:
                 self._listeners.remove(listener)
 
         return remove
-
-    def stats(self) -> Dict[str, int]:
-        """Snapshot of the discovery counters (a view over the same
-        integers the telemetry registry exports)."""
-        return {
-            "lookups": self._lookups,
-            "index_hits": self._index_hits,
-            "registrations": self._registrations,
-            "unregistrations": self._unregistrations,
-            "entities": len(self._by_id),
-        }
 
     def __len__(self) -> int:
         return len(self._by_id)

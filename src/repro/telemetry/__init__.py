@@ -31,6 +31,7 @@ from repro.telemetry.registry import (
     MetricFamily,
     MetricsRegistry,
 )
+from repro.telemetry.instrument import Instrumented, MetricSpec
 from repro.telemetry.prometheus import render_prometheus
 from repro.telemetry.chrometrace import (
     chrome_trace_events,
@@ -44,7 +45,9 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "Instrumented",
     "MetricFamily",
+    "MetricSpec",
     "MetricsRegistry",
     "chrome_trace_events",
     "parse_chrome_trace",

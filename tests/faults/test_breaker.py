@@ -1,0 +1,171 @@
+"""Circuit breaker state machine on the simulation clock.
+
+Every timing assertion here is exact: breaker windows are computed from
+``clock.now()``, and the policies use ``jitter=0`` (or a fixed seed), so
+open -> half-open -> closed traces replay bit for bit.
+"""
+
+import random
+
+import pytest
+
+from repro.faults.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+from repro.faults.policy import SupervisionPolicy
+from repro.runtime.clock import SimulationClock
+
+POLICY = SupervisionPolicy(
+    failure_threshold=2,
+    backoff_base_seconds=10.0,
+    backoff_factor=2.0,
+    backoff_max_seconds=40.0,
+    jitter=0.0,
+)
+
+
+def make_breaker(policy=POLICY, transitions=None):
+    clock = SimulationClock()
+    listener = None
+    if transitions is not None:
+        def listener(old, new):
+            transitions.append((old, new))
+    breaker = CircuitBreaker(
+        policy, clock, random.Random(0), on_transition=listener
+    )
+    return breaker, clock
+
+
+class TestClosedState:
+    def test_starts_closed_and_allows(self):
+        breaker, __ = make_breaker()
+        assert breaker.state is CLOSED
+        assert breaker.allow()
+
+    def test_failures_below_threshold_stay_closed(self):
+        breaker, __ = make_breaker()
+        breaker.record_failure()
+        assert breaker.state is CLOSED
+        assert breaker.allow()
+
+    def test_success_resets_the_consecutive_count(self):
+        breaker, __ = make_breaker()
+        for __unused in range(5):
+            breaker.record_failure()
+            breaker.record_success()
+        assert breaker.state is CLOSED
+
+    def test_threshold_trips_open(self):
+        breaker, __ = make_breaker()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is OPEN
+        assert not breaker.allow()
+        assert breaker.trip_count == 1
+
+
+class TestOpenToHalfOpenToClosed:
+    def test_full_recovery_cycle(self):
+        transitions = []
+        breaker, clock = make_breaker(transitions=transitions)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.open_until == pytest.approx(10.0)
+
+        clock.advance(9.9)
+        assert not breaker.allow()  # window not yet elapsed
+
+        clock.advance(0.1)
+        assert breaker.allow()  # lazy open -> half-open transition
+        assert breaker.state is HALF_OPEN
+
+        breaker.record_success()
+        assert breaker.state is CLOSED
+        assert breaker.trip_count == 0
+        assert transitions == [
+            (CLOSED, OPEN),
+            (OPEN, HALF_OPEN),
+            (HALF_OPEN, CLOSED),
+        ]
+
+    def test_half_open_failure_retrips_with_longer_window(self):
+        breaker, clock = make_breaker()
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()  # failed probe
+        assert breaker.state is OPEN
+        assert breaker.trip_count == 2
+        # Second trip doubles the backoff: 10 -> 20 seconds.
+        assert breaker.open_until == pytest.approx(clock.now() + 20.0)
+        clock.advance(19.0)
+        assert not breaker.allow()
+        clock.advance(1.0)
+        assert breaker.allow()
+
+    def test_multiple_probes_required_when_configured(self):
+        policy = SupervisionPolicy(
+            failure_threshold=1,
+            backoff_base_seconds=10.0,
+            jitter=0.0,
+            half_open_probes=2,
+        )
+        breaker, clock = make_breaker(policy)
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state is HALF_OPEN  # one probe is not enough
+        breaker.record_success()
+        assert breaker.state is CLOSED
+
+    def test_closing_resets_the_backoff_ladder(self):
+        breaker, clock = make_breaker()
+        for __unused in range(2):
+            breaker.record_failure()
+            breaker.record_failure()
+            clock.advance(breaker.open_until - clock.now())
+            assert breaker.allow()
+            breaker.record_success()
+            assert breaker.state is CLOSED
+        # Both cycles used the first-rung 10s window (trips reset on
+        # close), so total elapsed time is exactly two base windows.
+        assert clock.now() == pytest.approx(20.0)
+
+
+class TestBackoffSchedule:
+    def test_exponential_with_cap(self):
+        rng = random.Random(0)
+        durations = [POLICY.open_duration(n, rng) for n in (1, 2, 3, 4, 5)]
+        assert durations == [10.0, 20.0, 40.0, 40.0, 40.0]
+
+    def test_jitter_is_bounded_and_seeded(self):
+        policy = SupervisionPolicy(
+            backoff_base_seconds=100.0, backoff_max_seconds=100.0, jitter=0.2
+        )
+        jittered = [
+            policy.open_duration(1, random.Random(seed)) for seed in range(50)
+        ]
+        assert all(80.0 <= duration <= 120.0 for duration in jittered)
+        assert len(set(jittered)) > 1  # jitter actually varies
+        # Same seed -> same duration: breaker traces are replayable.
+        assert policy.open_duration(1, random.Random(7)) == pytest.approx(
+            policy.open_duration(1, random.Random(7))
+        )
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"failure_threshold": 0},
+            {"backoff_base_seconds": 0.0},
+            {"backoff_factor": 0.5},
+            {"jitter": 1.0},
+            {"jitter": -0.1},
+            {"half_open_probes": 0},
+            {"quarantine_after": 0},
+        ],
+    )
+    def test_rejects_bad_fields(self, kwargs):
+        with pytest.raises(ValueError):
+            SupervisionPolicy(**kwargs)

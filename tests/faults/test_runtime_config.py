@@ -1,0 +1,118 @@
+"""The RuntimeConfig record and the deprecated keyword shim."""
+
+import pytest
+
+from repro.faults.policy import StalePolicy, SupervisionPolicy
+from repro.runtime.app import Application
+from repro.runtime.clock import SimulationClock
+from repro.runtime.config import RuntimeConfig
+from repro.sema.analyzer import analyze
+
+DESIGN = """\
+device Sensor {
+    source reading as Float;
+}
+
+context Echo as Float {
+    when provided reading from Sensor
+    always publish;
+}
+"""
+
+
+def design():
+    return analyze(DESIGN)
+
+
+class TestRuntimeConfig:
+    def test_defaults_match_the_legacy_constructor(self):
+        config = RuntimeConfig()
+        assert config.clock is None
+        assert config.error_policy == "raise"
+        assert config.streaming_windows is True
+        assert config.supervision is None
+        assert config.supervision_overrides == {}
+        assert not config.supervised()
+        assert config.stale_policy == StalePolicy("skip")
+
+    def test_invalid_error_policy_rejected(self):
+        with pytest.raises(ValueError, match="error_policy"):
+            RuntimeConfig(error_policy="pray")
+
+    def test_policy_fields_are_type_checked(self):
+        with pytest.raises(TypeError, match="StalePolicy"):
+            RuntimeConfig(stale="last_known")
+        with pytest.raises(TypeError, match="SupervisionPolicy"):
+            RuntimeConfig(supervision="yes please")
+
+    def test_replace_returns_an_updated_copy(self):
+        base = RuntimeConfig()
+        isolated = base.replace(error_policy="isolate")
+        assert isolated.error_policy == "isolate"
+        assert base.error_policy == "raise"
+
+    def test_supervised_when_any_policy_present(self):
+        policy = SupervisionPolicy()
+        assert RuntimeConfig(supervision=policy).supervised()
+        assert RuntimeConfig(
+            supervision_overrides={"Sensor": policy}
+        ).supervised()
+
+    def test_describe_is_loggable(self):
+        config = RuntimeConfig(
+            clock=SimulationClock(),
+            supervision=SupervisionPolicy(),
+            supervision_overrides={"Sensor": SupervisionPolicy()},
+        )
+        summary = config.describe()
+        assert summary["clock"] == "SimulationClock"
+        assert summary["error_policy"] == "raise"
+        assert summary["supervision"].startswith("SupervisionPolicy(")
+        assert set(summary["supervision_overrides"]) == {"Sensor"}
+
+
+class TestApplicationAcceptsConfig:
+    def test_config_fields_reach_the_application(self):
+        clock = SimulationClock()
+        config = RuntimeConfig(
+            clock=clock, name="Configured", error_policy="isolate"
+        )
+        app = Application(design(), config)
+        assert app.clock is clock
+        assert app.name == "Configured"
+        assert app.config is config
+
+    def test_default_config_when_omitted(self):
+        app = Application(design())
+        assert isinstance(app.config, RuntimeConfig)
+        assert app.config.error_policy == "raise"
+
+
+class TestLegacyKeywordShim:
+    def test_legacy_keywords_warn_and_work(self):
+        clock = SimulationClock()
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            app = Application(
+                design(), clock=clock, streaming_windows=False
+            )
+        assert app.clock is clock
+        assert app.config.streaming_windows is False
+
+    def test_config_plus_keywords_is_an_error(self):
+        with pytest.raises(TypeError, match="not both"):
+            Application(
+                design(), RuntimeConfig(), streaming_windows=False
+            )
+
+    def test_unknown_keyword_is_an_error(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError, match="wibble"):
+                Application(design(), wibble=1)
+
+    def test_from_legacy_kwargs_round_trip(self):
+        clock = SimulationClock()
+        config = RuntimeConfig.from_legacy_kwargs(
+            clock=clock, error_policy="isolate"
+        )
+        assert config.clock is clock
+        assert config.error_policy == "isolate"

@@ -78,12 +78,15 @@ class TestCookerOverLossyNetwork:
             TurnOffController,
         )
         from repro.runtime.app import Application
+        from repro.runtime.config import RuntimeConfig
         from repro.simulation.environment import HomeEnvironment
         from repro.simulation.sensors import ClockDeviceDriver
 
         clock = SimulationClock()
         network = NetworkConditions(latency=2.0, seed=1)
-        app = Application(get_design(), clock=clock, network=network)
+        app = Application(
+            get_design(), RuntimeConfig(clock=clock, network=network)
+        )
         app.implement("Alert", AlertContext(threshold_seconds=10))
         app.implement("Notify", NotifyController())
         app.implement("RemoteTurnOff", RemoteTurnOffContext())

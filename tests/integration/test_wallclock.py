@@ -9,6 +9,7 @@ are kept loose to stay robust on slow CI machines.
 import time
 
 from repro.runtime.app import Application
+from repro.runtime.config import RuntimeConfig
 from repro.runtime.clock import WallClock
 from repro.runtime.component import Context, Controller
 from repro.runtime.device import CallableDriver
@@ -42,7 +43,7 @@ class KImpl(Controller):
 
 def test_periodic_pipeline_under_wall_clock():
     clock = WallClock()
-    app = Application(analyze(DESIGN), clock=clock)
+    app = Application(analyze(DESIGN), RuntimeConfig(clock=clock))
     app.implement("Sweep", SweepImpl())
     app.implement("K", KImpl())
     honks = []
@@ -68,7 +69,7 @@ def test_periodic_pipeline_under_wall_clock():
 
 def test_event_dispatch_under_wall_clock():
     clock = WallClock()
-    app = Application(analyze(DESIGN), clock=clock)
+    app = Application(analyze(DESIGN), RuntimeConfig(clock=clock))
     app.implement("Sweep", SweepImpl())
     app.implement("K", KImpl())
     sensor = app.create_device(

@@ -2,6 +2,7 @@
 
 from repro.mapreduce.engine import ThreadExecutor
 from repro.runtime.app import Application
+from repro.runtime.config import RuntimeConfig
 from repro.runtime.component import Context
 from repro.runtime.device import CallableDriver
 from repro.sema.analyzer import analyze
@@ -91,7 +92,9 @@ class OnDemandImpl(Context):
 
 
 def build(executor=None):
-    app = Application(analyze(DESIGN), mapreduce_executor=executor)
+    app = Application(
+        analyze(DESIGN), RuntimeConfig(mapreduce_executor=executor)
+    )
     app.implement("FreeCount", FreeCountImpl())
     app.implement("RawSweep", RawSweepImpl())
     app.implement("Windowed", WindowedImpl())

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.runtime.app import Application
+from repro.runtime.config import RuntimeConfig
 from repro.runtime.component import Context
 from repro.runtime.device import CallableDriver
 from repro.sema.analyzer import analyze
@@ -44,8 +45,10 @@ class SweepImpl(Context):
 def build(network=None, apply_to_reads=False):
     app = Application(
         analyze(DESIGN),
-        network=network,
-        apply_network_to_reads=apply_to_reads,
+        RuntimeConfig(
+            network=network,
+            apply_network_to_reads=apply_to_reads,
+        ),
     )
     sink = SinkImpl()
     sweep = SweepImpl()

@@ -11,6 +11,7 @@ from hypothesis import strategies as st
 
 from repro.mapreduce.api import MapReduce
 from repro.runtime.app import Application
+from repro.runtime.config import RuntimeConfig
 from repro.runtime.component import Context
 from repro.runtime.device import CallableDriver
 from repro.runtime.grouping import WindowAccumulator, fold_for_job
@@ -191,7 +192,8 @@ class DailyFreeImpl(Context, MapReduce):
 
 def build_windowed(streaming):
     app = Application(
-        analyze(WINDOWED_DESIGN), streaming_windows=streaming
+        analyze(WINDOWED_DESIGN),
+        RuntimeConfig(streaming_windows=streaming),
     )
     impl = app.implement("DailyFree", DailyFreeImpl())
     published = []

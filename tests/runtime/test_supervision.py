@@ -4,6 +4,7 @@ import pytest
 
 from repro.runtime.app import Application
 from repro.runtime.component import Context, Controller
+from repro.runtime.config import RuntimeConfig
 from repro.runtime.device import CallableDriver
 from repro.sema.analyzer import analyze
 
@@ -70,7 +71,7 @@ class HonkController(Controller):
 
 def build(policy, buggy_context=True, buggy_controller=False,
           buggy_periodic=False):
-    app = Application(analyze(DESIGN), error_policy=policy)
+    app = Application(analyze(DESIGN), RuntimeConfig(error_policy=policy))
     app.implement("Healthy", Healthy())
     app.implement("Buggy", Buggy() if buggy_context else Healthy())
     app.implement(
@@ -96,7 +97,7 @@ class TestRaisePolicy:
 
     def test_invalid_policy_rejected(self):
         with pytest.raises(ValueError):
-            Application(analyze(DESIGN), error_policy="pray")
+            Application(analyze(DESIGN), RuntimeConfig(error_policy="pray"))
 
 
 class TestIsolatePolicy:
@@ -106,9 +107,11 @@ class TestIsolatePolicy:
         # The buggy context failed, but the healthy chain completed.
         assert controller.honks == 1
         assert len(app.component_errors) == 1
-        name, exc = app.component_errors[0]
-        assert name == "Buggy"
-        assert isinstance(exc, RuntimeError)
+        record = app.component_errors[0]
+        assert record.component == "Buggy"
+        assert isinstance(record.error, RuntimeError)
+        # Pure component-logic failures carry no originating entity.
+        assert record.entity_id is None
 
     def test_failed_component_publishes_nothing(self):
         app, sensor, __ = build("isolate")
@@ -122,12 +125,12 @@ class TestIsolatePolicy:
         app, sensor, __ = build("isolate", buggy_context=False,
                                 buggy_controller=True)
         sensor.publish("reading", 2.0)
-        assert [name for name, __ in app.component_errors] == ["K"]
+        assert [r.component for r in app.component_errors] == ["K"]
 
     def test_periodic_failure_does_not_kill_schedule(self):
         app, __, __ = build("isolate", buggy_periodic=True)
         app.advance(180)
-        names = [name for name, __ in app.component_errors]
+        names = [r.component for r in app.component_errors]
         assert names == ["Periodic", "Periodic", "Periodic"]
 
     def test_error_listener_notified(self):

@@ -10,6 +10,7 @@ view it mirrors, so the two surfaces cannot drift apart silently.
 from repro.errors import DeliveryError
 from repro.mapreduce.api import MapReduce
 from repro.runtime.app import Application
+from repro.runtime.config import RuntimeConfig
 from repro.runtime.component import Context, Controller
 from repro.runtime.device import CallableDriver, DeviceDriver
 from repro.sema.analyzer import analyze
@@ -89,7 +90,7 @@ class GlitchOnceDriver(DeviceDriver):
 
 
 def build(metrics=None):
-    app = Application(analyze(DESIGN), metrics=metrics)
+    app = Application(analyze(DESIGN), RuntimeConfig(metrics=metrics))
     app.implement("ZoneLoad", ZoneLoadImpl())
     app.implement("Alarm", AlarmImpl())
     controller = app.implement("HornController", HornControllerImpl())

@@ -4,6 +4,7 @@ import json
 import re
 
 from repro.runtime.app import Application
+from repro.runtime.config import RuntimeConfig
 from repro.runtime.device import CallableDriver
 from repro.runtime.component import Context, Controller
 from repro.runtime.tracing import Tracer
@@ -116,7 +117,7 @@ class BellControllerImpl(Controller):
 
 
 def traced_app():
-    app = Application(analyze(TRACE_DESIGN), name="bell")
+    app = Application(analyze(TRACE_DESIGN), RuntimeConfig(name="bell"))
     app.implement("Echo", EchoImpl())
     app.implement("BellController", BellControllerImpl())
     button = app.create_device(

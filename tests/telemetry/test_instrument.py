@@ -1,0 +1,84 @@
+"""The Instrumented mixin: declarative attach_metrics/stats/reset_stats."""
+
+from repro.telemetry import MetricsRegistry
+from repro.telemetry.instrument import Instrumented, MetricSpec
+
+
+class Widget(Instrumented):
+    metric_specs = (
+        MetricSpec(
+            "widget_events_total",
+            "_events",
+            stats_key="events",
+            resettable=True,
+        ),
+        MetricSpec("widget_errors_total", "_errors"),  # metric-only
+        MetricSpec(
+            "widget_depth",
+            "depth",
+            kind="gauge",
+            stats_key="depth",
+        ),
+    )
+
+    def __init__(self):
+        self._events = 0
+        self._errors = 0
+        self._items = []
+
+    def depth(self) -> int:  # bound method source: called at collection
+        return len(self._items)
+
+    def _extra_stats(self):
+        return {"mode": "test"}
+
+
+class TestAttachMetrics:
+    def test_callbacks_read_live_values(self):
+        registry = MetricsRegistry()
+        widget = Widget()
+        widget.attach_metrics(registry)
+        assert registry.value("widget_events_total") == 0
+        widget._events += 3
+        widget._items.append(object())
+        assert registry.value("widget_events_total") == 3
+        assert registry.value("widget_depth") == 1
+
+    def test_labels_propagate(self):
+        registry = MetricsRegistry()
+        widget = Widget()
+        widget.attach_metrics(registry, component="w1")
+        widget._events += 1
+        assert registry.value("widget_events_total", component="w1") == 1
+
+    def test_kinds_are_declared(self):
+        registry = MetricsRegistry()
+        Widget().attach_metrics(registry)
+        assert registry.get("widget_events_total").kind == "counter"
+        assert registry.get("widget_depth").kind == "gauge"
+
+
+class TestStats:
+    def test_stats_keys_and_extra_stats(self):
+        widget = Widget()
+        widget._events = 2
+        widget._errors = 9  # no stats_key: metric-only, not in stats()
+        assert widget.stats() == {"events": 2, "depth": 0, "mode": "test"}
+
+    def test_reset_stats_zeroes_only_resettable(self):
+        widget = Widget()
+        widget._events = 5
+        widget._errors = 5
+        widget._items.append(object())
+        widget.reset_stats()
+        assert widget._events == 0
+        assert widget._errors == 5  # not declared resettable
+        assert widget.depth() == 1  # gauges untouched
+
+
+class TestDefaults:
+    def test_base_class_is_inert(self):
+        subsystem = Instrumented()
+        subsystem.attach_metrics(MetricsRegistry())  # no specs: no-op
+        assert subsystem.stats() == {}
+        subsystem.reset_stats()

@@ -172,6 +172,29 @@ class TestMetrics:
         assert any(e["ph"] == "i" for e in document["traceEvents"])
 
 
+class TestChaos:
+    def test_recovery_report_and_exit_zero(self, tmp_path, capsys):
+        import json
+
+        report_path = tmp_path / "chaos-report.json"
+        assert main([
+            "chaos", "--seed", "7", "--report", str(report_path),
+        ]) == 0
+        captured = capsys.readouterr()
+        printed = json.loads(captured.out)
+        written = json.loads(report_path.read_text(encoding="utf-8"))
+        assert printed == written
+        assert printed["recovered"] is True
+        assert printed["unrecovered_failures"] == 0
+        assert printed["sensors_killed"] == 36
+
+    def test_plan_that_never_fires_exits_one(self, capsys):
+        # The fault window opens at 1800s; a 600s run proves nothing
+        # and must not report success.
+        assert main(["chaos", "--seed", "7", "--duration", "600"]) == 1
+        assert "no faults fired" in capsys.readouterr().err
+
+
 class TestUsage:
     def test_no_command_prints_help(self, capsys):
         assert main([]) == 2
