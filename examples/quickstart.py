@@ -17,8 +17,13 @@ sys.path.insert(
     os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir, "src"),
 )
 
-from repro import analyze
-from repro.runtime import Application, CallableDriver, Context, Controller
+from repro.api import (
+    Application,
+    CallableDriver,
+    Context,
+    Controller,
+    analyze,
+)
 
 DESIGN = """
 device Thermometer {

@@ -21,14 +21,14 @@ sys.path.insert(
 
 import json
 
-from repro import analyze
-from repro.runtime import (
+from repro.api import (
     Application,
     CallableDriver,
     Context,
     Controller,
     DriverCatalog,
     Tracer,
+    analyze,
     apply_descriptor,
     load_descriptor,
 )

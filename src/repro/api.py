@@ -1,0 +1,109 @@
+"""The supported public API surface of :mod:`repro`.
+
+This module is the **stable import surface** of the library: everything
+an application, example, or generated framework needs is re-exported
+here, and these names follow deprecation policy (one release of
+``DeprecationWarning`` before any breaking change)::
+
+    from repro.api import Application, RuntimeConfig, SweepConfig, analyze
+
+    design = analyze(DESIGN_SOURCE)
+    app = Application(design, RuntimeConfig(error_policy="isolate"))
+
+Deep-module imports (``from repro.runtime.app import Application``,
+``from repro.faults.supervisor import ...``) keep working but are
+**unstable**: internal modules may move, split, or change signature
+between releases without deprecation cover.  New code should import
+from :mod:`repro.api` (or the package roots it aggregates).
+
+The surface, by concern:
+
+* **Design analysis** — :func:`analyze`, :class:`AnalyzedSpec`;
+* **Assembly & configuration** — :class:`Application`,
+  :class:`RuntimeConfig`, :class:`SweepConfig`;
+* **Time** — :class:`Clock`, :class:`SimulationClock`,
+  :class:`WallClock`;
+* **Components** — :class:`Context`, :class:`Controller`,
+  :class:`Publishable`, :class:`MapReduce`, and the event records
+  (:class:`SourceEvent`, :class:`ContextEvent`,
+  :class:`GatherReading`);
+* **Devices** — :class:`DeviceDriver`, :class:`CallableDriver`,
+  :class:`DeviceInstance`;
+* **MapReduce executors** — :class:`SerialExecutor`,
+  :class:`ThreadExecutor`, :class:`ProcessExecutor`;
+* **Fault tolerance** — :class:`SupervisionPolicy`,
+  :class:`StalePolicy`, :class:`FaultPlan`, :class:`ChaosInjector`;
+* **Observability** — :class:`MetricsRegistry`, :class:`Tracer`;
+* **Deployment descriptors** — :class:`DeploymentDescriptor`,
+  :class:`DriverCatalog`, :func:`load_descriptor`,
+  :func:`apply_descriptor`.
+"""
+
+from __future__ import annotations
+
+from repro.faults.chaos import ChaosInjector, FaultEvent, FaultPlan
+from repro.faults.policy import StalePolicy, SupervisionPolicy
+from repro.mapreduce.api import MapReduce
+from repro.mapreduce.engine import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+)
+from repro.runtime.app import Application
+from repro.runtime.clock import Clock, SimulationClock, WallClock
+from repro.runtime.component import (
+    Context,
+    ContextEvent,
+    Controller,
+    GatherReading,
+    Publishable,
+    SourceEvent,
+)
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.descriptor import (
+    DeploymentDescriptor,
+    DriverCatalog,
+    apply_descriptor,
+    load_descriptor,
+)
+from repro.runtime.device import CallableDriver, DeviceDriver, DeviceInstance
+from repro.runtime.sweep import SweepConfig, SweepEngine
+from repro.runtime.tracing import Tracer
+from repro.sema.analyzer import AnalyzedSpec, analyze
+from repro.telemetry import MetricsRegistry
+
+__all__ = [
+    "AnalyzedSpec",
+    "Application",
+    "CallableDriver",
+    "ChaosInjector",
+    "Clock",
+    "Context",
+    "ContextEvent",
+    "Controller",
+    "DeploymentDescriptor",
+    "DeviceDriver",
+    "DeviceInstance",
+    "DriverCatalog",
+    "FaultEvent",
+    "FaultPlan",
+    "GatherReading",
+    "MapReduce",
+    "MetricsRegistry",
+    "ProcessExecutor",
+    "Publishable",
+    "RuntimeConfig",
+    "SerialExecutor",
+    "SimulationClock",
+    "SourceEvent",
+    "StalePolicy",
+    "SupervisionPolicy",
+    "SweepConfig",
+    "SweepEngine",
+    "ThreadExecutor",
+    "Tracer",
+    "WallClock",
+    "analyze",
+    "apply_descriptor",
+    "load_descriptor",
+]

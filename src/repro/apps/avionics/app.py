@@ -26,9 +26,7 @@ from repro.apps.avionics.logic import (
     HeadingHoldContext,
     ThrottleControllerImpl,
 )
-from repro.runtime.app import Application
-from repro.runtime.config import RuntimeConfig
-from repro.runtime.clock import SimulationClock
+from repro.api import Application, RuntimeConfig, SimulationClock
 from repro.simulation.environment import FlightEnvironment
 
 

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-from repro.runtime.component import Context, Controller
+from repro.api import Context, Controller
 
 
 class PID:

@@ -13,9 +13,7 @@ from repro.apps.cooker.logic import (
     RemoteTurnOffContext,
     TurnOffController,
 )
-from repro.runtime.app import Application
-from repro.runtime.config import RuntimeConfig
-from repro.runtime.clock import SimulationClock
+from repro.api import Application, RuntimeConfig, SimulationClock
 from repro.simulation.environment import HomeEnvironment
 from repro.simulation.sensors import ClockDeviceDriver
 

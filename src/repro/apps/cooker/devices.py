@@ -10,7 +10,7 @@ from __future__ import annotations
 import itertools
 from typing import List, Optional, Tuple
 
-from repro.runtime.device import DeviceDriver
+from repro.api import DeviceDriver
 from repro.simulation.environment import HomeEnvironment
 
 

@@ -9,7 +9,7 @@ from __future__ import annotations
 import itertools
 from typing import List, Optional
 
-from repro.runtime.component import Context, Controller
+from repro.api import Context, Controller
 
 
 class AlertContext(Context):

@@ -21,9 +21,7 @@ from repro.apps.homeassist.logic import (
     NightLightControllerImpl,
     NightWanderingContext,
 )
-from repro.runtime.app import Application
-from repro.runtime.config import RuntimeConfig
-from repro.runtime.clock import SimulationClock
+from repro.api import Application, RuntimeConfig, SimulationClock
 from repro.simulation.environment import HomeEnvironment
 
 

@@ -5,8 +5,7 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from repro.apps.homeassist.logic import ROOM_TO_ENUM
-from repro.runtime.clock import Clock
-from repro.runtime.device import DeviceDriver
+from repro.api import Clock, DeviceDriver
 from repro.simulation.environment import HomeEnvironment
 
 

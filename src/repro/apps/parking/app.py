@@ -13,9 +13,7 @@ from repro.apps.parking.devices import (
     deploy_sensors,
 )
 from repro.apps.parking.logic import default_implementations
-from repro.runtime.app import Application
-from repro.runtime.clock import SimulationClock
-from repro.runtime.config import RuntimeConfig
+from repro.api import Application, RuntimeConfig, SimulationClock
 from repro.simulation.environment import ParkingLotEnvironment
 
 PAPER_CAPACITIES: Dict[str, int] = {"A22": 40, "B16": 30, "D6": 50}

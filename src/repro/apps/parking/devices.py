@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
-from repro.runtime.device import DeviceDriver
+from repro.api import DeviceDriver
 from repro.simulation.environment import ParkingLotEnvironment
 
 

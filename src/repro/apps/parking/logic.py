@@ -11,8 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.mapreduce.api import MapReduce
-from repro.runtime.component import Context, Controller
+from repro.api import Context, Controller, MapReduce
 
 
 class ParkingAvailabilityContext(Context, MapReduce):

@@ -9,10 +9,12 @@ from repro.apps.parking.devices import DisplayPanelDriver, MessengerDriver
 from repro.apps.pollution.design import DESIGN_SOURCE, get_design
 from repro.apps.pollution.environment import CityAirEnvironment
 from repro.apps.pollution.logic import default_implementations
-from repro.runtime.app import Application
-from repro.runtime.config import RuntimeConfig
-from repro.runtime.clock import SimulationClock
-from repro.runtime.device import DeviceDriver
+from repro.api import (
+    Application,
+    DeviceDriver,
+    RuntimeConfig,
+    SimulationClock,
+)
 
 DEFAULT_ZONES: Dict[str, float] = {
     "CENTER": 1.0,

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.runtime.component import Context, Controller
+from repro.api import Context, Controller
 
 
 class TrafficLevelContext(Context):

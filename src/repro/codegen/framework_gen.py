@@ -86,16 +86,17 @@ class _FrameworkGenerator:
         e.line("DO NOT EDIT: regenerate from the DiaSpec design instead.")
         e.line('"""')
         e.blank()
-        e.line("from repro.mapreduce.api import MapReduce")
-        e.line("from repro.runtime.app import Application")
-        e.line("from repro.runtime.config import RuntimeConfig")
-        e.line("from repro.runtime.component import (")
+        e.line("from repro.api import (")
+        e.line("    Application,")
         e.line("    Context,")
         e.line("    Controller,")
+        e.line("    DeviceDriver,")
+        e.line("    MapReduce,")
         e.line("    Publishable,")
+        e.line("    RuntimeConfig,")
+        e.line("    SweepConfig,")
+        e.line("    analyze,")
         e.line(")")
-        e.line("from repro.runtime.device import DeviceDriver")
-        e.line("from repro.sema.analyzer import analyze")
         e.blank(1)
         e.line('DESIGN_SOURCE = """\\')
         for line in pretty(self.design.spec).splitlines():
@@ -574,7 +575,8 @@ class _FrameworkGenerator:
             e.line("}")
             e.blank()
             e.line("def __init__(self, clock=None, mapreduce_executor=None,")
-            e.line("             streaming_windows=True, config=None):")
+            e.line("             streaming_windows=True, sweep=None,")
+            e.line("             config=None):")
             with e.indented():
                 e.line("self.design = DESIGN")
                 e.line("if config is None:")
@@ -583,6 +585,8 @@ class _FrameworkGenerator:
                 e.line("        mapreduce_executor=mapreduce_executor,")
                 e.line(f'        name="{self.name}",')
                 e.line("        streaming_windows=streaming_windows,")
+                e.line("        sweep=sweep if sweep is not None"
+                       " else SweepConfig(),")
                 e.line("    )")
                 e.line("self.application = Application(DESIGN, config)")
             e.blank()

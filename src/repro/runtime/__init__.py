@@ -36,6 +36,7 @@ from repro.runtime.device import CallableDriver, DeviceDriver, DeviceInstance
 from repro.runtime.discovery import Discover
 from repro.runtime.proxies import DeviceProxy, ProxySet
 from repro.runtime.registry import EntityRegistry
+from repro.runtime.sweep import SweepConfig, SweepEngine
 
 __all__ = [
     "Application",
@@ -64,5 +65,7 @@ __all__ = [
     "ScheduledJob",
     "SimulationClock",
     "SourceEvent",
+    "SweepConfig",
+    "SweepEngine",
     "WallClock",
 ]

@@ -62,12 +62,19 @@ from repro.runtime.grouping import WindowAccumulator, group_readings
 from repro.runtime.proxies import make_proxy
 from repro.runtime.qos import QoSMonitor
 from repro.runtime.registry import EntityRegistry
+from repro.runtime.sweep import SweepEngine
 from repro.sema.analyzer import AnalyzedSpec
 from repro.telemetry import MetricsRegistry
 from repro.typesys.values import check_value
 
 # Sentinel distinguishing "isolated component failed" from a None result.
 _FAILED = object()
+
+# Per-instance read outcomes produced inside a sweep and folded back on
+# the sweep-driving thread (worker threads never touch app counters).
+_READ_OK = "ok"
+_READ_DROPPED = "dropped"
+_READ_FAILED = "failed"
 
 
 class Application:
@@ -160,13 +167,20 @@ class Application:
         self.supervision.attach_metrics(self.metrics)
         self.stale = config.stale_policy
         self.registry.attach_health(self.supervision.health_of)
+        # Sweep execution: periodic gathers fan device reads out through
+        # the engine (bounded thread pool under a wall clock, serial
+        # loop under simulation — see repro.runtime.sweep).
+        self.sweeper = SweepEngine(
+            self.registry, self.clock, config.sweep, metrics=self.metrics
+        )
         self.discover = Discover(design, self.registry, self.query_context)
         self.started = False
         self._implementations: Dict[str, Component] = {}
         self._jobs: List[Any] = []
         self._subscriptions: List[Any] = []
         self._accumulators: Dict[str, WindowAccumulator] = {}
-        self._gather_errors = 0
+        self._gather_network_dropped = 0
+        self._gather_read_failed = 0
         self._gather_sweeps = 0
         self._context_activations: Dict[str, int] = {}
         self._controller_activations: Dict[str, int] = {}
@@ -176,9 +190,23 @@ class Application:
             help="Periodic gathering sweeps executed.",
         )
         self.metrics.callback(
+            "app_gather_network_dropped_total",
+            lambda: self._gather_network_dropped,
+            help="Reads dropped by the simulated network model during "
+            "gathering sweeps.",
+        )
+        self.metrics.callback(
+            "app_gather_read_failed_total",
+            lambda: self._gather_read_failed,
+            help="Supervised reads that failed during gathering sweeps.",
+        )
+        # Derived sum kept for dashboard continuity; the two series
+        # above are the primary counters.
+        self.metrics.callback(
             "app_gather_errors_total",
             lambda: self._gather_errors,
-            help="Failed or dropped reads during gathering sweeps.",
+            help="Failed or dropped reads during gathering sweeps "
+            "(sum of network_dropped and read_failed).",
         )
         self.metrics.callback(
             "app_component_errors_total",
@@ -299,6 +327,7 @@ class Application:
         self._subscriptions.clear()
         for implementation in self._implementations.values():
             implementation.on_stop()
+        self.sweeper.close()
         self.started = False
 
     def advance(self, seconds: float) -> int:
@@ -327,6 +356,9 @@ class Application:
             },
             "gather_sweeps": self._gather_sweeps,
             "gather_errors": self._gather_errors,
+            "gather_network_dropped": self._gather_network_dropped,
+            "gather_read_failed": self._gather_read_failed,
+            "sweep": self.sweeper.stats(),
             "context_activations": dict(self._context_activations),
             "controller_activations": dict(self._controller_activations),
             "bound_entities": len(self.registry),
@@ -337,6 +369,13 @@ class Application:
                 for record in self._component_errors
             ],
         }
+
+    @property
+    def _gather_errors(self) -> int:
+        """Legacy aggregate: every read lost to a sweep, whatever the
+        cause.  Kept as a derived sum so the historical stats key and
+        ``app_gather_errors_total`` series stay continuous."""
+        return self._gather_network_dropped + self._gather_read_failed
 
     @property
     def component_errors(self) -> List[ComponentError]:
@@ -639,6 +678,13 @@ class Application:
     ) -> None:
         """One periodic sweep: poll, group, mapreduce, window, deliver.
 
+        Polling is delegated to the :class:`SweepEngine` — a serial loop
+        under simulation, bounded thread-pool fan-out under a wall clock
+        — which returns per-instance outcomes in registry iteration
+        order regardless of completion order.  Outcomes fold into
+        readings and error counters here, on the sweep-driving thread,
+        so worker threads never touch application state.
+
         Quarantined entities stay in the sweep (hidden only from
         application-level discovery): probing them is what lets a
         half-open breaker observe a recovery.  When a supervised read
@@ -646,20 +692,23 @@ class Application:
         this sweep (``skip``), serves its last known value
         (``last_known``), or fails the sweep (``fail``)."""
         self._gather_sweeps += 1
-        readings = []
         lossy_reads = self.network is not None and self.apply_network_to_reads
-        for instance in self.registry.instances_of(
-            interaction.device, include_quarantined=True
-        ):
-            if lossy_reads and not self.network.sample_read_ok():
-                self._gather_errors += 1
-                continue
-            try:
-                readings.append((instance, instance.read(interaction.source)))
-            except DeliveryError:
-                self._gather_errors += 1
+        outcomes = self.sweeper.sweep(
+            interaction.device,
+            functools.partial(
+                self._gather_read, interaction.source, lossy_reads
+            ),
+        )
+        readings = []
+        for instance, (kind, value) in outcomes:
+            if kind is _READ_OK:
+                readings.append((instance, value))
+            elif kind is _READ_DROPPED:
+                self._gather_network_dropped += 1
+            else:
+                self._gather_read_failed += 1
                 if self.stale.mode == "fail":
-                    raise
+                    raise value
                 if self.stale.serves_stale:
                     stale = self._stale_reading(
                         instance, interaction.source
@@ -690,6 +739,19 @@ class Application:
         )
         if result is not _FAILED:
             self._publish_context(name, interaction.publish, result)
+
+    def _gather_read(self, source, lossy, instance):
+        """Poll one instance inside a sweep (possibly on a pool thread).
+
+        Returns an ``(outcome, payload)`` pair instead of mutating
+        counters, so the sweep engine can run it concurrently and the
+        caller folds outcomes deterministically in registry order."""
+        if lossy and not self.network.sample_read_ok():
+            return (_READ_DROPPED, None)
+        try:
+            return (_READ_OK, instance.read(source))
+        except DeliveryError as exc:
+            return (_READ_FAILED, exc)
 
     def _stale_reading(self, instance, source):
         """Last-known cached reading for a dark source, or ``None``.

@@ -28,12 +28,13 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, TYPE_CHECKING
 
 from repro.faults.policy import StalePolicy, SupervisionPolicy
+from repro.runtime.sweep import SweepConfig
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, hints only
     from repro.runtime.clock import Clock
     from repro.telemetry import MetricsRegistry
 
-__all__ = ["RuntimeConfig"]
+__all__ = ["RuntimeConfig", "SweepConfig"]
 
 ERROR_POLICIES = ("raise", "isolate")
 
@@ -65,6 +66,10 @@ class RuntimeConfig:
       backoff jitter.
     * ``stale`` — degraded-delivery policy for periodic gathers when a
       supervised source is dark; ``None`` means ``StalePolicy('skip')``.
+    * ``sweep`` — :class:`~repro.runtime.sweep.SweepConfig` governing
+      how periodic gather sweeps execute (serial loop vs. bounded
+      thread-pool fan-out); the default ``mode='auto'`` keeps
+      simulation-clock runs serial and deterministic.
     """
 
     clock: Optional["Clock"] = None
@@ -81,12 +86,15 @@ class RuntimeConfig:
     )
     supervision_seed: int = 0
     stale: Optional[StalePolicy] = None
+    sweep: SweepConfig = SweepConfig()
 
     def __post_init__(self):
         if self.error_policy not in ERROR_POLICIES:
             raise ValueError(
                 f"error_policy must be one of {ERROR_POLICIES}"
             )
+        if not isinstance(self.sweep, SweepConfig):
+            raise TypeError("sweep must be a SweepConfig")
         if self.stale is not None and not isinstance(self.stale, StalePolicy):
             raise TypeError("stale must be a StalePolicy or None")
         if self.supervision is not None and not isinstance(
@@ -134,7 +142,9 @@ class RuntimeConfig:
                 value, (str, int, float, bool)
             ):
                 summary[f.name] = value
-            elif isinstance(value, (SupervisionPolicy, StalePolicy)):
+            elif isinstance(
+                value, (SupervisionPolicy, StalePolicy, SweepConfig)
+            ):
                 summary[f.name] = repr(value)
             elif isinstance(value, Mapping):
                 summary[f.name] = {

@@ -11,7 +11,8 @@ applications.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, List, Optional
+import warnings
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import BindingError
 from repro.faults.policy import HEALTHY, QUARANTINED
@@ -147,9 +148,12 @@ class EntityRegistry(Instrumented):
         except KeyError:
             raise BindingError(f"no entity with id '{entity_id}'") from None
 
+    _FILTER_KEYWORDS = ("include_failed", "health", "include_quarantined")
+
     def instances_of(
         self,
         device_type: str,
+        *legacy_positional: Any,
         include_failed: bool = False,
         health: Optional[str] = None,
         include_quarantined: bool = False,
@@ -157,6 +161,18 @@ class EntityRegistry(Instrumented):
     ) -> List[DeviceInstance]:
         """All instances whose type is ``device_type`` or a subtype of it,
         optionally filtered by exact attribute values.
+
+        **Iteration-order guarantee.**  Results are always returned in
+        *registration order* (the order instances were bound), whatever
+        index bucket served the lookup — this is the deterministic
+        order the :class:`~repro.runtime.sweep.SweepEngine` merges
+        threaded sweep results back into, so it is part of the public
+        contract, not an implementation accident.
+
+        The filter arguments (``include_failed``, ``health``,
+        ``include_quarantined``) are keyword-only; passing them
+        positionally still works for one release through a shim that
+        emits a :class:`DeprecationWarning`.
 
         With filters, the narrowest ``(type, attribute, value)`` index
         bucket seeds the scan, so cost tracks the match count rather than
@@ -173,6 +189,41 @@ class EntityRegistry(Instrumented):
         whole fleet (the gather path does, so quarantined entities keep
         receiving recovery probes when their breaker half-opens).
         """
+        if legacy_positional:
+            if len(legacy_positional) > len(self._FILTER_KEYWORDS):
+                raise TypeError(
+                    "instances_of() takes at most "
+                    f"{1 + len(self._FILTER_KEYWORDS)} positional "
+                    f"arguments ({1 + len(legacy_positional)} given)"
+                )
+            names = self._FILTER_KEYWORDS[: len(legacy_positional)]
+            warnings.warn(
+                "passing instances_of() filter arguments positionally "
+                f"({', '.join(names)}) is deprecated; pass them as "
+                "keywords",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            supplied = {
+                "include_failed": include_failed,
+                "health": health,
+                "include_quarantined": include_quarantined,
+            }
+            defaults = {
+                "include_failed": False,
+                "health": None,
+                "include_quarantined": False,
+            }
+            for name, value in zip(names, legacy_positional):
+                if supplied[name] != defaults[name]:
+                    raise TypeError(
+                        f"instances_of() got multiple values for "
+                        f"argument '{name}'"
+                    )
+                supplied[name] = value
+            include_failed = supplied["include_failed"]
+            health = supplied["health"]
+            include_quarantined = supplied["include_quarantined"]
         self._lookups += 1
         candidates: Iterable[DeviceInstance]
         buckets = []
@@ -224,6 +275,46 @@ class EntityRegistry(Instrumented):
                     continue
             results.append(instance)
         return results
+
+    def iter_shards(
+        self,
+        device_type: str,
+        *,
+        attribute: Optional[str] = None,
+        include_failed: bool = False,
+        include_quarantined: bool = False,
+    ) -> List[Tuple[str, List[Tuple[int, DeviceInstance]]]]:
+        """Instances of ``device_type`` partitioned into deterministic
+        shards for sweep fan-out.
+
+        Shards are keyed by the value of one registry-indexed attribute
+        (``attribute``, or the device type's first declared attribute
+        when ``None``; attribute-less types collapse to one ``""``
+        shard).  Each member is a ``(position, instance)`` pair where
+        ``position`` is the instance's index in the registration-ordered
+        ``instances_of`` result — shards may interleave in registration
+        order, and the positions are what lets the
+        :class:`~repro.runtime.sweep.SweepEngine` merge per-shard
+        results back into the exact registry iteration order.  Shard
+        order is the registration order of each shard's first instance;
+        instances keep registration order within their shard.
+        """
+        instances = self.instances_of(
+            device_type,
+            include_failed=include_failed,
+            include_quarantined=include_quarantined,
+        )
+        shards: Dict[str, List[Tuple[int, DeviceInstance]]] = {}
+        for position, instance in enumerate(instances):
+            name = attribute
+            if name is None:
+                declared = instance.info.attributes
+                name = next(iter(declared)) if declared else None
+            value = (
+                instance.attributes.get(name, "") if name is not None else ""
+            )
+            shards.setdefault(str(value), []).append((position, instance))
+        return list(shards.items())
 
     def add_listener(self, listener: Listener) -> Callable[[], None]:
         """Subscribe to register/unregister events; returns a remover."""

@@ -1,0 +1,346 @@
+"""Concurrent sweep execution for periodic device gathers.
+
+A periodic gather (``when periodic presence from PresenceSensor``) polls
+every bound instance of a device type.  The naive loop is serial, so
+sweep latency grows linearly with fleet size — at city scale (thousands
+of parking sensors, Figures 4, 6, 8) the polling stage dwarfs the
+MapReduce stage it feeds.  The :class:`SweepEngine` fans supervised
+reads out to a bounded thread pool while keeping the result stream
+indistinguishable from the serial loop:
+
+* **Deterministic merge order.**  Results are returned in registry
+  iteration order (registration order) regardless of which worker
+  finished first, so grouping, MapReduce and window payloads are
+  byte-identical across modes — the property test in
+  ``tests/runtime/test_sweep.py`` holds this invariant.
+* **Per-shard batching.**  Instances are grouped into shards keyed by
+  the registry's indexed attributes (a parking fleet shards by
+  ``parkingLot``) and each shard is split into batches of
+  ``batch_size`` reads; one pool task polls one batch, amortizing
+  submission overhead over many reads.
+* **Serial fallback under simulation.**  ``mode='auto'`` (the default)
+  selects the serial loop whenever the application runs on a
+  :class:`~repro.runtime.clock.SimulationClock`, so traces, tests and
+  chaos reports replay byte-identically; threaded fan-out engages under
+  a wall clock, where reads have real latency worth hiding.  Forcing
+  ``mode='threaded'`` is honoured even under simulation (the
+  equivalence tests do exactly that).
+
+The engine executes an arbitrary per-instance callable, so supervised
+reads, circuit-breaker gating and stale-policy substitution behave
+exactly as in the serial loop — :meth:`Application._gather` keeps
+owning that policy and only delegates the fan-out here.
+
+Observability follows the :class:`~repro.telemetry.instrument.Instrumented`
+protocol: cumulative sweep/batch counters are pull-time callbacks, and
+``attach_metrics`` additionally creates a sweep wall-time histogram
+(``sweep_duration_seconds``), an in-flight batch gauge
+(``sweep_in_flight_batches``) and per-shard read counters
+(``sweep_shard_reads_total{shard=...}``).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.runtime.clock import SimulationClock
+from repro.runtime.device import DeviceInstance
+from repro.telemetry.instrument import Instrumented, MetricSpec
+
+__all__ = ["SweepConfig", "SweepEngine"]
+
+SWEEP_MODES = ("serial", "threaded", "auto")
+
+# Histogram buckets for sweep wall time: a small simulated fleet sweeps
+# in microseconds, a city fleet over real transports in whole seconds.
+SWEEP_DURATION_BUCKETS = (
+    0.000_1,
+    0.000_5,
+    0.001,
+    0.005,
+    0.01,
+    0.05,
+    0.1,
+    0.5,
+    1.0,
+    5.0,
+)
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """How periodic gather sweeps execute.
+
+    * ``mode`` — ``'serial'`` polls in a plain loop; ``'threaded'``
+      fans batches out to a bounded thread pool; ``'auto'`` (default)
+      picks serial under a :class:`SimulationClock` (deterministic
+      replay) and threaded otherwise.
+    * ``workers`` — thread-pool size for threaded sweeps.
+    * ``batch_size`` — reads per pool task.  Batches never span shards,
+      so a shard with fewer reads than ``batch_size`` still gets its
+      own task(s).
+    * ``shard_attribute`` — attribute to shard by; ``None`` picks the
+      device type's first declared attribute (deterministic), falling
+      back to a single shard for attribute-less types.
+    """
+
+    mode: str = "auto"
+    workers: int = 8
+    batch_size: int = 16
+    shard_attribute: Optional[str] = None
+
+    def __post_init__(self):
+        if self.mode not in SWEEP_MODES:
+            raise ValueError(
+                f"sweep mode must be one of {SWEEP_MODES}, got "
+                f"'{self.mode}'"
+            )
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+
+
+class SweepEngine(Instrumented):
+    """Bounded fan-out of per-instance reads with ordered merge.
+
+    One engine serves all of an application's periodic gathers; it is
+    stateless between sweeps apart from its cumulative counters and its
+    lazily created thread pool.
+    """
+
+    metric_specs = (
+        MetricSpec(
+            "sweep_total",
+            "_sweeps",
+            stats_key="sweeps",
+            help="Gather sweeps executed by the sweep engine.",
+        ),
+        MetricSpec(
+            "sweep_serial_total",
+            "_serial_sweeps",
+            stats_key="serial_sweeps",
+            help="Sweeps that ran the serial loop.",
+        ),
+        MetricSpec(
+            "sweep_threaded_total",
+            "_threaded_sweeps",
+            stats_key="threaded_sweeps",
+            help="Sweeps fanned out to the thread pool.",
+        ),
+        MetricSpec(
+            "sweep_batches_total",
+            "_batches",
+            stats_key="batches",
+            help="Pool tasks submitted by threaded sweeps.",
+        ),
+        MetricSpec(
+            "sweep_reads_total",
+            "_reads",
+            stats_key="reads",
+            help="Per-instance reads executed through the engine.",
+        ),
+    )
+
+    def __init__(
+        self,
+        registry,
+        clock,
+        config: Optional[SweepConfig] = None,
+        metrics=None,
+    ):
+        self.registry = registry
+        self.clock = clock
+        self.config = config if config is not None else SweepConfig()
+        self._sweeps = 0
+        self._serial_sweeps = 0
+        self._threaded_sweeps = 0
+        self._batches = 0
+        self._reads = 0
+        self._shard_reads: Dict[str, int] = {}
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._metrics = None
+        self._m_duration = None
+        self._m_in_flight = None
+        if metrics is not None:
+            self.attach_metrics(metrics)
+
+    # -- observability -------------------------------------------------------
+
+    def attach_metrics(self, metrics, **labels: Any) -> None:
+        """Counters via the Instrumented protocol, plus the push-style
+        sweep wall-time histogram and in-flight batch gauge."""
+        super().attach_metrics(metrics, **labels)
+        self._metrics = metrics
+        self._m_duration = metrics.histogram(
+            "sweep_duration_seconds",
+            help="Wall time of one gather sweep (poll + merge).",
+            buckets=SWEEP_DURATION_BUCKETS,
+            **labels,
+        )
+        self._m_in_flight = metrics.gauge(
+            "sweep_in_flight_batches",
+            help="Pool batches submitted and not yet merged.",
+            **labels,
+        )
+        for shard in self._shard_reads:
+            self._register_shard_metric(shard)
+
+    def _register_shard_metric(self, shard: str) -> None:
+        self._metrics.callback(
+            "sweep_shard_reads_total",
+            lambda shard=shard: self._shard_reads.get(shard, 0),
+            help="Reads executed per shard (registry-indexed attribute "
+            "value).",
+            shard=shard,
+        )
+
+    def _count_shard(self, shard: str, reads: int) -> None:
+        if shard not in self._shard_reads and self._metrics is not None:
+            self._shard_reads[shard] = 0
+            self._register_shard_metric(shard)
+        self._shard_reads[shard] = self._shard_reads.get(shard, 0) + reads
+
+    def _extra_stats(self) -> Dict[str, Any]:
+        return {
+            "mode": self.config.mode,
+            "workers": self.config.workers,
+            "shard_reads": dict(self._shard_reads),
+        }
+
+    # -- mode selection ------------------------------------------------------
+
+    def mode_for_clock(self) -> str:
+        """The effective execution mode of the next sweep.
+
+        ``auto`` resolves against the application clock: simulation
+        clocks replay deterministically only when reads happen in
+        registration order on the driving thread, so they force the
+        serial loop.
+        """
+        mode = self.config.mode
+        if mode != "auto":
+            return mode
+        if isinstance(self.clock, SimulationClock):
+            return "serial"
+        return "threaded"
+
+    # -- execution -----------------------------------------------------------
+
+    def sweep(
+        self,
+        device_type: str,
+        read_one: Callable[[DeviceInstance], Any],
+        include_quarantined: bool = True,
+    ) -> List[Tuple[DeviceInstance, Any]]:
+        """Run ``read_one`` over every bound instance of ``device_type``.
+
+        Returns ``(instance, result)`` pairs **in registry iteration
+        order** whatever the execution mode — downstream grouping and
+        windowing see the same stream either way.  Exceptions raised by
+        ``read_one`` propagate (callers wanting per-read containment
+        catch inside the callable, as ``Application._gather`` does).
+        """
+        started = time.perf_counter()
+        self._sweeps += 1
+        shards = self.registry.iter_shards(
+            device_type,
+            attribute=self.config.shard_attribute,
+            include_quarantined=include_quarantined,
+        )
+        for shard_key, members in shards:
+            self._reads += len(members)
+            self._count_shard(shard_key, len(members))
+        if self.mode_for_clock() == "threaded":
+            self._threaded_sweeps += 1
+            results = self._sweep_threaded(shards, read_one)
+        else:
+            self._serial_sweeps += 1
+            results = self._sweep_serial(shards, read_one)
+        if self._m_duration is not None:
+            self._m_duration.observe(time.perf_counter() - started)
+        return results
+
+    def _sweep_serial(self, shards, read_one):
+        """The reference loop.  Shards may interleave in registration
+        order, so reads are re-ordered by position first — the loop then
+        polls in exactly the historical registry iteration order, which
+        keeps every stateful side effect (network-drop RNG draws,
+        breaker probes) in the byte-identical sequence."""
+        ordered = sorted(
+            (pair for __, members in shards for pair in members),
+            key=lambda pair: pair[0],
+        )
+        return [
+            (instance, read_one(instance)) for __, instance in ordered
+        ]
+
+    def _sweep_threaded(self, shards, read_one):
+        pool = self._ensure_pool()
+        batch_size = self.config.batch_size
+        # One pool task per batch; batches never span shards.  Each
+        # member keeps its registry position so the merge below restores
+        # registry iteration order no matter which future finishes first.
+        batches: List[List[Tuple[int, DeviceInstance]]] = []
+        total = 0
+        for __, members in shards:
+            total += len(members)
+            for offset in range(0, len(members), batch_size):
+                batches.append(members[offset:offset + batch_size])
+        slots: List[Any] = [None] * total
+        instances_in_order: List[Optional[DeviceInstance]] = [None] * total
+        self._batches += len(batches)
+        in_flight = self._m_in_flight
+        pending = set()
+        for batch in batches:
+            pending.add(pool.submit(self._run_batch, batch, read_one))
+            if in_flight is not None:
+                in_flight.inc()
+        first_error: Optional[BaseException] = None
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                if in_flight is not None:
+                    in_flight.dec()
+                error = future.exception()
+                if error is not None:
+                    if first_error is None:
+                        first_error = error
+                    continue
+                for index, instance, value in future.result():
+                    slots[index] = value
+                    instances_in_order[index] = instance
+        if first_error is not None:
+            raise first_error
+        return list(zip(instances_in_order, slots))
+
+    @staticmethod
+    def _run_batch(batch, read_one):
+        return [
+            (index, instance, read_one(instance))
+            for index, instance in batch
+        ]
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.config.workers,
+                thread_name_prefix="sweep",
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent; pool recreates on the
+        next threaded sweep)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __repr__(self) -> str:
+        return (
+            f"<SweepEngine mode={self.config.mode} "
+            f"workers={self.config.workers} sweeps={self._sweeps}>"
+        )
