@@ -20,7 +20,7 @@ The surface, by concern:
 
 * **Design analysis** — :func:`analyze`, :class:`AnalyzedSpec`;
 * **Assembly & configuration** — :class:`Application`,
-  :class:`RuntimeConfig`, :class:`SweepConfig`;
+  :class:`RuntimeConfig`, :class:`SweepConfig`, :class:`CacheConfig`;
 * **Time** — :class:`Clock`, :class:`SimulationClock`,
   :class:`WallClock`;
 * **Components** — :class:`Context`, :class:`Controller`,
@@ -33,6 +33,9 @@ The surface, by concern:
   :class:`ThreadExecutor`, :class:`ProcessExecutor`;
 * **Fault tolerance** — :class:`SupervisionPolicy`,
   :class:`StalePolicy`, :class:`FaultPlan`, :class:`ChaosInjector`;
+* **Query-driven caching** — :class:`ReadCache` (usually reached via
+  ``CacheConfig`` on the runtime config) and the typed
+  :class:`ContextNotQueryableError`;
 * **Observability** — :class:`MetricsRegistry`, :class:`Tracer`;
 * **Deployment descriptors** — :class:`DeploymentDescriptor`,
   :class:`DriverCatalog`, :func:`load_descriptor`,
@@ -41,6 +44,7 @@ The surface, by concern:
 
 from __future__ import annotations
 
+from repro.errors import ContextNotQueryableError
 from repro.faults.chaos import ChaosInjector, FaultEvent, FaultPlan
 from repro.faults.policy import StalePolicy, SupervisionPolicy
 from repro.mapreduce.api import MapReduce
@@ -50,6 +54,7 @@ from repro.mapreduce.engine import (
     ThreadExecutor,
 )
 from repro.runtime.app import Application
+from repro.runtime.cache import CacheConfig, ReadCache
 from repro.runtime.clock import Clock, SimulationClock, WallClock
 from repro.runtime.component import (
     Context,
@@ -75,11 +80,13 @@ from repro.telemetry import MetricsRegistry
 __all__ = [
     "AnalyzedSpec",
     "Application",
+    "CacheConfig",
     "CallableDriver",
     "ChaosInjector",
     "Clock",
     "Context",
     "ContextEvent",
+    "ContextNotQueryableError",
     "Controller",
     "DeploymentDescriptor",
     "DeviceDriver",
@@ -92,6 +99,7 @@ __all__ = [
     "MetricsRegistry",
     "ProcessExecutor",
     "Publishable",
+    "ReadCache",
     "RuntimeConfig",
     "SerialExecutor",
     "SimulationClock",

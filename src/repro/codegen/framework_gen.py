@@ -88,6 +88,7 @@ class _FrameworkGenerator:
         e.blank()
         e.line("from repro.api import (")
         e.line("    Application,")
+        e.line("    CacheConfig,")
         e.line("    Context,")
         e.line("    Controller,")
         e.line("    DeviceDriver,")
@@ -576,7 +577,7 @@ class _FrameworkGenerator:
             e.blank()
             e.line("def __init__(self, clock=None, mapreduce_executor=None,")
             e.line("             streaming_windows=True, sweep=None,")
-            e.line("             config=None):")
+            e.line("             cache=None, config=None):")
             with e.indented():
                 e.line("self.design = DESIGN")
                 e.line("if config is None:")
@@ -587,6 +588,8 @@ class _FrameworkGenerator:
                 e.line("        streaming_windows=streaming_windows,")
                 e.line("        sweep=sweep if sweep is not None"
                        " else SweepConfig(),")
+                e.line("        cache=cache if cache is not None"
+                       " else CacheConfig(),")
                 e.line("    )")
                 e.line("self.application = Application(DESIGN, config)")
             e.blank()

@@ -108,6 +108,20 @@ class CircuitOpenError(DeviceUnavailableError):
     """
 
 
+class ContextNotQueryableError(DeliveryError):
+    """A query-driven pull targeted a context without ``when required``.
+
+    Carries the ``context`` name so callers building query surfaces
+    over many contexts can report exactly which one was misused.
+    Subclasses :class:`DeliveryError` so existing broad handlers keep
+    working.
+    """
+
+    def __init__(self, message: str, context: Optional[str] = None):
+        self.context = context
+        super().__init__(message)
+
+
 class ActuationError(RuntimeOrchestrationError):
     """An action could not be issued to a device."""
 

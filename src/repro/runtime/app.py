@@ -32,6 +32,7 @@ from typing import Any, Callable, Dict, List, Optional, Union
 from repro.errors import (
     BindingError,
     ComponentError,
+    ContextNotQueryableError,
     DeliveryError,
     RuntimeOrchestrationError,
 )
@@ -45,6 +46,7 @@ from repro.lang.ast_nodes import (
 from repro.mapreduce.api import MapReduce
 from repro.mapreduce.engine import MapReduceEngine
 from repro.runtime.bus import EventBus
+from repro.runtime.cache import ReadCache
 from repro.runtime.clock import Clock, SimulationClock
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.component import (
@@ -173,6 +175,23 @@ class Application:
         self.sweeper = SweepEngine(
             self.registry, self.clock, config.sweep, metrics=self.metrics
         )
+        # Query-driven fast path: one freshness-aware read cache shared
+        # by sweeps, proxy reads and query_context pulls.  ``None`` when
+        # disabled — the device read path is then byte-identical to the
+        # uncached runtime.
+        self.read_cache: Optional[ReadCache] = (
+            ReadCache(self.clock, config.cache, metrics=self.metrics)
+            if config.cache.enabled
+            else None
+        )
+        self._memoize_contexts = (
+            self.read_cache is not None and config.cache.memoize_contexts
+        )
+        self._context_cache_hits: Dict[str, int] = {}
+        # query_context memo: name -> (checked value, stamp, generation)
+        self._query_memo: Dict[str, Any] = {}
+        # periodic-gather memo: name -> content hash of the last payload
+        self._gather_digests: Dict[str, int] = {}
         self.discover = Discover(design, self.registry, self.query_context)
         self.started = False
         self._implementations: Dict[str, Component] = {}
@@ -259,6 +278,8 @@ class Application:
         supervisor = self.supervision.supervise(instance)
         if supervisor is not None:
             instance.attach_supervisor(supervisor)
+        if self.read_cache is not None:
+            instance.attach_cache(self.read_cache)
         return instance
 
     def create_device(
@@ -283,6 +304,8 @@ class Application:
         instance.detach()
         self.supervision.release(entity_id)
         instance.supervisor = None
+        if self.read_cache is not None:
+            self.read_cache.invalidate(entity_id)
         return instance
 
     def implementation(self, name: str) -> Component:
@@ -359,6 +382,12 @@ class Application:
             "gather_network_dropped": self._gather_network_dropped,
             "gather_read_failed": self._gather_read_failed,
             "sweep": self.sweeper.stats(),
+            "read_cache": (
+                self.read_cache.stats()
+                if self.read_cache is not None
+                else None
+            ),
+            "context_cache_hits": dict(self._context_cache_hits),
             "context_activations": dict(self._context_activations),
             "controller_activations": dict(self._controller_activations),
             "bound_entities": len(self.registry),
@@ -387,17 +416,47 @@ class Application:
         return list(self._component_errors)
 
     def query_context(self, context_name: str) -> Any:
-        """Query-driven pull of a ``when required`` context (checked)."""
+        """Query-driven pull of a ``when required`` context (checked).
+
+        With the read cache enabled and ``memoize_contexts`` on, the
+        checked result is reused within the cache's ``context_ttl`` —
+        and implicitly expired by any cache invalidation (actuations,
+        publishes), via the cache's ``generation`` counter.
+        """
         info = self.design.contexts.get(context_name)
         if info is None:
             raise DeliveryError(f"unknown context '{context_name}'")
         if not info.is_queryable:
-            raise DeliveryError(
-                f"context '{context_name}' does not declare 'when required'"
+            raise ContextNotQueryableError(
+                f"context '{context_name}' does not declare 'when required'",
+                context=context_name,
             )
+        if self._memoize_contexts:
+            memo = self._query_memo.get(context_name)
+            if memo is not None:
+                value, stamp, generation = memo
+                if (
+                    generation == self.read_cache.generation
+                    and self.clock.now() - stamp
+                    <= self.config.cache.context_ttl
+                ):
+                    self._count_context_cache_hit(context_name)
+                    return value
         implementation = self.implementation(context_name)
         value = implementation.when_required(self.discover)
-        return check_value(info.result_type, value)
+        checked = check_value(info.result_type, value)
+        if self._memoize_contexts:
+            self._query_memo[context_name] = (
+                checked,
+                self.clock.now(),
+                self.read_cache.generation,
+            )
+        return checked
+
+    def _count_context_cache_hit(self, name: str) -> None:
+        self._context_cache_hits[name] = (
+            self._context_cache_hits.get(name, 0) + 1
+        )
 
     # ------------------------------------------------------------------
     # Internal wiring
@@ -482,6 +541,13 @@ class Application:
             "context_activations_total",
             lambda: self._context_activations.get(name, 0),
             help="Context callback activations.",
+            component=name,
+        )
+        self.metrics.callback(
+            "context_cache_hits_total",
+            lambda: self._context_cache_hits.get(name, 0),
+            help="Context recomputations skipped by memoization "
+            "(unchanged gather payload or fresh query result).",
             component=name,
         )
         for interaction in info.decl.interactions:
@@ -598,6 +664,10 @@ class Application:
         )
 
     def _deliver_source_event(self, instance, source, value, index) -> None:
+        if self.read_cache is not None:
+            # The push supersedes cached reads of this source (and,
+            # with a shard attribute configured, of its whole shard).
+            self.read_cache.on_publish(instance, source)
         event = SourceEvent(
             device=make_proxy(instance),
             source=source,
@@ -731,6 +801,16 @@ class Application:
             payload = accumulator.add(payload)
             if payload is None:
                 return
+        if self._memoize_contexts:
+            # Context memoization: when the merged payload is
+            # content-identical to the previous delivery, recompute and
+            # republish would be byte-identical too — skip both and
+            # count a context cache hit.
+            digest = hash((name, repr(payload)))
+            if self._gather_digests.get(name) == digest:
+                self._count_context_cache_hit(name)
+                return
+            self._gather_digests[name] = digest
         self._context_activations[name] = (
             self._context_activations.get(name, 0) + 1
         )

@@ -28,13 +28,14 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, TYPE_CHECKING
 
 from repro.faults.policy import StalePolicy, SupervisionPolicy
+from repro.runtime.cache import CacheConfig
 from repro.runtime.sweep import SweepConfig
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, hints only
     from repro.runtime.clock import Clock
     from repro.telemetry import MetricsRegistry
 
-__all__ = ["RuntimeConfig", "SweepConfig"]
+__all__ = ["CacheConfig", "RuntimeConfig", "SweepConfig"]
 
 ERROR_POLICIES = ("raise", "isolate")
 
@@ -70,6 +71,11 @@ class RuntimeConfig:
       how periodic gather sweeps execute (serial loop vs. bounded
       thread-pool fan-out); the default ``mode='auto'`` keeps
       simulation-clock runs serial and deterministic.
+    * ``cache`` — :class:`~repro.runtime.cache.CacheConfig` governing
+      the query-driven read fast path (freshness-aware read cache,
+      single-flight coalescing, actuation/publish invalidation and
+      context memoization); disabled by default, which keeps the read
+      path byte-identical to the uncached runtime.
     """
 
     clock: Optional["Clock"] = None
@@ -87,6 +93,7 @@ class RuntimeConfig:
     supervision_seed: int = 0
     stale: Optional[StalePolicy] = None
     sweep: SweepConfig = SweepConfig()
+    cache: CacheConfig = CacheConfig()
 
     def __post_init__(self):
         if self.error_policy not in ERROR_POLICIES:
@@ -95,6 +102,8 @@ class RuntimeConfig:
             )
         if not isinstance(self.sweep, SweepConfig):
             raise TypeError("sweep must be a SweepConfig")
+        if not isinstance(self.cache, CacheConfig):
+            raise TypeError("cache must be a CacheConfig")
         if self.stale is not None and not isinstance(self.stale, StalePolicy):
             raise TypeError("stale must be a StalePolicy or None")
         if self.supervision is not None and not isinstance(
@@ -143,7 +152,8 @@ class RuntimeConfig:
             ):
                 summary[f.name] = value
             elif isinstance(
-                value, (SupervisionPolicy, StalePolicy, SweepConfig)
+                value,
+                (SupervisionPolicy, StalePolicy, SweepConfig, CacheConfig),
             ):
                 summary[f.name] = repr(value)
             elif isinstance(value, Mapping):

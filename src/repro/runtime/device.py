@@ -17,6 +17,7 @@ registration step of entity binding.
 
 from __future__ import annotations
 
+import functools
 import time
 from typing import Any, Callable, Dict, Optional
 
@@ -155,6 +156,9 @@ class DeviceInstance:
         # Supervision handle (repro.faults): None means unsupervised —
         # the exact pre-supervision behaviour at zero added cost.
         self.supervisor = None
+        # Read-cache handle (repro.runtime.cache): None means every
+        # read reaches the driver — the exact pre-cache behaviour.
+        self._cache = None
         self._publish_hook: Optional[Callable[..., None]] = None
         self._m_reads = None
         self._m_retries = None
@@ -204,8 +208,19 @@ class DeviceInstance:
         """
         self.supervisor = supervisor
 
+    def attach_cache(self, cache) -> None:
+        """Serve reads through a freshness-aware
+        :class:`~repro.runtime.cache.ReadCache`.
+
+        A fresh cached value short-circuits the whole supervised read
+        (no driver call, no breaker probe); misses run the normal path
+        and populate the cache.  Pass ``None`` to detach.
+        """
+        self._cache = cache
+
     def detach(self) -> None:
         self._publish_hook = None
+        self._cache = None
 
     # -- the three delivery modes --------------------------------------------
 
@@ -215,7 +230,28 @@ class DeviceInstance:
         Applies the source's declared error policy (``expect timeout ...
         retry N``): failed reads are retried up to N times, and a read
         exceeding the timeout (wall-clock) is treated as failed.
+
+        With a read cache attached, a value fresher than the cache TTL
+        is served without touching the driver or the supervision state;
+        misses (and all reads when no cache is attached) take the path
+        below unchanged.
         """
+        cache = self._cache
+        if cache is None:
+            return self._read_fresh(source)
+        if self.failed:
+            # A hard-failed device must not be masked by cached
+            # freshness; the failure check stays authoritative.
+            raise DeviceUnavailableError(
+                f"device '{self.entity_id}' has failed and cannot be read",
+                entity_id=self.entity_id,
+            )
+        return cache.get_or_read(
+            self, source, functools.partial(self._read_fresh, source)
+        )
+
+    def _read_fresh(self, source: str) -> Any:
+        """The uncached supervised read (the historical ``read`` body)."""
         if self.failed:
             raise DeviceUnavailableError(
                 f"device '{self.entity_id}' has failed and cannot be read",
@@ -304,7 +340,10 @@ class DeviceInstance:
             check_value(types[name], value)
         supervisor = self.supervisor
         if supervisor is None:
-            return self.driver.invoke(action, **params)
+            try:
+                return self.driver.invoke(action, **params)
+            finally:
+                self._invalidate_cached_sources()
         if not supervisor.allow():
             raise CircuitOpenError(
                 f"circuit breaker open for '{self.entity_id}'; action "
@@ -316,8 +355,18 @@ class DeviceInstance:
         except (ActuationError, DeliveryError):
             supervisor.record_failure()
             raise
+        finally:
+            self._invalidate_cached_sources()
         supervisor.record_success()
         return result
+
+    def _invalidate_cached_sources(self) -> None:
+        """Actuation reached the driver: the physical state this
+        device's sources report may have changed, so cached readings
+        (even from a failed actuation, which may have had partial
+        effect) are no longer trustworthy."""
+        if self._cache is not None:
+            self._cache.invalidate(self.entity_id)
 
     # -- failure injection ----------------------------------------------------
 

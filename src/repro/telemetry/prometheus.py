@@ -52,13 +52,21 @@ def _label_text(items) -> str:
 
 
 def render_prometheus(registry: MetricsRegistry) -> str:
-    """Render every family of ``registry`` as Prometheus text format."""
+    """Render every family of ``registry`` as Prometheus text format.
+
+    Output order is deterministic regardless of registration order:
+    families render sorted by name and samples sorted by label set, so
+    two registries holding the same metrics always produce byte-equal
+    exposition text (scrape diffing, golden-file tests).
+    """
     lines: List[str] = []
-    for family in registry.families():
+    for family in sorted(registry.families(), key=lambda f: f.name):
         if family.help:
             lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
         lines.append(f"# TYPE {family.name} {family.kind}")
-        for labels, instrument in family.samples():
+        for labels, instrument in sorted(
+            family.samples(), key=lambda sample: sample[0]
+        ):
             if isinstance(instrument, Histogram):
                 _render_histogram(lines, family.name, labels, instrument)
             else:

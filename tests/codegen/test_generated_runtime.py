@@ -211,3 +211,15 @@ class TestParkingViaGeneratedFramework:
         # other components still missing: start() must refuse
         with pytest.raises(Exception):
             framework.start()
+
+    def test_cache_config_flows_through(self, parking_module):
+        mod = parking_module
+        from repro.api import CacheConfig
+
+        framework = mod.ParkingManagementFramework()
+        assert framework.application.read_cache is None  # off by default
+        cached = mod.ParkingManagementFramework(
+            cache=CacheConfig(enabled=True, ttl_seconds=5.0)
+        )
+        assert cached.application.read_cache is not None
+        assert cached.application.config.cache.ttl_seconds == 5.0

@@ -1,0 +1,185 @@
+"""Read cache × fault tolerance: the interplay the redesign promises.
+
+A cached value is evidence the device worked *then*, not that it works
+now — so a cache hit must neither probe nor heal supervision state: it
+does not reset the circuit breaker, does not improve health, and is
+served even while the breaker is open.  Conversely the fault layer
+must not leak into the cache: stale-policy substitution reads the
+supervisor's last-known value (bypassing the cache entirely), and
+failed reads cache nothing.
+"""
+
+import pytest
+
+from repro.errors import DeliveryError, DeviceUnavailableError
+from repro.faults.breaker import CLOSED, OPEN
+from repro.faults.policy import StalePolicy, SupervisionPolicy
+from repro.runtime.app import Application
+from repro.runtime.cache import CacheConfig
+from repro.runtime.clock import SimulationClock
+from repro.runtime.component import Context
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.device import DeviceDriver
+from repro.sema.analyzer import analyze
+
+DESIGN = """\
+device Sensor {
+    source reading as Float;
+    source flaky as Float;
+}
+
+context Sweep as Integer {
+    when periodic reading from Sensor <1 min>
+    always publish;
+}
+"""
+
+POLICY = SupervisionPolicy(
+    max_retries=0,
+    failure_threshold=1,
+    backoff_base_seconds=600.0,
+    jitter=0.0,
+    quarantine_after=None,
+)
+
+CACHE = CacheConfig(enabled=True, ttl_seconds=10.0)
+
+
+class TwoFacedSensor(DeviceDriver):
+    """``reading`` works until ``down``; ``flaky`` always fails."""
+
+    def __init__(self):
+        self.down = False
+        self.reads = 0
+
+    def read(self, source):
+        if source == "flaky" or self.down:
+            raise DeliveryError(f"'{source}' is dark")
+        self.reads += 1
+        return 1.0
+
+
+class SweepRecorder(Context):
+    def __init__(self):
+        super().__init__()
+        self.payloads = []
+
+    def on_periodic_reading(self, readings, discover):
+        self.payloads.append(
+            [reading.value for reading in readings]
+        )
+        return len(readings)
+
+
+def build(stale=None, cache=CACHE):
+    clock = SimulationClock()
+    app = Application(
+        analyze(DESIGN),
+        RuntimeConfig(
+            clock=clock,
+            supervision=POLICY,
+            stale=stale if stale is not None else StalePolicy("skip"),
+            cache=cache,
+        ),
+    )
+    recorder = SweepRecorder()
+    app.implement("Sweep", recorder)
+    driver = TwoFacedSensor()
+    app.create_device("Sensor", "s-0", driver)
+    app.start()
+    return app, clock, driver, recorder
+
+
+class TestHitsDoNotTouchSupervision:
+    def test_hit_served_while_breaker_open_without_healing_it(self):
+        app, __, driver, __recorder = build()
+        proxy = app.discover.device("s-0")
+        supervisor = app.supervision.supervisor("s-0")
+        assert proxy.reading() == 1.0  # cached now
+        with pytest.raises(DeviceUnavailableError):
+            proxy.flaky()  # one failure trips the threshold-1 breaker
+        assert supervisor.breaker.state is OPEN
+        assert supervisor.health == "degraded"
+        # Fresh cached value is still served: no driver probe, no
+        # CircuitOpenError, and crucially no record_success — the
+        # breaker stays open and health stays degraded.
+        assert proxy.reading() == 1.0
+        assert driver.reads == 1
+        assert supervisor.breaker.state is OPEN
+        assert supervisor.health == "degraded"
+        assert app.read_cache.stats()["hits"] == 1
+
+    def test_expired_entry_behind_open_breaker_is_refused(self):
+        app, clock, driver, __recorder = build()
+        proxy = app.discover.device("s-0")
+        proxy.reading()
+        with pytest.raises(DeviceUnavailableError):
+            proxy.flaky()
+        clock.advance(CACHE.ttl_seconds + 0.1)  # backoff is 600 s
+        with pytest.raises(DeviceUnavailableError):
+            proxy.reading()  # stale entry: the breaker gate is back
+        assert driver.reads == 1
+
+    def test_hard_failed_device_raises_before_the_cache(self):
+        app, __, __driver, __recorder = build()
+        proxy = app.discover.device("s-0")
+        proxy.reading()  # cached and fresh
+        app.registry.get("s-0").fail()
+        with pytest.raises(DeviceUnavailableError):
+            proxy.reading()
+
+
+class TestStaleSubstitutionBypassesCache:
+    def test_stale_serve_comes_from_supervisor_not_cache(self):
+        app, clock, driver, recorder = build(
+            stale=StalePolicy("last_known")
+        )
+        clock.advance(60.0)  # healthy sweep: reads 1.0, supervisor
+        assert recorder.payloads[-1] == [1.0]  # caches last_known
+        driver.down = True
+        hits_before = app.read_cache.stats()["hits"]
+        clock.advance(60.0)  # cache entry (10 s TTL) long expired
+        # The cohort stayed full via the supervisor's last-known value.
+        assert recorder.payloads[-1] == [1.0]
+        assert app.metrics.value("supervision_stale_serves_total") == 1
+        # The substitution did not go through the cache (no hit) and
+        # did not repopulate it (no fresh entry afterwards).
+        assert app.read_cache.stats()["hits"] == hits_before
+        assert app.read_cache.peek("s-0", "reading") is None
+        supervisor = app.supervision.supervisor("s-0")
+        assert supervisor.last_known("reading") is not None
+
+    def test_skip_policy_with_cache_just_shrinks_the_cohort(self):
+        app, clock, driver, recorder = build(stale=StalePolicy("skip"))
+        clock.advance(60.0)
+        driver.down = True
+        clock.advance(60.0)
+        assert recorder.payloads[-1] == []
+
+
+class TestFailuresAreNotCached:
+    def test_failed_read_caches_nothing_and_counts_one_breaker_tick(self):
+        app, __, __driver, __recorder = build()
+        proxy = app.discover.device("s-0")
+        with pytest.raises(DeviceUnavailableError):
+            proxy.flaky()
+        assert len(app.read_cache) == 0
+        assert app.read_cache.peek("s-0", "flaky") is None
+        # The breaker saw exactly the one real failure; a retry after
+        # recovery is a fresh driver call, not a cached error.
+        supervisor = app.supervision.supervisor("s-0")
+        assert supervisor.breaker.state is OPEN
+
+    def test_recovery_reads_through_after_breaker_closes(self):
+        app, clock, driver, __recorder = build()
+        proxy = app.discover.device("s-0")
+        # Trip the breaker, then wait out the backoff; the half-open
+        # probe is a real driver read (never a cached value).
+        with pytest.raises(DeviceUnavailableError):
+            proxy.flaky()
+        supervisor = app.supervision.supervisor("s-0")
+        assert supervisor.breaker.state is OPEN
+        clock.advance(600.0)
+        assert proxy.reading() == 1.0  # successful probe closes it
+        assert supervisor.breaker.state is CLOSED
+        assert driver.reads == 1

@@ -1,0 +1,428 @@
+"""The query-driven read fast path: ReadCache + context memoization.
+
+Covers the cache record itself (TTL freshness on the application
+clock, single-flight coalescing, invalidation indexes, generation) and
+its wiring through the application (bind/unbind, actuation and publish
+invalidation, gather memoization, ``query_context`` memo, metrics and
+stats surfaces).  The off-by-default guarantee — no cache object, one
+driver read per pull — is pinned explicitly.
+"""
+
+import threading
+
+import pytest
+
+from repro.api import ContextNotQueryableError
+from repro.errors import DeliveryError
+from repro.runtime.app import Application
+from repro.runtime.cache import CacheConfig, ReadCache
+from repro.runtime.clock import SimulationClock
+from repro.runtime.component import Context
+from repro.runtime.config import RuntimeConfig
+from repro.runtime.device import CallableDriver
+from repro.sema.analyzer import analyze
+
+DESIGN = """\
+device Sensor {
+    attribute zone as ZoneEnum;
+    source reading as Float;
+    action Nudge;
+}
+
+enumeration ZoneEnum { NORTH, SOUTH }
+
+context Snapshot as Float[] {
+    when required;
+}
+
+context Sweep as Integer {
+    when periodic reading from Sensor <1 min>
+    always publish;
+}
+"""
+
+
+class SnapshotContext(Context):
+    def when_required(self, discover):
+        return [proxy.reading() for proxy in discover.devices("Sensor")]
+
+
+class SweepContext(Context):
+    def __init__(self):
+        super().__init__()
+        self.activations = 0
+
+    def on_periodic_reading(self, readings, discover):
+        self.activations += 1
+        return len(readings)
+
+
+class CountingSource:
+    """A driver source with a call counter and settable value."""
+
+    def __init__(self, value=1.0):
+        self.value = value
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        return self.value
+
+
+def build(cache=None, sensors=2):
+    clock = SimulationClock()
+    config = RuntimeConfig(
+        clock=clock, cache=cache if cache is not None else CacheConfig()
+    )
+    app = Application(analyze(DESIGN), config)
+    app.implement("Snapshot", SnapshotContext())
+    sweep = SweepContext()
+    app.implement("Sweep", sweep)
+    sources = {}
+    for i in range(sensors):
+        source = CountingSource(value=float(i))
+        sources[f"s-{i}"] = source
+        app.create_device(
+            "Sensor",
+            f"s-{i}",
+            CallableDriver(
+                sources={"reading": source}, actions={"Nudge": lambda: None}
+            ),
+            zone="NORTH" if i % 2 == 0 else "SOUTH",
+        )
+    app.start()
+    return app, clock, sources, sweep
+
+
+ON = CacheConfig(enabled=True, ttl_seconds=10.0)
+
+
+class TestCacheConfig:
+    def test_defaults_are_disabled(self):
+        config = CacheConfig()
+        assert not config.enabled
+        assert config.context_ttl == config.ttl_seconds
+
+    def test_context_ttl_override(self):
+        config = CacheConfig(ttl_seconds=5.0, context_ttl_seconds=1.0)
+        assert config.context_ttl == 1.0
+
+    def test_negative_ttl_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(ttl_seconds=-1.0)
+        with pytest.raises(ValueError):
+            CacheConfig(context_ttl_seconds=-0.5)
+
+    def test_runtime_config_validates_type(self):
+        with pytest.raises(TypeError):
+            RuntimeConfig(cache="yes please")
+
+
+class TestFreshness:
+    def test_hit_within_ttl_miss_after(self):
+        app, clock, sources, __ = build(ON)
+        proxy = app.discover.device("s-0")
+        assert proxy.reading() == 0.0
+        assert proxy.reading() == 0.0
+        assert sources["s-0"].calls == 1  # second pull was a hit
+        clock.advance(ON.ttl_seconds + 0.1)
+        assert proxy.reading() == 0.0
+        assert sources["s-0"].calls == 2  # expired entry re-read
+        stats = app.read_cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 2
+
+    def test_zero_ttl_caches_within_one_instant(self):
+        app, clock, sources, __ = build(
+            CacheConfig(enabled=True, ttl_seconds=0.0)
+        )
+        proxy = app.discover.device("s-0")
+        proxy.reading()
+        proxy.reading()  # same simulated instant: still fresh
+        assert sources["s-0"].calls == 1
+        clock.advance(0.001)
+        proxy.reading()
+        assert sources["s-0"].calls == 2
+
+    def test_peek_wraps_value_and_age(self):
+        app, clock, __, __sweep = build(ON)
+        cache = app.read_cache
+        assert cache.peek("s-0", "reading") is None
+        app.discover.device("s-0").reading()
+        clock.advance(2.0)
+        value, age = cache.peek("s-0", "reading")
+        assert value == 0.0
+        assert age == 2.0
+        clock.advance(ON.ttl_seconds)
+        assert cache.peek("s-0", "reading") is None
+
+    def test_off_by_default_is_byte_identical(self):
+        app, __, sources, __sweep = build()
+        assert app.read_cache is None
+        proxy = app.discover.device("s-0")
+        proxy.reading()
+        proxy.reading()
+        assert sources["s-0"].calls == 2  # every read reaches the driver
+        assert app.stats["read_cache"] is None
+
+
+class TestSingleFlight:
+    def test_concurrent_misses_share_one_read(self):
+        clock = SimulationClock()
+        cache = ReadCache(clock, CacheConfig(enabled=True, ttl_seconds=10.0))
+        gate = threading.Event()
+        calls = []
+
+        class FakeInstance:
+            entity_id = "s-0"
+            attributes = {}
+
+        def slow_read():
+            calls.append(1)
+            gate.wait(timeout=5.0)
+            return 42.0
+
+        results = []
+
+        def puller():
+            results.append(
+                cache.get_or_read(FakeInstance(), "reading", slow_read)
+            )
+
+        threads = [threading.Thread(target=puller) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        while cache.stats()["coalesced"] < 3:
+            pass  # wait until the followers parked on the flight
+        gate.set()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert results == [42.0] * 4
+        assert len(calls) == 1
+        stats = cache.stats()
+        assert stats["misses"] == 1
+        assert stats["coalesced"] == 3
+
+    def test_leader_error_propagates_to_followers_and_caches_nothing(self):
+        clock = SimulationClock()
+        cache = ReadCache(clock, CacheConfig(enabled=True, ttl_seconds=10.0))
+        gate = threading.Event()
+
+        class FakeInstance:
+            entity_id = "s-0"
+            attributes = {}
+
+        def failing_read():
+            gate.wait(timeout=5.0)
+            raise DeliveryError("sensor is dark")
+
+        errors = []
+
+        def puller():
+            try:
+                cache.get_or_read(FakeInstance(), "reading", failing_read)
+            except DeliveryError as exc:
+                errors.append(exc)
+
+        threads = [threading.Thread(target=puller) for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        while cache.stats()["coalesced"] < 2:
+            pass
+        gate.set()
+        for thread in threads:
+            thread.join(timeout=5.0)
+        assert len(errors) == 3
+        assert len(cache) == 0  # the failure was not cached
+
+    def test_coalesce_off_counts_every_miss(self):
+        clock = SimulationClock()
+        cache = ReadCache(
+            clock, CacheConfig(enabled=True, ttl_seconds=0.0, coalesce=False)
+        )
+
+        class FakeInstance:
+            entity_id = "s-0"
+            attributes = {}
+
+        clock.advance(1.0)
+        cache.get_or_read(FakeInstance(), "reading", lambda: 1.0)
+        clock.advance(1.0)
+        cache.get_or_read(FakeInstance(), "reading", lambda: 2.0)
+        stats = cache.stats()
+        assert stats["misses"] == 2
+        assert stats["coalesced"] == 0
+
+
+class TestInvalidation:
+    def test_actuation_invalidates_that_devices_sources(self):
+        app, __, sources, __sweep = build(ON)
+        proxies = {
+            entity_id: app.discover.device(entity_id)
+            for entity_id in sources
+        }
+        for proxy in proxies.values():
+            proxy.reading()
+        generation = app.read_cache.generation
+        proxies["s-0"].nudge()
+        assert app.read_cache.generation > generation
+        proxies["s-0"].reading()
+        proxies["s-1"].reading()
+        assert sources["s-0"].calls == 2  # actuated: re-read
+        assert sources["s-1"].calls == 1  # untouched: still cached
+
+    def test_publish_invalidates_publisher_entry(self):
+        app, __, sources, __sweep = build(ON)
+        proxy = app.discover.device("s-0")
+        proxy.reading()
+        instance = app.registry.get("s-0")
+        instance.publish("reading", 9.0)
+        proxy.reading()
+        assert sources["s-0"].calls == 2
+
+    def test_publish_invalidation_can_be_disabled(self):
+        app, __, sources, __sweep = build(
+            CacheConfig(
+                enabled=True, ttl_seconds=10.0, invalidate_on_publish=False
+            )
+        )
+        proxy = app.discover.device("s-0")
+        proxy.reading()
+        app.registry.get("s-0").publish("reading", 9.0)
+        proxy.reading()
+        assert sources["s-0"].calls == 1
+
+    def test_shard_invalidation_drops_the_cohort(self):
+        app, __, sources, __sweep = build(
+            CacheConfig(
+                enabled=True, ttl_seconds=10.0, shard_attribute="zone"
+            ),
+            sensors=4,
+        )
+        for entity_id in sources:
+            app.discover.device(entity_id).reading()
+        # s-0 and s-2 share zone NORTH; a publish from s-0 drops both.
+        app.registry.get("s-0").publish("reading", 9.0)
+        for entity_id in sources:
+            app.discover.device(entity_id).reading()
+        assert sources["s-0"].calls == 2
+        assert sources["s-2"].calls == 2
+        assert sources["s-1"].calls == 1
+        assert sources["s-3"].calls == 1
+
+    def test_unbind_invalidates(self):
+        app, __, sources, __sweep = build(ON)
+        app.discover.device("s-0").reading()
+        assert len(app.read_cache) == 1
+        app.unbind_device("s-0")
+        assert len(app.read_cache) == 0
+
+    def test_invalidate_bumps_generation_even_when_empty(self):
+        cache = ReadCache(SimulationClock(), CacheConfig(enabled=True))
+        generation = cache.generation
+        assert cache.invalidate("ghost") == 0
+        assert cache.generation == generation + 1
+
+    def test_clear(self):
+        app, __, sources, __sweep = build(ON)
+        for entity_id in sources:
+            app.discover.device(entity_id).reading()
+        assert app.read_cache.clear() == len(sources)
+        assert len(app.read_cache) == 0
+
+
+class TestContextMemoization:
+    def test_query_context_memoized_within_ttl(self):
+        app, clock, sources, __sweep = build(ON)
+        first = app.query_context("Snapshot")
+        again = app.query_context("Snapshot")
+        assert first == again
+        assert sources["s-0"].calls == 1
+        assert app.stats["context_cache_hits"]["Snapshot"] == 1
+        clock.advance(ON.context_ttl + 0.1)
+        app.query_context("Snapshot")
+        assert sources["s-0"].calls == 2
+
+    def test_actuation_expires_query_memo(self):
+        app, __, sources, __sweep = build(ON)
+        app.query_context("Snapshot")
+        app.discover.device("s-0").nudge()
+        sources["s-0"].value = 5.0
+        assert app.query_context("Snapshot")[0] == 5.0
+
+    def test_gather_skips_recompute_on_unchanged_payload(self):
+        app, clock, __, sweep = build(ON)
+        clock.advance(60.0)
+        clock.advance(60.0)
+        clock.advance(60.0)
+        assert sweep.activations == 1  # identical payloads collapsed
+        assert app.stats["context_cache_hits"]["Sweep"] == 2
+        metric = app.metrics.value(
+            "context_cache_hits_total", component="Sweep"
+        )
+        assert metric == 2
+
+    def test_gather_reactivates_on_changed_payload(self):
+        app, clock, sources, sweep = build(ON)
+        clock.advance(60.0)
+        sources["s-0"].value = 7.0
+        app.discover.device("s-0").nudge()  # invalidate the read cache
+        clock.advance(60.0)
+        assert sweep.activations == 2
+
+    def test_memoization_can_be_disabled(self):
+        app, clock, __, sweep = build(
+            CacheConfig(
+                enabled=True, ttl_seconds=10.0, memoize_contexts=False
+            )
+        )
+        clock.advance(60.0)
+        clock.advance(60.0)
+        assert sweep.activations == 2
+        assert app.stats["context_cache_hits"] == {}
+
+
+class TestTypedQueryError:
+    def test_non_queryable_context_raises_typed_error(self):
+        app, __, __sources, __sweep = build()
+        with pytest.raises(ContextNotQueryableError) as excinfo:
+            app.query_context("Sweep")
+        assert excinfo.value.context == "Sweep"
+        assert "when required" in str(excinfo.value)
+
+    def test_typed_error_is_a_delivery_error(self):
+        # Existing broad handlers keep catching it.
+        assert issubclass(ContextNotQueryableError, DeliveryError)
+
+    def test_unknown_context_message_unchanged(self):
+        app, __, __sources, __sweep = build()
+        with pytest.raises(DeliveryError, match="unknown context"):
+            app.query_context("Nope")
+
+
+class TestMetrics:
+    def test_cache_metric_families_exported(self):
+        app, __, __sources, __sweep = build(ON)
+        proxy = app.discover.device("s-0")
+        proxy.reading()
+        proxy.reading()
+        assert app.metrics.value("read_cache_hits_total") == 1
+        assert app.metrics.value("read_cache_misses_total") == 1
+        assert app.metrics.value("read_cache_entries") == 1
+        proxy.nudge()
+        assert app.metrics.value("read_cache_invalidations_total") == 1
+        age_histogram = app.metrics.get("read_cache_age_seconds")
+        assert age_histogram is not None
+
+    def test_stats_view_matches_metrics(self):
+        app, __, __sources, __sweep = build(ON)
+        proxy = app.discover.device("s-0")
+        proxy.reading()
+        proxy.reading()
+        stats = app.stats["read_cache"]
+        assert stats["hits"] == app.metrics.value("read_cache_hits_total")
+        assert stats["misses"] == app.metrics.value(
+            "read_cache_misses_total"
+        )
+        assert stats["entries"] == 1
+        assert "generation" in stats

@@ -43,6 +43,22 @@ class TestPrometheusFormat:
         south = text.index('reads_total{zone="south"} 1')
         assert north < south
 
+    def test_rendering_is_deterministic_across_registration_order(self):
+        # Two registries populated in opposite orders must render
+        # byte-identical text: families sort by name, samples by label
+        # set, independent of insertion history.
+        forward = MetricsRegistry()
+        forward.counter("alpha_total", help="A.").inc(1)
+        forward.counter("beta_total", zone="north").inc(2)
+        forward.counter("beta_total", zone="south").inc(3)
+        forward.gauge("gamma", help="G.").set(4)
+        backward = MetricsRegistry()
+        backward.gauge("gamma", help="G.").set(4)
+        backward.counter("beta_total", zone="south").inc(3)
+        backward.counter("beta_total", zone="north").inc(2)
+        backward.counter("alpha_total", help="A.").inc(1)
+        assert render_prometheus(forward) == render_prometheus(backward)
+
     def test_label_value_escaping(self):
         registry = MetricsRegistry()
         registry.counter("odd_total", path='a\\b"c\nd').inc()
