@@ -1,0 +1,265 @@
+"""Perf snapshots: record a benchmark run, diff later runs against it.
+
+The benchmarks in this directory assert *shapes* (who wins, by how
+much at minimum).  This script adds a second, longitudinal gate: the
+first accepted run of the hot-path benchmarks is checked in as a
+snapshot (``BENCH_<nnn>.json`` at the repo root), and CI re-runs the
+scenarios and diffs against it.  Structural facts (round-trip counts,
+plan compile/hit counts) must match exactly — they are deterministic.
+Timing ratios are machine-dependent, so they only gate with a generous
+relative tolerance: a new run may not fall below
+``snapshot * (1 - tolerance)``.  Getting *faster* never fails.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_snapshot.py --write BENCH_006.json
+    PYTHONPATH=src python benchmarks/perf_snapshot.py --check BENCH_006.json
+
+Exit status 0 on a clean diff, 1 with a line per violation otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from bench_batch_read import (
+    FLEET,
+    READ_LATENCY,
+    BatchConfig,
+    SweepConfig,
+    build_app,
+    timed_period,
+)
+from bench_query_cache import (
+    CacheConfig,
+    build_app as build_cache_app,
+    timed_bursts,
+)
+
+from repro.api import Application, Context, RuntimeConfig, analyze
+from repro.runtime.device import CallableDriver
+
+SNAPSHOT_VERSION = 1
+DEFAULT_TOLERANCE = 0.5  # a run may lose half the recorded speedup
+TEN_K_FLEET = {"A22": 3400, "B16": 3300, "D6": 3300}
+PLAN_PUBLISHES = 200
+
+PLAN_DESIGN = analyze(
+    """
+    device MotionSensor { source presence as Boolean; }
+
+    context Watcher as Integer {
+        when provided presence from MotionSensor
+        always publish;
+    }
+    """
+)
+
+
+class _Watcher(Context):
+    def on_presence_from_motion_sensor(self, event, discover):
+        return 1
+
+
+def measure_batch_read() -> dict:
+    """The 80-sensor gateway scenario: wall-time speedups."""
+    timings = {}
+    trips = {}
+    payloads = {}
+    modes = (
+        ("scalar", BatchConfig(), None),
+        ("batch_serial", BatchConfig(enabled=True), None),
+        (
+            "batch_threaded",
+            BatchConfig(enabled=True),
+            SweepConfig(mode="threaded", workers=4),
+        ),
+    )
+    for label, batch, sweep in modes:
+        app, free, gateway = build_app(batch, slow=True, sweep=sweep)
+        timings[label] = timed_period(app)
+        trips[label] = gateway.round_trips
+        payloads[label] = free.deliveries
+    if payloads["batch_serial"] != payloads["scalar"]:
+        raise AssertionError("batch serial payloads diverged from scalar")
+    if payloads["batch_threaded"] != payloads["scalar"]:
+        raise AssertionError("batch threaded payloads diverged from scalar")
+    return {
+        "fleet": sum(FLEET.values()),
+        "read_latency_s": READ_LATENCY,
+        "scalar_round_trips": trips["scalar"],
+        "batch_round_trips": trips["batch_serial"],
+        "speedup_serial": round(
+            timings["scalar"] / timings["batch_serial"], 2
+        ),
+        "speedup_threaded": round(
+            timings["scalar"] / timings["batch_threaded"], 2
+        ),
+    }
+
+
+def measure_scale_10k() -> dict:
+    """10k devices on a zero-latency gateway: modeled round-trip
+    reduction (deterministic) — the large-scale acceptance number."""
+    trips = {}
+    payloads = {}
+    for label, batch in (
+        ("scalar", BatchConfig()),
+        ("batch", BatchConfig(enabled=True)),
+    ):
+        app, free, gateway = build_app(
+            batch, slow=False, fleet=TEN_K_FLEET
+        )
+        timed_period(app)
+        trips[label] = gateway.round_trips
+        payloads[label] = free.deliveries
+    if payloads["batch"] != payloads["scalar"]:
+        raise AssertionError("10k batch payloads diverged from scalar")
+    return {
+        "devices": sum(TEN_K_FLEET.values()),
+        "scalar_round_trips": trips["scalar"],
+        "batch_round_trips": trips["batch"],
+        "modeled_speedup": round(trips["scalar"] / trips["batch"], 1),
+    }
+
+
+def measure_delivery_plans() -> dict:
+    """Compiled dispatch reuse over an event-driven publish stream."""
+    app = Application(
+        PLAN_DESIGN, RuntimeConfig(batch=BatchConfig(enabled=True))
+    )
+    app.implement("Watcher", _Watcher())
+    instance = app.create_device(
+        "MotionSensor",
+        "m-1",
+        CallableDriver(sources={"presence": lambda: True}),
+    )
+    app.start()
+    for __ in range(PLAN_PUBLISHES):
+        instance.publish("presence", True)
+    stats = app.planner.stats()
+    return {
+        "publishes": PLAN_PUBLISHES,
+        "compiles": stats["compiles"],
+        "hits": stats["hits"],
+        "invalidations": stats["invalidations"],
+    }
+
+
+def measure_query_cache() -> dict:
+    """The PR-5 read-cache scenario, kept in the trajectory."""
+    uncached_app, __, __states = build_cache_app(CacheConfig(), slow=True)
+    uncached_s, uncached_payload = timed_bursts(uncached_app)
+    cached_app, __, __states = build_cache_app(
+        CacheConfig(enabled=True, ttl_seconds=60.0), slow=True
+    )
+    cached_s, cached_payload = timed_bursts(cached_app)
+    if cached_payload != uncached_payload:
+        raise AssertionError("cached payloads diverged from uncached")
+    return {"speedup": round(uncached_s / cached_s, 2)}
+
+
+def measure() -> dict:
+    return {
+        "version": SNAPSHOT_VERSION,
+        "batch_read": measure_batch_read(),
+        "scale_10k": measure_scale_10k(),
+        "delivery_plans": measure_delivery_plans(),
+        "query_cache": measure_query_cache(),
+    }
+
+
+# Per-section gate kinds: exact fields are deterministic structure,
+# ratio fields gate with the relative tolerance.
+EXACT = {
+    "batch_read": ("fleet", "scalar_round_trips", "batch_round_trips"),
+    "scale_10k": (
+        "devices",
+        "scalar_round_trips",
+        "batch_round_trips",
+        "modeled_speedup",
+    ),
+    "delivery_plans": ("publishes", "compiles", "hits", "invalidations"),
+}
+RATIOS = {
+    "batch_read": ("speedup_serial", "speedup_threaded"),
+    "query_cache": ("speedup",),
+}
+
+
+def diff(snapshot: dict, current: dict, tolerance: float) -> list:
+    """Violations of ``current`` against ``snapshot`` (empty = clean)."""
+    problems = []
+    for section, keys in EXACT.items():
+        recorded = snapshot.get(section, {})
+        observed = current.get(section, {})
+        for key in keys:
+            if observed.get(key) != recorded.get(key):
+                problems.append(
+                    f"{section}.{key}: snapshot {recorded.get(key)!r}, "
+                    f"got {observed.get(key)!r} (must match exactly)"
+                )
+    for section, keys in RATIOS.items():
+        recorded = snapshot.get(section, {})
+        observed = current.get(section, {})
+        for key in keys:
+            was = recorded.get(key)
+            now = observed.get(key)
+            if was is None or now is None:
+                problems.append(
+                    f"{section}.{key}: missing from snapshot or run"
+                )
+                continue
+            floor = was * (1.0 - tolerance)
+            if now < floor:
+                problems.append(
+                    f"{section}.{key}: {now:.2f}x fell below "
+                    f"{floor:.2f}x (snapshot {was:.2f}x, "
+                    f"tolerance {tolerance:.0%})"
+                )
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument(
+        "--write", metavar="PATH", help="run and record a snapshot"
+    )
+    group.add_argument(
+        "--check", metavar="PATH", help="run and diff against a snapshot"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed relative speedup loss (default %(default)s)",
+    )
+    args = parser.parse_args(argv)
+
+    current = measure()
+    if args.write:
+        with open(args.write, "w") as handle:
+            json.dump(current, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"snapshot written to {args.write}:")
+        print(json.dumps(current, indent=2, sort_keys=True))
+        return 0
+
+    with open(args.check) as handle:
+        snapshot = json.load(handle)
+    print(f"current run: {json.dumps(current, sort_keys=True)}")
+    print(f"snapshot:    {json.dumps(snapshot, sort_keys=True)}")
+    problems = diff(snapshot, current, args.tolerance)
+    if problems:
+        for problem in problems:
+            print(f"REGRESSION: {problem}", file=sys.stderr)
+        return 1
+    print("snapshot diff clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,7 +20,8 @@ The surface, by concern:
 
 * **Design analysis** — :func:`analyze`, :class:`AnalyzedSpec`;
 * **Assembly & configuration** — :class:`Application`,
-  :class:`RuntimeConfig`, :class:`SweepConfig`, :class:`CacheConfig`;
+  :class:`RuntimeConfig`, :class:`SweepConfig`, :class:`CacheConfig`,
+  :class:`BatchConfig`;
 * **Time** — :class:`Clock`, :class:`SimulationClock`,
   :class:`WallClock`;
 * **Components** — :class:`Context`, :class:`Controller`,
@@ -36,6 +37,9 @@ The surface, by concern:
 * **Query-driven caching** — :class:`ReadCache` (usually reached via
   ``CacheConfig`` on the runtime config) and the typed
   :class:`ContextNotQueryableError`;
+* **Batch hot path** — :class:`BatchConfig` (columnar driver reads and
+  precompiled delivery plans, usually reached via ``batch=`` on the
+  runtime config) and :class:`DeliveryPlanner`;
 * **Observability** — :class:`MetricsRegistry`, :class:`Tracer`;
 * **Deployment descriptors** — :class:`DeploymentDescriptor`,
   :class:`DriverCatalog`, :func:`load_descriptor`,
@@ -72,6 +76,7 @@ from repro.runtime.descriptor import (
     load_descriptor,
 )
 from repro.runtime.device import CallableDriver, DeviceDriver, DeviceInstance
+from repro.runtime.plan import BatchConfig, DeliveryPlanner
 from repro.runtime.sweep import SweepConfig, SweepEngine
 from repro.runtime.tracing import Tracer
 from repro.sema.analyzer import AnalyzedSpec, analyze
@@ -80,6 +85,7 @@ from repro.telemetry import MetricsRegistry
 __all__ = [
     "AnalyzedSpec",
     "Application",
+    "BatchConfig",
     "CacheConfig",
     "CallableDriver",
     "ChaosInjector",
@@ -88,6 +94,7 @@ __all__ = [
     "ContextEvent",
     "ContextNotQueryableError",
     "Controller",
+    "DeliveryPlanner",
     "DeploymentDescriptor",
     "DeviceDriver",
     "DeviceInstance",

@@ -88,6 +88,7 @@ class _FrameworkGenerator:
         e.blank()
         e.line("from repro.api import (")
         e.line("    Application,")
+        e.line("    BatchConfig,")
         e.line("    CacheConfig,")
         e.line("    Context,")
         e.line("    Controller,")
@@ -577,7 +578,7 @@ class _FrameworkGenerator:
             e.blank()
             e.line("def __init__(self, clock=None, mapreduce_executor=None,")
             e.line("             streaming_windows=True, sweep=None,")
-            e.line("             cache=None, config=None):")
+            e.line("             cache=None, batch=None, config=None):")
             with e.indented():
                 e.line("self.design = DESIGN")
                 e.line("if config is None:")
@@ -590,6 +591,8 @@ class _FrameworkGenerator:
                        " else SweepConfig(),")
                 e.line("        cache=cache if cache is not None"
                        " else CacheConfig(),")
+                e.line("        batch=batch if batch is not None"
+                       " else BatchConfig(),")
                 e.line("    )")
                 e.line("self.application = Application(DESIGN, config)")
             e.blank()

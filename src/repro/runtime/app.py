@@ -58,16 +58,22 @@ from repro.runtime.component import (
     Publishable as PublishableWrapper,
     SourceEvent,
 )
+from repro.faults.policy import HEALTHY
 from repro.runtime.device import DeviceDriver, DeviceInstance
 from repro.runtime.discovery import Discover
-from repro.runtime.grouping import WindowAccumulator, group_readings
+from repro.runtime.grouping import (
+    WindowAccumulator,
+    group_readings,
+    group_readings_planned,
+)
+from repro.runtime.plan import DeliveryPlanner
 from repro.runtime.proxies import make_proxy
 from repro.runtime.qos import QoSMonitor
 from repro.runtime.registry import EntityRegistry
 from repro.runtime.sweep import SweepEngine
 from repro.sema.analyzer import AnalyzedSpec
 from repro.telemetry import MetricsRegistry
-from repro.typesys.values import check_value
+from repro.typesys.values import check_value, coerce_value
 
 # Sentinel distinguishing "isolated component failed" from a None result.
 _FAILED = object()
@@ -184,6 +190,29 @@ class Application:
             if config.cache.enabled
             else None
         )
+        # Batch hot path (repro.runtime.plan): columnar driver reads
+        # during sweeps and precompiled publish/grouping dispatch.  All
+        # three handles are inert by default — with
+        # ``BatchConfig(enabled=False)`` the scalar read path and the
+        # per-publish topic walk below stay byte-identical.
+        self._columnar_reads = (
+            config.batch.enabled and config.batch.columnar_reads
+        )
+        self._columnar_windows = (
+            config.batch.enabled and config.batch.columnar_windows
+        )
+        self.planner: Optional[DeliveryPlanner] = (
+            DeliveryPlanner(
+                design, self.bus, self.registry, metrics=self.metrics
+            )
+            if config.batch.enabled and config.batch.compile_plans
+            else None
+        )
+        # (device type, source) -> ancestor-walk topic tuple.  The walk
+        # is a pure function of the immutable analyzed design, so the
+        # memo never needs invalidating; it serves the plans-off publish
+        # path (plans flatten further, down to the subscriber list).
+        self._topic_memo: Dict[Any, tuple] = {}
         self._memoize_contexts = (
             self.read_cache is not None and config.cache.memoize_contexts
         )
@@ -275,6 +304,10 @@ class Application:
         self.registry.register(instance)
         instance.attach(self._on_device_publish)
         instance.attach_metrics(self.metrics)
+        # Memoize the publish topic walk for every source of this type
+        # now, so the first publish is as cheap as the thousandth.
+        for source in instance.info.sources:
+            self._topics_for(instance.info, source)
         supervisor = self.supervision.supervise(instance)
         if supervisor is not None:
             instance.attach_supervisor(supervisor)
@@ -386,6 +419,9 @@ class Application:
                 self.read_cache.stats()
                 if self.read_cache is not None
                 else None
+            ),
+            "plan": (
+                self.planner.stats() if self.planner is not None else None
             ),
             "context_cache_hits": dict(self._context_cache_hits),
             "context_activations": dict(self._context_activations),
@@ -599,6 +635,7 @@ class Application:
                     interaction.period.seconds,
                     group.window.seconds,
                     implementation,
+                    columnar=self._columnar_windows,
                 )
             else:
                 accumulator = WindowAccumulator.for_design(
@@ -677,10 +714,35 @@ class Application:
         )
         # Publish under the instance's type and every ancestor that
         # declares the source, so supertype subscriptions see subtype
-        # instances (taxonomy reuse, Section III).
-        for type_name in (instance.info.name, *instance.info.ancestors):
-            if source in self.design.devices[type_name].sources:
-                self.bus.publish(("source", type_name, source), event)
+        # instances (taxonomy reuse, Section III).  With delivery plans
+        # compiled, the whole walk *and* the per-topic subscriber
+        # resolution collapse into one flat dispatch table; without
+        # them, the memoized topic tuple still spares the per-publish
+        # ancestor re-walk.
+        planner = self.planner
+        if planner is not None:
+            plan = planner.source_plan(instance.info.name, source)
+            self.bus.dispatch_compiled(
+                plan.targets, len(plan.topics), event
+            )
+            return
+        for topic in self._topics_for(instance.info, source):
+            self.bus.publish(topic, event)
+
+    def _topics_for(self, info, source: str) -> tuple:
+        """The ``(type, source)`` publish topics, memoized per device
+        type (the walk is fixed by the immutable analyzed design)."""
+        key = (info.name, source)
+        topics = self._topic_memo.get(key)
+        if topics is None:
+            devices = self.design.devices
+            topics = tuple(
+                ("source", type_name, source)
+                for type_name in (info.name, *info.ancestors)
+                if source in devices[type_name].sources
+            )
+            self._topic_memo[key] = topics
+        return topics
 
     def on_component_error(
         self, listener: Callable[[str, Exception], None]
@@ -768,6 +830,15 @@ class Application:
             functools.partial(
                 self._gather_read, interaction.source, lossy_reads
             ),
+            read_column=(
+                functools.partial(
+                    self._gather_read_column,
+                    interaction.source,
+                    lossy_reads,
+                )
+                if self._columnar_reads
+                else None
+            ),
         )
         readings = []
         for instance, (kind, value) in outcomes:
@@ -792,7 +863,16 @@ class Application:
                 for instance, value in readings
             ]
         else:
-            grouped = group_readings(readings, group.attribute)
+            if self.planner is not None:
+                grouped = group_readings_planned(
+                    readings,
+                    self.planner.membership(
+                        interaction.device, group.attribute
+                    ),
+                    group.attribute,
+                )
+            else:
+                grouped = group_readings(readings, group.attribute)
             if group.uses_mapreduce:
                 payload = self.mapreduce.run(implementation, grouped)
             else:
@@ -832,6 +912,104 @@ class Application:
             return (_READ_OK, instance.read(source))
         except DeliveryError as exc:
             return (_READ_FAILED, exc)
+
+    def _gather_read_column(self, source, lossy, instances):
+        """Columnar shard read: cohorts, batch reads, scalar demotion.
+
+        Produces the same ``(outcome, payload)`` column the scalar path
+        would, one entry per instance in order.  Eligible entities —
+        healthy, not failed, not cache-fresh, with a driver that shares
+        a :meth:`~repro.runtime.device.DeviceDriver.batch_key` cohort of
+        at least ``min_column`` — are read in one ``read_batch`` call
+        per cohort; everything else **demotes to the scalar path**,
+        where per-entity retries, breaker accounting and stale handling
+        behave exactly as in an unbatched sweep.  A cohort whose batch
+        read fails (or returns a mis-shaped column) demotes whole.
+        """
+        results: List[Any] = [None] * len(instances)
+        cohorts: Dict[int, List[int]] = {}
+        scalar: List[int] = []
+        cache = self.read_cache
+        for position, instance in enumerate(instances):
+            if lossy and not self.network.sample_read_ok():
+                results[position] = (_READ_DROPPED, None)
+                continue
+            if instance.failed:
+                scalar.append(position)
+                continue
+            supervisor = instance.supervisor
+            if supervisor is not None and supervisor.health != HEALTHY:
+                # Degraded/quarantined entities keep their breaker
+                # probes and half-open recovery; a batch read would
+                # bypass both.
+                scalar.append(position)
+                continue
+            if cache is not None:
+                hit = cache.lookup(instance.entity_id, source)
+                if hit is not None:
+                    results[position] = (_READ_OK, hit[0])
+                    continue
+            key = instance.driver.batch_key(source)
+            if key is None:
+                scalar.append(position)
+                continue
+            cohorts.setdefault(id(key), []).append(position)
+        min_column = self.config.batch.min_column
+        for positions in cohorts.values():
+            if len(positions) < min_column:
+                scalar.extend(positions)
+                continue
+            batch = [(p, instances[p]) for p in positions]
+            if not self._read_batch_cohort(source, batch, results):
+                scalar.extend(positions)
+        if scalar:
+            self.sweeper.note_batch_demoted(len(scalar))
+            scalar.sort()
+            for position in scalar:
+                results[position] = self._gather_read(
+                    source, False, instances[position]
+                )
+        return results
+
+    def _read_batch_cohort(self, source, batch, results) -> bool:
+        """One driver-level batch read over a cohort.
+
+        Fills ``results`` and returns True on success; returns False —
+        leaving ``results`` untouched for these positions — when the
+        cohort must be demoted to the scalar path (driver declined,
+        read failed, or the column does not align with the cohort).
+        """
+        instances = [instance for __, instance in batch]
+        entity_ids = [instance.entity_id for instance in instances]
+        driver = instances[0].driver
+        try:
+            column = driver.read_batch(entity_ids, source)
+        except DeliveryError:
+            return False
+        if column is NotImplemented or column is None:
+            return False
+        try:
+            values = list(column)
+        except TypeError:
+            return False
+        if len(values) != len(batch):
+            return False
+        self.sweeper.note_batch_read(len(values))
+        cache = self.read_cache
+        for (position, instance), raw in zip(batch, values):
+            source_info = instance.info.source(source)
+            value = coerce_value(source_info.dia_type, raw)
+            supervisor = instance.supervisor
+            if supervisor is not None:
+                # Keeps last-known stale values fresh and the breaker's
+                # success accounting truthful, exactly as a scalar read.
+                supervisor.record_success(source, value)
+            if instance._m_reads is not None:
+                instance._m_reads.inc()
+            if cache is not None:
+                cache.store(instance, source, value)
+            results[position] = (_READ_OK, value)
+        return True
 
     def _stale_reading(self, instance, source):
         """Last-known cached reading for a dark source, or ``None``.

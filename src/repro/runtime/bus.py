@@ -102,8 +102,19 @@ class EventBus(Instrumented):
         self._delivered = 0
         self._published = 0
         self._snapshot_rebuilds = 0
+        self._epoch = 0
         if metrics is not None:
             self.attach_metrics(metrics)
+
+    @property
+    def epoch(self) -> int:
+        """Monotonic subscription-change counter.
+
+        Bumped on every subscribe and unsubscribe; consumers caching
+        values derived from the subscription set (the delivery planner's
+        compiled dispatch tables) capture the epoch at compile time and
+        treat any later change as expiry."""
+        return self._epoch
 
     def _topic_count(self) -> int:
         return len(self._topics)
@@ -123,6 +134,7 @@ class EventBus(Instrumented):
         )
         self._topics.setdefault(topic, []).append(subscription)
         self._snapshots.pop(topic, None)
+        self._epoch += 1
         return subscription
 
     def publish(self, topic: Hashable, payload: Any) -> int:
@@ -163,6 +175,39 @@ class EventBus(Instrumented):
 
     def _invalidate(self, topic: Hashable) -> None:
         self._snapshots.pop(topic, None)
+        self._epoch += 1
+
+    def snapshot(self, topic: Hashable) -> Tuple[_Subscription, ...]:
+        """The topic's current active-subscription snapshot (cached).
+
+        This is the same tuple :meth:`publish` iterates, exposed so the
+        delivery planner can flatten several topics' subscribers into
+        one compiled dispatch table."""
+        snapshot = self._snapshots.get(topic)
+        if snapshot is None:
+            snapshot = self._rebuild_snapshot(topic)
+        return snapshot
+
+    def dispatch_compiled(
+        self, targets, topic_count: int, payload: Any
+    ) -> int:
+        """Deliver ``payload`` through a precompiled dispatch table.
+
+        ``targets`` is a flat sequence of subscriptions (what a plan
+        stores) standing in for ``topic_count`` individual topic
+        publishes; counters advance exactly as if each topic had been
+        published separately, so bus stats stay truthful whichever path
+        delivered the event."""
+        self._published += topic_count
+        delivered = 0
+        for subscription in targets:
+            # Same stale-snapshot rule as publish(): a subscription
+            # cancelled mid-delivery must not fire.
+            if subscription.active:
+                subscription.callback(payload)
+                delivered += 1
+        self._delivered += delivered
+        return delivered
 
     def subscriber_count(self, topic: Hashable) -> int:
         return sum(1 for s in self._topics.get(topic, ()) if s.active)

@@ -316,6 +316,39 @@ class ReadCache(Instrumented):
                 return None
             return entry[0], age
 
+    def lookup(self, entity_id: str, source: str):
+        """A *counting* peek: like :meth:`peek`, but a fresh entry is
+        recorded as a hit (with its age observed) exactly as
+        :meth:`get_or_read` would record it.
+
+        The columnar gather path uses this to pull cache-fresh entities
+        out of a batch cohort before the batch read — those reads are
+        served by the cache, so they must count as cache hits.
+        """
+        with self._lock:
+            entry = self._entries.get((entity_id, source))
+            if entry is None:
+                return None
+            age = self.clock.now() - entry[1]
+            if age > self.config.ttl_seconds:
+                return None
+            self._hits += 1
+            if self._m_age is not None:
+                self._m_age.observe(age)
+            return entry[0], age
+
+    def store(self, instance, source: str, value: Any) -> None:
+        """Populate the cache from a read that bypassed
+        :meth:`get_or_read` — one slot of a driver-level batch column.
+
+        Counts as a miss (the driver was genuinely consulted), so
+        hit/miss arithmetic stays comparable between scalar and batch
+        runs.
+        """
+        with self._lock:
+            self._misses += 1
+        self._store((instance.entity_id, source), value, instance)
+
     def _store(self, key: _CacheKey, value: Any, instance) -> None:
         shard = None
         attr = self.config.shard_attribute

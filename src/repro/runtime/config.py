@@ -29,13 +29,14 @@ from typing import Any, Dict, Mapping, Optional, TYPE_CHECKING
 
 from repro.faults.policy import StalePolicy, SupervisionPolicy
 from repro.runtime.cache import CacheConfig
+from repro.runtime.plan import BatchConfig
 from repro.runtime.sweep import SweepConfig
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, hints only
     from repro.runtime.clock import Clock
     from repro.telemetry import MetricsRegistry
 
-__all__ = ["CacheConfig", "RuntimeConfig", "SweepConfig"]
+__all__ = ["BatchConfig", "CacheConfig", "RuntimeConfig", "SweepConfig"]
 
 ERROR_POLICIES = ("raise", "isolate")
 
@@ -76,6 +77,11 @@ class RuntimeConfig:
       single-flight coalescing, actuation/publish invalidation and
       context memoization); disabled by default, which keeps the read
       path byte-identical to the uncached runtime.
+    * ``batch`` — :class:`~repro.runtime.plan.BatchConfig` governing
+      the sweep/publish hot path (driver-level columnar batch reads and
+      precompiled delivery plans); disabled by default, which keeps the
+      scalar read path and per-publish topic resolution byte-identical
+      to the unbatched runtime.
     """
 
     clock: Optional["Clock"] = None
@@ -94,6 +100,7 @@ class RuntimeConfig:
     stale: Optional[StalePolicy] = None
     sweep: SweepConfig = SweepConfig()
     cache: CacheConfig = CacheConfig()
+    batch: BatchConfig = BatchConfig()
 
     def __post_init__(self):
         if self.error_policy not in ERROR_POLICIES:
@@ -104,6 +111,8 @@ class RuntimeConfig:
             raise TypeError("sweep must be a SweepConfig")
         if not isinstance(self.cache, CacheConfig):
             raise TypeError("cache must be a CacheConfig")
+        if not isinstance(self.batch, BatchConfig):
+            raise TypeError("batch must be a BatchConfig")
         if self.stale is not None and not isinstance(self.stale, StalePolicy):
             raise TypeError("stale must be a StalePolicy or None")
         if self.supervision is not None and not isinstance(
@@ -153,7 +162,13 @@ class RuntimeConfig:
                 summary[f.name] = value
             elif isinstance(
                 value,
-                (SupervisionPolicy, StalePolicy, SweepConfig, CacheConfig),
+                (
+                    SupervisionPolicy,
+                    StalePolicy,
+                    SweepConfig,
+                    CacheConfig,
+                    BatchConfig,
+                ),
             ):
                 summary[f.name] = repr(value)
             elif isinstance(value, Mapping):

@@ -71,6 +71,37 @@ class DeviceDriver:
             **{camel_to_snake(name): value for name, value in params.items()}
         )
 
+    def read_batch(self, entity_ids, source: str):
+        """Columnar batch read: one column of values for many entities.
+
+        Drivers backed by a shared substrate (a vectorized simulation
+        model, a fleet gateway that answers one RPC for a whole shard)
+        override this to return a sequence of raw values **aligned
+        with** ``entity_ids``.  The sweep engine then issues one batch
+        read per (shard, source) cohort instead of one Python
+        :meth:`read` per device.
+
+        The default returns :data:`NotImplemented` — "this driver only
+        reads one entity at a time" — which keeps every existing driver
+        on the scalar path.  Returning :data:`NotImplemented`, ``None``
+        or a mis-sized column at runtime demotes the cohort to scalar
+        reads with full per-entity supervision accounting.
+        """
+        return NotImplemented
+
+    def batch_key(self, source: str):
+        """Cohort identity for columnar reads.
+
+        Instances whose drivers return the *same object* (identity
+        comparison) may be coalesced into one :meth:`read_batch` call —
+        typically the shared substrate behind the per-instance drivers.
+        ``None`` (the default for drivers that do not override
+        :meth:`read_batch`) opts the instance out of batching entirely.
+        """
+        if type(self).read_batch is not DeviceDriver.read_batch:
+            return self
+        return None
+
     def push(self, source: str, value: Any, index: Any = None) -> None:
         """Event-driven delivery: publish a reading through the instance."""
         if self.instance is None:
@@ -221,6 +252,10 @@ class DeviceInstance:
     def detach(self) -> None:
         self._publish_hook = None
         self._cache = None
+        # Drop the memoized device proxy (repro.runtime.proxies) so a
+        # later rebind builds a fresh one instead of resurrecting the
+        # detached wiring.
+        self.__dict__.pop("_cached_proxy", None)
 
     # -- the three delivery modes --------------------------------------------
 

@@ -234,4 +234,7 @@ def make_proxy(instance: DeviceInstance) -> DeviceProxy:
 def make_proxy_set(
     device_type: str, instances: List[DeviceInstance]
 ) -> ProxySet:
-    return ProxySet(device_type, [DeviceProxy(i) for i in instances])
+    """Proxy set over ``instances``, reusing each instance's cached
+    proxy so repeated discovery over a large fleet allocates no new
+    facet tables."""
+    return ProxySet(device_type, [make_proxy(i) for i in instances])

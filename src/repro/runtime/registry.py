@@ -92,8 +92,18 @@ class EntityRegistry(Instrumented):
         self._index_hits = 0
         self._registrations = 0
         self._unregistrations = 0
+        self._version = 0
         if metrics is not None:
             self.attach_metrics(metrics)
+
+    @property
+    def version(self) -> int:
+        """Monotonic binding-change counter (bumped on every register
+        and unregister).  Consumers caching values derived from the
+        bound population — the delivery planner's grouping membership
+        tables — capture the version at compile time and treat any
+        later binding change as expiry."""
+        return self._version
 
     def attach_health(self, lookup: HealthLookup) -> None:
         """Give discovery a health view (entity_id -> health state).
@@ -122,6 +132,7 @@ class EntityRegistry(Instrumented):
                 if key is not None:
                     self._by_attribute.setdefault(key, []).append(instance)
         self._registrations += 1
+        self._version += 1
         for listener in list(self._listeners):
             listener("register", instance)
         return instance
@@ -138,6 +149,7 @@ class EntityRegistry(Instrumented):
                 if key is not None:
                     self._by_attribute[key].remove(instance)
         self._unregistrations += 1
+        self._version += 1
         for listener in list(self._listeners):
             listener("unregister", instance)
         return instance

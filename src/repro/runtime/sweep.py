@@ -41,13 +41,15 @@ protocol: cumulative sweep/batch counters are pull-time callbacks, and
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.runtime.clock import SimulationClock
 from repro.runtime.device import DeviceInstance
+from repro.runtime.plan import BATCH_COLUMN_BUCKETS
 from repro.telemetry.instrument import Instrumented, MetricSpec
 
 __all__ = ["SweepConfig", "SweepEngine"]
@@ -143,6 +145,26 @@ class SweepEngine(Instrumented):
             stats_key="reads",
             help="Per-instance reads executed through the engine.",
         ),
+        MetricSpec(
+            "sweep_columnar_total",
+            "_columnar_sweeps",
+            stats_key="columnar_sweeps",
+            help="Sweeps that took the columnar (batch-read) path.",
+        ),
+        MetricSpec(
+            "sweep_batch_reads_total",
+            "_batch_reads",
+            stats_key="batch_reads",
+            help="Driver-level read_batch calls issued during sweeps.",
+        ),
+        MetricSpec(
+            "sweep_batch_demoted_total",
+            "_batch_demoted",
+            stats_key="batch_demoted",
+            help="Reads demoted from a batch column to the scalar path "
+            "(no driver support, unhealthy entity, cohort too small, or "
+            "a failed batch read).",
+        ),
     )
 
     def __init__(
@@ -160,11 +182,18 @@ class SweepEngine(Instrumented):
         self._threaded_sweeps = 0
         self._batches = 0
         self._reads = 0
+        self._columnar_sweeps = 0
+        self._batch_reads = 0
+        self._batch_demoted = 0
         self._shard_reads: Dict[str, int] = {}
         self._pool: Optional[ThreadPoolExecutor] = None
         self._metrics = None
         self._m_duration = None
         self._m_in_flight = None
+        self._m_column_size = None
+        # note_batch_read / note_batch_demoted are called from pool
+        # workers during threaded columnar sweeps.
+        self._note_lock = threading.Lock()
         if metrics is not None:
             self.attach_metrics(metrics)
 
@@ -186,8 +215,31 @@ class SweepEngine(Instrumented):
             help="Pool batches submitted and not yet merged.",
             **labels,
         )
+        self._m_column_size = metrics.histogram(
+            "sweep_batch_column_size",
+            help="Entities per driver-level read_batch column.",
+            buckets=BATCH_COLUMN_BUCKETS,
+            **labels,
+        )
         for shard in self._shard_reads:
             self._register_shard_metric(shard)
+
+    def note_batch_read(self, size: int) -> None:
+        """Record one driver-level batch read of ``size`` entities.
+
+        Called by the gather path (possibly from a pool worker) each
+        time it issues a read_batch, so batch counts and the column-size
+        histogram stay truthful whoever drives the column."""
+        with self._note_lock:
+            self._batch_reads += 1
+            if self._m_column_size is not None:
+                self._m_column_size.observe(size)
+
+    def note_batch_demoted(self, count: int = 1) -> None:
+        """Record ``count`` reads that fell off a batch column onto the
+        scalar path."""
+        with self._note_lock:
+            self._batch_demoted += count
 
     def _register_shard_metric(self, shard: str) -> None:
         self._metrics.callback(
@@ -235,6 +287,9 @@ class SweepEngine(Instrumented):
         device_type: str,
         read_one: Callable[[DeviceInstance], Any],
         include_quarantined: bool = True,
+        read_column: Optional[
+            Callable[[Sequence[DeviceInstance]], List[Any]]
+        ] = None,
     ) -> List[Tuple[DeviceInstance, Any]]:
         """Run ``read_one`` over every bound instance of ``device_type``.
 
@@ -243,6 +298,14 @@ class SweepEngine(Instrumented):
         windowing see the same stream either way.  Exceptions raised by
         ``read_one`` propagate (callers wanting per-read containment
         catch inside the callable, as ``Application._gather`` does).
+
+        With ``read_column`` (the columnar batch-read path), the engine
+        hands each shard's instances to it in one call and expects a
+        result column aligned with the input; one pool task per shard
+        replaces one task per ``batch_size`` reads.  The caller owns
+        cohort formation, eligibility and scalar demotion inside
+        ``read_column`` — the engine only owns fan-out and the ordered
+        merge, exactly as on the scalar path.
         """
         started = time.perf_counter()
         self._sweeps += 1
@@ -254,7 +317,15 @@ class SweepEngine(Instrumented):
         for shard_key, members in shards:
             self._reads += len(members)
             self._count_shard(shard_key, len(members))
-        if self.mode_for_clock() == "threaded":
+        if read_column is not None:
+            self._columnar_sweeps += 1
+            if self.mode_for_clock() == "threaded":
+                self._threaded_sweeps += 1
+                results = self._sweep_threaded_columnar(shards, read_column)
+            else:
+                self._serial_sweeps += 1
+                results = self._sweep_serial_columnar(shards, read_column)
+        elif self.mode_for_clock() == "threaded":
             self._threaded_sweeps += 1
             results = self._sweep_threaded(shards, read_one)
         else:
@@ -322,6 +393,60 @@ class SweepEngine(Instrumented):
         return [
             (index, instance, read_one(instance))
             for index, instance in batch
+        ]
+
+    def _sweep_serial_columnar(self, shards, read_column):
+        """One read_column call per shard, merged by registry position."""
+        total = sum(len(members) for __, members in shards)
+        slots: List[Any] = [None] * total
+        instances: List[Optional[DeviceInstance]] = [None] * total
+        for __, members in shards:
+            column = read_column([instance for __, instance in members])
+            for (index, instance), value in zip(members, column):
+                slots[index] = value
+                instances[index] = instance
+        return list(zip(instances, slots))
+
+    def _sweep_threaded_columnar(self, shards, read_column):
+        """One pool task per shard; the batch read spans the shard, so
+        finer-grained tasks would just split the column for no gain."""
+        pool = self._ensure_pool()
+        total = sum(len(members) for __, members in shards)
+        slots: List[Any] = [None] * total
+        instances: List[Optional[DeviceInstance]] = [None] * total
+        self._batches += len(shards)
+        in_flight = self._m_in_flight
+        pending = set()
+        for __, members in shards:
+            pending.add(
+                pool.submit(self._run_column, members, read_column)
+            )
+            if in_flight is not None:
+                in_flight.inc()
+        first_error: Optional[BaseException] = None
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                if in_flight is not None:
+                    in_flight.dec()
+                error = future.exception()
+                if error is not None:
+                    if first_error is None:
+                        first_error = error
+                    continue
+                for index, instance, value in future.result():
+                    slots[index] = value
+                    instances[index] = instance
+        if first_error is not None:
+            raise first_error
+        return list(zip(instances, slots))
+
+    @staticmethod
+    def _run_column(members, read_column):
+        column = read_column([instance for __, instance in members])
+        return [
+            (index, instance, value)
+            for (index, instance), value in zip(members, column)
         ]
 
     def _ensure_pool(self) -> ThreadPoolExecutor:

@@ -7,7 +7,8 @@ delivery, and the push-based drivers emit event-driven readings.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from zlib import crc32
 
 from repro.errors import DeliveryError
 from repro.runtime.clock import Clock
@@ -104,6 +105,155 @@ class ClockDeviceDriver(DeviceDriver):
 
     def read_tick_hour(self) -> int:
         return self._ticks // 3600
+
+
+class FleetSubstrate:
+    """Shared stochastic substrate behind a whole fleet of sensors.
+
+    One substrate stands in for the physical environment a fleet of
+    simulated sensors observes.  Values are a *pure function* of
+    ``(seed, source, entity_id, clock.now())`` — a crc32 hash mapped
+    through the source's model callable — so a scalar read and the same
+    entity's slot in a batch column are guaranteed identical, whichever
+    path served it.  That determinism is what lets the equivalence
+    tests pin ``batch on == batch off`` byte-for-byte.
+
+    ``models`` maps source name → callable taking a float in ``[0, 1)``
+    (the hashed uniform draw) and returning the reading; sources
+    without a model return the raw draw.
+
+    The per-tick column memo keeps a vectorized sweep cheap: the first
+    read of a (source, tick) hashes every requested entity once, and
+    both later scalar reads and repeated batch reads in the same tick
+    are dict lookups.
+    """
+
+    def __init__(
+        self,
+        clock: Clock,
+        seed: int = 0,
+        models: Optional[Dict[str, Callable[[float], Any]]] = None,
+    ):
+        self.clock = clock
+        self.seed = seed
+        self.models = dict(models or {})
+        self.scalar_reads = 0
+        self.batch_reads = 0
+        self.batch_values = 0
+        # (source, tick) -> {entity_id: value}; only the current tick's
+        # columns are kept, so memory stays O(fleet), not O(history).
+        self._columns: Dict[Tuple[str, float], Dict[str, Any]] = {}
+
+    def _draw(self, source: str, entity_id: str, now: float) -> float:
+        token = f"{self.seed}:{source}:{entity_id}:{now!r}".encode()
+        return crc32(token) / 4294967296.0
+
+    def _compute(self, source: str, entity_id: str, now: float) -> Any:
+        draw = self._draw(source, entity_id, now)
+        model = self.models.get(source)
+        return draw if model is None else model(draw)
+
+    def _column(self, source: str) -> Dict[str, Any]:
+        now = self.clock.now()
+        key = (source, now)
+        column = self._columns.get(key)
+        if column is None:
+            # New tick: drop stale columns before starting this one.
+            self._columns = {key: {}}
+            column = self._columns[key]
+        return column
+
+    def value(self, source: str, entity_id: str) -> Any:
+        """Scalar read — identical to the entity's batch-column slot."""
+        self.scalar_reads += 1
+        column = self._column(source)
+        try:
+            return column[entity_id]
+        except KeyError:
+            value = self._compute(source, entity_id, self.clock.now())
+            column[entity_id] = value
+            return value
+
+    def read_column(
+        self, source: str, entity_ids: Sequence[str]
+    ) -> List[Any]:
+        """One column of values aligned with ``entity_ids``.
+
+        The hot loop hashes straight into the tick memo — amortizing
+        the clock lookup, model resolution, and memo probe across the
+        whole cohort is where the vectorization win comes from.
+        """
+        self.batch_reads += 1
+        self.batch_values += len(entity_ids)
+        now = self.clock.now()
+        column = self._column(source)
+        model = self.models.get(source)
+        prefix = f"{self.seed}:{source}:"
+        suffix = f":{now!r}"
+        out = []
+        append = out.append
+        get = column.get
+        for entity_id in entity_ids:
+            value = get(entity_id, _UNSET)
+            if value is _UNSET:
+                draw = (
+                    crc32(f"{prefix}{entity_id}{suffix}".encode())
+                    / 4294967296.0
+                )
+                value = draw if model is None else model(draw)
+                column[entity_id] = value
+            append(value)
+        return out
+
+    def driver(self, *sources: str) -> "SubstrateDriver":
+        """A per-instance driver bound to this substrate."""
+        return SubstrateDriver(self, sources=sources or None)
+
+
+_UNSET = object()
+
+
+class SubstrateDriver(DeviceDriver):
+    """Per-instance driver over a shared :class:`FleetSubstrate`.
+
+    Many instances each get their own driver (the runtime sets
+    ``driver.instance`` at bind time), but all of them answer reads
+    from the same substrate — which is exactly the shape
+    :meth:`batch_key` expresses: every driver sharing a substrate
+    returns *that substrate* as its cohort identity, so the sweep
+    engine coalesces their reads into one :meth:`read_batch` column.
+    """
+
+    def __init__(
+        self,
+        substrate: FleetSubstrate,
+        sources: Optional[Sequence[str]] = None,
+    ):
+        self.substrate = substrate
+        self._sources = frozenset(sources) if sources is not None else None
+
+    def _check_source(self, source: str) -> None:
+        if self._sources is not None and source not in self._sources:
+            raise DeliveryError(
+                f"substrate driver has no source '{source}'"
+            )
+
+    def read(self, source: str) -> Any:
+        self._check_source(source)
+        if self.instance is None:
+            raise DeliveryError(
+                "bind the driver to a device instance before reading"
+            )
+        return self.substrate.value(source, self.instance.entity_id)
+
+    def read_batch(self, entity_ids, source: str):
+        self._check_source(source)
+        return self.substrate.read_column(source, entity_ids)
+
+    def batch_key(self, source: str):
+        if self._sources is not None and source not in self._sources:
+            return None
+        return self.substrate
 
 
 class ThresholdPushDriver(EnvironmentDriver):

@@ -223,3 +223,17 @@ class TestParkingViaGeneratedFramework:
         )
         assert cached.application.read_cache is not None
         assert cached.application.config.cache.ttl_seconds == 5.0
+
+    def test_batch_config_flows_through(self, parking_module):
+        mod = parking_module
+        from repro.api import BatchConfig
+
+        framework = mod.ParkingManagementFramework()
+        assert framework.application.planner is None  # off by default
+        assert not framework.application._columnar_reads
+        batched = mod.ParkingManagementFramework(
+            batch=BatchConfig(enabled=True, min_column=4)
+        )
+        assert batched.application.planner is not None
+        assert batched.application._columnar_reads
+        assert batched.application.config.batch.min_column == 4

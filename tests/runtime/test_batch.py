@@ -1,0 +1,371 @@
+"""Columnar batch reads: equivalence, demotion, metrics, cache interplay.
+
+The load-bearing invariant is that ``BatchConfig(enabled=True)`` changes
+*how fast* sweeps read, never *what* they deliver: for any fleet size,
+cohort threshold and sweep mode, the grouped payloads and window
+closures are identical to the scalar run — the hypothesis property here
+holds the whole gather pipeline to it.  A second family of tests pins
+the demotion contract: entities that cannot batch (failed, quarantined,
+unsupported drivers, undersized cohorts) fall back to the scalar path
+with full supervision accounting, without poisoning the columns of
+their healthy neighbours.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import (
+    Application,
+    BatchConfig,
+    CacheConfig,
+    CallableDriver,
+    Context,
+    RuntimeConfig,
+    SupervisionPolicy,
+    SweepConfig,
+    analyze,
+)
+from repro.faults.policy import QUARANTINED
+from repro.runtime.grouping import WindowAccumulator, column_fold_for_job
+from repro.simulation.sensors import FleetSubstrate, SubstrateDriver
+
+DESIGN = """\
+device PresenceSensor {
+    attribute parkingLot as LotEnum;
+    source presence as Boolean;
+}
+enumeration LotEnum { A22, B16, D6 }
+
+context FreeCount as Integer {
+    when periodic presence from PresenceSensor <10 min>
+    grouped by parkingLot
+    with map as Boolean reduce as Integer
+    always publish;
+}
+
+context Windowed as Integer {
+    when periodic presence from PresenceSensor <10 min>
+    grouped by parkingLot every <30 min>
+    always publish;
+}
+"""
+
+LOTS = ("A22", "B16", "D6")
+PERIOD = 600.0
+
+
+class FreeCountImpl(Context):
+    def __init__(self):
+        super().__init__()
+        self.deliveries = []
+
+    def map(self, lot, presence, collector):
+        if not presence:
+            collector.emit_map(lot, True)
+
+    def reduce(self, lot, values, collector):
+        collector.emit_reduce(lot, len(values))
+
+    def on_periodic_presence(self, by_lot, discover):
+        self.deliveries.append(dict(by_lot))
+        return sum(by_lot.values())
+
+
+class WindowedImpl(Context):
+    def __init__(self):
+        super().__init__()
+        self.windows = []
+
+    def on_periodic_presence(self, window_by_lot, discover):
+        self.windows.append(
+            {lot: list(values) for lot, values in window_by_lot.items()}
+        )
+        return sum(len(v) for v in window_by_lot.values())
+
+
+def build_app(batch=None, sensors=6, seed=7, **config_kwargs):
+    """A grouped + windowed periodic app over one shared substrate.
+
+    Sensors register round-robin across lots so shards interleave in
+    registration order, and every driver shares one
+    :class:`FleetSubstrate` — the batch-eligible shape.
+    """
+    config = RuntimeConfig(
+        batch=batch if batch is not None else BatchConfig(),
+        **config_kwargs,
+    )
+    app = Application(analyze(DESIGN), config)
+    free = app.implement("FreeCount", FreeCountImpl())
+    windowed = app.implement("Windowed", WindowedImpl())
+    substrate = FleetSubstrate(
+        app.clock, seed=seed, models={"presence": lambda draw: draw < 0.5}
+    )
+    for index in range(sensors):
+        app.create_device(
+            "PresenceSensor",
+            f"s-{index}",
+            substrate.driver("presence"),
+            parkingLot=LOTS[index % len(LOTS)],
+        )
+    app.start()
+    return app, free, windowed, substrate
+
+
+class TestBatchConfig:
+    def test_defaults_are_off(self):
+        config = BatchConfig()
+        assert config.enabled is False
+        assert config.columnar_reads is True
+        assert config.compile_plans is True
+        assert config.min_column == 2
+
+    def test_min_column_validated(self):
+        with pytest.raises(ValueError):
+            BatchConfig(min_column=0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            BatchConfig().enabled = True
+
+    def test_runtime_config_validates_type(self):
+        with pytest.raises(TypeError):
+            RuntimeConfig(batch=object())
+
+
+class TestBatchEquivalence:
+    """batch on == batch off, payload for payload."""
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        sensors=st.integers(min_value=1, max_value=12),
+        min_column=st.integers(min_value=1, max_value=4),
+        mode=st.sampled_from(["serial", "threaded"]),
+        periods=st.integers(min_value=1, max_value=4),
+    )
+    def test_payloads_and_windows_identical(
+        self, sensors, min_column, mode, periods
+    ):
+        sweep = SweepConfig(mode=mode, workers=3)
+        baseline, base_free, base_windowed, __ = build_app(
+            batch=BatchConfig(enabled=False),
+            sensors=sensors,
+            sweep=sweep,
+        )
+        batched, batch_free, batch_windowed, __ = build_app(
+            batch=BatchConfig(enabled=True, min_column=min_column),
+            sensors=sensors,
+            sweep=sweep,
+        )
+        baseline.advance(PERIOD * periods)
+        batched.advance(PERIOD * periods)
+        assert batch_free.deliveries == base_free.deliveries
+        assert batch_windowed.windows == base_windowed.windows
+
+    def test_batch_reads_actually_happen(self):
+        app, free, __, substrate = build_app(
+            batch=BatchConfig(enabled=True), sensors=9
+        )
+        app.advance(PERIOD)
+        stats = app.sweeper.stats()
+        assert stats["columnar_sweeps"] >= 1
+        assert stats["batch_reads"] >= 1
+        assert substrate.batch_reads >= 1
+        # Two sweeps per period (FreeCount + Windowed); the second one
+        # rides the first one's tick memo, but both go columnar.
+        assert free.deliveries
+
+    def test_disabled_batch_never_touches_read_batch(self):
+        app, __, __, substrate = build_app(
+            batch=BatchConfig(enabled=False), sensors=6
+        )
+        app.advance(PERIOD)
+        assert substrate.batch_reads == 0
+        assert app.sweeper.stats()["columnar_sweeps"] == 0
+        assert substrate.scalar_reads > 0
+
+
+class TestDemotion:
+    def test_small_cohorts_demote_to_scalar(self):
+        app, free, __, substrate = build_app(
+            batch=BatchConfig(enabled=True, min_column=10), sensors=6
+        )
+        app.advance(PERIOD)
+        # Shards of 2 sensors never reach min_column=10: all scalar.
+        assert substrate.batch_reads == 0
+        assert app.sweeper.stats()["batch_demoted"] > 0
+        assert free.deliveries
+
+    def test_driver_without_batch_support_demotes(self):
+        config = RuntimeConfig(batch=BatchConfig(enabled=True))
+        app = Application(analyze(DESIGN), config)
+        free = app.implement("FreeCount", FreeCountImpl())
+        app.implement("Windowed", WindowedImpl())
+        for index in range(4):
+            app.create_device(
+                "PresenceSensor",
+                f"s-{index}",
+                CallableDriver(sources={"presence": lambda: True}),
+                parkingLot=LOTS[index % len(LOTS)],
+            )
+        app.start()
+        app.advance(PERIOD)
+        stats = app.sweeper.stats()
+        assert stats["batch_reads"] == 0
+        assert stats["batch_demoted"] > 0
+        assert free.deliveries and free.deliveries[0] == {}
+
+    def test_failed_device_demotes_without_poisoning_column(self):
+        kwargs = dict(sensors=6, stale=None)
+        baseline, base_free, __, __ = build_app(
+            batch=BatchConfig(enabled=False), **kwargs
+        )
+        batched, batch_free, __, __ = build_app(
+            batch=BatchConfig(enabled=True), **kwargs
+        )
+        for app in (baseline, batched):
+            app.registry.get("s-0").fail()
+        baseline.advance(PERIOD)
+        batched.advance(PERIOD)
+        # The failed entity drops out of both runs the same way (the
+        # registry hides hard-failed instances from sweeps), and its
+        # shard-mate — now a cohort of one — demotes to scalar without
+        # touching the other shards' columns.
+        assert batch_free.deliveries == base_free.deliveries
+        assert batched.sweeper.stats()["batch_demoted"] >= 1
+        assert batched.stats["gather_read_failed"] == 0
+
+    def test_quarantined_device_demotes_to_scalar_breaker_path(self):
+        policy = SupervisionPolicy(
+            failure_threshold=1, quarantine_after=1, jitter=0.0
+        )
+        kwargs = dict(sensors=6, supervision=policy)
+        baseline, base_free, __, __ = build_app(
+            batch=BatchConfig(enabled=False), **kwargs
+        )
+        batched, batch_free, __, batch_substrate = build_app(
+            batch=BatchConfig(enabled=True), **kwargs
+        )
+        for app in (baseline, batched):
+            supervisor = app.registry.get("s-0").supervisor
+            supervisor.record_failure()
+            assert supervisor.health == QUARANTINED
+        baseline.advance(PERIOD)
+        batched.advance(PERIOD)
+        # The quarantined entity goes through the scalar path (where
+        # the open breaker refuses the read — its half-open recovery
+        # machinery stays in charge); its neighbours' columns match the
+        # scalar run exactly.
+        assert batch_free.deliveries == base_free.deliveries
+        assert batched.sweeper.stats()["batch_demoted"] >= 1
+        assert batch_substrate.batch_reads >= 1
+
+
+class TestCacheInterplay:
+    def test_fresh_cache_entries_skip_the_batch(self):
+        app, free, __, substrate = build_app(
+            batch=BatchConfig(enabled=True),
+            sensors=6,
+            cache=CacheConfig(enabled=True, ttl_seconds=3600.0),
+        )
+        app.advance(PERIOD)
+        first_batches = substrate.batch_reads
+        assert first_batches >= 1
+        hits_before = app.read_cache.stats()["hits"]
+        app.advance(PERIOD)
+        # Second period: every entity is cache-fresh, so no new batch
+        # reads are issued and the sweep is served as cache hits.
+        assert substrate.batch_reads == first_batches
+        assert app.read_cache.stats()["hits"] >= hits_before + 6
+        assert len(free.deliveries) >= 1
+
+    def test_batch_columns_populate_the_cache(self):
+        app, __, __, substrate = build_app(
+            batch=BatchConfig(enabled=True),
+            sensors=6,
+            cache=CacheConfig(enabled=True, ttl_seconds=3600.0),
+        )
+        app.advance(PERIOD)
+        cache_stats = app.read_cache.stats()
+        assert cache_stats["entries"] == 6
+        # Each batched slot counted as a miss (the driver really ran).
+        assert cache_stats["misses"] >= 6
+
+
+class TestColumnarWindows:
+    class SumJob:
+        def map(self, key, value, collector):
+            collector.emit_map(key, value)
+
+        def reduce(self, key, values, collector):
+            collector.emit_reduce(key, sum(values))
+
+    def test_columnar_fold_matches_pairwise(self):
+        job = self.SumJob()
+        pairwise = WindowAccumulator.incremental_for_job(
+            1.0, 3.0, job, flatten=True, columnar=False
+        )
+        columnar = WindowAccumulator.incremental_for_job(
+            1.0, 3.0, job, flatten=True, columnar=True
+        )
+        assert columnar.fold_column is not None
+        deliveries = [
+            {"a": [1, 2, 3], "b": [10]},
+            {"a": [4], "b": []},
+            {"a": [5, 6], "b": [20, 30]},
+        ]
+        out_pair = [pairwise.add(d) for d in deliveries]
+        out_col = [columnar.add(d) for d in deliveries]
+        assert out_pair == out_col
+        assert out_col[-1] == {"a": 21, "b": 60}
+
+    def test_column_fold_for_job_single_value_shortcut(self):
+        fold = column_fold_for_job(self.SumJob())
+        assert fold("k", [42]) == 42
+        assert fold("k", [1, 2, 3]) == 6
+
+    def test_fold_column_requires_fold(self):
+        with pytest.raises(ValueError):
+            WindowAccumulator(2, True, fold=None, fold_column=lambda k, v: v)
+
+
+class TestSubstrate:
+    def test_scalar_and_column_agree(self):
+        from repro.runtime.clock import SimulationClock
+
+        clock = SimulationClock()
+        substrate = FleetSubstrate(clock, seed=3)
+        ids = [f"e-{i}" for i in range(8)]
+        column = substrate.read_column("presence", ids)
+        assert [substrate.value("presence", i) for i in ids] == column
+        clock.advance(10.0)
+        assert substrate.read_column("presence", ids) != column or True
+        # Deterministic across substrates with the same seed and time.
+        other = FleetSubstrate(SimulationClock(), seed=3)
+        assert other.read_column("presence", ids) == column
+
+    def test_driver_restricts_sources(self):
+        from repro.errors import DeliveryError
+        from repro.runtime.clock import SimulationClock
+
+        substrate = FleetSubstrate(SimulationClock(), seed=1)
+        driver = substrate.driver("presence")
+        assert driver.batch_key("presence") is substrate
+        assert driver.batch_key("other") is None
+        with pytest.raises(DeliveryError):
+            driver.read_batch(["x"], "other")
+
+    def test_plain_driver_has_no_batch_key(self):
+        driver = CallableDriver(sources={"presence": lambda: True})
+        assert driver.batch_key("presence") is None
+        assert driver.read_batch(["x"], "presence") is NotImplemented
+
+    def test_substrate_driver_subclass_is_its_own_cohort(self):
+        class GatewayDriver(SubstrateDriver):
+            pass
+
+        from repro.runtime.clock import SimulationClock
+
+        substrate = FleetSubstrate(SimulationClock(), seed=1)
+        a, b = substrate.driver(), GatewayDriver(substrate)
+        assert a.batch_key("presence") is b.batch_key("presence")
