@@ -15,6 +15,21 @@ Usage::
     PYTHONPATH=src python benchmarks/perf_snapshot.py --write BENCH_006.json
     PYTHONPATH=src python benchmarks/perf_snapshot.py --check BENCH_006.json
 
+``--check`` may repeat: the scenarios run once and every snapshot diffs
+against that run.  A snapshot only gates the sections it records
+(absent sections are skipped), so era-scoped snapshots compose —
+``BENCH_006.json`` covers the batch/cache/plan sections and
+``BENCH_007.json`` covers ``shard_scaling``::
+
+    python benchmarks/perf_snapshot.py \\
+        --check BENCH_006.json --check BENCH_007.json
+
+``--section`` (repeatable) restricts a ``--write`` run to named
+sections, which is how the era-scoped snapshots are produced::
+
+    python benchmarks/perf_snapshot.py \\
+        --section shard_scaling --write BENCH_007.json
+
 Exit status 0 on a clean diff, 1 with a line per violation otherwise.
 """
 
@@ -148,6 +163,62 @@ def measure_delivery_plans() -> dict:
     }
 
 
+def measure_shard_scaling() -> dict:
+    """Process-sharded sweeps over a 20k-device modeled-latency fleet.
+
+    A scaled-down sibling of ``bench_shard_scaling.py`` (the 100k run
+    lives in the CI ``shard-smoke`` job): structural facts — fleet
+    size, worker count, identical deliveries — gate exactly, and the
+    4-worker wall-time speedup gates as a ratio.
+    """
+    import time as _time
+
+    from repro.api import (
+        ShardConfig,
+        ShardedRuntime,
+        SimulatedFleetBootstrap,
+    )
+
+    devices = 20_000
+    service_time = 30e-6
+
+    def timed(workers):
+        bootstrap = SimulatedFleetBootstrap(
+            count=devices,
+            seed=11,
+            service_time=service_time,
+            batch=True,
+            shard=ShardConfig(enabled=workers > 1, workers=workers),
+        )
+        runtime = ShardedRuntime(bootstrap)
+        published = []
+        runtime.app.bus.subscribe(
+            ("context", "ZoneLoad"),
+            lambda event: published.append((event.value, event.timestamp)),
+        )
+        runtime.start()
+        try:
+            best = float("inf")
+            for __ in range(2):
+                started = _time.perf_counter()
+                runtime.advance(60.0)
+                best = min(best, _time.perf_counter() - started)
+            return best, published
+        finally:
+            runtime.stop()
+
+    serial_s, serial_values = timed(1)
+    sharded_s, sharded_values = timed(4)
+    if sharded_values != serial_values:
+        raise AssertionError("sharded deliveries diverged from single")
+    return {
+        "devices": devices,
+        "workers": 4,
+        "sweeps_identical": True,
+        "speedup": round(serial_s / sharded_s, 2),
+    }
+
+
 def measure_query_cache() -> dict:
     """The PR-5 read-cache scenario, kept in the trajectory."""
     uncached_app, __, __states = build_cache_app(CacheConfig(), slow=True)
@@ -161,14 +232,21 @@ def measure_query_cache() -> dict:
     return {"speedup": round(uncached_s / cached_s, 2)}
 
 
-def measure() -> dict:
-    return {
-        "version": SNAPSHOT_VERSION,
-        "batch_read": measure_batch_read(),
-        "scale_10k": measure_scale_10k(),
-        "delivery_plans": measure_delivery_plans(),
-        "query_cache": measure_query_cache(),
-    }
+SECTIONS = {
+    "batch_read": measure_batch_read,
+    "scale_10k": measure_scale_10k,
+    "delivery_plans": measure_delivery_plans,
+    "query_cache": measure_query_cache,
+    "shard_scaling": measure_shard_scaling,
+}
+
+
+def measure(sections=None) -> dict:
+    names = sections if sections else list(SECTIONS)
+    current = {"version": SNAPSHOT_VERSION}
+    for name in names:
+        current[name] = SECTIONS[name]()
+    return current
 
 
 # Per-section gate kinds: exact fields are deterministic structure,
@@ -182,17 +260,25 @@ EXACT = {
         "modeled_speedup",
     ),
     "delivery_plans": ("publishes", "compiles", "hits", "invalidations"),
+    "shard_scaling": ("devices", "workers", "sweeps_identical"),
 }
 RATIOS = {
     "batch_read": ("speedup_serial", "speedup_threaded"),
     "query_cache": ("speedup",),
+    "shard_scaling": ("speedup",),
 }
 
 
 def diff(snapshot: dict, current: dict, tolerance: float) -> list:
-    """Violations of ``current`` against ``snapshot`` (empty = clean)."""
+    """Violations of ``current`` against ``snapshot`` (empty = clean).
+
+    Sections absent from the snapshot are skipped: each era-scoped
+    snapshot gates only what it recorded.
+    """
     problems = []
     for section, keys in EXACT.items():
+        if section not in snapshot:
+            continue
         recorded = snapshot.get(section, {})
         observed = current.get(section, {})
         for key in keys:
@@ -202,6 +288,8 @@ def diff(snapshot: dict, current: dict, tolerance: float) -> list:
                     f"got {observed.get(key)!r} (must match exactly)"
                 )
     for section, keys in RATIOS.items():
+        if section not in snapshot:
+            continue
         recorded = snapshot.get(section, {})
         observed = current.get(section, {})
         for key in keys:
@@ -229,7 +317,19 @@ def main(argv=None) -> int:
         "--write", metavar="PATH", help="run and record a snapshot"
     )
     group.add_argument(
-        "--check", metavar="PATH", help="run and diff against a snapshot"
+        "--check",
+        metavar="PATH",
+        action="append",
+        help="run and diff against a snapshot (repeatable; the "
+        "scenarios run once)",
+    )
+    parser.add_argument(
+        "--section",
+        metavar="NAME",
+        action="append",
+        choices=sorted(SECTIONS),
+        help="measure only the named section(s); with --write, the "
+        "snapshot records only those (repeatable)",
     )
     parser.add_argument(
         "--tolerance",
@@ -239,7 +339,7 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    current = measure()
+    current = measure(args.section)
     if args.write:
         with open(args.write, "w") as handle:
             json.dump(current, handle, indent=2, sort_keys=True)
@@ -248,11 +348,16 @@ def main(argv=None) -> int:
         print(json.dumps(current, indent=2, sort_keys=True))
         return 0
 
-    with open(args.check) as handle:
-        snapshot = json.load(handle)
     print(f"current run: {json.dumps(current, sort_keys=True)}")
-    print(f"snapshot:    {json.dumps(snapshot, sort_keys=True)}")
-    problems = diff(snapshot, current, args.tolerance)
+    problems = []
+    for path in args.check:
+        with open(path) as handle:
+            snapshot = json.load(handle)
+        print(f"snapshot {path}: {json.dumps(snapshot, sort_keys=True)}")
+        problems.extend(
+            f"{path}: {problem}"
+            for problem in diff(snapshot, current, args.tolerance)
+        )
     if problems:
         for problem in problems:
             print(f"REGRESSION: {problem}", file=sys.stderr)

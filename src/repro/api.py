@@ -40,6 +40,10 @@ The surface, by concern:
 * **Batch hot path** — :class:`BatchConfig` (columnar driver reads and
   precompiled delivery plans, usually reached via ``batch=`` on the
   runtime config) and :class:`DeliveryPlanner`;
+* **Process sharding** — :class:`ShardConfig` (usually reached via
+  ``shard=`` on the runtime config), :class:`ShardContext`,
+  :class:`ShardBootstrap`, :class:`ShardedRuntime`,
+  :class:`SimulatedFleetBootstrap`, and the typed :class:`ShardError`;
 * **Observability** — :class:`MetricsRegistry`, :class:`Tracer`;
 * **Deployment descriptors** — :class:`DeploymentDescriptor`,
   :class:`DriverCatalog`, :func:`load_descriptor`,
@@ -48,7 +52,7 @@ The surface, by concern:
 
 from __future__ import annotations
 
-from repro.errors import ContextNotQueryableError
+from repro.errors import ContextNotQueryableError, ShardError
 from repro.faults.chaos import ChaosInjector, FaultEvent, FaultPlan
 from repro.faults.policy import StalePolicy, SupervisionPolicy
 from repro.mapreduce.api import MapReduce
@@ -77,6 +81,13 @@ from repro.runtime.descriptor import (
 )
 from repro.runtime.device import CallableDriver, DeviceDriver, DeviceInstance
 from repro.runtime.plan import BatchConfig, DeliveryPlanner
+from repro.runtime.shard import (
+    ShardBootstrap,
+    ShardConfig,
+    ShardContext,
+    ShardedRuntime,
+    SimulatedFleetBootstrap,
+)
 from repro.runtime.sweep import SweepConfig, SweepEngine
 from repro.runtime.tracing import Tracer
 from repro.sema.analyzer import AnalyzedSpec, analyze
@@ -109,6 +120,12 @@ __all__ = [
     "ReadCache",
     "RuntimeConfig",
     "SerialExecutor",
+    "ShardBootstrap",
+    "ShardConfig",
+    "ShardContext",
+    "ShardError",
+    "ShardedRuntime",
+    "SimulatedFleetBootstrap",
     "SimulationClock",
     "SourceEvent",
     "StalePolicy",

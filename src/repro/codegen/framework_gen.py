@@ -96,6 +96,7 @@ class _FrameworkGenerator:
         e.line("    MapReduce,")
         e.line("    Publishable,")
         e.line("    RuntimeConfig,")
+        e.line("    ShardConfig,")
         e.line("    SweepConfig,")
         e.line("    analyze,")
         e.line(")")
@@ -578,7 +579,8 @@ class _FrameworkGenerator:
             e.blank()
             e.line("def __init__(self, clock=None, mapreduce_executor=None,")
             e.line("             streaming_windows=True, sweep=None,")
-            e.line("             cache=None, batch=None, config=None):")
+            e.line("             cache=None, batch=None, shard=None,")
+            e.line("             config=None):")
             with e.indented():
                 e.line("self.design = DESIGN")
                 e.line("if config is None:")
@@ -593,6 +595,8 @@ class _FrameworkGenerator:
                        " else CacheConfig(),")
                 e.line("        batch=batch if batch is not None"
                        " else BatchConfig(),")
+                e.line("        shard=shard if shard is not None"
+                       " else ShardConfig(),")
                 e.line("    )")
                 e.line("self.application = Application(DESIGN, config)")
             e.blank()

@@ -122,6 +122,22 @@ class ContextNotQueryableError(DeliveryError):
         super().__init__(message)
 
 
+class ShardError(RuntimeOrchestrationError):
+    """A sharded-runtime worker failed or the coordinator lost it.
+
+    Raised by :class:`repro.runtime.shard.ShardedRuntime` when a worker
+    process dies, returns a malformed reply, or reports an exception
+    while executing a shard command.  Carries the ``shard`` index so
+    operators can correlate with the ``shard_*`` metric families.
+    """
+
+    def __init__(self, message: str, shard: Optional[int] = None):
+        self.shard = shard
+        if shard is not None:
+            message = f"shard {shard}: {message}"
+        super().__init__(message)
+
+
 class ActuationError(RuntimeOrchestrationError):
     """An action could not be issued to a device."""
 

@@ -237,6 +237,31 @@ class MapReduceEngine(Instrumented):
         self._reduced += stats["reduced"]
         return result
 
+    def merge_partials(
+        self, job: MapReduce, pairs: Pairs, mapped: int
+    ) -> Dict[Hashable, Any]:
+        """Reduce pre-shuffled partials produced elsewhere (shard workers).
+
+        The sharded runtime runs Map and the map-side combine inside each
+        worker process and ships only the partial pairs to the
+        coordinator; this is the coordinator-side final reduce over those
+        partials.  ``mapped`` is the raw map emission count across
+        workers, so the engine's cumulative counters (and
+        ``last_stats``) stay truthful about shuffle volume even though
+        the executor never saw the run.
+        """
+        result = dict(_run_reduce_bucket(job, pairs))
+        stats = _stats(
+            mapped, len(pairs), len(result), job_combiner(job) is not None
+        )
+        self.executor.last_stats = stats
+        self._runs += 1
+        self._combined_runs += 1 if stats["combine_used"] else 0
+        self._mapped += stats["mapped"]
+        self._shuffled += stats["shuffled"]
+        self._reduced += stats["reduced"]
+        return result
+
     @property
     def last_stats(self) -> Dict[str, Any]:
         """Shuffle-volume counters of the most recent run."""

@@ -18,6 +18,20 @@ def stable_hash(key: Hashable) -> int:
     return zlib.crc32(repr(key).encode("utf-8"))
 
 
+def shard_index(key: Hashable, shards: int) -> int:
+    """Deterministic shard assignment for ``key`` among ``shards`` buckets.
+
+    The same stable crc32 hash that routes intermediate pairs to reduce
+    workers routes entities to runtime shards, so a fleet partitions
+    identically across interpreter runs *and* across the processes of a
+    sharded runtime (``repro.runtime.shard``), which is what makes the
+    coordinator's registry-order merge deterministic.
+    """
+    if shards <= 0:
+        raise ValueError("shards must be >= 1")
+    return stable_hash(key) % shards
+
+
 def hash_partition(
     pairs: Sequence[Tuple[Hashable, Any]], partitions: int
 ) -> List[List[Tuple[Hashable, Any]]]:

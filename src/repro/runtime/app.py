@@ -221,6 +221,11 @@ class Application:
         self._query_memo: Dict[str, Any] = {}
         # periodic-gather memo: name -> content hash of the last payload
         self._gather_digests: Dict[str, int] = {}
+        # Sharded runtime hook: when set, periodic gathers delegate
+        # payload collection (poll + group + mapreduce) to the shard
+        # coordinator instead of sweeping the local registry.  ``None``
+        # keeps the local single-process path byte-identical.
+        self._gather_delegate: Optional[Callable[[Any, Any], Any]] = None
         self.discover = Discover(design, self.registry, self.query_context)
         self.started = False
         self._implementations: Dict[str, Component] = {}
@@ -346,6 +351,18 @@ class Application:
             return self._implementations[name]
         except KeyError:
             raise BindingError(f"'{name}' has no implementation") from None
+
+    def attach_gather_delegate(
+        self, delegate: Optional[Callable[[Any, Any], Any]]
+    ) -> None:
+        """Replace periodic payload collection (sharded-runtime hook).
+
+        ``delegate(interaction, implementation)`` must return exactly
+        what :meth:`_collect_payload` would — the pre-window payload in
+        registry order — while windowing, payload memoization, delivery
+        and publishing stay here on the calling application.  Pass
+        ``None`` to restore local collection."""
+        self._gather_delegate = delegate
 
     # ------------------------------------------------------------------
     # Life-cycle
@@ -824,59 +841,8 @@ class Application:
         this sweep (``skip``), serves its last known value
         (``last_known``), or fails the sweep (``fail``)."""
         self._gather_sweeps += 1
-        lossy_reads = self.network is not None and self.apply_network_to_reads
-        outcomes = self.sweeper.sweep(
-            interaction.device,
-            functools.partial(
-                self._gather_read, interaction.source, lossy_reads
-            ),
-            read_column=(
-                functools.partial(
-                    self._gather_read_column,
-                    interaction.source,
-                    lossy_reads,
-                )
-                if self._columnar_reads
-                else None
-            ),
-        )
-        readings = []
-        for instance, (kind, value) in outcomes:
-            if kind is _READ_OK:
-                readings.append((instance, value))
-            elif kind is _READ_DROPPED:
-                self._gather_network_dropped += 1
-            else:
-                self._gather_read_failed += 1
-                if self.stale.mode == "fail":
-                    raise value
-                if self.stale.serves_stale:
-                    stale = self._stale_reading(
-                        instance, interaction.source
-                    )
-                    if stale is not None:
-                        readings.append((instance, stale[0]))
-        group = interaction.group
-        if group is None:
-            payload: Any = [
-                GatherReading(make_proxy(instance), value)
-                for instance, value in readings
-            ]
-        else:
-            if self.planner is not None:
-                grouped = group_readings_planned(
-                    readings,
-                    self.planner.membership(
-                        interaction.device, group.attribute
-                    ),
-                    group.attribute,
-                )
-            else:
-                grouped = group_readings(readings, group.attribute)
-            if group.uses_mapreduce:
-                payload = self.mapreduce.run(implementation, grouped)
-            else:
-                payload = grouped
+        collect = self._gather_delegate or self._collect_payload
+        payload = collect(interaction, implementation)
         if accumulator is not None:
             payload = accumulator.add(payload)
             if payload is None:
@@ -899,6 +865,71 @@ class Application:
         )
         if result is not _FAILED:
             self._publish_context(name, interaction.publish, result)
+
+    def _collect_payload(self, interaction, implementation) -> Any:
+        """One sweep's pre-window payload: poll, fold, group, mapreduce.
+
+        Split from :meth:`_gather` so a sharded runtime can substitute
+        collection (:meth:`attach_gather_delegate`) — running this exact
+        logic inside each worker process over its registry shard — while
+        windowing, payload memoization and delivery stay with the
+        caller."""
+        lossy_reads = self.network is not None and self.apply_network_to_reads
+        outcomes = self.sweeper.sweep(
+            interaction.device,
+            functools.partial(
+                self._gather_read, interaction.source, lossy_reads
+            ),
+            read_column=(
+                functools.partial(
+                    self._gather_read_column,
+                    interaction.source,
+                    lossy_reads,
+                )
+                if self._columnar_reads
+                else None
+            ),
+        )
+        readings = self._fold_read_outcomes(outcomes, interaction.source)
+        group = interaction.group
+        if group is None:
+            return [
+                GatherReading(make_proxy(instance), value)
+                for instance, value in readings
+            ]
+        if self.planner is not None:
+            grouped = group_readings_planned(
+                readings,
+                self.planner.membership(
+                    interaction.device, group.attribute
+                ),
+                group.attribute,
+            )
+        else:
+            grouped = group_readings(readings, group.attribute)
+        if group.uses_mapreduce:
+            return self.mapreduce.run(implementation, grouped)
+        return grouped
+
+    def _fold_read_outcomes(self, outcomes, source) -> List[Any]:
+        """Fold per-instance sweep outcomes into ``(instance, value)``
+        readings, bumping the drop/failure counters and applying the
+        stale policy — always on the sweep-driving thread."""
+        readings: List[Any] = []
+        for instance, (kind, value) in outcomes:
+            if kind is _READ_OK:
+                readings.append((instance, value))
+            elif kind is _READ_DROPPED:
+                self._gather_network_dropped += 1
+            else:
+                self._gather_read_failed += 1
+                if self.stale.mode == "fail":
+                    raise value
+                if self.stale.serves_stale:
+                    stale = self._stale_reading(instance, source)
+                    if stale is not None:
+                        readings.append((instance, stale[0]))
+        return readings
 
     def _gather_read(self, source, lossy, instance):
         """Poll one instance inside a sweep (possibly on a pool thread).

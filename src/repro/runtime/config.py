@@ -30,13 +30,20 @@ from typing import Any, Dict, Mapping, Optional, TYPE_CHECKING
 from repro.faults.policy import StalePolicy, SupervisionPolicy
 from repro.runtime.cache import CacheConfig
 from repro.runtime.plan import BatchConfig
+from repro.runtime.shard import ShardConfig
 from repro.runtime.sweep import SweepConfig
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, hints only
     from repro.runtime.clock import Clock
     from repro.telemetry import MetricsRegistry
 
-__all__ = ["BatchConfig", "CacheConfig", "RuntimeConfig", "SweepConfig"]
+__all__ = [
+    "BatchConfig",
+    "CacheConfig",
+    "RuntimeConfig",
+    "ShardConfig",
+    "SweepConfig",
+]
 
 ERROR_POLICIES = ("raise", "isolate")
 
@@ -82,6 +89,11 @@ class RuntimeConfig:
       precompiled delivery plans); disabled by default, which keeps the
       scalar read path and per-publish topic resolution byte-identical
       to the unbatched runtime.
+    * ``shard`` — :class:`~repro.runtime.shard.ShardConfig` governing
+      the process-sharded runtime (hash-partitioned fleet, one worker
+      process per shard, cross-shard event routing); disabled by
+      default, which keeps the runtime single-process and
+      byte-identical to the unsharded code path.
     """
 
     clock: Optional["Clock"] = None
@@ -101,6 +113,7 @@ class RuntimeConfig:
     sweep: SweepConfig = SweepConfig()
     cache: CacheConfig = CacheConfig()
     batch: BatchConfig = BatchConfig()
+    shard: ShardConfig = ShardConfig()
 
     def __post_init__(self):
         if self.error_policy not in ERROR_POLICIES:
@@ -113,6 +126,8 @@ class RuntimeConfig:
             raise TypeError("cache must be a CacheConfig")
         if not isinstance(self.batch, BatchConfig):
             raise TypeError("batch must be a BatchConfig")
+        if not isinstance(self.shard, ShardConfig):
+            raise TypeError("shard must be a ShardConfig")
         if self.stale is not None and not isinstance(self.stale, StalePolicy):
             raise TypeError("stale must be a StalePolicy or None")
         if self.supervision is not None and not isinstance(
@@ -168,6 +183,7 @@ class RuntimeConfig:
                     SweepConfig,
                     CacheConfig,
                     BatchConfig,
+                    ShardConfig,
                 ),
             ):
                 summary[f.name] = repr(value)

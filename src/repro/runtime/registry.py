@@ -293,30 +293,70 @@ class EntityRegistry(Instrumented):
         device_type: str,
         *,
         attribute: Optional[str] = None,
+        shards: Optional[int] = None,
         include_failed: bool = False,
         include_quarantined: bool = False,
     ) -> List[Tuple[str, List[Tuple[int, DeviceInstance]]]]:
         """Instances of ``device_type`` partitioned into deterministic
         shards for sweep fan-out.
 
-        Shards are keyed by the value of one registry-indexed attribute
-        (``attribute``, or the device type's first declared attribute
-        when ``None``; attribute-less types collapse to one ``""``
-        shard).  Each member is a ``(position, instance)`` pair where
+        Two partitioning modes:
+
+        * **Attribute mode** (default) — shards are keyed by the value
+          of one registry-indexed attribute (``attribute``, or the
+          device type's first declared attribute when ``None``;
+          attribute-less types collapse to one ``""`` shard).  Only
+          shards with at least one member exist, and shard order is the
+          registration order of each shard's first instance.
+        * **Hash mode** (``shards=N``) — instances are partitioned by
+          the stable crc32 hash of their entity id
+          (:func:`repro.mapreduce.partition.shard_index`) into
+          **exactly** ``N`` shards keyed ``"hash:0"`` .. ``"hash:N-1"``,
+          in that fixed order.  When ``shards`` exceeds the entity
+          count, the surplus shards are present and **empty** — never
+          dropped, renumbered, or coalesced — so a process-sharded
+          runtime can hold one worker per shard whatever the fleet size
+          and the assignment of any one entity never depends on how
+          many other entities exist.  ``shards`` and ``attribute`` are
+          mutually exclusive.
+
+        Each member is a ``(position, instance)`` pair where
         ``position`` is the instance's index in the registration-ordered
         ``instances_of`` result — shards may interleave in registration
         order, and the positions are what lets the
-        :class:`~repro.runtime.sweep.SweepEngine` merge per-shard
-        results back into the exact registry iteration order.  Shard
-        order is the registration order of each shard's first instance;
-        instances keep registration order within their shard.
+        :class:`~repro.runtime.sweep.SweepEngine` (and the sharded
+        runtime's coordinator) merge per-shard results back into the
+        exact registry iteration order.  Instances keep registration
+        order within their shard in both modes.
         """
+        if shards is not None:
+            if attribute is not None:
+                raise ValueError(
+                    "iter_shards() takes either attribute= or shards=, "
+                    "not both"
+                )
+            if shards < 1:
+                raise ValueError("shards must be >= 1")
         instances = self.instances_of(
             device_type,
             include_failed=include_failed,
             include_quarantined=include_quarantined,
         )
-        shards: Dict[str, List[Tuple[int, DeviceInstance]]] = {}
+        if shards is not None:
+            from repro.mapreduce.partition import shard_index
+
+            buckets: List[List[Tuple[int, DeviceInstance]]] = [
+                [] for __ in range(shards)
+            ]
+            for position, instance in enumerate(instances):
+                buckets[shard_index(instance.entity_id, shards)].append(
+                    (position, instance)
+                )
+            return [
+                (f"hash:{index}", members)
+                for index, members in enumerate(buckets)
+            ]
+        grouped: Dict[str, List[Tuple[int, DeviceInstance]]] = {}
         for position, instance in enumerate(instances):
             name = attribute
             if name is None:
@@ -325,8 +365,8 @@ class EntityRegistry(Instrumented):
             value = (
                 instance.attributes.get(name, "") if name is not None else ""
             )
-            shards.setdefault(str(value), []).append((position, instance))
-        return list(shards.items())
+            grouped.setdefault(str(value), []).append((position, instance))
+        return list(grouped.items())
 
     def add_listener(self, listener: Listener) -> Callable[[], None]:
         """Subscribe to register/unregister events; returns a remover."""

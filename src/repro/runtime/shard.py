@@ -1,0 +1,1062 @@
+"""Process-sharded runtime: multi-process sweeps with a cross-shard
+event router.
+
+The single-process runtime tops out at one interpreter: the
+:class:`~repro.runtime.sweep.SweepEngine` overlaps device I/O on
+threads, but the GIL caps compute and the registry/bus are single-copy.
+This module takes the paper's small-to-large continuum literally — the
+same orchestration design runs over a fleet partitioned into per-process
+shards:
+
+* the fleet is hash-partitioned by entity id
+  (:func:`repro.mapreduce.partition.shard_index`, the same stable crc32
+  the MapReduce shuffle uses), one shard per **worker process**;
+* each worker hosts a full :class:`~repro.runtime.app.Application` that
+  binds only its shard's entities — so supervision, read caching and
+  columnar batch reads all keep working per shard, unchanged;
+* the **coordinator** hosts the application logic (contexts,
+  controllers, windows, periodic jobs) and no devices.  Periodic
+  gathers fan out to the workers, which sweep, fold outcomes and run
+  map-side combines locally; the coordinator merges replies back into
+  exact registry order — the same ``(position, value)`` merge
+  discipline the sweep engine uses for threads;
+* a :class:`ShardRouter` forwards cross-shard traffic: publishes raised
+  inside a worker are recorded at the device instance and replayed into
+  the coordinator's bus, and coordinator-side reads/actions are routed
+  to the owning shard.
+
+Determinism guarantees (and their limits):
+
+* Entity-to-shard assignment is a pure function of ``(entity_id,
+  shards)`` — stable across runs and across processes.
+* Worker clocks are :class:`~repro.runtime.clock.SimulationClock`
+  instances advanced with **absolute** ``run_until(target)`` commands,
+  never relative deltas, so simulated substrate values (pure functions
+  of the clock reading) stay byte-identical to a single-process run.
+* Ungrouped and grouped payloads merge by global registration position
+  and are byte-identical to ``ShardConfig(enabled=False)``.
+* MapReduce payloads are exact for jobs without a ``combine`` hook (raw
+  map emissions are re-ordered into the single-process emission
+  sequence before one final reduce).  With a combiner, each worker
+  ships one partial per key and the final reduce sees one partial per
+  contributing shard instead of one per fleet — value-identical for
+  associative combine/reduce pairs, the same contract incremental
+  windows already impose.
+
+Spawn-safety: worker processes are started through
+``multiprocessing.get_context(start_method)``.  Under ``spawn`` (and
+``forkserver``) the :class:`ShardBootstrap` must be picklable and
+importable — a module-level class, not a closure; under the POSIX
+default ``fork`` any bootstrap works.  The bootstrap contract is the
+heart of it: ``build(ctx)`` must construct the application from scratch
+inside the calling process (fresh clock, fresh substrate, fresh
+drivers) and bind only the entities ``ctx.owns``.
+"""
+
+from __future__ import annotations
+
+import functools
+import multiprocessing
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    TYPE_CHECKING,
+    Tuple,
+)
+
+from repro.errors import BindingError, ShardError
+from repro.mapreduce.api import (
+    CombineCollector,
+    MapCollector,
+    job_combiner,
+)
+from repro.mapreduce.partition import shard_index
+from repro.runtime.clock import SimulationClock
+from repro.runtime.component import GatherReading, SourceEvent
+from repro.telemetry.instrument import Instrumented, MetricSpec
+
+if TYPE_CHECKING:  # pragma: no cover - hints only
+    from repro.runtime.app import Application
+
+__all__ = [
+    "ShardBootstrap",
+    "ShardConfig",
+    "ShardContext",
+    "ShardRouter",
+    "ShardedRuntime",
+    "SimulatedFleetBootstrap",
+]
+
+_START_METHODS = (None, "fork", "spawn", "forkserver")
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """How a sharded runtime partitions and executes.
+
+    * ``enabled`` — off by default: the runtime stays single-process
+      and byte-identical to the unsharded code path (the
+      :class:`ShardedRuntime` then binds the whole fleet into one local
+      application and never spawns a worker).
+    * ``workers`` — worker process count; also the shard count, so the
+      fleet partitions into exactly ``workers`` hash shards.
+    * ``start_method`` — ``multiprocessing`` start method; ``None``
+      uses the platform default (``fork`` on POSIX).  ``spawn`` and
+      ``forkserver`` require a picklable, importable bootstrap.
+    """
+
+    enabled: bool = False
+    workers: int = 4
+    start_method: Optional[str] = None
+
+    def __post_init__(self):
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.start_method not in _START_METHODS:
+            raise ValueError(
+                f"start_method must be one of {_START_METHODS[1:]} or None"
+            )
+
+
+@dataclass(frozen=True)
+class ShardContext:
+    """Which slice of the fleet one process owns.
+
+    Passed to :meth:`ShardBootstrap.build`: a worker receives its shard
+    index and binds the entities it :meth:`owns`; the coordinator
+    receives ``index=None`` and binds none.  When sharding is disabled
+    the runtime builds with ``ShardContext(shards=1, index=0)``, which
+    owns everything — the single-process degenerate case.
+    """
+
+    shards: int
+    index: Optional[int] = None
+
+    @property
+    def is_coordinator(self) -> bool:
+        return self.index is None
+
+    def owns(self, entity_id: str) -> bool:
+        """Does this process bind ``entity_id``?
+
+        Pure function of ``(entity_id, shards)`` via the stable crc32
+        partitioner, so every process in the gang agrees without
+        coordination."""
+        if self.index is None:
+            return False
+        return shard_index(entity_id, self.shards) == self.index
+
+
+class ShardBootstrap:
+    """Recipe for building one process's view of the application.
+
+    Subclasses implement:
+
+    * :meth:`fleet` — the **full** fleet's entity ids in global
+      registration order.  Every process derives the same global
+      positions from it; those positions are what the coordinator's
+      merge sorts by.
+    * :meth:`build` — construct a fresh, **unstarted**
+      :class:`~repro.runtime.app.Application` in the calling process,
+      installing every implementation but binding only the devices
+      ``ctx.owns``.  The app's clock must be a
+      :class:`~repro.runtime.clock.SimulationClock` (workers are driven
+      by absolute clock-sync commands), and carrying a
+      :class:`ShardConfig` on its :class:`RuntimeConfig` is how the
+      runtime learns its worker count when none is passed explicitly.
+
+    The bootstrap is pickled into worker processes under ``spawn``, so
+    keep it a plain data record (design source, fleet size, seeds) —
+    never live drivers or clocks.
+    """
+
+    def fleet(self) -> Sequence[str]:
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def build(self, ctx: ShardContext) -> "Application":
+        raise NotImplementedError  # pragma: no cover - interface
+
+
+class ShardEntityProxy:
+    """Coordinator-side handle on an entity living in a worker process.
+
+    Mirrors the :class:`~repro.runtime.proxies.DeviceProxy` surface —
+    ``entity_id`` / ``device_type`` / ``attributes`` properties, typed
+    ``query``/``act``, and dynamic snake-case facets — but routes reads
+    and actions through the :class:`ShardedRuntime` to the shard that
+    owns the entity.  The ``repr`` matches ``DeviceProxy`` exactly so
+    payload digests (context memoization) agree across modes.
+    """
+
+    __slots__ = ("_runtime", "_info", "_entity_id", "_attributes")
+
+    def __init__(self, runtime, info, entity_id, attributes):
+        object.__setattr__(self, "_runtime", runtime)
+        object.__setattr__(self, "_info", info)
+        object.__setattr__(self, "_entity_id", entity_id)
+        object.__setattr__(self, "_attributes", dict(attributes))
+
+    @property
+    def entity_id(self) -> str:
+        return self._entity_id
+
+    @property
+    def device_type(self) -> str:
+        return self._info.name
+
+    @property
+    def attributes(self) -> Dict[str, Any]:
+        return dict(self._attributes)
+
+    def query(self, source: str) -> Any:
+        """Query-driven read, served by the owning shard."""
+        return self._runtime.query(self._entity_id, source)
+
+    def act(self, action: str, **params: Any) -> Any:
+        return self._runtime.act(self._entity_id, action, **params)
+
+    def __getattr__(self, name: str) -> Any:
+        from repro.naming import (
+            action_method_name,
+            camel_to_snake,
+            query_method_name,
+        )
+
+        info = object.__getattribute__(self, "_info")
+        for source in info.sources:
+            if query_method_name(source) == name:
+                return functools.partial(self.query, source)
+        for action in info.actions:
+            if action_method_name(action) == name:
+                return functools.partial(self.act, action)
+        attributes = object.__getattribute__(self, "_attributes")
+        for attribute in attributes:
+            if camel_to_snake(attribute) == name:
+                return attributes[attribute]
+        raise AttributeError(f"device {info.name} has no facet '{name}'")
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("device proxies are read-only handles")
+
+    def __repr__(self) -> str:
+        return f"<proxy {self.device_type} {self.entity_id}>"
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+
+class _ShardWorker:
+    """One worker process: a shard-local application plus the command
+    loop the coordinator drives over a pipe.
+
+    The worker's application is never ``start()``-ed — its periodic
+    jobs live at the coordinator — but all of its machinery below the
+    wiring layer (registry, sweep engine, supervision, read cache,
+    columnar batch path) is fully live, which is exactly what the
+    coordinator's gather commands exercise.
+    """
+
+    def __init__(self, bootstrap: ShardBootstrap, ctx: ShardContext):
+        self.ctx = ctx
+        self.app = bootstrap.build(ctx)
+        if not isinstance(self.app.clock, SimulationClock):
+            raise ShardError(
+                "worker applications must run on a SimulationClock",
+                shard=ctx.index,
+            )
+        self.clock: SimulationClock = self.app.clock
+        # entity id -> global registration position, derived from the
+        # full-fleet enumeration so every shard agrees on merge order.
+        self._gpos = {
+            entity_id: position
+            for position, entity_id in enumerate(bootstrap.fleet())
+        }
+        self._events: List[Tuple[Any, ...]] = []
+        # Poll results parked between the poll and map rounds of a
+        # MapReduce gather: (context, interaction) -> keyed readings.
+        self._pending: Dict[Tuple[str, int], List[Tuple[Any, ...]]] = {}
+        # Re-attach every instance's publish hook to the recorder so
+        # pushes surface in command replies instead of dead-ending in
+        # the worker's subscriber-less bus.  Recording happens at the
+        # instance (one record per publish), not at the bus (which
+        # would double-count ancestor-topic deliveries).
+        for instance in self.app.registry:
+            instance.attach(self._record_publish)
+
+    # -- event recording ------------------------------------------------
+
+    def _record_publish(self, instance, source, value, index) -> None:
+        if self.app.read_cache is not None:
+            # Keep the worker-local cache semantics of
+            # ``_deliver_source_event``: the push supersedes cached
+            # reads of this source.
+            self.app.read_cache.on_publish(instance, source)
+        self._events.append(
+            (
+                instance.info.name,
+                instance.entity_id,
+                dict(instance.attributes),
+                source,
+                value,
+                index,
+            )
+        )
+
+    def _drain_events(self) -> List[Tuple[Any, ...]]:
+        events, self._events = self._events, []
+        return events
+
+    # -- commands -------------------------------------------------------
+
+    def _cmd_sync(self, target: float) -> Dict[str, Any]:
+        self.clock.run_until(target)
+        return {"events": self._drain_events()}
+
+    def _cmd_poll(
+        self, target: float, name: str, index: int
+    ) -> Dict[str, Any]:
+        """Sweep this shard for one periodic gather.
+
+        Runs the exact per-shard half of
+        ``Application._collect_payload``: sweep engine fan-out (serial
+        under the simulation clock, columnar when the batch path is
+        on), outcome folding with supervision/stale accounting, and
+        group-key extraction.  Values stay in this process for
+        MapReduce gathers — only ``{group: min gpos}`` crosses the pipe
+        until the map round.
+        """
+        self.clock.run_until(target)
+        app = self.app
+        interaction = app.design.contexts[name].decl.interactions[index]
+        source = interaction.source
+        lossy = app.network is not None and app.apply_network_to_reads
+        dropped_before = app._gather_network_dropped
+        failed_before = app._gather_read_failed
+        outcomes = app.sweeper.sweep(
+            interaction.device,
+            functools.partial(app._gather_read, source, lossy),
+            read_column=(
+                functools.partial(app._gather_read_column, source, lossy)
+                if app._columnar_reads
+                else None
+            ),
+        )
+        readings = app._fold_read_outcomes(outcomes, source)
+        reply: Dict[str, Any] = {
+            "dropped": app._gather_network_dropped - dropped_before,
+            "failed": app._gather_read_failed - failed_before,
+            "events": self._drain_events(),
+        }
+        gpos = self._gpos
+        group = interaction.group
+        if group is None:
+            reply["kind"] = "flat"
+            reply["data"] = [
+                (
+                    gpos[instance.entity_id],
+                    instance.info.name,
+                    instance.entity_id,
+                    dict(instance.attributes),
+                    value,
+                )
+                for instance, value in readings
+            ]
+            return reply
+        keyed = []
+        for instance, value in readings:
+            try:
+                key = instance.attributes[group.attribute]
+            except KeyError:
+                raise BindingError(
+                    f"entity '{instance.entity_id}' has no attribute "
+                    f"'{group.attribute}' to group by"
+                ) from None
+            keyed.append((gpos[instance.entity_id], key, value))
+        if not group.uses_mapreduce:
+            reply["kind"] = "grouped"
+            reply["data"] = keyed
+            return reply
+        self._pending[(name, index)] = keyed
+        mins: Dict[Any, int] = {}
+        for position, key, __ in keyed:
+            if key not in mins or position < mins[key]:
+                mins[key] = position
+        reply["kind"] = "mapreduce"
+        reply["keys"] = mins
+        return reply
+
+    def _cmd_map(
+        self, name: str, index: int, ranks: Dict[Any, int]
+    ) -> Dict[str, Any]:
+        """Map (and map-side combine) the parked poll readings.
+
+        ``ranks`` is the coordinator's global group order — the rank of
+        each group's first *surviving* reading across all shards — so
+        sorting this shard's inputs by ``(rank, gpos)`` reproduces the
+        exact slice of the single-process input sequence this shard
+        owns, and the emission tags ``(rank, gpos, emission)`` are
+        globally comparable.
+        """
+        keyed = self._pending.pop((name, index))
+        job = self.app.implementation(name)
+        keyed.sort(key=lambda row: (ranks[row[1]], row[0]))
+        pairs: List[Tuple[Tuple[int, int, int], Any, Any]] = []
+        for position, key, value in keyed:
+            collector = MapCollector()
+            job.map(key, value, collector)
+            rank = ranks[key]
+            emissions = enumerate(collector.pairs)
+            for emission, (out_key, out_value) in emissions:
+                tag = (rank, position, emission)
+                pairs.append((tag, out_key, out_value))
+        mapped = len(pairs)
+        combine = job_combiner(job)
+        if combine is not None and pairs:
+            grouped: Dict[Any, List[Tuple[Any, Any]]] = {}
+            for tag, out_key, out_value in pairs:
+                grouped.setdefault(out_key, []).append((tag, out_value))
+            combined = []
+            for out_key, tagged in grouped.items():
+                collector = CombineCollector()
+                combine(out_key, [v for __, v in tagged], collector)
+                first = min(tag for tag, __ in tagged)
+                for pair_key, pair_value in collector.pairs:
+                    combined.append((first, pair_key, pair_value))
+            pairs = combined
+        return {
+            "data": pairs,
+            "mapped": mapped,
+            "events": self._drain_events(),
+        }
+
+    def _cmd_publish(
+        self, target, entity_id, source, value, index
+    ) -> Dict[str, Any]:
+        self.clock.run_until(target)
+        instance = self.app.registry.get(entity_id)
+        instance.publish(source, value, index=index)
+        return {"events": self._drain_events()}
+
+    def _cmd_read(self, target, entity_id, source) -> Dict[str, Any]:
+        self.clock.run_until(target)
+        value = self.app.registry.get(entity_id).read(source)
+        return {"value": value, "events": self._drain_events()}
+
+    def _cmd_act(self, target, entity_id, action, params) -> Dict[str, Any]:
+        self.clock.run_until(target)
+        value = self.app.registry.get(entity_id).act(action, **params)
+        return {"value": value, "events": self._drain_events()}
+
+    def _cmd_stats(self) -> Dict[str, Any]:
+        app = self.app
+        return {
+            "value": {
+                "shard": self.ctx.index,
+                "bound_entities": len(app.registry),
+                "gather_network_dropped": app._gather_network_dropped,
+                "gather_read_failed": app._gather_read_failed,
+                "sweep": app.sweeper.stats(),
+                "supervision": app.supervision.stats(),
+            },
+            "events": self._drain_events(),
+        }
+
+    def serve(self, conn) -> None:
+        """The command loop: recv, dispatch, reply, until ``stop``."""
+        handlers = {
+            "sync": self._cmd_sync,
+            "poll": self._cmd_poll,
+            "map": self._cmd_map,
+            "publish": self._cmd_publish,
+            "read": self._cmd_read,
+            "act": self._cmd_act,
+            "stats": self._cmd_stats,
+        }
+        while True:
+            try:
+                message = conn.recv()
+            except EOFError:
+                break
+            op = message[0]
+            if op == "stop":
+                conn.send(("ok", {"events": self._drain_events()}))
+                break
+            try:
+                reply = handlers[op](*message[1:])
+            except Exception as exc:  # noqa: BLE001 - shipped upstream
+                try:
+                    conn.send(("error", exc))
+                except Exception:  # unpicklable exception payload
+                    conn.send(
+                        (
+                            "error",
+                            ShardError(repr(exc), shard=self.ctx.index),
+                        )
+                    )
+            else:
+                conn.send(("ok", reply))
+        self.app.sweeper.close()
+        conn.close()
+
+
+def _shard_worker_main(conn, bootstrap, index, shards) -> None:
+    """Worker process entry point (module-level for spawn pickling)."""
+    try:
+        worker = _ShardWorker(
+            bootstrap, ShardContext(shards=shards, index=index)
+        )
+    except Exception as exc:  # noqa: BLE001 - surfaced as ShardError
+        try:
+            conn.send(("error", exc))
+        except Exception:
+            conn.send(("error", ShardError(repr(exc), shard=index)))
+        conn.close()
+        return
+    conn.send(("ok", {"bound": len(worker.app.registry)}))
+    worker.serve(conn)
+
+
+# ----------------------------------------------------------------------
+# Coordinator side
+# ----------------------------------------------------------------------
+
+
+class ShardRouter(Instrumented):
+    """Coordinator-side transport: commands out, events back.
+
+    Owns the worker pipes.  ``broadcast`` sends to every worker before
+    receiving any reply, which is where the parallelism comes from —
+    all shards sweep (and sleep on their modeled device I/O)
+    concurrently while the coordinator waits.  Replies always arrive in
+    shard order, so merge inputs are deterministic.
+    """
+
+    metric_specs = (
+        MetricSpec(
+            "shard_commands_total",
+            "_commands",
+            stats_key="commands",
+            help="Commands sent to shard workers.",
+        ),
+        MetricSpec(
+            "shard_events_routed_total",
+            "_events_routed",
+            stats_key="events_routed",
+            help="Worker-side device publishes replayed into the "
+            "coordinator bus.",
+        ),
+        MetricSpec(
+            "shard_publishes_forwarded_total",
+            "_publishes",
+            stats_key="publishes_forwarded",
+            help="Cross-shard publishes routed to their owning worker.",
+        ),
+        MetricSpec(
+            "shard_errors_total",
+            "_errors",
+            stats_key="errors",
+            help="Worker commands that failed or lost their worker.",
+        ),
+    )
+
+    def __init__(self):
+        self._workers: List[Tuple[Any, Any]] = []  # (process, conn)
+        self._commands = 0
+        self._events_routed = 0
+        self._publishes = 0
+        self._errors = 0
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    def attach(self, workers: List[Tuple[Any, Any]]) -> None:
+        self._workers = list(workers)
+
+    def _receive(self, shard: int) -> Dict[str, Any]:
+        __, conn = self._workers[shard]
+        try:
+            reply = conn.recv()
+        except EOFError:
+            self._errors += 1
+            raise ShardError(
+                "worker process died mid-command", shard=shard
+            ) from None
+        status, payload = reply
+        if status == "error":
+            self._errors += 1
+            if isinstance(payload, BaseException):
+                raise payload
+            raise ShardError(repr(payload), shard=shard)
+        return payload
+
+    def send(self, shard: int, command: Tuple[Any, ...]) -> Dict[str, Any]:
+        """One command to one shard; returns the reply payload."""
+        self._commands += 1
+        __, conn = self._workers[shard]
+        conn.send(command)
+        return self._receive(shard)
+
+    def broadcast(self, command: Tuple[Any, ...]) -> List[Dict[str, Any]]:
+        """The same command to every shard; replies in shard order."""
+        self._commands += len(self._workers)
+        for __, conn in self._workers:
+            conn.send(command)
+        return [self._receive(shard) for shard in range(len(self._workers))]
+
+    def shutdown(self) -> None:
+        for __, conn in self._workers:
+            try:
+                conn.send(("stop",))
+            except (OSError, BrokenPipeError):
+                pass
+        for process, conn in self._workers:
+            try:
+                conn.recv()
+            except EOFError:
+                pass
+            conn.close()
+            process.join(timeout=10)
+            if process.is_alive():  # pragma: no cover - hung worker
+                process.terminate()
+                process.join(timeout=10)
+        self._workers = []
+
+
+class ShardedRuntime(Instrumented):
+    """Coordinator for a process-sharded application.
+
+    ::
+
+        runtime = ShardedRuntime(bootstrap)   # ShardConfig from the app
+        runtime.start()
+        runtime.advance(600.0)
+        runtime.stop()
+
+    With ``ShardConfig(enabled=False)`` (the default) no worker is ever
+    spawned: the bootstrap builds one local application owning the
+    whole fleet, and ``start``/``advance``/``publish``/``query``/
+    ``act`` degrade to direct calls on it — byte-identical to not using
+    this class at all.  That degenerate mode is what the equivalence
+    tests diff the sharded mode against.
+    """
+
+    metric_specs = (
+        MetricSpec(
+            "shard_sweeps_total",
+            "_sweeps",
+            stats_key="sweeps",
+            help="Periodic gathers fanned out across shard workers.",
+        ),
+        MetricSpec(
+            "shard_merge_pairs_total",
+            "_merge_pairs",
+            stats_key="merge_pairs",
+            help="Map-side partial pairs merged at the coordinator.",
+        ),
+        MetricSpec(
+            "shard_remote_reads_total",
+            "_remote_reads",
+            stats_key="remote_reads",
+            help="Query-driven reads routed to an owning shard.",
+        ),
+        MetricSpec(
+            "shard_workers",
+            "_worker_count",
+            kind="gauge",
+            stats_key="workers",
+            help="Live shard worker processes.",
+        ),
+    )
+
+    def __init__(
+        self,
+        bootstrap: ShardBootstrap,
+        shard: Optional[ShardConfig] = None,
+    ):
+        self.bootstrap = bootstrap
+        if shard is None:
+            # Probe build: learn the ShardConfig the bootstrap puts on
+            # its RuntimeConfig.  The probe binds nothing (coordinator
+            # context) and is discarded.
+            probe = bootstrap.build(ShardContext(shards=1, index=None))
+            shard = probe.config.shard
+        self.config = shard
+        self.sharded = shard.enabled
+        if self.sharded:
+            ctx = ShardContext(shards=shard.workers, index=None)
+        else:
+            ctx = ShardContext(shards=1, index=0)
+        self.app: "Application" = bootstrap.build(ctx)
+        if self.sharded and not isinstance(self.app.clock, SimulationClock):
+            raise ShardError(
+                "the coordinator application must run on a "
+                "SimulationClock (workers are driven by absolute "
+                "clock-sync commands)"
+            )
+        self.router = ShardRouter()
+        self._sweeps = 0
+        self._merge_pairs = 0
+        self._remote_reads = 0
+        self._worker_count = 0
+        self._started = False
+        # interaction identity -> (context name, interaction index);
+        # how the delegate names a gather to the workers.
+        self._interactions: Dict[int, Tuple[str, int]] = {}
+        for name, info in self.app.design.contexts.items():
+            interactions = info.decl.interactions
+            for position, interaction in enumerate(interactions):
+                self._interactions[id(interaction)] = (name, position)
+        # entity id -> coordinator-side proxy, built lazily from worker
+        # reply rows (attributes are static for the fleet's lifetime).
+        self._proxies: Dict[str, ShardEntityProxy] = {}
+
+    # -- life-cycle -----------------------------------------------------
+
+    def start(self) -> "ShardedRuntime":
+        if self._started:
+            raise ShardError("sharded runtime already started")
+        self.attach_metrics(self.app.metrics)
+        self.router.attach_metrics(self.app.metrics)
+        if self.sharded:
+            self._spawn_workers()
+            self.app.attach_gather_delegate(self._collect_sharded)
+        self.app.start()
+        self._started = True
+        return self
+
+    def _spawn_workers(self) -> None:
+        mp = multiprocessing.get_context(self.config.start_method)
+        workers = []
+        for index in range(self.config.workers):
+            parent, child = mp.Pipe()
+            process = mp.Process(
+                target=_shard_worker_main,
+                args=(child, self.bootstrap, index, self.config.workers),
+                daemon=True,
+                name=f"repro-shard-{index}",
+            )
+            process.start()
+            child.close()
+            workers.append((process, parent))
+        self.router.attach(workers)
+        # Ready handshake: every worker reports its shard build (or the
+        # exception that killed it) before the first command.
+        for shard in range(len(workers)):
+            self.router._receive(shard)
+        self._worker_count = len(workers)
+
+    def stop(self) -> None:
+        if not self._started:
+            return
+        self.app.stop()
+        if self.sharded:
+            self.app.attach_gather_delegate(None)
+            self.router.shutdown()
+            self._worker_count = 0
+        self._started = False
+
+    def advance(self, seconds: float) -> int:
+        """Drive the coordinator clock (gathers fan out to workers),
+        then sync worker clocks to the final time and drain any events
+        their own scheduled jobs raised."""
+        fired = self.app.advance(seconds)
+        if self.sharded and self._started:
+            sync = ("sync", self.app.clock.now())
+            for reply in self.router.broadcast(sync):
+                self._replay_events(reply["events"])
+        return fired
+
+    # -- cross-shard routing --------------------------------------------
+
+    def _owning_shard(self, entity_id: str) -> int:
+        return shard_index(entity_id, self.config.workers)
+
+    def publish(
+        self, entity_id: str, source: str, value: Any, index: Any = None
+    ) -> None:
+        """Event-driven publish on an entity, wherever it lives.
+
+        Sharded: the command routes to the owning worker, the worker's
+        device instance validates and records the publish, and the
+        event replays into the coordinator bus.  Unsharded: a direct
+        ``instance.publish`` — the identical single-process path.
+        """
+        if not self.sharded:
+            self.app.registry.get(entity_id).publish(
+                source, value, index=index
+            )
+            return
+        self.router._publishes += 1
+        reply = self.router.send(
+            self._owning_shard(entity_id),
+            (
+                "publish",
+                self.app.clock.now(),
+                entity_id,
+                source,
+                value,
+                index,
+            ),
+        )
+        self._replay_events(reply["events"])
+
+    def query(self, entity_id: str, source: str) -> Any:
+        """Query-driven read routed to the owning shard."""
+        if not self.sharded:
+            return self.app.registry.get(entity_id).read(source)
+        self._remote_reads += 1
+        reply = self.router.send(
+            self._owning_shard(entity_id),
+            ("read", self.app.clock.now(), entity_id, source),
+        )
+        self._replay_events(reply["events"])
+        return reply["value"]
+
+    def act(self, entity_id: str, action: str, **params: Any) -> Any:
+        """Actuation routed to the owning shard."""
+        if not self.sharded:
+            return self.app.registry.get(entity_id).act(action, **params)
+        reply = self.router.send(
+            self._owning_shard(entity_id),
+            ("act", self.app.clock.now(), entity_id, action, params),
+        )
+        self._replay_events(reply["events"])
+        return reply["value"]
+
+    def worker_stats(self) -> List[Dict[str, Any]]:
+        """Per-shard registry/sweep/supervision snapshots."""
+        if not self.sharded:
+            return []
+        replies = self.router.broadcast(("stats",))
+        return [reply["value"] for reply in replies]
+
+    # -- event replay ---------------------------------------------------
+
+    def _proxy_for(
+        self, type_name: str, entity_id: str, attributes
+    ) -> ShardEntityProxy:
+        proxy = self._proxies.get(entity_id)
+        if proxy is None:
+            proxy = ShardEntityProxy(
+                self,
+                self.app.design.devices[type_name],
+                entity_id,
+                attributes,
+            )
+            self._proxies[entity_id] = proxy
+        return proxy
+
+    def _replay_events(self, events) -> None:
+        """Publish worker-recorded device events into the coordinator
+        bus, mirroring ``Application._on_device_publish`` (network
+        model, delivery plans, cache invalidation) with a routed proxy
+        in place of the local instance."""
+        app = self.app
+        for type_name, entity_id, attributes, source, value, index in events:
+            self._events_routed_bump()
+            if app.read_cache is not None:
+                app.read_cache.invalidate(entity_id, source)
+            proxy = self._proxy_for(type_name, entity_id, attributes)
+            deliver = functools.partial(
+                self._dispatch_remote,
+                type_name,
+                proxy,
+                source,
+                value,
+                index,
+            )
+            if app.network is None:
+                deliver()
+            else:
+                app.network.transmit(app.clock, deliver)
+
+    def _events_routed_bump(self) -> None:
+        self.router._events_routed += 1
+
+    def _dispatch_remote(self, type_name, proxy, source, value, index) -> None:
+        app = self.app
+        event = SourceEvent(
+            device=proxy,
+            source=source,
+            value=value,
+            index=index,
+            timestamp=app.clock.now(),
+        )
+        planner = app.planner
+        if planner is not None:
+            plan = planner.source_plan(type_name, source)
+            app.bus.dispatch_compiled(plan.targets, len(plan.topics), event)
+            return
+        info = app.design.devices[type_name]
+        for topic in app._topics_for(info, source):
+            app.bus.publish(topic, event)
+
+    # -- the delegated gather -------------------------------------------
+
+    def _collect_sharded(self, interaction, implementation) -> Any:
+        """Collect one periodic gather across all shards.
+
+        Replaces ``Application._collect_payload`` via the gather
+        delegate: every worker sweeps its shard concurrently, and the
+        replies merge back into the exact single-process payload —
+        sorted by global registration position for flat and grouped
+        gathers, re-sequenced map emissions with a coordinator-side
+        final reduce for MapReduce gathers.
+        """
+        app = self.app
+        name, index = self._interactions[id(interaction)]
+        self._sweeps += 1
+        target = app.clock.now()
+        polls = self.router.broadcast(("poll", target, name, index))
+        app._gather_network_dropped += sum(r["dropped"] for r in polls)
+        app._gather_read_failed += sum(r["failed"] for r in polls)
+        for reply in polls:
+            self._replay_events(reply["events"])
+        kind = polls[0]["kind"]
+        if kind == "flat":
+            rows = [row for reply in polls for row in reply["data"]]
+            rows.sort(key=lambda row: row[0])
+            return [
+                GatherReading(
+                    self._proxy_for(type_name, entity_id, attributes),
+                    value,
+                )
+                for __, type_name, entity_id, attributes, value in rows
+            ]
+        if kind == "grouped":
+            rows = [row for reply in polls for row in reply["data"]]
+            rows.sort(key=lambda row: row[0])
+            grouped: Dict[Any, List[Any]] = {}
+            for __, key, value in rows:
+                grouped.setdefault(key, []).append(value)
+            return grouped
+        # MapReduce: rank groups by their first surviving reading
+        # across the whole fleet, then let each worker map+combine its
+        # slice in that global order.
+        mins: Dict[Any, int] = {}
+        for reply in polls:
+            for key, position in reply["keys"].items():
+                if key not in mins or position < mins[key]:
+                    mins[key] = position
+        order = sorted(mins, key=mins.__getitem__)
+        ranks = {key: rank for rank, key in enumerate(order)}
+        maps = self.router.broadcast(("map", name, index, ranks))
+        for reply in maps:
+            self._replay_events(reply["events"])
+        tagged = [pair for reply in maps for pair in reply["data"]]
+        tagged.sort(key=lambda pair: pair[0])
+        pairs = [(key, value) for __, key, value in tagged]
+        mapped = sum(reply["mapped"] for reply in maps)
+        self._merge_pairs += len(pairs)
+        return app.mapreduce.merge_partials(implementation, pairs, mapped)
+
+    def _extra_stats(self) -> Dict[str, Any]:
+        return {"router": self.router.stats()}
+
+
+# ----------------------------------------------------------------------
+# A spawn-safe simulated fleet (benchmarks, smoke tests, examples)
+# ----------------------------------------------------------------------
+
+
+_FLEET_DESIGN = """\
+device ShardSensor {
+    attribute zone as ZoneEnum;
+    source level as Integer;
+}
+enumeration ZoneEnum { Z0, Z1, Z2, Z3 }
+
+context ZoneLoad as Integer {
+    when periodic level from ShardSensor <1 min>
+    grouped by zone
+    with map as Integer reduce as Integer
+    always publish;
+}
+"""
+
+_ZONES = ("Z0", "Z1", "Z2", "Z3")
+
+
+class _ZoneLoadJob:
+    """Associative sum-per-zone MapReduce (exact under sharding).
+
+    The combiner keeps the cross-process shuffle O(zones): each worker
+    ships one partial sum per zone instead of one pair per device."""
+
+    def map(self, zone, level, collector):
+        collector.emit_map(zone, level)
+
+    def combine(self, zone, values, collector):
+        collector.emit_combine(zone, sum(values))
+
+    def reduce(self, zone, values, collector):
+        collector.emit_reduce(zone, sum(values))
+
+
+def _level_model(draw: float) -> int:
+    return int(draw * 100.0)
+
+
+@dataclass(frozen=True)
+class SimulatedFleetBootstrap(ShardBootstrap):
+    """A ready-made picklable bootstrap over a simulated sensor fleet.
+
+    Builds a ``count``-device fleet of ``ShardSensor`` entities (zoned
+    round-robin) over one :class:`~repro.simulation.sensors.
+    GatewaySubstrate` per process, with a periodic grouped-MapReduce
+    ``ZoneLoad`` context.  ``service_time`` models per-device gateway
+    read latency — the quantity the shard-scaling benchmark overlaps
+    across worker processes.  Module-level and frozen, so it survives
+    ``spawn`` pickling; the shard-scaling benchmark and the spawn smoke
+    test both build from it.
+    """
+
+    count: int = 1000
+    seed: int = 0
+    service_time: float = 0.0
+    shard: Optional[ShardConfig] = None
+    batch: bool = False
+    cache: bool = False
+
+    def fleet(self) -> Sequence[str]:
+        return [f"shard-sensor-{index:06d}" for index in range(self.count)]
+
+    def build(self, ctx: ShardContext) -> "Application":
+        from repro.api import Application, RuntimeConfig, analyze
+        from repro.runtime.cache import CacheConfig
+        from repro.runtime.component import Context
+        from repro.runtime.plan import BatchConfig
+        from repro.simulation.sensors import GatewaySubstrate
+
+        class ZoneLoadImpl(Context, _ZoneLoadJob):
+            def on_periodic_level(self, by_zone, discover):
+                return sum(by_zone.values())
+
+        config = RuntimeConfig(
+            shard=self.shard if self.shard is not None else ShardConfig(),
+            batch=BatchConfig(enabled=self.batch),
+            cache=CacheConfig(enabled=self.cache),
+        )
+        app = Application(analyze(_FLEET_DESIGN), config)
+        app.implement("ZoneLoad", ZoneLoadImpl())
+        substrate = GatewaySubstrate(
+            app.clock,
+            seed=self.seed,
+            models={"level": _level_model},
+            service_time=self.service_time,
+        )
+        for position, entity_id in enumerate(self.fleet()):
+            if ctx.owns(entity_id):
+                app.create_device(
+                    "ShardSensor",
+                    entity_id,
+                    substrate.driver("level"),
+                    zone=_ZONES[position % len(_ZONES)],
+                )
+        return app

@@ -213,6 +213,47 @@ class FleetSubstrate:
 _UNSET = object()
 
 
+class GatewaySubstrate(FleetSubstrate):
+    """A :class:`FleetSubstrate` with a modeled per-read service time.
+
+    Stands in for a field gateway whose radio budget costs
+    ``service_time`` seconds of wall time per device read (scalar or
+    batched — batching amortizes round-trips, not radio time).  The
+    sleep happens in whichever process issues the read, so a sharded
+    runtime overlaps the modeled service time across worker processes
+    exactly as real gateways serve their shards concurrently — the same
+    latency-modeling convention ``bench_sweep_concurrency`` uses for
+    threads.  Values remain the byte-identical pure function of
+    ``(seed, source, entity_id, now)`` from the base class.
+    """
+
+    def __init__(
+        self,
+        clock: Clock,
+        seed: int = 0,
+        models: Optional[Dict[str, Callable[[float], Any]]] = None,
+        service_time: float = 0.0,
+    ):
+        super().__init__(clock, seed=seed, models=models)
+        self.service_time = service_time
+
+    def value(self, source: str, entity_id: str) -> Any:
+        if self.service_time > 0.0:
+            import time
+
+            time.sleep(self.service_time)
+        return super().value(source, entity_id)
+
+    def read_column(
+        self, source: str, entity_ids: Sequence[str]
+    ) -> List[Any]:
+        if self.service_time > 0.0 and entity_ids:
+            import time
+
+            time.sleep(self.service_time * len(entity_ids))
+        return super().read_column(source, entity_ids)
+
+
 class SubstrateDriver(DeviceDriver):
     """Per-instance driver over a shared :class:`FleetSubstrate`.
 

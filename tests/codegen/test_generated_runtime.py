@@ -237,3 +237,15 @@ class TestParkingViaGeneratedFramework:
         assert batched.application.planner is not None
         assert batched.application._columnar_reads
         assert batched.application.config.batch.min_column == 4
+
+    def test_shard_config_flows_through(self, parking_module):
+        mod = parking_module
+        from repro.api import ShardConfig
+
+        framework = mod.ParkingManagementFramework()
+        assert framework.application.config.shard.enabled is False
+        sharded = mod.ParkingManagementFramework(
+            shard=ShardConfig(enabled=True, workers=2)
+        )
+        assert sharded.application.config.shard.enabled
+        assert sharded.application.config.shard.workers == 2

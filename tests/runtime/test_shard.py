@@ -1,0 +1,489 @@
+"""Process-sharded runtime: equivalence, routing, lifecycle, metrics.
+
+The load-bearing invariant mirrors the batch/cache suites:
+``ShardConfig(enabled=True)`` changes *where* sweeps run (worker
+processes), never *what* they deliver — for any fleet size, worker
+count and cache/batch combination, the context deliveries, window
+closures and published values are identical to the single-process run.
+A second family pins the cross-shard router: publishes, queries and
+actions on remote entities behave exactly as local ones.
+"""
+
+import multiprocessing
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import (
+    Application,
+    BatchConfig,
+    CacheConfig,
+    Context,
+    RuntimeConfig,
+    ShardBootstrap,
+    ShardConfig,
+    ShardContext,
+    ShardError,
+    ShardedRuntime,
+    SimulatedFleetBootstrap,
+    analyze,
+)
+from repro.errors import BindingError
+from repro.mapreduce.partition import shard_index
+from repro.simulation.sensors import FleetSubstrate, SubstrateDriver
+
+DESIGN = """\
+device ShardPresence {
+    attribute parkingLot as LotEnum;
+    source presence as Boolean;
+    action tag(label as String);
+}
+enumeration LotEnum { A22, B16, D6 }
+
+context FreeCount as Integer {
+    when periodic presence from ShardPresence <10 min>
+    grouped by parkingLot
+    with map as Boolean reduce as Integer
+    always publish;
+}
+
+context Windowed as Integer {
+    when periodic presence from ShardPresence <10 min>
+    grouped by parkingLot every <30 min>
+    always publish;
+}
+
+context Pushes as Integer {
+    when provided presence from ShardPresence
+    always publish;
+}
+"""
+
+LOTS = ("A22", "B16", "D6")
+PERIOD = 600.0
+
+
+class FreeCountImpl(Context):
+    """Non-associative reduce (``len``) — the hardest case for a
+    sharded shuffle, exact only if raw map emissions are re-sequenced
+    into the single-process order before one final reduce."""
+
+    def __init__(self):
+        super().__init__()
+        self.deliveries = []
+
+    def map(self, lot, presence, collector):
+        if not presence:
+            collector.emit_map(lot, True)
+
+    def reduce(self, lot, values, collector):
+        collector.emit_reduce(lot, len(values))
+
+    def on_periodic_presence(self, by_lot, discover):
+        self.deliveries.append(dict(by_lot))
+        return sum(by_lot.values())
+
+
+class WindowedImpl(Context):
+    def __init__(self):
+        super().__init__()
+        self.windows = []
+
+    def on_periodic_presence(self, window_by_lot, discover):
+        self.windows.append(
+            {lot: list(values) for lot, values in window_by_lot.items()}
+        )
+        return sum(len(v) for v in window_by_lot.values())
+
+
+class PushesImpl(Context):
+    def __init__(self):
+        super().__init__()
+        self.events = []
+
+    def on_presence(self, event, discover):
+        self.events.append(
+            (event.device.entity_id, event.value, event.timestamp)
+        )
+        return len(self.events)
+
+
+class TaggingDriver(SubstrateDriver):
+    def do_tag(self, label):
+        return f"{self.instance.entity_id}:{label}"
+
+
+class PresenceBootstrap(ShardBootstrap):
+    """Test bootstrap over the shared-substrate presence fleet.
+
+    Not a frozen dataclass on purpose: the fork start method inherits
+    it, which is all these tests need, and plain attributes keep the
+    parameter grid simple.
+    """
+
+    def __init__(self, sensors=9, seed=7, shard=None, batch=None, cache=None):
+        self.sensors = sensors
+        self.seed = seed
+        self.shard = shard
+        self.batch = batch
+        self.cache = cache
+
+    def fleet(self):
+        return [f"s-{index:03d}" for index in range(self.sensors)]
+
+    def build(self, ctx):
+        config = RuntimeConfig(
+            shard=self.shard if self.shard is not None else ShardConfig(),
+            batch=self.batch if self.batch is not None else BatchConfig(),
+            cache=self.cache if self.cache is not None else CacheConfig(),
+        )
+        app = Application(analyze(DESIGN), config)
+        app.implement("FreeCount", FreeCountImpl())
+        app.implement("Windowed", WindowedImpl())
+        app.implement("Pushes", PushesImpl())
+        substrate = FleetSubstrate(
+            app.clock,
+            seed=self.seed,
+            models={"presence": lambda draw: draw < 0.5},
+        )
+        for position, entity_id in enumerate(self.fleet()):
+            if ctx.owns(entity_id):
+                app.create_device(
+                    "ShardPresence",
+                    entity_id,
+                    TaggingDriver(substrate, sources=("presence",)),
+                    parkingLot=LOTS[position % len(LOTS)],
+                )
+        return app
+
+
+def run_scenario(bootstrap, periods=4, publishes=(), queries=()):
+    """Drive one runtime and capture every observable output."""
+    runtime = ShardedRuntime(bootstrap)
+    published = []
+    for name in ("FreeCount", "Windowed", "Pushes"):
+        runtime.app.bus.subscribe(
+            ("context", name),
+            lambda event, name=name: published.append(
+                (name, event.value, event.timestamp)
+            ),
+        )
+    runtime.start()
+    try:
+        runtime.advance(periods / 2 * PERIOD)
+        for entity_id, value in publishes:
+            runtime.publish(entity_id, "presence", value)
+        runtime.advance(periods / 2 * PERIOD)
+        reads = [
+            runtime.query(entity_id, "presence") for entity_id in queries
+        ]
+        free = runtime.app.implementation("FreeCount")
+        windowed = runtime.app.implementation("Windowed")
+        pushes = runtime.app.implementation("Pushes")
+        return {
+            "published": published,
+            "deliveries": free.deliveries,
+            "windows": windowed.windows,
+            "events": pushes.events,
+            "reads": reads,
+            "gather_errors": runtime.app._gather_errors,
+        }
+    finally:
+        runtime.stop()
+
+
+class TestShardConfig:
+    def test_defaults_are_off(self):
+        config = ShardConfig()
+        assert config.enabled is False
+        assert config.workers == 4
+        assert config.start_method is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ShardConfig(workers=0)
+        with pytest.raises(ValueError):
+            ShardConfig(start_method="threads")
+
+    def test_runtime_config_field(self):
+        config = RuntimeConfig(shard=ShardConfig(enabled=True, workers=2))
+        assert config.shard.workers == 2
+        with pytest.raises(TypeError):
+            RuntimeConfig(shard="sharded")
+        assert "ShardConfig" in RuntimeConfig().describe()["shard"]
+
+
+class TestShardContext:
+    def test_partition_is_total_and_disjoint(self):
+        fleet = [f"e-{i}" for i in range(50)]
+        contexts = [ShardContext(shards=4, index=i) for i in range(4)]
+        for entity_id in fleet:
+            owners = [c.index for c in contexts if c.owns(entity_id)]
+            assert owners == [shard_index(entity_id, 4)]
+
+    def test_coordinator_owns_nothing(self):
+        ctx = ShardContext(shards=4, index=None)
+        assert ctx.is_coordinator
+        assert not ctx.owns("e-1")
+
+    def test_single_shard_owns_everything(self):
+        ctx = ShardContext(shards=1, index=0)
+        assert all(ctx.owns(f"e-{i}") for i in range(20))
+
+
+class TestEquivalence:
+    """sharded-on == sharded-off, byte for byte."""
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        sensors=st.integers(min_value=1, max_value=14),
+        workers=st.integers(min_value=2, max_value=4),
+        seed=st.integers(min_value=0, max_value=2**16),
+        batch=st.booleans(),
+        cache=st.booleans(),
+    )
+    def test_sweeps_windows_and_events_match(
+        self, sensors, workers, seed, batch, cache
+    ):
+        def bootstrap(shard):
+            return PresenceBootstrap(
+                sensors=sensors,
+                seed=seed,
+                shard=shard,
+                batch=BatchConfig(enabled=batch, min_column=2),
+                cache=CacheConfig(enabled=cache),
+            )
+
+        publishes = [(f"s-{sensors // 2:03d}", True)]
+        queries = [f"s-{sensors - 1:03d}", "s-000"]
+        single = run_scenario(
+            bootstrap(ShardConfig(enabled=False)),
+            publishes=publishes,
+            queries=queries,
+        )
+        sharded = run_scenario(
+            bootstrap(ShardConfig(enabled=True, workers=workers)),
+            publishes=publishes,
+            queries=queries,
+        )
+        assert sharded == single
+
+    def test_workers_exceeding_fleet(self):
+        single = run_scenario(
+            PresenceBootstrap(sensors=2, shard=ShardConfig(enabled=False))
+        )
+        sharded = run_scenario(
+            PresenceBootstrap(
+                sensors=2, shard=ShardConfig(enabled=True, workers=4)
+            )
+        )
+        assert sharded == single
+
+    def test_spawn_start_method_smoke(self):
+        """The picklable library bootstrap survives spawn workers."""
+        baseline = SimulatedFleetBootstrap(
+            count=8, seed=5, shard=ShardConfig(enabled=False)
+        )
+        spawned = SimulatedFleetBootstrap(
+            count=8,
+            seed=5,
+            shard=ShardConfig(
+                enabled=True, workers=2, start_method="spawn"
+            ),
+        )
+
+        def zone_loads(bootstrap):
+            runtime = ShardedRuntime(bootstrap)
+            seen = []
+            runtime.app.bus.subscribe(
+                ("context", "ZoneLoad"),
+                lambda event: seen.append((event.value, event.timestamp)),
+            )
+            runtime.start()
+            try:
+                runtime.advance(120.0)
+            finally:
+                runtime.stop()
+            return seen
+
+        assert zone_loads(spawned) == zone_loads(baseline)
+
+
+class TestRouting:
+    def test_cross_shard_publish_reaches_every_shard_owner(self):
+        """Publishes route by entity hash and replay identically for
+        entities living on every different shard."""
+        sensors = 9
+        fleet = [f"s-{index:03d}" for index in range(sensors)]
+        workers = 3
+        by_shard = {}
+        for entity_id in fleet:
+            by_shard.setdefault(shard_index(entity_id, workers), entity_id)
+        assert len(by_shard) > 1  # the fleet really is spread out
+        publishes = [(entity_id, True) for entity_id in by_shard.values()]
+        single = run_scenario(
+            PresenceBootstrap(
+                sensors=sensors, shard=ShardConfig(enabled=False)
+            ),
+            publishes=publishes,
+        )
+        sharded = run_scenario(
+            PresenceBootstrap(
+                sensors=sensors,
+                shard=ShardConfig(enabled=True, workers=workers),
+            ),
+            publishes=publishes,
+        )
+        assert sharded == single
+        assert [e[0] for e in sharded["events"]] == list(by_shard.values())
+
+    def test_act_routes_to_owning_shard(self):
+        runtime = ShardedRuntime(
+            PresenceBootstrap(
+                sensors=6, shard=ShardConfig(enabled=True, workers=2)
+            )
+        )
+        runtime.start()
+        try:
+            assert runtime.act("s-004", "tag", label="x") == "s-004:x"
+        finally:
+            runtime.stop()
+
+    def test_unknown_entity_raises_through_router(self):
+        runtime = ShardedRuntime(
+            PresenceBootstrap(
+                sensors=3, shard=ShardConfig(enabled=True, workers=2)
+            )
+        )
+        runtime.start()
+        try:
+            with pytest.raises(BindingError):
+                runtime.query("nope", "presence")
+        finally:
+            runtime.stop()
+
+
+class TestLifecycle:
+    def test_double_start_raises(self):
+        runtime = ShardedRuntime(
+            PresenceBootstrap(sensors=3, shard=ShardConfig(enabled=False))
+        )
+        runtime.start()
+        try:
+            with pytest.raises(ShardError):
+                runtime.start()
+        finally:
+            runtime.stop()
+
+    def test_disabled_mode_spawns_no_workers(self):
+        before = multiprocessing.active_children()
+        runtime = ShardedRuntime(
+            PresenceBootstrap(sensors=3, shard=ShardConfig(enabled=False))
+        )
+        runtime.start()
+        try:
+            assert multiprocessing.active_children() == before
+            assert len(runtime.router) == 0
+            assert runtime.worker_stats() == []
+        finally:
+            runtime.stop()
+
+    def test_stop_reaps_workers(self):
+        runtime = ShardedRuntime(
+            PresenceBootstrap(
+                sensors=6, shard=ShardConfig(enabled=True, workers=2)
+            )
+        )
+        runtime.start()
+        children = [
+            p
+            for p in multiprocessing.active_children()
+            if p.name.startswith("repro-shard-")
+        ]
+        assert len(children) == 2
+        runtime.stop()
+        assert not any(p.is_alive() for p in children)
+        assert len(runtime.router) == 0
+
+    def test_worker_stats_shape(self):
+        runtime = ShardedRuntime(
+            PresenceBootstrap(
+                sensors=9, shard=ShardConfig(enabled=True, workers=3)
+            )
+        )
+        runtime.start()
+        try:
+            stats = runtime.worker_stats()
+            assert [s["shard"] for s in stats] == [0, 1, 2]
+            assert sum(s["bound_entities"] for s in stats) == 9
+        finally:
+            runtime.stop()
+
+
+class TestMetrics:
+    def test_shard_metric_families_exported(self):
+        runtime = ShardedRuntime(
+            PresenceBootstrap(
+                sensors=6, shard=ShardConfig(enabled=True, workers=2)
+            )
+        )
+        runtime.start()
+        try:
+            runtime.advance(PERIOD)
+            runtime.query("s-001", "presence")
+            runtime.publish("s-002", "presence", True)
+            rendered = runtime.app.metrics.render_prometheus()
+            for family in (
+                "shard_sweeps_total",
+                "shard_merge_pairs_total",
+                "shard_remote_reads_total",
+                "shard_workers",
+                "shard_commands_total",
+                "shard_events_routed_total",
+                "shard_publishes_forwarded_total",
+                "shard_errors_total",
+            ):
+                assert family in rendered
+            stats = runtime.stats()
+            assert stats["workers"] == 2
+            assert stats["sweeps"] >= 2
+            assert stats["remote_reads"] == 1
+            assert stats["router"]["publishes_forwarded"] == 1
+            assert stats["router"]["events_routed"] >= 1
+            assert stats["router"]["errors"] == 0
+        finally:
+            runtime.stop()
+
+
+@pytest.mark.skipif(os.name != "posix", reason="fork start method")
+class TestShardScalingShape:
+    """Tiny-scale sanity check of the benchmark's scaling claim: the
+    modeled gateway service time overlaps across worker processes."""
+
+    def test_workers_overlap_modeled_latency(self):
+        import time
+
+        def timed(workers):
+            bootstrap = SimulatedFleetBootstrap(
+                count=400,
+                service_time=0.001,
+                batch=True,
+                shard=ShardConfig(enabled=workers > 1, workers=workers),
+            )
+            runtime = ShardedRuntime(bootstrap)
+            runtime.start()
+            try:
+                start = time.perf_counter()
+                runtime.advance(60.0)
+                return time.perf_counter() - start
+            finally:
+                runtime.stop()
+
+        serial = timed(1)
+        sharded = timed(4)
+        # 400 devices x 1ms = 0.4s serial; 4 workers ~0.1s each.  Gate
+        # loosely — CI boxes are noisy — the real gate lives in
+        # benchmarks/bench_shard_scaling.py.
+        assert sharded < serial
