@@ -1,0 +1,184 @@
+"""Placement tier: edge-partitioned aggregation vs cloud-only gathering.
+
+Reproduced shape: the fog-continuum argument — when sensor readings
+must cross a wide-area uplink before aggregation, running map + map-side
+combine at the edge ships per-group partial aggregates instead of raw
+readings, cutting bytes-over-WAN and the modeled uplink completion time
+of every gathered context.
+
+Headline assertion (the PR acceptance bar, gated in the CI bench-smoke
+``placement`` job): over a 1 000-device fleet spread across 20 edge
+nodes with a WAN-latency edge→cloud hop, the edge split moves at least
+5x fewer bytes over the WAN than the cloud-only path and beats its p99
+modeled gathered-context uplink latency — while delivering identical
+context payloads.
+"""
+
+import json
+import os
+
+from repro.api import (
+    Application,
+    CallableDriver,
+    Context,
+    HopProfile,
+    NetworkConfig,
+    PlacementConfig,
+    RuntimeConfig,
+    analyze,
+)
+
+DEVICES = 1_000
+EDGE_NODES = 20
+PERIOD = 600.0
+SWEEPS = 3
+WAN = HopProfile(latency=0.08, bandwidth=1_000_000.0)
+ACCESS = HopProfile(latency=0.002)
+MIN_BYTE_CUT = 5.0
+ARTIFACT = os.environ.get("PLACEMENT_JSON")
+
+LOTS = tuple(f"L{index:02d}" for index in range(EDGE_NODES))
+
+DESIGN_TEMPLATE = """\
+device PresenceSensor {{
+    attribute parkingLot as LotEnum;
+    source presence as Boolean;
+}}
+enumeration LotEnum {{ {lots} }}
+
+context FreeCount as Integer{placement} {{
+    when periodic presence from PresenceSensor <10 min>
+    grouped by parkingLot
+    with map as Boolean reduce as Integer
+    always publish;
+}}
+"""
+
+
+class FreeCountImpl(Context):
+    """Associative count with a map-side combiner — the shape the edge
+    split compresses hardest: one partial per (node, lot) per sweep."""
+
+    def __init__(self):
+        super().__init__()
+        self.deliveries = []
+
+    def map(self, lot, presence, collector):
+        if not presence:
+            collector.emit_map(lot, 1)
+
+    def combine(self, lot, values, collector):
+        collector.emit_combine(lot, sum(values))
+
+    def reduce(self, lot, values, collector):
+        collector.emit_reduce(lot, sum(values))
+
+    def on_periodic_presence(self, by_lot, discover):
+        self.deliveries.append(dict(by_lot))
+        return sum(by_lot.values())
+
+
+def build(edge):
+    design = DESIGN_TEMPLATE.format(
+        lots=", ".join(LOTS), placement=" at edge" if edge else ""
+    )
+    config = RuntimeConfig(
+        network=NetworkConfig(hops={"access": ACCESS, "wan": WAN}),
+        placement=PlacementConfig(enabled=True),
+    )
+    app = Application(analyze(design), config)
+    free = app.implement("FreeCount", FreeCountImpl())
+    for index in range(DEVICES):
+        app.create_device(
+            "PresenceSensor",
+            f"s-{index:04d}",
+            CallableDriver(
+                sources={"presence": lambda i=index: i % 3 == 0}
+            ),
+            parkingLot=LOTS[index % EDGE_NODES],
+        )
+    app.start()
+    return app, free
+
+
+def run_mode(edge):
+    """WAN bytes and per-sweep modeled uplink latency for one mode."""
+    app, free = build(edge)
+    topology = app.network
+    latencies = []
+    shipped = 0
+    for __ in range(SWEEPS):
+        app.advance(PERIOD)
+        delta = app.stats["placement"]["wan_bytes"] - shipped
+        shipped += delta
+        # Modeled completion of this sweep's uplink: WAN propagation
+        # plus the sweep's whole payload through the WAN bottleneck.
+        latencies.append(topology.transit_time(("wan",), delta))
+    latencies.sort()
+    p99 = latencies[min(len(latencies) - 1, int(len(latencies) * 0.99))]
+    stats = app.stats["placement"]
+    app.stop()
+    return {
+        "wan_bytes": shipped,
+        "p99_uplink_s": p99,
+        "partials": stats["partials_sent"],
+        "raw": stats["raw_readings"],
+        "edge_nodes": stats["edge_nodes"],
+        "deliveries": free.deliveries,
+    }
+
+
+def test_edge_split_cuts_wan_traffic(table, benchmark):
+    def run_series():
+        return run_mode(edge=False), run_mode(edge=True)
+
+    cloud, edge = benchmark.pedantic(run_series, rounds=1, iterations=1)
+    assert edge["deliveries"] == cloud["deliveries"]  # identical payloads
+    assert edge["edge_nodes"] == EDGE_NODES
+    byte_cut = cloud["wan_bytes"] / edge["wan_bytes"]
+    rows = [
+        (
+            "cloud-only",
+            cloud["raw"],
+            cloud["wan_bytes"],
+            f"{cloud['p99_uplink_s'] * 1000:.1f}",
+            "1.0x",
+        ),
+        (
+            "edge-split",
+            edge["partials"],
+            edge["wan_bytes"],
+            f"{edge['p99_uplink_s'] * 1000:.1f}",
+            f"{byte_cut:.1f}x",
+        ),
+    ]
+    table(
+        f"Placement: {DEVICES} devices, {EDGE_NODES} edge nodes, "
+        f"WAN {WAN.latency * 1000:.0f} ms / "
+        f"{WAN.bandwidth / 1e6:.0f} MB/s",
+        ("mode", "wan msgs", "wan bytes", "p99 uplink ms", "byte cut"),
+        rows,
+    )
+    if ARTIFACT:
+        with open(ARTIFACT, "w") as handle:
+            json.dump(
+                {
+                    "devices": DEVICES,
+                    "edge_nodes": EDGE_NODES,
+                    "byte_cut": round(byte_cut, 2),
+                    "cloud_p99_uplink_s": round(cloud["p99_uplink_s"], 6),
+                    "edge_p99_uplink_s": round(edge["p99_uplink_s"], 6),
+                },
+                handle,
+                indent=2,
+                sort_keys=True,
+            )
+            handle.write("\n")
+    assert byte_cut >= MIN_BYTE_CUT, (
+        f"edge split cut WAN bytes only {byte_cut:.1f}x, below the "
+        f"{MIN_BYTE_CUT:.0f}x acceptance bar"
+    )
+    assert edge["p99_uplink_s"] < cloud["p99_uplink_s"], (
+        "edge split failed to beat the cloud-only p99 modeled uplink "
+        "latency"
+    )

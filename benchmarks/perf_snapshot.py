@@ -232,12 +232,39 @@ def measure_query_cache() -> dict:
     return {"speedup": round(uncached_s / cached_s, 2)}
 
 
+def measure_placement() -> dict:
+    """The placement-tier scenario: WAN byte cut, fully deterministic.
+
+    The modeled network makes every number structural — bytes shipped,
+    partials sent, the byte-cut ratio and both modeled p99 uplink
+    latencies repeat exactly run to run — so the whole section gates
+    exactly.
+    """
+    from bench_placement import DEVICES, EDGE_NODES, run_mode
+
+    cloud = run_mode(edge=False)
+    edge = run_mode(edge=True)
+    if edge["deliveries"] != cloud["deliveries"]:
+        raise AssertionError("edge deliveries diverged from cloud-only")
+    return {
+        "devices": DEVICES,
+        "edge_nodes": EDGE_NODES,
+        "cloud_wan_bytes": cloud["wan_bytes"],
+        "edge_wan_bytes": edge["wan_bytes"],
+        "byte_cut": round(cloud["wan_bytes"] / edge["wan_bytes"], 2),
+        "edge_beats_cloud_p99": (
+            edge["p99_uplink_s"] < cloud["p99_uplink_s"]
+        ),
+    }
+
+
 SECTIONS = {
     "batch_read": measure_batch_read,
     "scale_10k": measure_scale_10k,
     "delivery_plans": measure_delivery_plans,
     "query_cache": measure_query_cache,
     "shard_scaling": measure_shard_scaling,
+    "placement": measure_placement,
 }
 
 
@@ -261,6 +288,14 @@ EXACT = {
     ),
     "delivery_plans": ("publishes", "compiles", "hits", "invalidations"),
     "shard_scaling": ("devices", "workers", "sweeps_identical"),
+    "placement": (
+        "devices",
+        "edge_nodes",
+        "cloud_wan_bytes",
+        "edge_wan_bytes",
+        "byte_cut",
+        "edge_beats_cloud_p99",
+    ),
 }
 RATIOS = {
     "batch_read": ("speedup_serial", "speedup_threaded"),

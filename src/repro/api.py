@@ -44,6 +44,12 @@ The surface, by concern:
   ``shard=`` on the runtime config), :class:`ShardContext`,
   :class:`ShardBootstrap`, :class:`ShardedRuntime`,
   :class:`SimulatedFleetBootstrap`, and the typed :class:`ShardError`;
+* **Network & placement** — :class:`NetworkConfig` (the frozen network
+  section of the runtime config), the models it builds
+  (:class:`NetworkConditions`, :class:`TopologyModel`,
+  :class:`HopProfile`), and the edge/cloud continuum
+  (:class:`PlacementConfig`, :class:`Tier`, :class:`EdgeNode`,
+  :class:`EntityPlacement`, and the typed :class:`PlacementError`);
 * **Observability** — :class:`MetricsRegistry`, :class:`Tracer`;
 * **Deployment descriptors** — :class:`DeploymentDescriptor`,
   :class:`DriverCatalog`, :func:`load_descriptor`,
@@ -52,7 +58,7 @@ The surface, by concern:
 
 from __future__ import annotations
 
-from repro.errors import ContextNotQueryableError, ShardError
+from repro.errors import ContextNotQueryableError, PlacementError, ShardError
 from repro.faults.chaos import ChaosInjector, FaultEvent, FaultPlan
 from repro.faults.policy import StalePolicy, SupervisionPolicy
 from repro.mapreduce.api import MapReduce
@@ -80,6 +86,13 @@ from repro.runtime.descriptor import (
     load_descriptor,
 )
 from repro.runtime.device import CallableDriver, DeviceDriver, DeviceInstance
+from repro.runtime.placement import (
+    EdgeNode,
+    EntityPlacement,
+    NetworkConfig,
+    PlacementConfig,
+    Tier,
+)
 from repro.runtime.plan import BatchConfig, DeliveryPlanner
 from repro.runtime.shard import (
     ShardBootstrap,
@@ -90,6 +103,11 @@ from repro.runtime.shard import (
 )
 from repro.runtime.sweep import SweepConfig, SweepEngine
 from repro.runtime.tracing import Tracer
+from repro.simulation.network import (
+    HopProfile,
+    NetworkConditions,
+    TopologyModel,
+)
 from repro.sema.analyzer import AnalyzedSpec, analyze
 from repro.telemetry import MetricsRegistry
 
@@ -110,11 +128,18 @@ __all__ = [
     "DeviceDriver",
     "DeviceInstance",
     "DriverCatalog",
+    "EdgeNode",
+    "EntityPlacement",
     "FaultEvent",
     "FaultPlan",
     "GatherReading",
+    "HopProfile",
     "MapReduce",
     "MetricsRegistry",
+    "NetworkConditions",
+    "NetworkConfig",
+    "PlacementConfig",
+    "PlacementError",
     "ProcessExecutor",
     "Publishable",
     "ReadCache",
@@ -133,6 +158,8 @@ __all__ = [
     "SweepConfig",
     "SweepEngine",
     "ThreadExecutor",
+    "Tier",
+    "TopologyModel",
     "Tracer",
     "WallClock",
     "analyze",

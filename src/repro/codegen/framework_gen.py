@@ -94,6 +94,8 @@ class _FrameworkGenerator:
         e.line("    Controller,")
         e.line("    DeviceDriver,")
         e.line("    MapReduce,")
+        e.line("    NetworkConfig,")
+        e.line("    PlacementConfig,")
         e.line("    Publishable,")
         e.line("    RuntimeConfig,")
         e.line("    ShardConfig,")
@@ -580,6 +582,7 @@ class _FrameworkGenerator:
             e.line("def __init__(self, clock=None, mapreduce_executor=None,")
             e.line("             streaming_windows=True, sweep=None,")
             e.line("             cache=None, batch=None, shard=None,")
+            e.line("             network=None, placement=None,")
             e.line("             config=None):")
             with e.indented():
                 e.line("self.design = DESIGN")
@@ -597,6 +600,10 @@ class _FrameworkGenerator:
                        " else BatchConfig(),")
                 e.line("        shard=shard if shard is not None"
                        " else ShardConfig(),")
+                e.line("        network=network if network is not None"
+                       " else NetworkConfig(),")
+                e.line("        placement=placement if placement is not None"
+                       " else PlacementConfig(),")
                 e.line("    )")
                 e.line("self.application = Application(DESIGN, config)")
             e.blank()

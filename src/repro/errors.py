@@ -138,6 +138,27 @@ class ShardError(RuntimeOrchestrationError):
         super().__init__(message)
 
 
+class PlacementError(RuntimeOrchestrationError):
+    """The edge/cloud placement tier was misconfigured or misused.
+
+    Raised when an entity cannot be assigned to an edge node (missing
+    edge attribute, attribute value owned by no declared node, unknown
+    node id in a deployment descriptor) or when a placement tier name
+    is not one of the continuum tiers.  Carries the offending
+    ``entity_id`` and/or ``node`` when the failure identified them.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        entity_id: Optional[str] = None,
+        node: Optional[str] = None,
+    ):
+        self.entity_id = entity_id
+        self.node = node
+        super().__init__(message)
+
+
 class ActuationError(RuntimeOrchestrationError):
     """An action could not be issued to a device."""
 

@@ -250,12 +250,20 @@ class ContextDecl:
     ``expect deadline <50 ms>;`` body clause (§VI: quality-of-service as a
     design-level dimension, citing [15]): the runtime monitors activation
     durations against it.
+
+    ``placement`` is the optional ``at edge`` / ``at cloud`` continuum
+    annotation (``context Average as Float at edge { ... }``): where the
+    runtime's placement tier executes the context's aggregation.  Kept
+    as the annotation string — tier semantics live in
+    ``repro.runtime.placement``, which the language layer must not
+    import.
     """
 
     name: str
     type_name: str
     interactions: Tuple[Interaction, ...] = ()
     deadline: Optional[Duration] = None
+    placement: Optional[str] = None
 
     @property
     def is_queryable(self) -> bool:

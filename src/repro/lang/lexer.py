@@ -40,6 +40,7 @@ KEYWORDS = frozenset(
         "action",
         "always",
         "as",
+        "at",
         "attribute",
         "by",
         "context",

@@ -16,7 +16,8 @@ The grammar, in EBNF (keywords quoted)::
     enumeration := "enumeration" IDENT "{" IDENT ("," IDENT)* [","] "}"
     structure   := "structure" IDENT "{" (IDENT "as" type ";")* "}"
 
-    context     := "context" IDENT "as" type "{" interaction* "}"
+    context     := "context" IDENT "as" type ["at" ("edge" | "cloud")]
+                   "{" interaction* "}"
     interaction := "when" "required" ";"
                  | "when" "provided" IDENT "from" IDENT tail ";"
                  | "when" "periodic" IDENT "from" IDENT duration tail ";"
@@ -318,6 +319,9 @@ class _Parser:
         name = self._expect_ident()
         self._expect_keyword("as")
         type_name = self._type_name()
+        placement = None
+        if self._check_keyword("at"):
+            placement = self._placement_tier()
         self._expect(TokenKind.LBRACE)
         interactions: List[Interaction] = []
         deadline = None
@@ -327,7 +331,24 @@ class _Parser:
                 continue
             interactions.append(self._interaction())
         self._expect(TokenKind.RBRACE)
-        return ContextDecl(name, type_name, tuple(interactions), deadline)
+        return ContextDecl(
+            name, type_name, tuple(interactions), deadline, placement
+        )
+
+    def _placement_tier(self) -> str:
+        """``at edge`` / ``at cloud`` — tier names are contextual
+        identifiers, not keywords, so devices named ``edge`` stay
+        legal."""
+        token = self._current
+        self._expect_keyword("at")
+        tier = self._expect_ident()
+        if tier not in ("edge", "cloud"):
+            raise DiaSpecSyntaxError(
+                f"expected placement tier 'edge' or 'cloud', got '{tier}'",
+                line=token.line,
+                column=token.column,
+            )
+        return tier
 
     def _deadline_clause(self, existing) -> "Duration":
         """``expect deadline <50 ms>;`` inside a context/controller body."""

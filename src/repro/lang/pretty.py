@@ -90,7 +90,10 @@ def _action(action: ActionDecl) -> str:
 
 
 def _context(context: ContextDecl) -> str:
-    lines = [f"context {context.name} as {context.type_name} {{"]
+    header = f"context {context.name} as {context.type_name}"
+    if context.placement is not None:
+        header += f" at {context.placement}"
+    lines = [header + " {"]
     if context.deadline is not None:
         lines.append(f"{_INDENT}expect deadline {context.deadline};")
         if context.interactions:

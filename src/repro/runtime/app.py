@@ -34,6 +34,7 @@ from repro.errors import (
     ComponentError,
     ContextNotQueryableError,
     DeliveryError,
+    PlacementError,
     RuntimeOrchestrationError,
 )
 from repro.lang.ast_nodes import (
@@ -66,8 +67,10 @@ from repro.runtime.grouping import (
     group_readings,
     group_readings_planned,
 )
+from repro.runtime.placement import PlacementExecutor
 from repro.runtime.plan import DeliveryPlanner
 from repro.runtime.proxies import make_proxy
+from repro.simulation.network import TopologyModel
 from repro.runtime.qos import QoSMonitor
 from repro.runtime.registry import EntityRegistry
 from repro.runtime.sweep import SweepEngine
@@ -132,8 +135,10 @@ class Application:
         self.config = config
         self.design = design
         self.name = config.name
-        self.network = config.network
-        self.apply_network_to_reads = config.apply_network_to_reads
+        # A NetworkConfig builds a fresh stateful model per application
+        # (single hop or fog topology); legacy pre-built instances pass
+        # through for one release.
+        self.network, self.apply_network_to_reads = config.build_network()
         self.error_policy = config.error_policy
         # Streaming fast path: contexts declaring ``every <window>`` with
         # MapReduce fold deliveries incrementally instead of buffering
@@ -155,6 +160,12 @@ class Application:
         )
         self.bus = EventBus(metrics=self.metrics)
         self.registry = EntityRegistry(metrics=self.metrics)
+        if self.network is not None and callable(
+            getattr(self.network, "attach_metrics", None)
+        ):
+            # Network delivery counters join app.metrics like every
+            # other layer (per-hop series too, for a topology).
+            self.network.attach_metrics(self.metrics)
         self.mapreduce = MapReduceEngine(
             config.mapreduce_executor, self.metrics
         )
@@ -226,6 +237,29 @@ class Application:
         # coordinator instead of sweeping the local registry.  ``None``
         # keeps the local single-process path byte-identical.
         self._gather_delegate: Optional[Callable[[Any, Any], Any]] = None
+        # Placement tier (repro.runtime.placement): edge-local
+        # map+combine for grouped MapReduce gathers plus WAN byte
+        # accounting.  ``None`` keeps every gather cloud-only and
+        # byte-identical to the placement-less runtime.
+        self.placement: Optional[PlacementExecutor] = (
+            PlacementExecutor(
+                config.placement, self.network, metrics=self.metrics
+            )
+            if config.placement.enabled
+            else None
+        )
+        # id(interaction) -> True for periodic interactions that run
+        # the edge split (resolved once; the design is immutable, so
+        # the same interaction objects flow through _collect_payload
+        # and the shard workers alike).
+        self._edge_interactions: set = set()
+        if self.placement is not None:
+            for info in design.contexts.values():
+                for interaction in info.decl.interactions:
+                    if isinstance(
+                        interaction, WhenPeriodic
+                    ) and self.placement.splits(info.decl, interaction):
+                        self._edge_interactions.add(id(interaction))
         self.discover = Discover(design, self.registry, self.query_context)
         self.started = False
         self._implementations: Dict[str, Component] = {}
@@ -346,6 +380,20 @@ class Application:
             self.read_cache.invalidate(entity_id)
         return instance
 
+    def assign_edge_node(self, entity_id: str, node_id: str) -> None:
+        """Pin an entity to an edge node (descriptor ``placement:``).
+
+        Explicit assignments win over attribute-based node ownership;
+        requires the placement tier to be enabled."""
+        if self.placement is None:
+            raise PlacementError(
+                "placement tier is disabled; enable it with "
+                "RuntimeConfig(placement=PlacementConfig(enabled=True))",
+                entity_id=entity_id,
+                node=node_id,
+            )
+        self.placement.assign(entity_id, node_id)
+
     def implementation(self, name: str) -> Component:
         try:
             return self._implementations[name]
@@ -439,6 +487,17 @@ class Application:
             ),
             "plan": (
                 self.planner.stats() if self.planner is not None else None
+            ),
+            "placement": (
+                self.placement.stats()
+                if self.placement is not None
+                else None
+            ),
+            "network": (
+                self.network.stats()
+                if self.network is not None
+                and callable(getattr(self.network, "stats", None))
+                else None
             ),
             "context_cache_hits": dict(self._context_cache_hits),
             "context_activations": dict(self._context_activations),
@@ -874,17 +933,17 @@ class Application:
         logic inside each worker process over its registry shard — while
         windowing, payload memoization and delivery stay with the
         caller."""
-        lossy_reads = self.network is not None and self.apply_network_to_reads
+        sampler = self._read_sampler(interaction)
         outcomes = self.sweeper.sweep(
             interaction.device,
             functools.partial(
-                self._gather_read, interaction.source, lossy_reads
+                self._gather_read, interaction.source, sampler
             ),
             read_column=(
                 functools.partial(
                     self._gather_read_column,
                     interaction.source,
-                    lossy_reads,
+                    sampler,
                 )
                 if self._columnar_reads
                 else None
@@ -892,11 +951,26 @@ class Application:
         )
         readings = self._fold_read_outcomes(outcomes, interaction.source)
         group = interaction.group
+        placement = self.placement
         if group is None:
+            if placement is not None:
+                placement.account_cloud(readings)
             return [
                 GatherReading(make_proxy(instance), value)
                 for instance, value in readings
             ]
+        if placement is not None:
+            if id(interaction) in self._edge_interactions:
+                # Edge split: map + map-side combine run per edge node,
+                # only per-group partials transit the WAN hop, and the
+                # engine's coordinator-side final reduce merges them.
+                return placement.run_edge(
+                    self.mapreduce,
+                    implementation,
+                    readings,
+                    group.attribute,
+                )
+            placement.account_cloud(readings)
         if self.planner is not None:
             grouped = group_readings_planned(
                 readings,
@@ -931,20 +1005,45 @@ class Application:
                         readings.append((instance, stale[0]))
         return readings
 
-    def _gather_read(self, source, lossy, instance):
+    def _read_sampler(self, interaction) -> Optional[Callable[[], bool]]:
+        """Zero-arg survival sampler for this gather's polled reads.
+
+        ``None`` when reads are reliable (no network, or loss not
+        applied to reads).  Under a topology, an edge-placed gather
+        samples only the device→edge access hop — its raw readings
+        never touch the WAN — while cloud-placed gathers sample the
+        whole path.  Zero-loss hops draw no randomness either way."""
+        if self.network is None or not self.apply_network_to_reads:
+            return None
+        network = self.network
+        if isinstance(network, TopologyModel):
+            if (
+                self.placement is not None
+                and id(interaction) in self._edge_interactions
+            ):
+                access = self.config.placement.access_hop
+                if access not in network.hop_names:
+                    return None
+                return functools.partial(
+                    network.sample_read_ok, (access,)
+                )
+            return network.sample_read_ok
+        return network.sample_read_ok
+
+    def _gather_read(self, source, sampler, instance):
         """Poll one instance inside a sweep (possibly on a pool thread).
 
         Returns an ``(outcome, payload)`` pair instead of mutating
         counters, so the sweep engine can run it concurrently and the
         caller folds outcomes deterministically in registry order."""
-        if lossy and not self.network.sample_read_ok():
+        if sampler is not None and not sampler():
             return (_READ_DROPPED, None)
         try:
             return (_READ_OK, instance.read(source))
         except DeliveryError as exc:
             return (_READ_FAILED, exc)
 
-    def _gather_read_column(self, source, lossy, instances):
+    def _gather_read_column(self, source, sampler, instances):
         """Columnar shard read: cohorts, batch reads, scalar demotion.
 
         Produces the same ``(outcome, payload)`` column the scalar path
@@ -962,7 +1061,7 @@ class Application:
         scalar: List[int] = []
         cache = self.read_cache
         for position, instance in enumerate(instances):
-            if lossy and not self.network.sample_read_ok():
+            if sampler is not None and not sampler():
                 results[position] = (_READ_DROPPED, None)
                 continue
             if instance.failed:
@@ -998,7 +1097,7 @@ class Application:
             scalar.sort()
             for position in scalar:
                 results[position] = self._gather_read(
-                    source, False, instances[position]
+                    source, None, instances[position]
                 )
         return results
 

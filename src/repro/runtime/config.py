@@ -24,11 +24,13 @@ that folds the keywords into a config and emits a
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Optional, TYPE_CHECKING
+from typing import Any, Dict, Mapping, Optional, Tuple, TYPE_CHECKING
 
 from repro.faults.policy import StalePolicy, SupervisionPolicy
 from repro.runtime.cache import CacheConfig
+from repro.runtime.placement import NetworkConfig, PlacementConfig
 from repro.runtime.plan import BatchConfig
 from repro.runtime.shard import ShardConfig
 from repro.runtime.sweep import SweepConfig
@@ -40,6 +42,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, hints only
 __all__ = [
     "BatchConfig",
     "CacheConfig",
+    "NetworkConfig",
+    "PlacementConfig",
     "RuntimeConfig",
     "ShardConfig",
     "SweepConfig",
@@ -59,8 +63,12 @@ class RuntimeConfig:
       :class:`~repro.runtime.clock.SimulationClock`.
     * ``mapreduce_executor`` — executor for ``with map ... reduce ...``
       contexts (serial when ``None``).
-    * ``network`` / ``apply_network_to_reads`` — simulated network
-      conditions for event delivery and (optionally) gathering reads.
+    * ``network`` — a frozen :class:`NetworkConfig` describing the
+      simulated delivery conditions (single hop or multi-hop fog
+      topology); the application builds a fresh stateful model from it.
+      Passing a pre-built ``NetworkConditions`` instance (the legacy
+      form, together with ``apply_network_to_reads``) still works for
+      one release with a :class:`DeprecationWarning`.
     * ``error_policy`` — ``'raise'`` propagates component failures,
       ``'isolate'`` contains them (see ``Application._run_component``).
     * ``streaming_windows`` — incremental window accumulation fast path.
@@ -94,6 +102,11 @@ class RuntimeConfig:
       process per shard, cross-shard event routing); disabled by
       default, which keeps the runtime single-process and
       byte-identical to the unsharded code path.
+    * ``placement`` — :class:`~repro.runtime.placement.PlacementConfig`
+      governing the edge/cloud placement tier (edge-local map+combine
+      for grouped MapReduce gathers, WAN byte accounting); disabled by
+      default, which keeps every gather cloud-only and byte-identical
+      to the placement-less runtime.
     """
 
     clock: Optional["Clock"] = None
@@ -114,12 +127,32 @@ class RuntimeConfig:
     cache: CacheConfig = CacheConfig()
     batch: BatchConfig = BatchConfig()
     shard: ShardConfig = ShardConfig()
+    placement: PlacementConfig = PlacementConfig()
 
     def __post_init__(self):
         if self.error_policy not in ERROR_POLICIES:
             raise ValueError(
                 f"error_policy must be one of {ERROR_POLICIES}"
             )
+        if self.network is not None and not isinstance(
+            self.network, NetworkConfig
+        ):
+            warnings.warn(
+                "RuntimeConfig(network=<model instance>) is deprecated; "
+                "pass a frozen NetworkConfig (the application builds "
+                "the model)",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        if self.apply_network_to_reads:
+            warnings.warn(
+                "RuntimeConfig(apply_network_to_reads=...) is "
+                "deprecated; use NetworkConfig(apply_to_reads=True)",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        if not isinstance(self.placement, PlacementConfig):
+            raise TypeError("placement must be a PlacementConfig")
         if not isinstance(self.sweep, SweepConfig):
             raise TypeError("sweep must be a SweepConfig")
         if not isinstance(self.cache, CacheConfig):
@@ -138,6 +171,22 @@ class RuntimeConfig:
     def replace(self, **changes: Any) -> "RuntimeConfig":
         """A copy with ``changes`` applied (frozen-dataclass idiom)."""
         return dataclasses.replace(self, **changes)
+
+    def build_network(self) -> Tuple[Any, bool]:
+        """The ``(model, apply_to_reads)`` pair an application attaches.
+
+        A :class:`NetworkConfig` builds a fresh stateful model (or
+        ``None`` when inert); a legacy pre-built instance passes
+        through unchanged with the deprecated
+        ``apply_network_to_reads`` flag.
+        """
+        network = self.network
+        if isinstance(network, NetworkConfig):
+            return (
+                network.build(),
+                network.apply_to_reads or self.apply_network_to_reads,
+            )
+        return network, self.apply_network_to_reads
 
     def supervised(self) -> bool:
         """Is any device type supervised under this configuration?"""
@@ -184,6 +233,8 @@ class RuntimeConfig:
                     CacheConfig,
                     BatchConfig,
                     ShardConfig,
+                    PlacementConfig,
+                    NetworkConfig,
                 ),
             ):
                 summary[f.name] = repr(value)

@@ -22,17 +22,51 @@ to an application without code.
 
 Driver names resolve through a :class:`DriverCatalog` of factories, the
 code-side counterpart of the descriptor.
+
+A descriptor may also carry the *where* of a deployment: a ``topology``
+section describing the device→edge→cloud path and the edge nodes of the
+site, and a per-entity ``placement`` record pinning an entity to a tier
+and node::
+
+    {
+      "name": "downtown-pilot",
+      "topology": {
+        "seed": 7,
+        "edge_attribute": "parkingLot",
+        "hops": {"access": {"latency": 0.002},
+                 "wan": {"latency": 0.08, "bandwidth": 1000000.0}},
+        "edge_nodes": [{"id": "cab-A22", "values": ["A22"]}]
+      },
+      "entities": [
+        {"type": "PresenceSensor", "id": "s-A22-0", "driver": "presence",
+         "attributes": {"parkingLot": "A22"},
+         "placement": {"tier": "edge", "node": "cab-A22"}}
+      ]
+    }
+
+:meth:`DeploymentDescriptor.network_config` and
+:meth:`DeploymentDescriptor.placement_config` turn the topology section
+into the frozen config objects :class:`repro.runtime.config.RuntimeConfig`
+expects, so one JSON file describes both the fleet and the continuum it
+runs on.
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
-from repro.errors import BindingError
+from repro.errors import BindingError, PlacementError
 from repro.runtime.binding import BindingTime, Deployment
 from repro.runtime.device import DeviceDriver, DeviceInstance
+from repro.runtime.placement import (
+    EdgeNode,
+    EntityPlacement,
+    NetworkConfig,
+    PlacementConfig,
+)
+from repro.simulation.network import HopProfile
 
 
 class DriverCatalog:
@@ -74,6 +108,33 @@ class EntityRecord:
     attributes: Dict[str, Any] = field(default_factory=dict)
     config: Dict[str, Any] = field(default_factory=dict)
     binding: BindingTime = BindingTime.DEPLOYMENT
+    placement: Optional[EntityPlacement] = None
+
+
+@dataclass(frozen=True)
+class TopologySection:
+    """The parsed ``topology`` section of a descriptor."""
+
+    hops: Tuple[Tuple[str, HopProfile], ...] = ()
+    edge_nodes: Tuple[EdgeNode, ...] = ()
+    edge_attribute: Optional[str] = None
+    seed: int = 0
+
+    def network_config(self, **overrides: Any) -> NetworkConfig:
+        """Build the :class:`NetworkConfig` this topology describes."""
+        settings: Dict[str, Any] = {"hops": self.hops, "seed": self.seed}
+        settings.update(overrides)
+        return NetworkConfig(**settings)
+
+    def placement_config(self, **overrides: Any) -> PlacementConfig:
+        """Build an enabled :class:`PlacementConfig` for this site."""
+        settings: Dict[str, Any] = {
+            "enabled": True,
+            "edge_nodes": self.edge_nodes,
+            "edge_attribute": self.edge_attribute,
+        }
+        settings.update(overrides)
+        return PlacementConfig(**settings)
 
 
 @dataclass(frozen=True)
@@ -82,6 +143,7 @@ class DeploymentDescriptor:
 
     name: str
     entities: tuple
+    topology: Optional[TopologySection] = None
 
     @property
     def entity_count(self) -> int:
@@ -89,6 +151,94 @@ class DeploymentDescriptor:
 
     def by_binding(self, when: BindingTime) -> List[EntityRecord]:
         return [e for e in self.entities if e.binding is when]
+
+    def network_config(self, **overrides: Any) -> Optional[NetworkConfig]:
+        if self.topology is None:
+            return None
+        return self.topology.network_config(**overrides)
+
+    def placement_config(self, **overrides: Any) -> Optional[PlacementConfig]:
+        if self.topology is None:
+            return None
+        return self.topology.placement_config(**overrides)
+
+
+_HOP_FIELDS = ("latency", "jitter", "loss", "bandwidth")
+
+
+def _parse_topology(raw: Any) -> TopologySection:
+    if not isinstance(raw, dict):
+        raise BindingError("'topology' must be a JSON object")
+    raw_hops = raw.get("hops", {})
+    if not isinstance(raw_hops, dict):
+        raise BindingError("topology 'hops' must be an object of profiles")
+    hops = []
+    for hop_name, settings in raw_hops.items():
+        where = f"topology hop '{hop_name}'"
+        if not isinstance(settings, dict):
+            raise BindingError(f"{where}: profile must be an object")
+        unknown = sorted(set(settings) - set(_HOP_FIELDS))
+        if unknown:
+            raise BindingError(
+                f"{where}: unknown profile fields {unknown} "
+                f"(expected any of: {', '.join(_HOP_FIELDS)})"
+            )
+        try:
+            profile = HopProfile(**settings)
+        except (TypeError, ValueError) as exc:
+            raise BindingError(f"{where}: {exc}") from None
+        hops.append((hop_name, profile))
+
+    raw_nodes = raw.get("edge_nodes", [])
+    if not isinstance(raw_nodes, list):
+        raise BindingError("topology 'edge_nodes' must be a list")
+    nodes = []
+    for index, entry in enumerate(raw_nodes):
+        where = f"topology edge_nodes[{index}]"
+        if not isinstance(entry, dict) or "id" not in entry:
+            raise BindingError(f"{where}: entries must be objects with 'id'")
+        values = entry.get("values", ())
+        if not isinstance(values, (list, tuple)):
+            raise BindingError(f"{where}: 'values' must be a list")
+        nodes.append(EdgeNode(entry["id"], tuple(values)))
+
+    edge_attribute = raw.get("edge_attribute")
+    if edge_attribute is not None and not isinstance(edge_attribute, str):
+        raise BindingError("topology 'edge_attribute' must be a string")
+    seed = raw.get("seed", 0)
+    if not isinstance(seed, int) or isinstance(seed, bool):
+        raise BindingError("topology 'seed' must be an integer")
+    return TopologySection(
+        hops=tuple(hops),
+        edge_nodes=tuple(nodes),
+        edge_attribute=edge_attribute,
+        seed=seed,
+    )
+
+
+def _parse_placement(
+    where: str, raw: Any, entity_id: str, node_ids: set
+) -> EntityPlacement:
+    if not isinstance(raw, dict):
+        raise BindingError(f"{where}: 'placement' must be an object")
+    unknown = sorted(set(raw) - {"tier", "node"})
+    if unknown:
+        raise BindingError(
+            f"{where}: unknown placement fields {unknown} "
+            "(expected 'tier' and/or 'node')"
+        )
+    node = raw.get("node")
+    if node is not None and not isinstance(node, str):
+        raise BindingError(f"{where}: placement 'node' must be a string")
+    if node is not None and node_ids and node not in node_ids:
+        raise PlacementError(
+            f"{where}: placement node '{node}' is not a declared edge "
+            f"node (declared: {', '.join(sorted(node_ids))})",
+            entity_id=entity_id,
+            node=node,
+        )
+    # Tier.parse raises a typed PlacementError on unknown tier names.
+    return EntityPlacement(tier=raw.get("tier", "device"), node=node)
 
 
 def load_descriptor(
@@ -107,6 +257,13 @@ def load_descriptor(
     raw_entities = data.get("entities")
     if not isinstance(raw_entities, list):
         raise BindingError("descriptor needs an 'entities' list")
+
+    topology = None
+    if "topology" in data:
+        topology = _parse_topology(data["topology"])
+    node_ids = (
+        {node.node_id for node in topology.edge_nodes} if topology else set()
+    )
 
     entities = []
     seen_ids = set()
@@ -130,6 +287,11 @@ def load_descriptor(
                 f"{where}: unknown binding time '{binding_name}' "
                 f"(expected one of: {valid})"
             ) from None
+        placement = None
+        if "placement" in raw:
+            placement = _parse_placement(
+                where, raw["placement"], entity_id, node_ids
+            )
         entities.append(
             EntityRecord(
                 device_type=raw["type"],
@@ -138,10 +300,13 @@ def load_descriptor(
                 attributes=dict(raw.get("attributes", {})),
                 config=dict(raw.get("config", {})),
                 binding=binding,
+                placement=placement,
             )
         )
     return DeploymentDescriptor(
-        name=data.get("name", "deployment"), entities=tuple(entities)
+        name=data.get("name", "deployment"),
+        entities=tuple(entities),
+        topology=topology,
     )
 
 
@@ -180,4 +345,10 @@ def apply_descriptor(
     deployment = Deployment(application)
     for record, instance in instances:
         deployment.stage(instance, record.binding)
+    if getattr(application, "placement", None) is not None:
+        for record, _ in instances:
+            if record.placement is not None and record.placement.node:
+                application.assign_edge_node(
+                    record.entity_id, record.placement.node
+                )
     return deployment

@@ -335,14 +335,14 @@ class _ShardWorker:
         app = self.app
         interaction = app.design.contexts[name].decl.interactions[index]
         source = interaction.source
-        lossy = app.network is not None and app.apply_network_to_reads
+        sampler = app._read_sampler(interaction)
         dropped_before = app._gather_network_dropped
         failed_before = app._gather_read_failed
         outcomes = app.sweeper.sweep(
             interaction.device,
-            functools.partial(app._gather_read, source, lossy),
+            functools.partial(app._gather_read, source, sampler),
             read_column=(
-                functools.partial(app._gather_read_column, source, lossy)
+                functools.partial(app._gather_read_column, source, sampler)
                 if app._columnar_reads
                 else None
             ),
@@ -919,9 +919,14 @@ class ShardedRuntime(Instrumented):
         for reply in polls:
             self._replay_events(reply["events"])
         kind = polls[0]["kind"]
+        placement = app.placement
         if kind == "flat":
             rows = [row for reply in polls for row in reply["data"]]
             rows.sort(key=lambda row: row[0])
+            if placement is not None:
+                # Shards are cloud-side for ungrouped gathers: every
+                # raw reading crossed the continuum.
+                placement.account_cloud([(None, row[4]) for row in rows])
             return [
                 GatherReading(
                     self._proxy_for(type_name, entity_id, attributes),
@@ -932,6 +937,8 @@ class ShardedRuntime(Instrumented):
         if kind == "grouped":
             rows = [row for reply in polls for row in reply["data"]]
             rows.sort(key=lambda row: row[0])
+            if placement is not None:
+                placement.account_cloud([(None, row[2]) for row in rows])
             grouped: Dict[Any, List[Any]] = {}
             for __, key, value in rows:
                 grouped.setdefault(key, []).append(value)
@@ -950,6 +957,12 @@ class ShardedRuntime(Instrumented):
         for reply in maps:
             self._replay_events(reply["events"])
         tagged = [pair for reply in maps for pair in reply["data"]]
+        if placement is not None and id(interaction) in app._edge_interactions:
+            # One edge node per shard: the worker-side map+combine *is*
+            # the edge execution, so the shipped partials are the WAN
+            # traffic — sample loss and account bytes per partial.
+            placement.note_edge_sweep(len(maps))
+            tagged = placement.deliver_partials(tagged)
         tagged.sort(key=lambda pair: pair[0])
         pairs = [(key, value) for __, key, value in tagged]
         mapped = sum(reply["mapped"] for reply in maps)

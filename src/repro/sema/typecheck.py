@@ -44,6 +44,7 @@ def _check_context(
     name = context.name
     if not context.decl.interactions:
         raise SemanticError("a context needs at least one interaction", name)
+    _check_placement(context)
     for interaction in context.decl.interactions:
         if isinstance(interaction, WhenRequired):
             continue
@@ -52,6 +53,30 @@ def _check_context(
         elif isinstance(interaction, WhenProvidedContext):
             _check_context_subscription(name, interaction, table)
         _check_gets(name, interaction.gets, table)
+
+
+def _check_placement(context: ContextInfo) -> None:
+    """``at edge`` only makes sense for splittable aggregation.
+
+    The placement tier runs map + map-side combine at the edge; a
+    context without a ``grouped by ... with map ... reduce ...``
+    periodic interaction has nothing to split, so the annotation would
+    silently do nothing — reject it at analysis time instead."""
+    if context.decl.placement != "edge":
+        return
+    for interaction in context.decl.interactions:
+        if (
+            isinstance(interaction, WhenPeriodic)
+            and interaction.group is not None
+            and interaction.group.uses_mapreduce
+        ):
+            return
+    raise SemanticError(
+        "'at edge' requires a periodic interaction with 'grouped by "
+        "... with map ... reduce ...' (the edge runs map and combine; "
+        "nothing here can split)",
+        context.name,
+    )
 
 
 def _check_device_subscription(name, interaction, table, types) -> None:

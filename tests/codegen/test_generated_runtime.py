@@ -249,3 +249,65 @@ class TestParkingViaGeneratedFramework:
         )
         assert sharded.application.config.shard.enabled
         assert sharded.application.config.shard.workers == 2
+
+
+EDGE_DESIGN = """\
+device EdgeSensor {
+    attribute cell as CellEnum;
+    source presence as Boolean;
+}
+enumeration CellEnum { N1, N2 }
+
+context CellCount as Integer at edge {
+    when periodic presence from EdgeSensor <1 min>
+    grouped by cell
+    with map as Boolean reduce as Integer
+    always publish;
+}
+"""
+
+
+class TestPlacementThroughGeneratedFramework:
+    def test_annotation_survives_embedding(self):
+        mod = compile_design(EDGE_DESIGN, "EdgeCells")
+        decl = mod.DESIGN.contexts["CellCount"].decl
+        assert decl.placement == "edge"
+
+    def test_generated_app_accepts_placement_kwargs(self):
+        from repro.api import (
+            HopProfile,
+            NetworkConfig,
+            PlacementConfig,
+        )
+
+        mod = compile_design(EDGE_DESIGN, "EdgeCells")
+
+        class CellCount(mod.AbstractCellCount):
+            def map(self, cell, presence, collector):
+                if presence:
+                    collector.emit_map(cell, True)
+
+            def reduce(self, cell, values, collector):
+                collector.emit_reduce(cell, len(values))
+
+            def on_periodic_presence(self, by_cell, discover):
+                return sum(by_cell.values())
+
+        framework = mod.EdgeCellsFramework(
+            network=NetworkConfig(
+                hops={"access": HopProfile(), "wan": HopProfile()}
+            ),
+            placement=PlacementConfig(enabled=True),
+        )
+        framework.implement_cell_count(CellCount())
+        for index in range(4):
+            framework.create_edge_sensor(
+                f"e-{index}",
+                CallableDriver(sources={"presence": lambda: True}),
+                cell=f"N{index % 2 + 1}",
+            )
+        framework.start()
+        framework.advance(60.0)
+        stats = framework.stats["placement"]
+        assert stats["edge_sweeps"] == 1
+        assert stats["edge_nodes"] == 2

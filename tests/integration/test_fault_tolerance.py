@@ -4,7 +4,6 @@ lossy networks (the paper's §VI future-work directions, built out)."""
 from repro.apps.parking import build_parking_app
 from repro.runtime.clock import SimulationClock
 from repro.simulation.faults import FaultInjector
-from repro.simulation.network import NetworkConditions
 
 
 class TestParkingUnderSensorFailures:
@@ -79,13 +78,16 @@ class TestCookerOverLossyNetwork:
         )
         from repro.runtime.app import Application
         from repro.runtime.config import RuntimeConfig
+        from repro.runtime.placement import NetworkConfig
         from repro.simulation.environment import HomeEnvironment
         from repro.simulation.sensors import ClockDeviceDriver
 
         clock = SimulationClock()
-        network = NetworkConditions(latency=2.0, seed=1)
         app = Application(
-            get_design(), RuntimeConfig(clock=clock, network=network)
+            get_design(),
+            RuntimeConfig(
+                clock=clock, network=NetworkConfig(latency=2.0, seed=1)
+            ),
         )
         app.implement("Alert", AlertContext(threshold_seconds=10))
         app.implement("Notify", NotifyController())
@@ -108,8 +110,13 @@ class TestCookerOverLossyNetwork:
         assert not environment.cooker_on
 
     def test_periodic_gathering_immune_to_event_loss(self):
-        network = NetworkConditions(loss=0.9, seed=2)
-        app = build_parking_app(capacities={"A22": 10}, seed=26)
-        app.application.network = network
+        from repro.runtime.config import RuntimeConfig
+        from repro.runtime.placement import NetworkConfig
+
+        app = build_parking_app(
+            capacities={"A22": 10},
+            seed=26,
+            config=RuntimeConfig(network=NetworkConfig(loss=0.9, seed=2)),
+        )
         app.advance(600)
         assert app.entrance_panels["A22"].history  # polling, not events

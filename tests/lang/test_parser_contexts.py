@@ -215,3 +215,36 @@ class TestContextErrors:
             "context C as Integer[][] { when required; }"
         ).contexts[0]
         assert context.type_name == "Integer[][]"
+
+
+class TestPlacementAnnotation:
+    def test_at_edge_parses(self):
+        context = parse(
+            "context C as Integer at edge { when periodic s from D <1 s> "
+            "grouped by a with map as Boolean reduce as Integer "
+            "always publish; }"
+        ).contexts[0]
+        assert context.placement == "edge"
+
+    def test_at_cloud_parses(self):
+        context = parse(
+            "context C as Integer at cloud { when required; }"
+        ).contexts[0]
+        assert context.placement == "cloud"
+
+    def test_no_annotation_means_none(self):
+        context = parse("context C as Integer { when required; }").contexts[0]
+        assert context.placement is None
+
+    def test_unknown_tier_rejected(self):
+        with pytest.raises(DiaSpecSyntaxError, match="edge"):
+            parse("context C as Integer at orbit { when required; }")
+
+    def test_tier_names_stay_usable_as_identifiers(self):
+        # "edge"/"cloud" are contextual: a device may be named either.
+        context = parse(
+            "context C as Integer { when provided s from Edge "
+            "get cloud from Edge always publish; }"
+        ).contexts[0]
+        (interaction,) = context.interactions
+        assert interaction.device == "Edge"

@@ -67,11 +67,11 @@ class TestPaperDesigns:
 
 identifiers = st.from_regex(r"[a-z][A-Za-z0-9]{0,8}", fullmatch=True).filter(
     lambda s: s not in {
-        "action", "always", "as", "attribute", "by", "context", "controller",
-        "device", "do", "enumeration", "every", "extends", "from", "get",
-        "grouped", "indexed", "map", "maybe", "no", "on", "periodic",
-        "provided", "publish", "reduce", "required", "source", "structure",
-        "when", "with",
+        "action", "always", "as", "at", "attribute", "by", "context",
+        "controller", "device", "do", "enumeration", "every", "extends",
+        "from", "get", "grouped", "indexed", "map", "maybe", "no", "on",
+        "periodic", "provided", "publish", "reduce", "required", "source",
+        "structure", "when", "with",
     }
 )
 type_names = st.sampled_from(["Integer", "Float", "Boolean", "String"])
@@ -171,6 +171,7 @@ contexts = st.builds(
     name=upper_identifiers,
     type_name=type_names,
     interactions=st.lists(interactions, min_size=1, max_size=3).map(tuple),
+    placement=st.none() | st.sampled_from(["edge", "cloud"]),
 )
 
 controllers = st.builds(

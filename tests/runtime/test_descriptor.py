@@ -179,3 +179,120 @@ class TestApplyDescriptor:
         }
         with pytest.raises(Exception, match="ZoneEnum|WEST"):
             apply_descriptor(app, load_descriptor(bad), catalog)
+
+
+TOPOLOGY_DESCRIPTOR = {
+    "name": "fog-pilot",
+    "topology": {
+        "seed": 7,
+        "edge_attribute": "zone",
+        "hops": {
+            "access": {"latency": 0.002},
+            "wan": {"latency": 0.08, "bandwidth": 1000000.0},
+        },
+        "edge_nodes": [
+            {"id": "cab-north", "values": ["NORTH"]},
+            {"id": "cab-south", "values": ["SOUTH"]},
+        ],
+    },
+    "entities": [
+        {"type": "Sensor", "id": "s1",
+         "attributes": {"zone": "NORTH"},
+         "driver": "constant", "config": {"value": 1.0},
+         "placement": {"tier": "edge", "node": "cab-north"}},
+        {"type": "Sensor", "id": "s2",
+         "attributes": {"zone": "SOUTH"},
+         "driver": "constant", "config": {"value": 2.0}},
+    ],
+}
+
+
+class TestTopologySection:
+    def test_topology_parses(self):
+        descriptor = load_descriptor(TOPOLOGY_DESCRIPTOR)
+        topology = descriptor.topology
+        assert [name for name, __ in topology.hops] == ["access", "wan"]
+        assert topology.hops[1][1].bandwidth == 1000000.0
+        assert [n.node_id for n in topology.edge_nodes] == [
+            "cab-north", "cab-south",
+        ]
+        assert topology.seed == 7
+
+    def test_round_trips_through_json(self):
+        once = load_descriptor(TOPOLOGY_DESCRIPTOR)
+        again = load_descriptor(json.dumps(TOPOLOGY_DESCRIPTOR))
+        assert again == once
+
+    def test_builds_runtime_configs(self):
+        descriptor = load_descriptor(TOPOLOGY_DESCRIPTOR)
+        network = descriptor.network_config()
+        assert network.seed == 7
+        assert network.hop_names() == ("access", "wan")
+        placement = descriptor.placement_config()
+        assert placement.enabled
+        assert placement.edge_attribute == "zone"
+        assert len(placement.edge_nodes) == 2
+
+    def test_no_topology_builds_nothing(self):
+        descriptor = load_descriptor(DESCRIPTOR)
+        assert descriptor.topology is None
+        assert descriptor.network_config() is None
+        assert descriptor.placement_config() is None
+
+    def test_placement_records_parsed(self):
+        descriptor = load_descriptor(TOPOLOGY_DESCRIPTOR)
+        placed, unplaced = descriptor.entities
+        assert placed.placement.node == "cab-north"
+        assert placed.placement.tier.value == "edge"
+        assert unplaced.placement is None
+
+    def test_unknown_tier_rejected(self):
+        from repro.errors import PlacementError
+
+        bad = {"entities": [
+            {"type": "Sensor", "id": "x", "driver": "d",
+             "placement": {"tier": "orbit"}},
+        ]}
+        with pytest.raises(PlacementError, match="orbit"):
+            load_descriptor(bad)
+
+    def test_undeclared_node_rejected(self):
+        from repro.errors import PlacementError
+
+        bad = dict(TOPOLOGY_DESCRIPTOR)
+        bad["entities"] = [
+            {"type": "Sensor", "id": "x", "driver": "d",
+             "placement": {"tier": "edge", "node": "cab-ghost"}},
+        ]
+        with pytest.raises(PlacementError, match="cab-ghost") as excinfo:
+            load_descriptor(bad)
+        assert excinfo.value.node == "cab-ghost"
+
+    def test_malformed_hop_profile_rejected(self):
+        with pytest.raises(BindingError, match="wan"):
+            load_descriptor({
+                "topology": {"hops": {"wan": {"speed": 3}}},
+                "entities": [],
+            })
+
+    def test_apply_assigns_edge_nodes(self, catalog):
+        from repro.runtime.config import RuntimeConfig
+
+        descriptor = load_descriptor(TOPOLOGY_DESCRIPTOR)
+        application = Application(
+            analyze(DESIGN),
+            RuntimeConfig(
+                network=descriptor.network_config(),
+                placement=descriptor.placement_config(),
+            ),
+        )
+        application.implement("Sweep", SweepImpl())
+        deployment = apply_descriptor(application, descriptor, catalog)
+        deployment.deploy()
+        deployment.launch()
+        # The explicit assignment from the descriptor wins over
+        # attribute ownership.
+        instance = application.registry.get("s1")
+        assert (
+            application.placement.node_for(instance, "zone") == "cab-north"
+        )

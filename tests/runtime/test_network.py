@@ -3,11 +3,17 @@
 import pytest
 
 from repro.runtime.app import Application
+from repro.runtime.clock import SimulationClock
 from repro.runtime.config import RuntimeConfig
 from repro.runtime.component import Context
 from repro.runtime.device import CallableDriver
+from repro.runtime.placement import NetworkConfig
 from repro.sema.analyzer import analyze
-from repro.simulation.network import NetworkConditions
+from repro.simulation.network import (
+    HopProfile,
+    NetworkConditions,
+    TopologyModel,
+)
 
 DESIGN = """\
 device Sensor { source reading as Float; }
@@ -42,14 +48,13 @@ class SweepImpl(Context):
         return len(readings)
 
 
-def build(network=None, apply_to_reads=False):
-    app = Application(
-        analyze(DESIGN),
-        RuntimeConfig(
-            network=network,
-            apply_network_to_reads=apply_to_reads,
-        ),
+def build(network=None):
+    config = (
+        RuntimeConfig()
+        if network is None
+        else RuntimeConfig(network=network)
     )
+    app = Application(analyze(DESIGN), config)
     sink = SinkImpl()
     sweep = SweepImpl()
     app.implement("Sink", sink)
@@ -75,37 +80,103 @@ class TestNetworkConditionsModel:
         assert all(network.sample_read_ok() for __ in range(100))
 
     def test_stats(self):
-        from repro.runtime.clock import SimulationClock
-
         network = NetworkConditions(loss=0.5, seed=1)
         clock = SimulationClock()
         for __ in range(200):
             network.transmit(clock, lambda: None)
-        stats = network.stats
+        stats = network.stats()
         assert stats["delivered"] + stats["dropped"] == 200
         assert 0.3 < stats["loss_rate"] < 0.7
 
 
+class TestNetworkConfig:
+    def test_flat_config_builds_conditions(self):
+        config = NetworkConfig(latency=2.0, jitter=0.5, loss=0.1, seed=4)
+        model = config.build()
+        assert isinstance(model, NetworkConditions)
+        assert model.latency == 2.0
+        assert model.loss == 0.1
+
+    def test_empty_config_builds_nothing(self):
+        assert NetworkConfig().build() is None
+        assert not NetworkConfig().enabled
+
+    def test_hops_build_topology(self):
+        config = NetworkConfig(
+            hops={"access": HopProfile(latency=0.1), "wan": HopProfile()}
+        )
+        model = config.build()
+        assert isinstance(model, TopologyModel)
+        assert model.hop_names == ("access", "wan")
+
+    def test_hops_exclude_flat_parameters(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(latency=1.0, hops={"wan": HopProfile()})
+
+    def test_flat_parameters_validated_eagerly(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(loss=1.5)
+
+
+class TestTopologyModel:
+    def test_transmit_sums_hop_latency(self):
+        topology = TopologyModel(
+            {"access": HopProfile(latency=2.0), "wan": HopProfile(latency=3.0)}
+        )
+        clock = SimulationClock()
+        delivered = []
+        topology.transmit(clock, lambda: delivered.append(clock.now()))
+        clock.advance(5.0)
+        assert delivered == [5.0]
+        assert topology.delivered == 2  # one per hop
+
+    def test_bandwidth_extends_transit_time(self):
+        topology = TopologyModel(
+            {"wan": HopProfile(latency=1.0, bandwidth=100.0)}
+        )
+        assert topology.transit_time(nbytes=200) == pytest.approx(3.0)
+
+    def test_loss_on_any_hop_drops(self):
+        topology = TopologyModel(
+            {"access": HopProfile(), "wan": HopProfile(loss=0.9)}, seed=3
+        )
+        clock = SimulationClock()
+        delivered = []
+        for __ in range(100):
+            topology.transmit(clock, lambda: delivered.append(1))
+        clock.advance(1.0)
+        assert len(delivered) < 50
+        assert topology.dropped + len(delivered) == 100
+
+    def test_byte_accounting_per_hop(self):
+        topology = TopologyModel(
+            {"access": HopProfile(), "wan": HopProfile()}
+        )
+        topology.account(None, nbytes=10)
+        topology.account(("wan",), nbytes=5)
+        hops = topology.stats()["hops"]
+        assert hops["access"]["bytes"] == 10
+        assert hops["wan"]["bytes"] == 15
+
+
 class TestEventDeliveryThroughNetwork:
     def test_latency_delays_event(self):
-        network = NetworkConditions(latency=5.0)
-        app, sensor, sink, __ = build(network)
+        app, sensor, sink, __ = build(NetworkConfig(latency=5.0))
         sensor.publish("reading", 3.0)
         assert sink.received == []  # still in flight
         app.advance(5.0)
         assert sink.received == [(5.0, 3.0)]
 
     def test_loss_drops_events(self):
-        network = NetworkConditions(loss=0.5, seed=3)
-        app, sensor, sink, __ = build(network)
+        app, sensor, sink, __ = build(NetworkConfig(loss=0.5, seed=3))
         for __ in range(100):
             sensor.publish("reading", 1.0)
         app.advance(1.0)
         assert 20 < len(sink.received) < 80
-        assert network.dropped + len(sink.received) == 100
+        assert app.network.dropped + len(sink.received) == 100
 
     def test_jitter_stays_within_bounds(self):
-        network = NetworkConditions(latency=10.0, jitter=2.0, seed=9)
+        network = NetworkConfig(latency=10.0, jitter=2.0, seed=9).build()
         delays = [network.sample_delay() for __ in range(200)]
         assert all(8.0 <= d <= 12.0 for d in delays)
 
@@ -114,18 +185,50 @@ class TestEventDeliveryThroughNetwork:
         sensor.publish("reading", 1.0)
         assert len(sink.received) == 1
 
+    def test_topology_delivery_crosses_every_hop(self):
+        app, sensor, sink, __ = build(
+            NetworkConfig(
+                hops={
+                    "access": HopProfile(latency=1.0),
+                    "wan": HopProfile(latency=4.0),
+                }
+            )
+        )
+        sensor.publish("reading", 2.0)
+        assert sink.received == []
+        app.advance(5.0)
+        assert sink.received == [(5.0, 2.0)]
+
 
 class TestPolledReadsThroughNetwork:
     def test_lossy_reads_shrink_sweeps(self):
-        network = NetworkConditions(loss=0.9, seed=5)
-        app, __, __, sweep = build(network, apply_to_reads=True)
+        app, __, __, sweep = build(
+            NetworkConfig(loss=0.9, seed=5, apply_to_reads=True)
+        )
         app.advance(60 * 50)
         assert len(sweep.sizes) == 50
         assert sum(sweep.sizes) < 50  # many polls lost
         assert app.stats["gather_errors"] > 0
 
     def test_reads_unaffected_by_default(self):
-        network = NetworkConditions(loss=0.9, seed=5)
-        app, __, __, sweep = build(network, apply_to_reads=False)
+        app, __, __, sweep = build(NetworkConfig(loss=0.9, seed=5))
         app.advance(60 * 10)
         assert sweep.sizes == [1] * 10
+
+
+class TestLegacyNetworkKwargs:
+    def test_model_instance_kwarg_warns_but_works(self):
+        network = NetworkConditions(latency=5.0)
+        with pytest.warns(DeprecationWarning, match="NetworkConfig"):
+            config = RuntimeConfig(network=network)
+        app = Application(analyze(DESIGN), config)
+        assert app.network is network
+
+    def test_apply_network_to_reads_kwarg_warns_but_works(self):
+        with pytest.warns(DeprecationWarning, match="apply_to_reads"):
+            config = RuntimeConfig(
+                network=NetworkConfig(loss=0.9, seed=5),
+                apply_network_to_reads=True,
+            )
+        app = Application(analyze(DESIGN), config)
+        assert app.apply_network_to_reads

@@ -1,0 +1,495 @@
+"""Edge/cloud placement tier: configs, node assignment, the edge split.
+
+The load-bearing invariant mirrors the sweep/batch/cache/shard suites:
+``PlacementConfig(enabled=True)`` changes *where* a grouped MapReduce
+gather runs (map + map-side combine at the edge nodes) and *what
+crosses the WAN* (per-group partials instead of raw readings), never
+what the context receives — at zero loss the deliveries are
+byte-identical to the cloud-only path for any fleet size, edge-node
+count, sweep mode and shard setting.
+"""
+
+import types
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import (
+    Application,
+    CallableDriver,
+    Context,
+    EdgeNode,
+    HopProfile,
+    NetworkConfig,
+    PlacementConfig,
+    PlacementError,
+    RuntimeConfig,
+    ShardBootstrap,
+    ShardConfig,
+    ShardedRuntime,
+    SweepConfig,
+    Tier,
+    analyze,
+)
+from repro.runtime.placement import PlacementExecutor, payload_nbytes
+from repro.simulation.sensors import FleetSubstrate, SubstrateDriver
+
+DESIGN = """\
+device EdgePresence {
+    attribute parkingLot as LotEnum;
+    source presence as Boolean;
+}
+enumeration LotEnum { A22, B16, D6, E9 }
+
+context FreeCount as Integer at edge {
+    when periodic presence from EdgePresence <10 min>
+    grouped by parkingLot
+    with map as Boolean reduce as Integer
+    always publish;
+}
+"""
+
+LOTS = ("A22", "B16", "D6", "E9")
+PERIOD = 600.0
+
+
+class FreeCountImpl(Context):
+    """Non-associative reduce (``len``) — exact only if the edge split
+    re-sequences partials into the single-process emission order."""
+
+    def __init__(self):
+        super().__init__()
+        self.deliveries = []
+
+    def map(self, lot, presence, collector):
+        if not presence:
+            collector.emit_map(lot, True)
+
+    def reduce(self, lot, values, collector):
+        collector.emit_reduce(lot, len(values))
+
+    def on_periodic_presence(self, by_lot, discover):
+        self.deliveries.append(dict(by_lot))
+        return sum(by_lot.values())
+
+
+class CombiningFreeCountImpl(FreeCountImpl):
+    """Associative variant with a map-side combiner: partial counts
+    merge by addition, so edge combining shrinks the WAN payload."""
+
+    def map(self, lot, presence, collector):
+        if not presence:
+            collector.emit_map(lot, 1)
+
+    def combine(self, lot, values, collector):
+        collector.emit_combine(lot, sum(values))
+
+    def reduce(self, lot, values, collector):
+        collector.emit_reduce(lot, sum(values))
+
+
+TOPOLOGY = NetworkConfig(
+    hops={
+        "access": HopProfile(latency=0.0),
+        "wan": HopProfile(latency=0.0),
+    }
+)
+
+
+def build_app(
+    placement=None,
+    network=None,
+    sensors=8,
+    seed=11,
+    sweep=None,
+    implementation=FreeCountImpl,
+):
+    config = RuntimeConfig(
+        sweep=sweep if sweep is not None else SweepConfig(),
+        network=network if network is not None else NetworkConfig(),
+        placement=placement if placement is not None else PlacementConfig(),
+    )
+    app = Application(analyze(DESIGN), config)
+    free = app.implement("FreeCount", implementation())
+    substrate = FleetSubstrate(
+        app.clock,
+        seed=seed,
+        models={"presence": lambda draw: draw < 0.5},
+    )
+    for index in range(sensors):
+        app.create_device(
+            "EdgePresence",
+            f"s-{index:03d}",
+            SubstrateDriver(substrate, sources=("presence",)),
+            parkingLot=LOTS[index % len(LOTS)],
+        )
+    app.start()
+    return app, free
+
+
+class TestTier:
+    def test_parse_names_and_instances(self):
+        assert Tier.parse("edge") is Tier.EDGE
+        assert Tier.parse(Tier.CLOUD) is Tier.CLOUD
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(PlacementError, match="orbit"):
+            Tier.parse("orbit")
+
+
+class TestEdgeNode:
+    def test_requires_node_id(self):
+        with pytest.raises(PlacementError):
+            EdgeNode("")
+
+    def test_values_normalize_to_tuple(self):
+        assert EdgeNode("n1", ["A22", "B16"]).values == ("A22", "B16")
+
+
+class TestPlacementConfig:
+    def test_defaults_are_off(self):
+        config = PlacementConfig()
+        assert config.enabled is False
+        assert config.default_tier is Tier.CLOUD
+        assert config.access_hop == "access"
+        assert config.wan_hop == "wan"
+
+    def test_default_tier_coerces_names(self):
+        assert PlacementConfig(default_tier="edge").default_tier is Tier.EDGE
+
+    def test_duplicate_node_ids_rejected(self):
+        with pytest.raises(PlacementError, match="duplicate"):
+            PlacementConfig(edge_nodes=(EdgeNode("n1"), EdgeNode("n1")))
+
+    def test_value_owned_by_two_nodes_rejected(self):
+        with pytest.raises(PlacementError, match="more than one"):
+            PlacementConfig(
+                edge_nodes=(EdgeNode("n1", ("A22",)), EdgeNode("n2", ("A22",)))
+            )
+
+    def test_runtime_config_field(self):
+        config = RuntimeConfig(placement=PlacementConfig(enabled=True))
+        assert config.placement.enabled
+        with pytest.raises(TypeError):
+            RuntimeConfig(placement="edge")
+        assert "PlacementConfig" in RuntimeConfig().describe()["placement"]
+
+
+def entity(entity_id, **attributes):
+    return types.SimpleNamespace(entity_id=entity_id, attributes=attributes)
+
+
+class TestNodeResolution:
+    def test_implicit_node_per_attribute_value(self):
+        executor = PlacementExecutor(PlacementConfig(enabled=True))
+        assert executor.node_for(entity("s1", parkingLot="A22"), "parkingLot")
+        assert (
+            executor.node_for(entity("s1", parkingLot="A22"), "parkingLot")
+            == "A22"
+        )
+
+    def test_declared_node_owns_values(self):
+        executor = PlacementExecutor(
+            PlacementConfig(
+                enabled=True, edge_nodes=(EdgeNode("cab-1", ("A22", "B16")),)
+            )
+        )
+        assert (
+            executor.node_for(entity("s1", parkingLot="B16"), "parkingLot")
+            == "cab-1"
+        )
+
+    def test_explicit_assignment_wins(self):
+        executor = PlacementExecutor(
+            PlacementConfig(
+                enabled=True,
+                edge_nodes=(EdgeNode("cab-1", ("A22",)), EdgeNode("cab-2")),
+            )
+        )
+        executor.assign("s1", "cab-2")
+        assert (
+            executor.node_for(entity("s1", parkingLot="A22"), "parkingLot")
+            == "cab-2"
+        )
+
+    def test_missing_attribute_raises(self):
+        executor = PlacementExecutor(PlacementConfig(enabled=True))
+        with pytest.raises(PlacementError, match="no attribute"):
+            executor.node_for(entity("s1"), "parkingLot")
+
+    def test_unowned_value_raises_when_nodes_declared(self):
+        executor = PlacementExecutor(
+            PlacementConfig(enabled=True, edge_nodes=(EdgeNode("n", ("A",)),))
+        )
+        with pytest.raises(PlacementError, match="no declared edge node"):
+            executor.node_for(entity("s1", parkingLot="Z"), "parkingLot")
+
+    def test_assign_unknown_node_raises(self):
+        executor = PlacementExecutor(
+            PlacementConfig(enabled=True, edge_nodes=(EdgeNode("n1"),))
+        )
+        with pytest.raises(PlacementError, match="unknown edge node"):
+            executor.assign("s1", "ghost")
+
+    def test_custom_edge_attribute_overrides_grouping(self):
+        executor = PlacementExecutor(
+            PlacementConfig(enabled=True, edge_attribute="cell")
+        )
+        probe = entity("s1", parkingLot="A22", cell="north")
+        assert executor.node_for(probe, "parkingLot") == "north"
+
+    def test_app_assign_requires_enabled_placement(self):
+        app, __ = build_app()
+        with pytest.raises(PlacementError, match="disabled"):
+            app.assign_edge_node("s-000", "n1")
+
+
+class TestEdgeSplit:
+    def test_edge_deliveries_match_cloud_only(self):
+        cloud_app, cloud = build_app()
+        edge_app, edge = build_app(
+            placement=PlacementConfig(enabled=True), network=TOPOLOGY
+        )
+        cloud_app.advance(4 * PERIOD)
+        edge_app.advance(4 * PERIOD)
+        assert edge.deliveries == cloud.deliveries
+        stats = edge_app.stats["placement"]
+        assert stats["edge_sweeps"] == 4
+        assert stats["partials_sent"] > 0
+        assert stats["raw_readings"] == 0
+        assert stats["edge_nodes"] == len(LOTS)
+
+    def test_unannotated_context_defaults_to_cloud(self):
+        plain = DESIGN.replace(" at edge", "")
+        config = RuntimeConfig(
+            network=TOPOLOGY,
+            placement=PlacementConfig(enabled=True),
+        )
+        app = Application(analyze(plain), config)
+        free = app.implement("FreeCount", FreeCountImpl())
+        app.create_device(
+            "EdgePresence",
+            "s-000",
+            CallableDriver(sources={"presence": lambda: False}),
+            parkingLot="A22",
+        )
+        app.start()
+        app.advance(PERIOD)
+        stats = app.stats["placement"]
+        assert stats["edge_sweeps"] == 0
+        assert stats["raw_readings"] == 1
+        assert stats["wan_bytes"] == payload_nbytes(False)
+        assert free.deliveries == [{"A22": 1}]
+
+    def test_partials_cut_wan_bytes_with_combiner(self):
+        sensors = 64
+        app, free = build_app(
+            placement=PlacementConfig(enabled=True),
+            network=TOPOLOGY,
+            sensors=sensors,
+            implementation=CombiningFreeCountImpl,
+        )
+        app.advance(2 * PERIOD)
+        stats = app.stats["placement"]
+        # The cloud-only shape would ship every raw boolean over the
+        # WAN; the edge split ships at most one combined partial per
+        # node per sweep.
+        raw_bytes = sensors * 2 * payload_nbytes(True)
+        assert stats["wan_bytes"] < raw_bytes
+        assert 0 < stats["partials_sent"] <= 2 * len(LOTS)
+        assert free.deliveries  # still delivered
+
+    def test_flat_network_still_accounts_bytes(self):
+        app, free = build_app(
+            placement=PlacementConfig(enabled=True),
+            network=NetworkConfig(latency=0.0),
+        )
+        app.advance(PERIOD)
+        assert free.deliveries
+        assert app.stats["placement"]["wan_bytes"] > 0
+
+    def test_placement_metrics_registered(self):
+        app, __ = build_app(
+            placement=PlacementConfig(enabled=True), network=TOPOLOGY
+        )
+        app.advance(PERIOD)
+        assert app.metrics.value("placement_edge_sweeps_total") == 1
+        assert app.metrics.value("placement_bytes_wan_total") > 0
+        assert (
+            app.metrics.value(
+                "network_hop_bytes_total", hop="wan"
+            )
+            == app.stats["placement"]["wan_bytes"]
+        )
+
+    def test_explicit_nodes_group_lots(self):
+        app, free = build_app(
+            placement=PlacementConfig(
+                enabled=True,
+                edge_nodes=(
+                    EdgeNode("north", ("A22", "B16")),
+                    EdgeNode("south", ("D6", "E9")),
+                ),
+            ),
+            network=TOPOLOGY,
+        )
+        app.advance(PERIOD)
+        assert app.stats["placement"]["edge_nodes"] == 2
+        (delivery,) = free.deliveries
+        assert set(delivery) <= set(LOTS)
+
+
+class TestWanLoss:
+    def test_wan_loss_drops_partials_not_readings(self):
+        lossy = NetworkConfig(
+            hops={
+                "access": HopProfile(),
+                "wan": HopProfile(loss=0.8),
+            },
+            seed=5,
+        )
+        app, free = build_app(
+            placement=PlacementConfig(enabled=True),
+            network=lossy,
+            sensors=16,
+        )
+        app.advance(10 * PERIOD)
+        stats = app.stats["placement"]
+        assert stats["partials_dropped"] > 0
+        assert stats["partials_sent"] > stats["partials_dropped"]
+        # Reads never touched the WAN: no gather errors, every sweep
+        # still delivered (possibly with fewer groups).
+        assert app.stats["gather_errors"] == 0
+        assert len(free.deliveries) == 10
+
+    def test_zero_loss_wan_drops_nothing(self):
+        app, __ = build_app(
+            placement=PlacementConfig(enabled=True), network=TOPOLOGY
+        )
+        app.advance(4 * PERIOD)
+        assert app.stats["placement"]["partials_dropped"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Property: placement-on == placement-off, byte for byte
+# ---------------------------------------------------------------------------
+
+
+class PlacementBootstrap(ShardBootstrap):
+    def __init__(self, sensors, seed, shard=None, placement=None):
+        self.sensors = sensors
+        self.seed = seed
+        self.shard = shard
+        self.placement = placement
+
+    def fleet(self):
+        return [f"s-{index:03d}" for index in range(self.sensors)]
+
+    def build(self, ctx):
+        config = RuntimeConfig(
+            shard=self.shard if self.shard is not None else ShardConfig(),
+            network=TOPOLOGY,
+            placement=(
+                self.placement
+                if self.placement is not None
+                else PlacementConfig()
+            ),
+        )
+        app = Application(analyze(DESIGN), config)
+        app.implement("FreeCount", FreeCountImpl())
+        substrate = FleetSubstrate(
+            app.clock,
+            seed=self.seed,
+            models={"presence": lambda draw: draw < 0.5},
+        )
+        for position, entity_id in enumerate(self.fleet()):
+            if ctx.owns(entity_id):
+                app.create_device(
+                    "EdgePresence",
+                    entity_id,
+                    SubstrateDriver(substrate, sources=("presence",)),
+                    parkingLot=LOTS[position % len(LOTS)],
+                )
+        return app
+
+
+def run_sharded(sensors, seed, placement, periods=3):
+    bootstrap = PlacementBootstrap(
+        sensors,
+        seed,
+        shard=ShardConfig(enabled=True, workers=2),
+        placement=placement,
+    )
+    runtime = ShardedRuntime(bootstrap)
+    runtime.start()
+    try:
+        runtime.advance(periods * PERIOD)
+        return list(runtime.app.implementation("FreeCount").deliveries)
+    finally:
+        runtime.stop()
+
+
+def edge_nodes_for(count):
+    if count == 0:
+        return ()
+    return tuple(
+        EdgeNode(
+            f"node-{index}",
+            tuple(LOTS[position]
+                  for position in range(len(LOTS))
+                  if position % count == index),
+        )
+        for index in range(count)
+    )
+
+
+class TestByteIdentity:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        sensors=st.integers(min_value=1, max_value=24),
+        seed=st.integers(min_value=0, max_value=2**16),
+        nodes=st.integers(min_value=0, max_value=3),
+        threaded=st.booleans(),
+    )
+    def test_edge_split_matches_cloud_only(
+        self, sensors, seed, nodes, threaded
+    ):
+        sweep = SweepConfig(mode="threaded" if threaded else "serial")
+        baseline_app, baseline = build_app(
+            sensors=sensors, seed=seed, sweep=sweep
+        )
+        edge_app, edge = build_app(
+            placement=PlacementConfig(
+                enabled=True, edge_nodes=edge_nodes_for(nodes)
+            ),
+            network=TOPOLOGY,
+            sensors=sensors,
+            seed=seed,
+            sweep=sweep,
+        )
+        periods = 3
+        baseline_app.advance(periods * PERIOD)
+        edge_app.advance(periods * PERIOD)
+        baseline_app.stop()
+        edge_app.stop()
+        assert edge.deliveries == baseline.deliveries
+        assert edge_app.stats["placement"]["raw_readings"] == 0
+
+    @settings(max_examples=4, deadline=None)
+    @given(
+        sensors=st.integers(min_value=1, max_value=10),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_sharded_edge_split_matches_local(self, sensors, seed):
+        local_app, local = build_app(
+            placement=PlacementConfig(enabled=True),
+            network=TOPOLOGY,
+            sensors=sensors,
+            seed=seed,
+        )
+        local_app.advance(3 * PERIOD)
+        sharded = run_sharded(
+            sensors, seed, PlacementConfig(enabled=True)
+        )
+        assert sharded == local.deliveries

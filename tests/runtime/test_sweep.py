@@ -27,7 +27,7 @@ from repro.api import (
 )
 from repro.errors import DeliveryError, DeviceUnavailableError
 from repro.runtime.registry import EntityRegistry
-from repro.simulation.network import NetworkConditions
+from repro.runtime.placement import NetworkConfig
 from repro.telemetry import MetricsRegistry
 
 DESIGN = """\
@@ -281,8 +281,7 @@ class TestGatherErrorSplit:
 
     def test_network_drops_count_separately(self):
         app, free, __ = build_app(
-            network=NetworkConditions(loss=0.999, seed=1),
-            apply_network_to_reads=True,
+            network=NetworkConfig(loss=0.999, seed=1, apply_to_reads=True),
         )
         app.advance(600)
         assert app.stats["gather_network_dropped"] > 0

@@ -257,3 +257,37 @@ class TestPublishDiscipline:
             "no publish; when required; }"
         )
         assert publish_discipline(design.contexts["C"]) is Publish.NO
+
+
+class TestPlacementAnnotation:
+    def test_at_edge_with_mapreduce_passes(self):
+        analyze(
+            BASE
+            + "context C as Integer at edge { "
+            "when periodic reading from Sensor <1 min> grouped by zone "
+            "with map as Float reduce as Integer always publish; }"
+        )
+
+    def test_at_cloud_never_constrained(self):
+        analyze(
+            BASE
+            + "context C as Float at cloud { when provided reading from "
+            "Sensor always publish; }"
+        )
+
+    def test_at_edge_without_mapreduce_rejected(self):
+        with pytest.raises(SemanticError, match="at edge"):
+            analyze(
+                BASE
+                + "context C as Float at edge { when provided reading from "
+                "Sensor always publish; }"
+            )
+
+    def test_at_edge_with_plain_grouping_rejected(self):
+        with pytest.raises(SemanticError, match="map"):
+            analyze(
+                BASE
+                + "context C as Integer at edge { "
+                "when periodic reading from Sensor <1 min> grouped by zone "
+                "always publish; }"
+            )
