@@ -18,8 +18,9 @@ Usage::
 ``--check`` may repeat: the scenarios run once and every snapshot diffs
 against that run.  A snapshot only gates the sections it records
 (absent sections are skipped), so era-scoped snapshots compose —
-``BENCH_006.json`` covers the batch/cache/plan sections and
-``BENCH_007.json`` covers ``shard_scaling``::
+``BENCH_006.json`` covers the batch/cache/plan sections,
+``BENCH_007.json`` covers ``shard_scaling``, ``BENCH_008.json`` covers
+``placement`` and ``BENCH_009.json`` covers ``tuning``::
 
     python benchmarks/perf_snapshot.py \\
         --check BENCH_006.json --check BENCH_007.json
@@ -258,6 +259,54 @@ def measure_placement() -> dict:
     }
 
 
+def measure_adaptive_tuning() -> dict:
+    """The self-tuning loop under the flapping fault schedule.
+
+    The cost model is analytic and the controller deterministic
+    (``epsilon=0``), so every number — p99s, adjustment counts,
+    rollbacks — is structural and the whole section gates exactly.
+    """
+    from bench_adaptive import (
+        ADAPTIVE_THRESHOLD,
+        DEVICES,
+        FIXED_MIN_COLUMNS,
+        FIXED_THRESHOLDS,
+        SWEEPS,
+        run_config,
+    )
+
+    fixed = [
+        run_config(min_column, threshold)
+        for min_column in FIXED_MIN_COLUMNS
+        for threshold in FIXED_THRESHOLDS
+    ]
+    adaptive = run_config(2, ADAPTIVE_THRESHOLD, adaptive=True)
+    for run in fixed + [adaptive]:
+        if run["full_payloads"] != SWEEPS:
+            raise AssertionError(
+                "a run dropped payload members despite stale delivery"
+            )
+    stats = adaptive["tuning"]["stats"]
+    best_fixed_p99 = min(run["p99_ms"] for run in fixed)
+    return {
+        "devices": DEVICES,
+        "sweeps": SWEEPS,
+        "adaptive_p99_ms": adaptive["p99_ms"],
+        "adaptive_mean_ms": adaptive["mean_ms"],
+        "best_fixed_p99_ms": best_fixed_p99,
+        "adaptive_beats_all_fixed": (
+            adaptive["p99_ms"] < best_fixed_p99
+        ),
+        "adjustments_up": stats["adjustments"].get(
+            "batch.min_column:up", 0
+        ),
+        "adjustments_down": stats["adjustments"].get(
+            "batch.min_column:down", 0
+        ),
+        "rollbacks": stats["rollbacks"],
+    }
+
+
 SECTIONS = {
     "batch_read": measure_batch_read,
     "scale_10k": measure_scale_10k,
@@ -265,6 +314,7 @@ SECTIONS = {
     "query_cache": measure_query_cache,
     "shard_scaling": measure_shard_scaling,
     "placement": measure_placement,
+    "tuning": measure_adaptive_tuning,
 }
 
 
@@ -295,6 +345,17 @@ EXACT = {
         "edge_wan_bytes",
         "byte_cut",
         "edge_beats_cloud_p99",
+    ),
+    "tuning": (
+        "devices",
+        "sweeps",
+        "adaptive_p99_ms",
+        "adaptive_mean_ms",
+        "best_fixed_p99_ms",
+        "adaptive_beats_all_fixed",
+        "adjustments_up",
+        "adjustments_down",
+        "rollbacks",
     ),
 }
 RATIOS = {

@@ -51,6 +51,13 @@ The surface, by concern:
   (:class:`PlacementConfig`, :class:`Tier`, :class:`EdgeNode`,
   :class:`EntityPlacement`, and the typed :class:`PlacementError`);
 * **Observability** — :class:`MetricsRegistry`, :class:`Tracer`;
+* **Adaptive tuning** — :class:`ConfigBase` (the shared
+  replace/serialize/validate protocol every config section follows),
+  :class:`TuningConfig` (the frozen ``tuning=`` section, off by
+  default), :class:`Knob` and :class:`KnobRegistry` (named live
+  tunables with safe ranges, exposed as ``Application.knobs``),
+  :class:`TuningController` (the drift-gated hill climb behind
+  ``Application.tuner``), and the typed :class:`TuningError`;
 * **Deployment descriptors** — :class:`DeploymentDescriptor`,
   :class:`DriverCatalog`, :func:`load_descriptor`,
   :func:`apply_descriptor`.
@@ -58,7 +65,12 @@ The surface, by concern:
 
 from __future__ import annotations
 
-from repro.errors import ContextNotQueryableError, PlacementError, ShardError
+from repro.errors import (
+    ContextNotQueryableError,
+    PlacementError,
+    ShardError,
+    TuningError,
+)
 from repro.faults.chaos import ChaosInjector, FaultEvent, FaultPlan
 from repro.faults.policy import StalePolicy, SupervisionPolicy
 from repro.mapreduce.api import MapReduce
@@ -70,6 +82,7 @@ from repro.mapreduce.engine import (
 from repro.runtime.app import Application
 from repro.runtime.cache import CacheConfig, ReadCache
 from repro.runtime.clock import Clock, SimulationClock, WallClock
+from repro.runtime.configbase import ConfigBase
 from repro.runtime.component import (
     Context,
     ContextEvent,
@@ -103,6 +116,12 @@ from repro.runtime.shard import (
 )
 from repro.runtime.sweep import SweepConfig, SweepEngine
 from repro.runtime.tracing import Tracer
+from repro.runtime.tuning import (
+    Knob,
+    KnobRegistry,
+    TuningConfig,
+    TuningController,
+)
 from repro.simulation.network import (
     HopProfile,
     NetworkConditions,
@@ -119,6 +138,7 @@ __all__ = [
     "CallableDriver",
     "ChaosInjector",
     "Clock",
+    "ConfigBase",
     "Context",
     "ContextEvent",
     "ContextNotQueryableError",
@@ -134,6 +154,8 @@ __all__ = [
     "FaultPlan",
     "GatherReading",
     "HopProfile",
+    "Knob",
+    "KnobRegistry",
     "MapReduce",
     "MetricsRegistry",
     "NetworkConditions",
@@ -161,6 +183,9 @@ __all__ = [
     "Tier",
     "TopologyModel",
     "Tracer",
+    "TuningConfig",
+    "TuningController",
+    "TuningError",
     "WallClock",
     "analyze",
     "apply_descriptor",

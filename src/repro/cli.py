@@ -154,6 +154,35 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also write the JSON report to this path",
     )
     chaos_parser.set_defaults(handler=_cmd_chaos)
+
+    tune_parser = subparsers.add_parser(
+        "tune",
+        help="run the parking example with the adaptive tuning "
+        "controller closed over a connection-flap plan and report the "
+        "trajectory",
+    )
+    tune_parser.add_argument(
+        "--seed", type=int, default=7,
+        help="fault-plan and controller seed (default: 7)",
+    )
+    tune_parser.add_argument(
+        "--duration", type=float, default=21600.0,
+        help="simulated seconds to run (default: 21600)",
+    )
+    tune_parser.add_argument(
+        "--interval", type=float, default=600.0,
+        help="controller tick interval in simulated seconds "
+        "(default: 600)",
+    )
+    tune_parser.add_argument(
+        "--flap-fraction", type=float, default=0.5,
+        help="fraction of presence sensors that flap (default: 0.5)",
+    )
+    tune_parser.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="also write the JSON report to this path",
+    )
+    tune_parser.set_defaults(handler=_cmd_tune)
     return parser
 
 
@@ -350,6 +379,41 @@ def _cmd_chaos(arguments) -> int:
                 f"failure(s)",
                 file=sys.stderr,
             )
+        return 1
+    return 0
+
+
+def _cmd_tune(arguments) -> int:
+    """Close the telemetry → config loop on the parking deployment.
+
+    Half the presence sensors flap; the controller retunes the live
+    supervision policy to stop burning reads on dark hardware.  Exit
+    status is 0 only when the controller actually evaluated its
+    objective and made at least one adjustment — a run too short to
+    tick (or a plan that never fires) proves nothing.
+    """
+    import json
+
+    from repro.runtime.tuning import run_parking_tuning
+
+    report = run_parking_tuning(
+        seed=arguments.seed,
+        duration_seconds=arguments.duration,
+        interval_seconds=arguments.interval,
+        flap_fraction=arguments.flap_fraction,
+    )
+    rendered = json.dumps(report, indent=2, sort_keys=True)
+    print(rendered)
+    if arguments.report:
+        with open(arguments.report, "w", encoding="utf-8") as handle:
+            handle.write(rendered + "\n")
+        print(f"wrote {arguments.report}", file=sys.stderr)
+    if not report["adjusted"]:
+        print(
+            "tune: the controller never adjusted a knob "
+            "(run longer, or widen the fault plan)",
+            file=sys.stderr,
+        )
         return 1
     return 0
 

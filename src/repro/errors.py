@@ -159,6 +159,17 @@ class PlacementError(RuntimeOrchestrationError):
         super().__init__(message)
 
 
+class TuningError(RuntimeOrchestrationError):
+    """The live-tuning layer was misconfigured or misused.
+
+    Raised for unknown knob names, config sections that do not speak
+    the :class:`~repro.runtime.configbase.ConfigBase` protocol, a
+    ``custom`` objective with no callable installed, or an attempt to
+    change a structural (non-live) config field on a running
+    application via ``Application.apply_config``.
+    """
+
+
 class ActuationError(RuntimeOrchestrationError):
     """An action could not be issued to a device."""
 

@@ -200,6 +200,7 @@ class ChaosDriver(DeviceDriver):
         self.injector = injector
         self.entity_id = entity_id
         self.last_injected_latency = 0.0
+        self.last_injected_batch_latency = 0.0
 
     def _check(self) -> None:
         self.last_injected_latency = 0.0
@@ -228,6 +229,51 @@ class ChaosDriver(DeviceDriver):
 
     def push(self, source: str, value: Any, index: Any = None) -> None:
         self.inner.push(source, value, index=index)
+
+    # -- columnar batch path ---------------------------------------------------
+
+    def batch_key(self, source: str):
+        """Delegate cohort identity to the wrapped driver.
+
+        Chaos-wrapped instances whose inner drivers share a substrate
+        keep sharing it, so batching survives injection — and the batch
+        path sees the faults instead of silently bypassing them.
+        """
+        return self.inner.batch_key(source)
+
+    def read_batch(self, entity_ids, source: str):
+        """Batch read with the cohort's combined fault schedule applied.
+
+        Outage/flap-down on *any* member fails the whole batch (one RPC,
+        one failure), demoting the cohort to scalar reads where
+        per-entity supervision takes over.  Latency faults are absorbed:
+        the batch inherits the **worst** member's injected delay
+        (``last_injected_batch_latency``) but is not subject to the
+        per-entity read timeout — a single scripted straggler slows the
+        entire cohort without tripping any breaker.  That masked-
+        straggler pathology is exactly what ``batch.min_column`` tuning
+        trades off against per-read dispatch overhead.
+        """
+        self.last_injected_batch_latency = 0.0
+        now = self.injector.clock.now()
+        injected = 0.0
+        for member in entity_ids:
+            for event in self.injector.events_for(member):
+                if not event.active_at(now):
+                    continue
+                if event.kind == LATENCY:
+                    injected = max(injected, event.latency_seconds)
+                else:  # outage / flap-down
+                    self.injector.injected_failures += 1
+                    raise DeviceUnavailableError(
+                        f"chaos {event.kind}: '{member}' is down "
+                        f"({event.start:g}s-{event.end:g}s)",
+                        entity_id=member,
+                    )
+        if injected:
+            self.injector.injected_latency_reads += 1
+        self.last_injected_batch_latency = injected
+        return self.inner.read_batch(entity_ids, source)
 
 
 class ChaosInjector:

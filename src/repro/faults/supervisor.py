@@ -43,6 +43,7 @@ class DeviceSupervisor:
     __slots__ = (
         "entity_id",
         "device_type",
+        "info",
         "policy",
         "breaker",
         "_clock",
@@ -59,9 +60,13 @@ class DeviceSupervisor:
         clock,
         rng,
         manager: Optional["SupervisionManager"] = None,
+        info=None,
     ):
         self.entity_id = entity_id
         self.device_type = device_type
+        # Type info is kept so a live policy retune can re-resolve this
+        # entity against the new override hierarchy.
+        self.info = info
         self.policy = policy
         self._clock = clock
         self._manager = manager
@@ -251,9 +256,37 @@ class SupervisionManager(Instrumented):
             self.clock,
             rng,
             manager=self,
+            info=instance.info,
         )
         self._supervisors[instance.entity_id] = supervisor
         return supervisor
+
+    def reconfigure(
+        self,
+        default_policy: Optional[SupervisionPolicy],
+        overrides: Optional[Mapping[str, SupervisionPolicy]] = None,
+    ) -> None:
+        """Swap the policy hierarchy live and retune every supervisor.
+
+        Each existing supervisor re-resolves against the new
+        default/override hierarchy; breakers keep their state (open
+        stays open, trip counts survive) but read thresholds, backoff
+        and quarantine limits from the new policy on their next event.
+        An entity whose resolved policy becomes ``None`` keeps its old
+        policy — supervision wiring is structural and cannot be torn
+        down live, only retuned.  Entities bound after the swap resolve
+        against the new hierarchy from scratch.
+        """
+        self.default_policy = default_policy
+        self.overrides = dict(overrides or {})
+        for supervisor in self._supervisors.values():
+            if supervisor.info is None:
+                continue
+            policy = self.policy_for(supervisor.info)
+            if policy is None:
+                continue
+            supervisor.policy = policy
+            supervisor.breaker.policy = policy
 
     def release(self, entity_id: str) -> None:
         self._supervisors.pop(entity_id, None)

@@ -25,8 +25,8 @@ declaration order and flows monotonically toward controllers.
 
 from __future__ import annotations
 
+import dataclasses
 import functools
-import warnings
 from typing import Any, Callable, Dict, List, Optional, Union
 
 from repro.errors import (
@@ -36,6 +36,7 @@ from repro.errors import (
     DeliveryError,
     PlacementError,
     RuntimeOrchestrationError,
+    TuningError,
 )
 from repro.lang.ast_nodes import (
     Publish,
@@ -121,14 +122,8 @@ class Application:
                     "pass either a RuntimeConfig or legacy keyword "
                     "arguments, not both"
                 )
-            warnings.warn(
-                "Application(design, "
-                f"{', '.join(sorted(legacy_kwargs))}=...) keywords are "
-                "deprecated; pass Application(design, "
-                "RuntimeConfig(...)) instead",
-                DeprecationWarning,
-                stacklevel=2,
-            )
+            # The one shim entry point; it emits the consolidated
+            # DeprecationWarning itself.
             config = RuntimeConfig.from_legacy_kwargs(**legacy_kwargs)
         elif config is None:
             config = RuntimeConfig()
@@ -301,6 +296,17 @@ class Application:
             help="Component failures contained under error_policy="
             "'isolate'.",
         )
+        # Live-tuning layer (repro.runtime.tuning): the knob registry
+        # names every tunable of the enabled subsystems; the controller
+        # exists only when tuning is on, so a disabled config schedules
+        # nothing and stays byte-identical to the untuned runtime.
+        from repro.runtime.tuning import KnobRegistry, TuningController
+
+        self.knobs = KnobRegistry.for_config(config)
+        self.tuner: Optional[TuningController] = None
+        if config.tuning.enabled:
+            self.tuner = TuningController(self, config.tuning, self.knobs)
+            self.tuner.attach_metrics(self.metrics)
 
     # ------------------------------------------------------------------
     # Assembly
@@ -433,6 +439,13 @@ class Application:
             self._wire_context(context_name)
         for controller_name in sorted(self.design.controllers):
             self._wire_controller(controller_name)
+        if self.tuner is not None:
+            # Scheduled after every gather job on purpose: the
+            # simulation clock breaks same-timestamp ties by scheduling
+            # order, so each controller tick runs after the sweeps of
+            # its own interval and adjusts between sweeps, never inside
+            # one.
+            self.tuner.start()
         self.started = True
         for implementation in self._implementations.values():
             implementation.on_start()
@@ -440,6 +453,8 @@ class Application:
     def stop(self) -> None:
         if not self.started:
             return
+        if self.tuner is not None:
+            self.tuner.stop()
         for job in self._jobs:
             job.cancel()
         self._jobs.clear()
@@ -458,6 +473,84 @@ class Application:
                 "advance() requires a SimulationClock"
             )
         return self.clock.advance(seconds)
+
+    # Config sections that may change on a running application.
+    # Everything else is structural wiring resolved at construction
+    # (clock, metrics registry, network model, placement/shard/planner
+    # objects, window accumulators) and must be identical in any config
+    # handed to ``apply_config``.
+    _LIVE_FIELDS = frozenset(
+        {
+            "sweep",
+            "cache",
+            "batch",
+            "supervision",
+            "supervision_overrides",
+            "stale",
+            "error_policy",
+            "tuning",
+        }
+    )
+
+    def apply_config(self, config: RuntimeConfig) -> None:
+        """Atomically adopt the live-tunable sections of ``config``.
+
+        The swap is a handful of attribute rebinds executed
+        synchronously between clock jobs — the tuning controller runs
+        as its own scheduled job after the sweeps of its interval — so
+        a running gather can never observe a torn config: every sweep
+        executes wholly under the config that was live when it began.
+
+        Live sections: ``sweep`` (mode/workers/batch size/shard
+        attribute), ``cache`` (TTLs, coalescing, invalidation scope —
+        but not ``enabled``), ``batch`` (``min_column`` and
+        ``columnar_reads`` only), ``supervision`` policies and
+        overrides (retuned across every live breaker),``stale``,
+        ``error_policy`` and ``tuning`` itself.  Changing any
+        structural field raises :class:`~repro.errors.TuningError`.
+        """
+        old = self.config
+        for f in dataclasses.fields(RuntimeConfig):
+            if f.name in self._LIVE_FIELDS:
+                continue
+            before = getattr(old, f.name)
+            after = getattr(config, f.name)
+            if before is not after and before != after:
+                raise TuningError(
+                    f"config field '{f.name}' is structural wiring and "
+                    "cannot change on a running application"
+                )
+        if old.cache.enabled != config.cache.enabled:
+            raise TuningError(
+                "the read cache cannot be enabled or disabled live"
+            )
+        if old.batch.replace(
+            min_column=config.batch.min_column,
+            columnar_reads=config.batch.columnar_reads,
+        ) != config.batch:
+            raise TuningError(
+                "only batch.min_column and batch.columnar_reads may "
+                "change on a running application"
+            )
+        if old.supervised() != config.supervised():
+            raise TuningError(
+                "supervision cannot be enabled or disabled live"
+            )
+        self.config = config
+        self.error_policy = config.error_policy
+        self.stale = config.stale_policy
+        self.sweeper.reconfigure(config.sweep)
+        if self.read_cache is not None:
+            self.read_cache.reconfigure(config.cache)
+        self._memoize_contexts = (
+            self.read_cache is not None and config.cache.memoize_contexts
+        )
+        self.supervision.reconfigure(
+            config.supervision, config.supervision_overrides
+        )
+        self._columnar_reads = (
+            config.batch.enabled and config.batch.columnar_reads
+        )
 
     # ------------------------------------------------------------------
     # Introspection

@@ -48,6 +48,7 @@ import threading
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Set, Tuple
 
+from repro.runtime.configbase import ConfigBase
 from repro.telemetry.instrument import Instrumented, MetricSpec
 
 __all__ = ["CacheConfig", "ReadCache"]
@@ -73,7 +74,7 @@ _CacheKey = Tuple[str, str]
 
 
 @dataclass(frozen=True)
-class CacheConfig:
+class CacheConfig(ConfigBase):
     """How the query-driven read fast path behaves.
 
     * ``enabled`` — master switch; ``False`` (default) keeps the
@@ -227,6 +228,24 @@ class ReadCache(Instrumented):
 
     def entry_count(self) -> int:
         return len(self._entries)
+
+    # -- live retuning -------------------------------------------------------
+
+    def reconfigure(self, config: CacheConfig) -> None:
+        """Swap the cache section live.
+
+        TTLs, coalescing and invalidation scope are read per call, so
+        swapping the record is the whole job — existing entries keep
+        their stamps and are re-judged against the new TTL on their
+        next hit.  The cache cannot be disabled live (its existence is
+        structural wiring); ``Application.apply_config`` enforces that
+        before calling here.
+        """
+        if not config.enabled:
+            raise ValueError(
+                "a live ReadCache cannot be reconfigured to disabled"
+            )
+        self.config = config
 
     def _extra_stats(self) -> Dict[str, Any]:
         return {

@@ -15,9 +15,16 @@ metrics, and now the supervision/stale policies of :mod:`repro.faults`).
     )
     app = Application(design, config)
 
+Every section (and the record itself) speaks the
+:class:`~repro.runtime.configbase.ConfigBase` protocol — validated
+``replace()``, JSON-able ``to_dict()``/``from_dict()`` — which is what
+lets the live-tuning controller derive neighbouring configs from a
+running one and lets ``Application.apply_config`` swap them atomically.
+
 The legacy keyword form (``Application(design, clock=...,
-streaming_windows=...)``) still works for one release through a shim
-that folds the keywords into a config and emits a
+streaming_windows=...)``) and the pre-``NetworkConfig`` network
+keywords still work for one release through a single shim entry point,
+:meth:`RuntimeConfig.from_legacy_kwargs`, which emits one consolidated
 :class:`DeprecationWarning`.
 """
 
@@ -30,10 +37,12 @@ from typing import Any, Dict, Mapping, Optional, Tuple, TYPE_CHECKING
 
 from repro.faults.policy import StalePolicy, SupervisionPolicy
 from repro.runtime.cache import CacheConfig
+from repro.runtime.configbase import ConfigBase
 from repro.runtime.placement import NetworkConfig, PlacementConfig
 from repro.runtime.plan import BatchConfig
 from repro.runtime.shard import ShardConfig
 from repro.runtime.sweep import SweepConfig
+from repro.runtime.tuning import TuningConfig
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, hints only
     from repro.runtime.clock import Clock
@@ -42,18 +51,20 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, hints only
 __all__ = [
     "BatchConfig",
     "CacheConfig",
+    "ConfigBase",
     "NetworkConfig",
     "PlacementConfig",
     "RuntimeConfig",
     "ShardConfig",
     "SweepConfig",
+    "TuningConfig",
 ]
 
 ERROR_POLICIES = ("raise", "isolate")
 
 
 @dataclass(frozen=True)
-class RuntimeConfig:
+class RuntimeConfig(ConfigBase):
     """Everything an :class:`~repro.runtime.app.Application` can tune.
 
     Every field has the historical default, so ``RuntimeConfig()`` is
@@ -107,6 +118,11 @@ class RuntimeConfig:
       for grouped MapReduce gathers, WAN byte accounting); disabled by
       default, which keeps every gather cloud-only and byte-identical
       to the placement-less runtime.
+    * ``tuning`` — :class:`~repro.runtime.tuning.TuningConfig`
+      governing the adaptive controller that closes the telemetry →
+      config loop online; disabled by default, which schedules no
+      controller and keeps every run byte-identical to the untuned
+      runtime.
     """
 
     clock: Optional["Clock"] = None
@@ -128,29 +144,45 @@ class RuntimeConfig:
     batch: BatchConfig = BatchConfig()
     shard: ShardConfig = ShardConfig()
     placement: PlacementConfig = PlacementConfig()
+    tuning: TuningConfig = TuningConfig()
+
+    # Live runtime objects: wiring, not deployment data.
+    _runtime_fields = ("clock", "mapreduce_executor", "metrics")
+    _decoders = {
+        "network": NetworkConfig.from_dict,
+        "sweep": SweepConfig.from_dict,
+        "cache": CacheConfig.from_dict,
+        "batch": BatchConfig.from_dict,
+        "shard": ShardConfig.from_dict,
+        "placement": PlacementConfig.from_dict,
+        "tuning": TuningConfig.from_dict,
+        "supervision": lambda raw: SupervisionPolicy(**raw),
+        "supervision_overrides": lambda raw: {
+            name: SupervisionPolicy(**policy)
+            for name, policy in raw.items()
+        },
+        "stale": lambda raw: StalePolicy(**raw),
+    }
 
     def __post_init__(self):
         if self.error_policy not in ERROR_POLICIES:
             raise ValueError(
                 f"error_policy must be one of {ERROR_POLICIES}"
             )
+        # Validation only — the legacy-keyword DeprecationWarnings that
+        # used to live here are consolidated in ``from_legacy_kwargs``,
+        # keeping construction (and therefore ``replace``/``validate``)
+        # warning-free.
         if self.network is not None and not isinstance(
             self.network, NetworkConfig
         ):
-            warnings.warn(
-                "RuntimeConfig(network=<model instance>) is deprecated; "
-                "pass a frozen NetworkConfig (the application builds "
-                "the model)",
-                DeprecationWarning,
-                stacklevel=3,
-            )
-        if self.apply_network_to_reads:
-            warnings.warn(
-                "RuntimeConfig(apply_network_to_reads=...) is "
-                "deprecated; use NetworkConfig(apply_to_reads=True)",
-                DeprecationWarning,
-                stacklevel=3,
-            )
+            if not callable(getattr(self.network, "transmit", None)):
+                raise TypeError(
+                    "network must be a NetworkConfig, a network model "
+                    "with a transmit() method, or None"
+                )
+        if not isinstance(self.tuning, TuningConfig):
+            raise TypeError("tuning must be a TuningConfig")
         if not isinstance(self.placement, PlacementConfig):
             raise TypeError("placement must be a PlacementConfig")
         if not isinstance(self.sweep, SweepConfig):
@@ -169,8 +201,15 @@ class RuntimeConfig:
             raise TypeError("supervision must be a SupervisionPolicy or None")
 
     def replace(self, **changes: Any) -> "RuntimeConfig":
-        """A copy with ``changes`` applied (frozen-dataclass idiom)."""
-        return dataclasses.replace(self, **changes)
+        """A copy with ``changes`` applied and **fully re-validated**.
+
+        Inherited :meth:`ConfigBase.replace` semantics: the copy goes
+        back through ``__post_init__`` and :meth:`validate`, so a
+        replace can never assemble a field combination construction
+        would reject (e.g. a non-config network object, or — one level
+        down — a flat-latency × hops ``NetworkConfig``).
+        """
+        return super().replace(**changes)
 
     def build_network(self) -> Tuple[Any, bool]:
         """The ``(model, apply_to_reads)`` pair an application attaches.
@@ -201,8 +240,13 @@ class RuntimeConfig:
 
     @classmethod
     def from_legacy_kwargs(cls, **kwargs: Any) -> "RuntimeConfig":
-        """Build a config from the deprecated ``Application`` keywords.
+        """The one shim for every deprecated keyword spelling.
 
+        Folds the legacy ``Application(design, clock=..., ...)``
+        keywords — including the pre-``NetworkConfig`` forms
+        ``network=<model instance>`` and ``apply_network_to_reads`` —
+        into a config, emitting a **single consolidated**
+        :class:`DeprecationWarning` that spells out each migration.
         Unknown keywords raise ``TypeError`` exactly as the old
         constructor did.
         """
@@ -213,6 +257,30 @@ class RuntimeConfig:
                 "Application() got unexpected keyword argument(s) "
                 f"{sorted(unknown)}"
             )
+        if not kwargs:
+            return cls()
+        notes = [
+            "pass RuntimeConfig("
+            + ", ".join(f"{name}=..." for name in sorted(kwargs))
+            + ") instead of keyword argument(s)"
+        ]
+        network = kwargs.get("network")
+        if network is not None and not isinstance(network, NetworkConfig):
+            notes.append(
+                "network=<model instance> becomes a frozen "
+                "NetworkConfig (the application builds the model)"
+            )
+        if kwargs.get("apply_network_to_reads"):
+            notes.append(
+                "apply_network_to_reads=True becomes "
+                "NetworkConfig(apply_to_reads=True)"
+            )
+        warnings.warn(
+            "legacy Application/RuntimeConfig keywords are deprecated: "
+            + "; ".join(notes),
+            DeprecationWarning,
+            stacklevel=3,
+        )
         return cls(**kwargs)
 
     def describe(self) -> Dict[str, Any]:
@@ -225,17 +293,7 @@ class RuntimeConfig:
             ):
                 summary[f.name] = value
             elif isinstance(
-                value,
-                (
-                    SupervisionPolicy,
-                    StalePolicy,
-                    SweepConfig,
-                    CacheConfig,
-                    BatchConfig,
-                    ShardConfig,
-                    PlacementConfig,
-                    NetworkConfig,
-                ),
+                value, (ConfigBase, SupervisionPolicy, StalePolicy)
             ):
                 summary[f.name] = repr(value)
             elif isinstance(value, Mapping):

@@ -47,6 +47,7 @@ from repro.mapreduce.api import (
     MapCollector,
     job_combiner,
 )
+from repro.runtime.configbase import ConfigBase
 from repro.simulation.network import (
     HopProfile,
     NetworkConditions,
@@ -138,7 +139,7 @@ class EntityPlacement:
 
 
 @dataclass(frozen=True)
-class NetworkConfig:
+class NetworkConfig(ConfigBase):
     """Frozen description of the simulated network.
 
     The flat form (``latency``/``jitter``/``loss``) describes the
@@ -159,6 +160,20 @@ class NetworkConfig:
     seed: int = 0
     apply_to_reads: bool = False
     hops: Any = ()
+
+    _decoders = {
+        "hops": lambda raw: tuple(
+            (
+                name,
+                profile
+                if isinstance(profile, HopProfile)
+                else HopProfile(**profile),
+            )
+            for name, profile in (
+                raw.items() if isinstance(raw, Mapping) else raw
+            )
+        )
+    }
 
     def __post_init__(self):
         hops = self.hops
@@ -210,7 +225,7 @@ class NetworkConfig:
 
 
 @dataclass(frozen=True)
-class PlacementConfig:
+class PlacementConfig(ConfigBase):
     """Where grouped MapReduce gathers execute on the continuum.
 
     * ``enabled`` — master switch; ``False`` (default) keeps every
@@ -234,6 +249,18 @@ class PlacementConfig:
     access_hop: str = ACCESS_HOP
     wan_hop: str = WAN_HOP
     edge_nodes: Tuple[EdgeNode, ...] = ()
+
+    _decoders = {
+        "default_tier": Tier.parse,
+        "edge_nodes": lambda raw: tuple(
+            node
+            if isinstance(node, EdgeNode)
+            else EdgeNode(
+                node_id=node["node_id"], values=tuple(node["values"])
+            )
+            for node in raw
+        ),
+    }
 
     def __post_init__(self):
         object.__setattr__(

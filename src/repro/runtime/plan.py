@@ -37,6 +37,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Tuple
 
+from repro.runtime.configbase import ConfigBase
 from repro.telemetry.instrument import Instrumented, MetricSpec
 
 __all__ = ["BatchConfig", "DeliveryPlanner", "SourcePlan"]
@@ -47,7 +48,7 @@ BATCH_COLUMN_BUCKETS = (2, 4, 8, 16, 32, 64, 128, 256, 1024, 4096, 16384)
 
 
 @dataclass(frozen=True)
-class BatchConfig:
+class BatchConfig(ConfigBase):
     """The sweep/publish hot path: columnar reads + compiled dispatch.
 
     * ``enabled`` — master switch; ``False`` (default) keeps both the

@@ -77,6 +77,7 @@ from repro.mapreduce.api import (
 from repro.mapreduce.partition import shard_index
 from repro.runtime.clock import SimulationClock
 from repro.runtime.component import GatherReading, SourceEvent
+from repro.runtime.configbase import ConfigBase
 from repro.telemetry.instrument import Instrumented, MetricSpec
 
 if TYPE_CHECKING:  # pragma: no cover - hints only
@@ -95,7 +96,7 @@ _START_METHODS = (None, "fork", "spawn", "forkserver")
 
 
 @dataclass(frozen=True)
-class ShardConfig:
+class ShardConfig(ConfigBase):
     """How a sharded runtime partitions and executes.
 
     * ``enabled`` — off by default: the runtime stays single-process

@@ -48,6 +48,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.runtime.clock import SimulationClock
+from repro.runtime.configbase import ConfigBase
 from repro.runtime.device import DeviceInstance
 from repro.runtime.plan import BATCH_COLUMN_BUCKETS
 from repro.telemetry.instrument import Instrumented, MetricSpec
@@ -73,7 +74,7 @@ SWEEP_DURATION_BUCKETS = (
 
 
 @dataclass(frozen=True)
-class SweepConfig:
+class SweepConfig(ConfigBase):
     """How periodic gather sweeps execute.
 
     * ``mode`` — ``'serial'`` polls in a plain loop; ``'threaded'``
@@ -463,6 +464,18 @@ class SweepEngine(Instrumented):
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+
+    def reconfigure(self, config: SweepConfig) -> None:
+        """Swap the sweep section live (between sweeps).
+
+        Mode, batch size and shard attribute are read per sweep, so the
+        swap alone suffices; a worker-count change additionally retires
+        the current pool, which lazily recreates at the new size on the
+        next threaded sweep.
+        """
+        if config.workers != self.config.workers:
+            self.close()
+        self.config = config
 
     def __repr__(self) -> str:
         return (

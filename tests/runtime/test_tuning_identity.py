@@ -1,0 +1,211 @@
+"""Tuning-off byte-identity: a disabled controller can never perturb a run.
+
+The contract backing ``TuningConfig(enabled=False)`` (the default) is
+stronger than "no adjustments": the *presence and parameters* of a
+disabled tuning section must be observationally invisible.  The
+hypothesis property drives the grouped + windowed gather pipeline across
+sweep modes x cache x batch and compares payloads, window folds and the
+full metrics snapshot (wall-time histograms excluded) between a default
+config and one whose tuning section carries aggressively different — but
+disabled — parameters.  A companion test holds the process-sharded
+runtime to the same identity.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import (
+    Application,
+    BatchConfig,
+    CacheConfig,
+    Context,
+    RuntimeConfig,
+    ShardBootstrap,
+    ShardConfig,
+    ShardedRuntime,
+    SweepConfig,
+    TuningConfig,
+    analyze,
+)
+from repro.simulation.sensors import FleetSubstrate
+
+DESIGN = """\
+device PresenceSensor {
+    attribute parkingLot as LotEnum;
+    source presence as Boolean;
+}
+enumeration LotEnum { A22, B16, D6 }
+
+context FreeCount as Integer {
+    when periodic presence from PresenceSensor <10 min>
+    grouped by parkingLot
+    with map as Boolean reduce as Integer
+    always publish;
+}
+
+context Windowed as Integer {
+    when periodic presence from PresenceSensor <10 min>
+    grouped by parkingLot every <30 min>
+    always publish;
+}
+"""
+
+LOTS = ("A22", "B16", "D6")
+PERIOD = 600.0
+
+# Deliberately un-default disabled sections: everything but ``enabled``
+# differs from TuningConfig(), so any leak of these parameters into the
+# run shows up as an identity break.
+VARIED_DISABLED = TuningConfig(
+    enabled=False,
+    interval_seconds=7.0,
+    knobs=("sweep.workers",),
+    objective="gather_errors",
+    epsilon=0.9,
+    warmup_intervals=0,
+    cooldown_intervals=0,
+    rollback_tolerance=0.5,
+    drift_tolerance=0.01,
+    seed=99,
+)
+
+
+class FreeCountImpl(Context):
+    def __init__(self):
+        super().__init__()
+        self.deliveries = []
+
+    def map(self, lot, presence, collector):
+        if not presence:
+            collector.emit_map(lot, True)
+
+    def reduce(self, lot, values, collector):
+        collector.emit_reduce(lot, len(values))
+
+    def on_periodic_presence(self, by_lot, discover):
+        self.deliveries.append(dict(by_lot))
+        return sum(by_lot.values())
+
+
+class WindowedImpl(Context):
+    def __init__(self):
+        super().__init__()
+        self.windows = []
+
+    def on_periodic_presence(self, window_by_lot, discover):
+        self.windows.append(
+            {lot: list(values) for lot, values in window_by_lot.items()}
+        )
+        return sum(len(v) for v in window_by_lot.values())
+
+
+def run_once(tuning, mode, cache_on, batch_on, sensors, periods):
+    config = RuntimeConfig(
+        sweep=SweepConfig(mode=mode, workers=3),
+        cache=CacheConfig(enabled=cache_on),
+        batch=BatchConfig(enabled=batch_on),
+        tuning=tuning,
+    )
+    app = Application(analyze(DESIGN), config)
+    free = app.implement("FreeCount", FreeCountImpl())
+    windowed = app.implement("Windowed", WindowedImpl())
+    substrate = FleetSubstrate(
+        app.clock, seed=7, models={"presence": lambda draw: draw < 0.5}
+    )
+    for index in range(sensors):
+        app.create_device(
+            "PresenceSensor",
+            f"s-{index}",
+            substrate.driver("presence"),
+            parkingLot=LOTS[index % len(LOTS)],
+        )
+    app.start()
+    app.advance(periods * PERIOD)
+    counters = {
+        name: dict(samples)
+        for name, samples in app.metrics.snapshot().items()
+        if "seconds" not in name  # wall-time histograms may differ
+    }
+    app.stop()
+    return free.deliveries, windowed.windows, counters
+
+
+class TestDisabledTuningIsInvisible:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        mode=st.sampled_from(["serial", "threaded"]),
+        cache_on=st.booleans(),
+        batch_on=st.booleans(),
+        sensors=st.integers(min_value=1, max_value=9),
+        periods=st.integers(min_value=1, max_value=4),
+    )
+    def test_payloads_windows_and_counters_identical(
+        self, mode, cache_on, batch_on, sensors, periods
+    ):
+        baseline = run_once(
+            TuningConfig(), mode, cache_on, batch_on, sensors, periods
+        )
+        varied = run_once(
+            VARIED_DISABLED, mode, cache_on, batch_on, sensors, periods
+        )
+        assert varied == baseline
+
+    def test_disabled_tuning_registers_no_metrics(self):
+        __, __, counters = run_once(
+            VARIED_DISABLED, "serial", False, False, 3, 1
+        )
+        assert not [name for name in counters if name.startswith("tuning_")]
+
+
+class IdentityBootstrap(ShardBootstrap):
+    """Sharded presence fleet parameterized on the tuning section."""
+
+    def __init__(self, tuning, sensors=6):
+        self.tuning = tuning
+        self.sensors = sensors
+
+    def fleet(self):
+        return [f"s-{index:03d}" for index in range(self.sensors)]
+
+    def build(self, ctx):
+        config = RuntimeConfig(
+            shard=ShardConfig(enabled=True, workers=2),
+            tuning=self.tuning,
+        )
+        app = Application(analyze(DESIGN), config)
+        app.implement("FreeCount", FreeCountImpl())
+        app.implement("Windowed", WindowedImpl())
+        substrate = FleetSubstrate(
+            app.clock, seed=7, models={"presence": lambda draw: draw < 0.5}
+        )
+        for position, entity_id in enumerate(self.fleet()):
+            if ctx.owns(entity_id):
+                app.create_device(
+                    "PresenceSensor",
+                    entity_id,
+                    substrate.driver("presence"),
+                    parkingLot=LOTS[position % len(LOTS)],
+                )
+        return app
+
+
+class TestShardedIdentity:
+    def test_sharded_runs_are_identical_with_disabled_tuning(self):
+        def run_sharded(tuning):
+            runtime = ShardedRuntime(IdentityBootstrap(tuning))
+            published = []
+            for name in ("FreeCount", "Windowed"):
+                runtime.app.bus.subscribe(
+                    ("context", name),
+                    lambda event, name=name: published.append(
+                        (name, event.value, event.timestamp)
+                    ),
+                )
+            runtime.start()
+            try:
+                runtime.advance(2 * PERIOD)
+            finally:
+                runtime.stop()
+            return published
+
+        assert run_sharded(TuningConfig()) == run_sharded(VARIED_DISABLED)
