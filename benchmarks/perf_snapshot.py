@@ -20,7 +20,8 @@ against that run.  A snapshot only gates the sections it records
 (absent sections are skipped), so era-scoped snapshots compose —
 ``BENCH_006.json`` covers the batch/cache/plan sections,
 ``BENCH_007.json`` covers ``shard_scaling``, ``BENCH_008.json`` covers
-``placement`` and ``BENCH_009.json`` covers ``tuning``::
+``placement``, ``BENCH_009.json`` covers ``tuning`` and
+``BENCH_010.json`` covers ``fleet``::
 
     python benchmarks/perf_snapshot.py \\
         --check BENCH_006.json --check BENCH_007.json
@@ -307,6 +308,103 @@ def measure_adaptive_tuning() -> dict:
     }
 
 
+def measure_fleet() -> dict:
+    """The fleet-scale wire path, scaled to 100k devices.
+
+    A scaled-down sibling of ``bench_fleet_scale.py`` (the 1M run
+    lives in the CI ``fleet-smoke`` job).  Shard assignment is stable
+    crc32 and the activity signal is deterministic in the seed, so the
+    pickled byte counts, delta-row and quiescent-row counts gate
+    exactly; only the 4-worker wall-time speedup is machine-dependent
+    and gates as a ratio.
+    """
+    import time as _time
+
+    from repro.api import ShardConfig, ShardedRuntime
+    from repro.runtime.shard import FleetScaleBootstrap
+
+    devices = 100_000
+    service_time = 50e-6
+    sweeps = 4
+
+    def runtime_for(shard, service):
+        bootstrap = FleetScaleBootstrap(
+            count=devices,
+            seed=11,
+            service_time=service,
+            activity=0.02,
+            shard=shard,
+        )
+        runtime = ShardedRuntime(bootstrap)
+        published = []
+        runtime.app.bus.subscribe(
+            ("context", "ZoneLevels"),
+            lambda event: published.append((event.value, event.timestamp)),
+        )
+        return runtime.start(), published
+
+    def wire_run(wire, delta):
+        runtime, published = runtime_for(
+            ShardConfig(
+                enabled=True, workers=4, wire_format=wire, delta_sync=delta
+            ),
+            0.0,
+        )
+        try:
+            runtime.advance(sweeps * 60.0)
+            stats = runtime.stats()
+            return (
+                stats["router"]["wire_bytes"],
+                stats["delta_rows"],
+                stats["quiescent_rows"],
+                published,
+            )
+        finally:
+            runtime.stop()
+
+    rows_bytes, __, __ignored, rows_published = wire_run("rows", False)
+    delta_bytes, delta_rows, quiescent_rows, delta_published = wire_run(
+        "columnar", True
+    )
+    if delta_published != rows_published:
+        raise AssertionError("delta deliveries diverged from rows wire")
+
+    runtime, serial_published = runtime_for(
+        ShardConfig(enabled=False), service_time
+    )
+    try:
+        started = _time.perf_counter()
+        runtime.advance(60.0)
+        serial_s = _time.perf_counter() - started
+    finally:
+        runtime.stop()
+    runtime, sharded_published = runtime_for(
+        ShardConfig(enabled=True, workers=4), service_time
+    )
+    try:
+        sharded_s = float("inf")
+        for __ in range(2):
+            started = _time.perf_counter()
+            runtime.advance(60.0)
+            sharded_s = min(sharded_s, _time.perf_counter() - started)
+    finally:
+        runtime.stop()
+    if sharded_published[: len(serial_published)] != serial_published:
+        raise AssertionError("sharded deliveries diverged from single")
+    return {
+        "devices": devices,
+        "workers": 4,
+        "sweeps": sweeps,
+        "deliveries_identical": True,
+        "rows_bytes": rows_bytes,
+        "delta_bytes": delta_bytes,
+        "byte_cut": round(rows_bytes / delta_bytes, 2),
+        "delta_rows": delta_rows,
+        "quiescent_rows": quiescent_rows,
+        "speedup": round(serial_s / sharded_s, 2),
+    }
+
+
 SECTIONS = {
     "batch_read": measure_batch_read,
     "scale_10k": measure_scale_10k,
@@ -315,6 +413,7 @@ SECTIONS = {
     "shard_scaling": measure_shard_scaling,
     "placement": measure_placement,
     "tuning": measure_adaptive_tuning,
+    "fleet": measure_fleet,
 }
 
 
@@ -357,11 +456,23 @@ EXACT = {
         "adjustments_down",
         "rollbacks",
     ),
+    "fleet": (
+        "devices",
+        "workers",
+        "sweeps",
+        "deliveries_identical",
+        "rows_bytes",
+        "delta_bytes",
+        "byte_cut",
+        "delta_rows",
+        "quiescent_rows",
+    ),
 }
 RATIOS = {
     "batch_read": ("speedup_serial", "speedup_threaded"),
     "query_cache": ("speedup",),
     "shard_scaling": ("speedup",),
+    "fleet": ("speedup",),
 }
 
 

@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
+import json
+import weakref
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.apps.parking.design import PAPER_ENTRANCES, get_design
 from repro.apps.parking.devices import (
@@ -13,7 +15,16 @@ from repro.apps.parking.devices import (
     deploy_sensors,
 )
 from repro.apps.parking.logic import default_implementations
-from repro.api import Application, RuntimeConfig, SimulationClock
+from repro.api import (
+    Application,
+    DriverCatalog,
+    RuntimeConfig,
+    ShardBootstrap,
+    ShardConfig,
+    ShardedRuntime,
+    SimulationClock,
+    load_descriptor,
+)
 from repro.simulation.environment import ParkingLotEnvironment
 
 PAPER_CAPACITIES: Dict[str, int] = {"A22": 40, "B16": 30, "D6": 50}
@@ -129,9 +140,220 @@ def build_parking_app(
     )
 
 
+# -- descriptor-driven sharded deployment ------------------------------------
+
+# Per-process parking environment, keyed by the application it serves;
+# dynamic rebinds need it to construct drivers inside a built worker.
+_ENVIRONMENTS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def parking_catalog(environment: ParkingLotEnvironment) -> DriverCatalog:
+    """The descriptor-side driver catalog of the parking application."""
+    catalog = DriverCatalog()
+    catalog.register(
+        "presence",
+        lambda lot, space: PresenceSensorDriver(environment, lot, space),
+    )
+    catalog.register("panel", DisplayPanelDriver)
+    catalog.register("messenger", MessengerDriver)
+    return catalog
+
+
+def parking_descriptor(
+    capacities: Optional[Dict[str, int]] = None,
+    entrances: Sequence[str] = PAPER_ENTRANCES,
+    shard: Optional[Dict[str, Any]] = None,
+    name: str = "parking-city",
+) -> Dict[str, Any]:
+    """A JSON-compatible deployment descriptor for the parking fleet.
+
+    One presence sensor per space, one entrance panel per lot, one city
+    panel per entrance, one messenger.  ``shard`` (a dict of
+    :class:`~repro.runtime.shard.ShardConfig` fields, e.g.
+    ``{"workers": 4}``) becomes the descriptor's ``topology.shard``
+    section — the switch that makes :func:`build_sharded_parking_app`
+    run the deployment process-sharded.
+    """
+    capacities = dict(capacities or PAPER_CAPACITIES)
+    entities: List[Dict[str, Any]] = [
+        {
+            "type": "PresenceSensor",
+            "id": f"sensor-{lot}-{space:04d}",
+            "driver": "presence",
+            "attributes": {"parkingLot": lot},
+            "config": {"lot": lot, "space": space},
+        }
+        for lot, capacity in sorted(capacities.items())
+        for space in range(capacity)
+    ]
+    for lot in sorted(capacities):
+        entities.append(
+            {
+                "type": "ParkingEntrancePanel",
+                "id": f"panel-{lot}",
+                "driver": "panel",
+                "attributes": {"location": lot},
+            }
+        )
+    for entrance in entrances:
+        entities.append(
+            {
+                "type": "CityEntrancePanel",
+                "id": f"city-panel-{entrance}",
+                "driver": "panel",
+                "attributes": {"location": entrance},
+            }
+        )
+    entities.append(
+        {"type": "Messenger", "id": "ops-messenger", "driver": "messenger"}
+    )
+    descriptor: Dict[str, Any] = {"name": name, "entities": entities}
+    if shard is not None:
+        descriptor["topology"] = {"shard": dict(shard)}
+    return descriptor
+
+
+@dataclass(frozen=True)
+class ShardedParkingBootstrap(ShardBootstrap):
+    """Picklable recipe building the parking app from a descriptor.
+
+    Plain data (the descriptor's JSON text plus deterministic build
+    parameters), so it pickles into spawned workers.  Every process
+    rebuilds the same :class:`ParkingLotEnvironment` from
+    ``(capacities, seed)`` and binds its slice of the sensor fleet;
+    actuators (panels, messenger) bind where the context
+    implementations actually fire — the coordinator, or the single
+    process of an unsharded run.
+    """
+
+    descriptor_json: str
+    capacities: Tuple[Tuple[str, int], ...]
+    seed: int = 0
+    availability_period: str = "10 min"
+    usage_period: str = "1 hr"
+    occupancy_window: str = "24 hr"
+    environment_step_seconds: float = 60.0
+
+    def fleet(self) -> List[str]:
+        descriptor = load_descriptor(self.descriptor_json)
+        return [
+            record.entity_id
+            for record in descriptor.entities
+            if record.device_type == "PresenceSensor"
+        ]
+
+    def build(self, ctx) -> Application:
+        descriptor = load_descriptor(self.descriptor_json)
+        shard = descriptor.shard_config() or ShardConfig()
+        capacities = dict(self.capacities)
+        design = get_design(
+            lots=tuple(sorted(capacities)),
+            entrances=tuple(
+                record.attributes["location"]
+                for record in descriptor.entities
+                if record.device_type == "CityEntrancePanel"
+            ),
+            availability_period=self.availability_period,
+            usage_period=self.usage_period,
+            occupancy_window=self.occupancy_window,
+        )
+        config = RuntimeConfig(
+            clock=SimulationClock(),
+            shard=shard,
+            name=descriptor.name,
+        )
+        app = Application(design, config)
+        for name, implementation in default_implementations().items():
+            app.implement(name, implementation)
+        environment = ParkingLotEnvironment(
+            capacities,
+            step_seconds=self.environment_step_seconds,
+            seed=self.seed,
+        )
+        catalog = parking_catalog(environment)
+        # The coordinator binds the whole registration record, not just
+        # its (empty) shard: context implementations discover the fleet
+        # at runtime (``discover.devices("PresenceSensor")``), and the
+        # environment replica keeps any coordinator-side read identical
+        # to the owning worker's.  Sweeps still run on the workers —
+        # the gather delegate bypasses the coordinator's own read path.
+        coordinator = ctx.index is None
+        for record in descriptor.entities:
+            if record.device_type == "PresenceSensor":
+                if not (coordinator or ctx.owns(record.entity_id)):
+                    continue
+            elif not (coordinator or ctx.shards == 1):
+                continue
+            driver = catalog.create(record.driver, **record.config)
+            app.create_device(
+                record.device_type,
+                record.entity_id,
+                driver,
+                **record.attributes,
+            )
+        environment.attach(app.clock)
+        _ENVIRONMENTS[app] = environment
+        return app
+
+    def bind_entity(self, app: Application, entity_id: str, position: int):
+        """Dynamic re-partitioning: bind one more sensor in-process.
+
+        Sensor ids encode their probe — ``sensor-<lot>-<space>`` — so
+        the driver rebuilds from the id against the process-local
+        environment (the lot must be a declared one)."""
+        environment = _ENVIRONMENTS[app]
+        lot, space = entity_id[len("sensor-") :].rsplit("-", 1)
+        driver = PresenceSensorDriver(environment, lot, int(space))
+        app.create_device("PresenceSensor", entity_id, driver, parkingLot=lot)
+
+
+def build_sharded_parking_app(
+    descriptor_source: Union[str, Dict[str, Any]],
+    seed: int = 0,
+    start: bool = True,
+) -> ShardedRuntime:
+    """Build the parking deployment a descriptor describes, sharded when
+    its topology says so.
+
+    The descriptor's ``topology.shard`` section (see
+    :func:`parking_descriptor`) selects the process-sharded runtime and
+    its wire settings; without one the returned
+    :class:`~repro.runtime.shard.ShardedRuntime` degrades to the
+    single-process application, byte-identical to
+    :func:`build_parking_app` with default config.
+    """
+    if isinstance(descriptor_source, str):
+        descriptor_json = descriptor_source
+    else:
+        descriptor_json = json.dumps(descriptor_source)
+    descriptor = load_descriptor(descriptor_json)
+    capacities: Dict[str, int] = {}
+    for record in descriptor.entities:
+        if record.device_type == "PresenceSensor":
+            lot = record.config["lot"]
+            capacities[lot] = max(
+                capacities.get(lot, 0), record.config["space"] + 1
+            )
+    bootstrap = ShardedParkingBootstrap(
+        descriptor_json=descriptor_json,
+        capacities=tuple(sorted(capacities.items())),
+        seed=seed,
+    )
+    runtime = ShardedRuntime(
+        bootstrap, shard=descriptor.shard_config() or ShardConfig()
+    )
+    if start:
+        runtime.start()
+    return runtime
+
+
 __all__ = [
     "PAPER_CAPACITIES",
     "ParkingApp",
     "PresenceSensorDriver",
+    "ShardedParkingBootstrap",
     "build_parking_app",
+    "build_sharded_parking_app",
+    "parking_catalog",
+    "parking_descriptor",
 ]

@@ -69,7 +69,7 @@ from repro.runtime.grouping import (
     group_readings_planned,
 )
 from repro.runtime.placement import PlacementExecutor
-from repro.runtime.plan import DeliveryPlanner
+from repro.runtime.plan import CohortPlanner, DeliveryPlanner
 from repro.runtime.proxies import make_proxy
 from repro.simulation.network import TopologyModel
 from repro.runtime.qos import QoSMonitor
@@ -87,6 +87,11 @@ _FAILED = object()
 _READ_OK = "ok"
 _READ_DROPPED = "dropped"
 _READ_FAILED = "failed"
+
+# Placeholder marking a position demoted out of its batch cohort for
+# this sweep (failed flag, degraded health); the scalar fallback loop
+# overwrites it with the real (outcome, payload) pair.
+_DEMOTED = object()
 
 
 class Application:
@@ -212,6 +217,15 @@ class Application:
                 design, self.bus, self.registry, metrics=self.metrics
             )
             if config.batch.enabled and config.batch.compile_plans
+            else None
+        )
+        # Persistent (shard, batch_key) cohort plans for the columnar
+        # sweep path, invalidated by registry version — re-deriving the
+        # cohorts per sweep is pure overhead once fleets grow past a
+        # few thousand devices.
+        self._cohort_planner: Optional[CohortPlanner] = (
+            CohortPlanner(self.registry, metrics=self.metrics)
+            if config.batch.enabled
             else None
         )
         # (device type, source) -> ancestor-walk topic tuple.  The walk
@@ -489,6 +503,7 @@ class Application:
             "stale",
             "error_policy",
             "tuning",
+            "shard",
         }
     )
 
@@ -506,8 +521,10 @@ class Application:
         but not ``enabled``), ``batch`` (``min_column`` and
         ``columnar_reads`` only), ``supervision`` policies and
         overrides (retuned across every live breaker),``stale``,
-        ``error_policy`` and ``tuning`` itself.  Changing any
-        structural field raises :class:`~repro.errors.TuningError`.
+        ``error_policy``, ``tuning`` itself and ``shard``
+        (``wire_format`` and ``delta_sync`` only — the worker gang is
+        structural).  Changing any structural field raises
+        :class:`~repro.errors.TuningError`.
         """
         old = self.config
         for f in dataclasses.fields(RuntimeConfig):
@@ -535,6 +552,14 @@ class Application:
         if old.supervised() != config.supervised():
             raise TuningError(
                 "supervision cannot be enabled or disabled live"
+            )
+        if old.shard.replace(
+            wire_format=config.shard.wire_format,
+            delta_sync=config.shard.delta_sync,
+        ) != config.shard:
+            raise TuningError(
+                "only shard.wire_format and shard.delta_sync may "
+                "change on a running application"
             )
         self.config = config
         self.error_policy = config.error_policy
@@ -1150,41 +1175,51 @@ class Application:
         read fails (or returns a mis-shaped column) demotes whole.
         """
         results: List[Any] = [None] * len(instances)
-        cohorts: Dict[int, List[int]] = {}
-        scalar: List[int] = []
+        demoted: List[int] = []
         cache = self.read_cache
+        # Static partition — (shard, batch_key) cohorts and the
+        # no-batch-driver positions — comes from the memoized plan;
+        # only the per-sweep eligibility below stays dynamic.
+        plan = self._cohort_planner.plan(source, instances)
         for position, instance in enumerate(instances):
             if sampler is not None and not sampler():
                 results[position] = (_READ_DROPPED, None)
                 continue
-            if instance.failed:
-                scalar.append(position)
-                continue
             supervisor = instance.supervisor
-            if supervisor is not None and supervisor.health != HEALTHY:
+            if instance.failed or (
+                supervisor is not None and supervisor.health != HEALTHY
+            ):
                 # Degraded/quarantined entities keep their breaker
                 # probes and half-open recovery; a batch read would
                 # bypass both.
-                scalar.append(position)
+                results[position] = _DEMOTED
+                demoted.append(position)
                 continue
             if cache is not None:
                 hit = cache.lookup(instance.entity_id, source)
                 if hit is not None:
                     results[position] = (_READ_OK, hit[0])
-                    continue
-            key = instance.driver.batch_key(source)
-            if key is None:
-                scalar.append(position)
-                continue
-            cohorts.setdefault(id(key), []).append(position)
+        scalar = [
+            position
+            for position in plan.scalar
+            if results[position] is None
+        ]
+        scalar.extend(demoted)
         min_column = self.config.batch.min_column
-        for positions in cohorts.values():
-            if len(positions) < min_column:
-                scalar.extend(positions)
+        for positions in plan.groups:
+            pending = [
+                position
+                for position in positions
+                if results[position] is None
+            ]
+            if not pending:
                 continue
-            batch = [(p, instances[p]) for p in positions]
+            if len(pending) < min_column:
+                scalar.extend(pending)
+                continue
+            batch = [(p, instances[p]) for p in pending]
             if not self._read_batch_cohort(source, batch, results):
-                scalar.extend(positions)
+                scalar.extend(pending)
         if scalar:
             self.sweeper.note_batch_demoted(len(scalar))
             scalar.sort()

@@ -436,6 +436,27 @@ class ReadCache(Instrumented):
                 removed += self.invalidate_shard(source, shard)
         return removed
 
+    def apply_invalidations(self, items) -> int:
+        """Apply a batch of routed invalidation records.
+
+        The process-sharded runtime piggybacks coordinator-side
+        invalidation decisions on the next worker command instead of a
+        dedicated round-trip; each record is either ``("entity",
+        entity_id, source_or_None)`` or ``("cohort", source,
+        shard_value)`` (the ``shard_attribute`` cohort drop a publish
+        triggers).  Returns the number of entries removed.
+        """
+        removed = 0
+        for record in items:
+            kind = record[0]
+            if kind == "entity":
+                removed += self.invalidate(record[1], record[2])
+            elif kind == "cohort":
+                removed += self.invalidate_shard(record[1], record[2])
+            else:
+                raise ValueError(f"unknown invalidation record kind: {kind!r}")
+        return removed
+
     def clear(self) -> int:
         """Drop every entry (counts as one generation bump)."""
         with self._lock:

@@ -110,9 +110,10 @@ class RuntimeConfig(ConfigBase):
       to the unbatched runtime.
     * ``shard`` — :class:`~repro.runtime.shard.ShardConfig` governing
       the process-sharded runtime (hash-partitioned fleet, one worker
-      process per shard, cross-shard event routing); disabled by
-      default, which keeps the runtime single-process and
-      byte-identical to the unsharded code path.
+      process per shard, cross-shard event routing, and the coordinator
+      wire protocol: ``wire_format``, ``delta_sync`` and
+      ``local_cache``); disabled by default, which keeps the runtime
+      single-process and byte-identical to the unsharded code path.
     * ``placement`` — :class:`~repro.runtime.placement.PlacementConfig`
       governing the edge/cloud placement tier (edge-local map+combine
       for grouped MapReduce gathers, WAN byte accounting); disabled by

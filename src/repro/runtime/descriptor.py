@@ -49,6 +49,19 @@ and node::
 into the frozen config objects :class:`repro.runtime.config.RuntimeConfig`
 expects, so one JSON file describes both the fleet and the continuum it
 runs on.
+
+A ``shard`` entry inside ``topology`` declares that the site runs the
+process-sharded runtime and with which wire settings::
+
+    "topology": {
+      "shard": {"workers": 4, "wire_format": "columnar",
+                "delta_sync": true, "local_cache": true}
+    }
+
+:meth:`DeploymentDescriptor.shard_config` turns it into an enabled
+:class:`~repro.runtime.shard.ShardConfig` (``None`` when the section is
+absent), so case-study apps can opt a deployment into sharding from the
+descriptor alone.
 """
 
 from __future__ import annotations
@@ -66,6 +79,7 @@ from repro.runtime.placement import (
     NetworkConfig,
     PlacementConfig,
 )
+from repro.runtime.shard import ShardConfig
 from repro.simulation.network import HopProfile
 
 
@@ -119,6 +133,7 @@ class TopologySection:
     edge_nodes: Tuple[EdgeNode, ...] = ()
     edge_attribute: Optional[str] = None
     seed: int = 0
+    shard: Optional[Tuple[Tuple[str, Any], ...]] = None
 
     def network_config(self, **overrides: Any) -> NetworkConfig:
         """Build the :class:`NetworkConfig` this topology describes."""
@@ -135,6 +150,19 @@ class TopologySection:
         }
         settings.update(overrides)
         return PlacementConfig(**settings)
+
+    def shard_config(self, **overrides: Any) -> Optional[ShardConfig]:
+        """Build an enabled :class:`ShardConfig` for this site.
+
+        ``None`` when the descriptor declares no ``shard`` section — the
+        deployment runs single-process.
+        """
+        if self.shard is None:
+            return None
+        settings: Dict[str, Any] = {"enabled": True}
+        settings.update(self.shard)
+        settings.update(overrides)
+        return ShardConfig(**settings)
 
 
 @dataclass(frozen=True)
@@ -162,8 +190,39 @@ class DeploymentDescriptor:
             return None
         return self.topology.placement_config(**overrides)
 
+    def shard_config(self, **overrides: Any) -> Optional[ShardConfig]:
+        if self.topology is None:
+            return None
+        return self.topology.shard_config(**overrides)
+
 
 _HOP_FIELDS = ("latency", "jitter", "loss", "bandwidth")
+_SHARD_FIELDS = (
+    "enabled",
+    "workers",
+    "start_method",
+    "wire_format",
+    "delta_sync",
+    "local_cache",
+)
+
+
+def _parse_shard(raw: Any) -> Tuple[Tuple[str, Any], ...]:
+    if not isinstance(raw, dict):
+        raise BindingError("topology 'shard' must be a JSON object")
+    unknown = sorted(set(raw) - set(_SHARD_FIELDS))
+    if unknown:
+        raise BindingError(
+            f"topology shard: unknown fields {unknown} "
+            f"(expected any of: {', '.join(_SHARD_FIELDS)})"
+        )
+    # Fail at load time, not first use: the section must describe a
+    # valid ShardConfig (an enabled one unless it says otherwise).
+    try:
+        ShardConfig(**{"enabled": True, **raw})
+    except (TypeError, ValueError) as exc:
+        raise BindingError(f"topology shard: {exc}") from None
+    return tuple(sorted(raw.items()))
 
 
 def _parse_topology(raw: Any) -> TopologySection:
@@ -208,11 +267,15 @@ def _parse_topology(raw: Any) -> TopologySection:
     seed = raw.get("seed", 0)
     if not isinstance(seed, int) or isinstance(seed, bool):
         raise BindingError("topology 'seed' must be an integer")
+    shard = None
+    if "shard" in raw:
+        shard = _parse_shard(raw["shard"])
     return TopologySection(
         hops=tuple(hops),
         edge_nodes=tuple(nodes),
         edge_attribute=edge_attribute,
         seed=seed,
+        shard=shard,
     )
 
 

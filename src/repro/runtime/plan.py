@@ -40,7 +40,13 @@ from typing import Any, Dict, Optional, Tuple
 from repro.runtime.configbase import ConfigBase
 from repro.telemetry.instrument import Instrumented, MetricSpec
 
-__all__ = ["BatchConfig", "DeliveryPlanner", "SourcePlan"]
+__all__ = [
+    "BatchConfig",
+    "CohortPlan",
+    "CohortPlanner",
+    "DeliveryPlanner",
+    "SourcePlan",
+]
 
 # Column-size buckets: cohorts below min_column never batch, city-scale
 # shards batch thousands of reads per column.
@@ -255,6 +261,108 @@ class DeliveryPlanner(Instrumented):
             f"<DeliveryPlanner plans={len(self._plans)} "
             f"memberships={len(self._memberships)} hits={self._hits}>"
         )
+
+
+class CohortPlan:
+    """Persistent (shard, batch_key) cohort partition for one columnar
+    sweep shard.
+
+    ``groups`` is a tuple of position tuples — one per ``batch_key``
+    cohort, in first-appearance order, positions being indexes into the
+    sweep shard's instance column; ``scalar`` the positions whose
+    driver declines batching (``batch_key`` is ``None``).  ``version``
+    is the registry version captured at compile time: cohort membership
+    is a pure function of the bindings, so the plan stays valid until
+    the registry moves.  Per-sweep *eligibility* (sampler drops, failed
+    flags, breaker health, cache freshness) stays dynamic in the gather
+    path — the plan only spares it the per-instance ``batch_key`` calls
+    and cohort re-formation every sweep.
+    """
+
+    __slots__ = ("groups", "scalar", "version")
+
+    def __init__(self, groups, scalar, version):
+        self.groups = groups
+        self.scalar = scalar
+        self.version = version
+
+    def __repr__(self) -> str:
+        return (
+            f"<CohortPlan groups={len(self.groups)} "
+            f"scalar={len(self.scalar)} v{self.version}>"
+        )
+
+
+class CohortPlanner(Instrumented):
+    """Memoized cohort plans for the columnar sweep hot path.
+
+    Keyed by ``(source, shard length, first entity id)`` — a sweep
+    shard's membership and order are fixed for a registry version, and
+    its first entity identifies it among the shards of one sweep — and
+    invalidated by the registry version, the same two-integer-compare
+    discipline :class:`DeliveryPlanner` uses.
+    """
+
+    metric_specs = (
+        MetricSpec(
+            "cohort_plan_compiles_total",
+            "_compiles",
+            stats_key="compiles",
+            help="Columnar cohort plans compiled.",
+        ),
+        MetricSpec(
+            "cohort_plan_hits_total",
+            "_hits",
+            stats_key="hits",
+            help="Columnar sweeps served from a memoized cohort plan.",
+        ),
+    )
+
+    def __init__(self, registry, metrics=None):
+        self.registry = registry
+        self._plans: Dict[Tuple[str, int, str], CohortPlan] = {}
+        self._compiles = 0
+        self._hits = 0
+        if metrics is not None:
+            self.attach_metrics(metrics)
+
+    def plan(self, source: str, instances) -> CohortPlan:
+        """The cohort plan for one sweep shard (compiling on miss)."""
+        version = self.registry.version
+        key = (
+            source,
+            len(instances),
+            instances[0].entity_id if instances else "",
+        )
+        plan = self._plans.get(key)
+        if plan is not None and plan.version == version:
+            self._hits += 1
+            return plan
+        cohorts: Dict[int, list] = {}
+        scalar = []
+        for position, instance in enumerate(instances):
+            batch_key = instance.driver.batch_key(source)
+            if batch_key is None:
+                scalar.append(position)
+            else:
+                cohorts.setdefault(id(batch_key), []).append(position)
+        plan = CohortPlan(
+            tuple(tuple(positions) for positions in cohorts.values()),
+            tuple(scalar),
+            version,
+        )
+        self._plans[key] = plan
+        self._compiles += 1
+        return plan
+
+    def clear(self) -> None:
+        self._plans.clear()
+
+    def _extra_stats(self) -> Dict[str, Any]:
+        return {"plans": len(self._plans)}
+
+    def __repr__(self) -> str:
+        return f"<CohortPlanner plans={len(self._plans)} hits={self._hits}>"
 
 
 # Sentinel marking an entity without the grouping attribute; the gather

@@ -93,6 +93,11 @@ class EntityRegistry(Instrumented):
         self._registrations = 0
         self._unregistrations = 0
         self._version = 0
+        # iter_shards memo: argument tuple -> (version, partition).
+        # Only consulted/populated when per-instance state (failed
+        # flags, health views) cannot filter the partition — see
+        # _shards_memoizable.
+        self._shard_memo: Dict[Tuple[Any, ...], Tuple[int, Any]] = {}
         if metrics is not None:
             self.attach_metrics(metrics)
 
@@ -337,6 +342,29 @@ class EntityRegistry(Instrumented):
                 )
             if shards < 1:
                 raise ValueError("shards must be >= 1")
+        # Partition memo: at fleet scale re-deriving the shard lists
+        # every sweep dominates the sweep's own bookkeeping, yet the
+        # partition is a pure function of the registry contents
+        # whenever no per-instance state (failed flags, health views)
+        # can filter members out.  In that case one version compare
+        # plus a flag scan replaces the whole rebuild; callers must
+        # treat the returned partition as immutable.
+        memo_key = (
+            device_type,
+            attribute,
+            shards,
+            include_failed,
+            include_quarantined,
+        )
+        memoizable = self._shards_memoizable(
+            device_type, include_failed, include_quarantined
+        )
+        if memoizable:
+            memo = self._shard_memo.get(memo_key)
+            if memo is not None and memo[0] == self._version:
+                # Still one discovery lookup served, just not recomputed.
+                self._lookups += 1
+                return memo[1]
         instances = self.instances_of(
             device_type,
             include_failed=include_failed,
@@ -352,10 +380,13 @@ class EntityRegistry(Instrumented):
                 buckets[shard_index(instance.entity_id, shards)].append(
                     (position, instance)
                 )
-            return [
+            result = [
                 (f"hash:{index}", members)
                 for index, members in enumerate(buckets)
             ]
+            if memoizable:
+                self._shard_memo[memo_key] = (self._version, result)
+            return result
         grouped: Dict[str, List[Tuple[int, DeviceInstance]]] = {}
         for position, instance in enumerate(instances):
             name = attribute
@@ -366,7 +397,35 @@ class EntityRegistry(Instrumented):
                 instance.attributes.get(name, "") if name is not None else ""
             )
             grouped.setdefault(str(value), []).append((position, instance))
-        return list(grouped.items())
+        result = list(grouped.items())
+        if memoizable:
+            self._shard_memo[memo_key] = (self._version, result)
+        return result
+
+    def _shards_memoizable(
+        self,
+        device_type: str,
+        include_failed: bool,
+        include_quarantined: bool,
+    ) -> bool:
+        """Is the iter_shards partition a pure function of the registry
+        version right now?
+
+        Not when a health view is attached and quarantined instances
+        would be excluded, and not when any instance of the type
+        carries a failed flag that ``include_failed=False`` would
+        filter (the flag flips without a version bump).  The flag scan
+        is one attribute load per instance — two orders of magnitude
+        cheaper than rebuilding the partition.
+        """
+        if self._health_lookup is not None and not include_quarantined:
+            return False
+        if not include_failed and any(
+            instance.failed
+            for instance in self._by_type.get(device_type, ())
+        ):
+            return False
+        return True
 
     def add_listener(self, listener: Listener) -> Callable[[], None]:
         """Subscribe to register/unregister events; returns a remover."""

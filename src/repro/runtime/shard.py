@@ -57,6 +57,8 @@ from __future__ import annotations
 
 import functools
 import multiprocessing
+import pickle
+import weakref
 from dataclasses import dataclass
 from typing import (
     Any,
@@ -84,6 +86,7 @@ if TYPE_CHECKING:  # pragma: no cover - hints only
     from repro.runtime.app import Application
 
 __all__ = [
+    "FleetScaleBootstrap",
     "ShardBootstrap",
     "ShardConfig",
     "ShardContext",
@@ -93,6 +96,7 @@ __all__ = [
 ]
 
 _START_METHODS = (None, "fork", "spawn", "forkserver")
+_WIRE_FORMATS = ("rows", "columnar")
 
 
 @dataclass(frozen=True)
@@ -108,11 +112,30 @@ class ShardConfig(ConfigBase):
     * ``start_method`` — ``multiprocessing`` start method; ``None``
       uses the platform default (``fork`` on POSIX).  ``spawn`` and
       ``forkserver`` require a picklable, importable bootstrap.
+    * ``wire_format`` — how poll replies cross the worker pipes.
+      ``"columnar"`` (default) ships per-attribute columns (tuples of
+      arrays); ``"rows"`` ships one tuple per reading — the pre-delta
+      wire format, kept as the comparison baseline.
+    * ``delta_sync`` — with the columnar format, ship only changed or
+      newly registered readings per sweep plus a quiescent count; the
+      coordinator reconstructs the full payload from its
+      registration-order mirror.  Live-tunable
+      (``Application.apply_config``).
+    * ``local_cache`` — give each worker its shard-local
+      :class:`~repro.runtime.cache.ReadCache` (when the cache section
+      is enabled), fed by the worker's own clock replica and kept
+      honest by coordinator-routed invalidations piggybacked on the
+      next command.  ``False`` strips the cache from workers — an
+      ablation/ops escape hatch that is *not* identity-preserving
+      when caching is on.
     """
 
     enabled: bool = False
     workers: int = 4
     start_method: Optional[str] = None
+    wire_format: str = "columnar"
+    delta_sync: bool = True
+    local_cache: bool = True
 
     def __post_init__(self):
         if self.workers < 1:
@@ -121,6 +144,12 @@ class ShardConfig(ConfigBase):
             raise ValueError(
                 f"start_method must be one of {_START_METHODS[1:]} or None"
             )
+        if self.wire_format not in _WIRE_FORMATS:
+            raise ValueError(f"wire_format must be one of {_WIRE_FORMATS}")
+        # Integer knob values (the tuning controller moves delta_sync
+        # as a 0/1 knob) normalize to bools so config equality works.
+        object.__setattr__(self, "delta_sync", bool(self.delta_sync))
+        object.__setattr__(self, "local_cache", bool(self.local_cache))
 
 
 @dataclass(frozen=True)
@@ -180,6 +209,24 @@ class ShardBootstrap:
 
     def build(self, ctx: ShardContext) -> "Application":
         raise NotImplementedError  # pragma: no cover - interface
+
+    def bind_entity(
+        self, app: "Application", entity_id: str, position: int
+    ) -> None:
+        """Bind one more entity into a built application (dynamic
+        re-partitioning).
+
+        Called by :meth:`ShardedRuntime.rebind` — on the owning worker's
+        application when sharded, on the local application otherwise —
+        with the coordinator-assigned global registration ``position``.
+        The default refuses: a bootstrap must opt into dynamic binding
+        by knowing how to construct the entity's driver inside an
+        already-built process.
+        """
+        raise ShardError(
+            f"{type(self).__name__} does not support dynamic "
+            "(re)binding; override ShardBootstrap.bind_entity"
+        )
 
 
 class ShardEntityProxy:
@@ -248,6 +295,96 @@ class ShardEntityProxy:
 
 
 # ----------------------------------------------------------------------
+# Wire transport
+# ----------------------------------------------------------------------
+#
+# Every pipe message — commands, replies, the ready handshake — is one
+# explicitly pickled byte string sent with ``send_bytes``.  Doing the
+# pickling by hand (instead of ``Connection.send``) is what lets the
+# coordinator meter the wire: the router counts the bytes of every
+# command it sends and every reply it receives into
+# ``shard_wire_bytes_total``, which is the quantity the delta protocol
+# exists to shrink and the fleet-scale benchmark gates on.
+
+_PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+
+def _wire_send(conn, obj: Any) -> int:
+    """Pickle ``obj`` onto the pipe; returns the byte count."""
+    data = pickle.dumps(obj, _PICKLE_PROTOCOL)
+    conn.send_bytes(data)
+    return len(data)
+
+
+def _wire_recv(conn) -> Tuple[Any, int]:
+    """Receive one pickled message; returns ``(object, byte_count)``."""
+    data = conn.recv_bytes()
+    return pickle.loads(data), len(data)
+
+
+def _pack_positions(positions: List[int]) -> List[int]:
+    """Gap-encode an ascending position list: ``[first, gap, gap, ...]``.
+
+    Worker reading positions are ascending (registry order is bind
+    order is ascending coordinator position), so the gaps are small
+    ints that pickle in 2 bytes where a million-device fleet's
+    absolute positions cost 5."""
+    if not positions:
+        return positions
+    packed = [positions[0]]
+    prev = positions[0]
+    for position in positions[1:]:
+        packed.append(position - prev)
+        prev = position
+    return packed
+
+
+def _unpack_positions(packed: List[int]) -> List[int]:
+    """Inverse of :func:`_pack_positions`."""
+    if not packed:
+        return packed
+    positions = [packed[0]]
+    prev = packed[0]
+    for gap in packed[1:]:
+        prev += gap
+        positions.append(prev)
+    return positions
+
+
+def _encode_group_keys(keys: List[Any]) -> Tuple[Any, ...]:
+    """Dictionary-encode a group-key column.
+
+    Fleets group a huge position space into a handful of cohorts, so
+    the column is almost always ``("t", table, index_bytes)`` — each
+    key string pickled once plus one byte per row.  Columns with more
+    than 256 distinct (or unhashable) keys fall back to the plain list
+    ``("k", keys)``."""
+    table: List[Any] = []
+    index_of: Dict[Any, int] = {}
+    indexes = bytearray()
+    try:
+        for key in keys:
+            index = index_of.get(key)
+            if index is None:
+                index = index_of[key] = len(table)
+                if index > 255:
+                    return ("k", keys)
+                table.append(key)
+            indexes.append(index)
+    except TypeError:
+        return ("k", keys)
+    return ("t", table, bytes(indexes))
+
+
+def _decode_group_keys(block: Tuple[Any, ...]) -> List[Any]:
+    """Inverse of :func:`_encode_group_keys`."""
+    if block[0] == "t":
+        table = block[1]
+        return [table[index] for index in block[2]]
+    return block[1]
+
+
+# ----------------------------------------------------------------------
 # Worker side
 # ----------------------------------------------------------------------
 
@@ -265,12 +402,24 @@ class _ShardWorker:
 
     def __init__(self, bootstrap: ShardBootstrap, ctx: ShardContext):
         self.ctx = ctx
+        self.bootstrap = bootstrap
         self.app = bootstrap.build(ctx)
         if not isinstance(self.app.clock, SimulationClock):
             raise ShardError(
                 "worker applications must run on a SimulationClock",
                 shard=ctx.index,
             )
+        if (
+            not self.app.config.shard.local_cache
+            and self.app.read_cache is not None
+        ):
+            # local_cache=False strips the shard-local read cache: the
+            # worker then reads through to its drivers on every sweep
+            # (an ablation knob — not identity-preserving vs the
+            # single-process cached run).
+            self.app.read_cache = None
+            for instance in self.app.registry:
+                instance.attach_cache(None)
         self.clock: SimulationClock = self.app.clock
         # entity id -> global registration position, derived from the
         # full-fleet enumeration so every shard agrees on merge order.
@@ -282,6 +431,11 @@ class _ShardWorker:
         # Poll results parked between the poll and map rounds of a
         # MapReduce gather: (context, interaction) -> keyed readings.
         self._pending: Dict[Tuple[str, int], List[Tuple[Any, ...]]] = {}
+        # Delta-sync state per (context, interaction): the registry
+        # version the epoch started at plus the last value shipped per
+        # global position.  A registry version bump (bind/unbind)
+        # resets the epoch — the worker re-registers everything.
+        self._sync: Dict[Tuple[str, int], Dict[str, Any]] = {}
         # Re-attach every instance's publish hook to the recorder so
         # pushes surface in command replies instead of dead-ending in
         # the worker's subscriber-less bus.  Recording happens at the
@@ -313,6 +467,21 @@ class _ShardWorker:
         events, self._events = self._events, []
         return events
 
+    def _apply_invalidations(self, items) -> None:
+        """Apply coordinator-routed cache invalidations.
+
+        These piggyback on the next command instead of costing a
+        dedicated round-trip: the router queues them (cross-shard
+        cohort invalidations, unbind cleanups) and attaches the queue
+        to whatever command reaches this shard next — which is always
+        before the next read this shard serves, so the worker-local
+        cache can never serve a value the coordinator knows is stale.
+        """
+        cache = self.app.read_cache
+        if cache is None:
+            return
+        cache.apply_invalidations(items)
+
     # -- commands -------------------------------------------------------
 
     def _cmd_sync(self, target: float) -> Dict[str, Any]:
@@ -320,7 +489,12 @@ class _ShardWorker:
         return {"events": self._drain_events()}
 
     def _cmd_poll(
-        self, target: float, name: str, index: int
+        self,
+        target: float,
+        name: str,
+        index: int,
+        wire: str = "rows",
+        delta: bool = False,
     ) -> Dict[str, Any]:
         """Sweep this shard for one periodic gather.
 
@@ -331,6 +505,16 @@ class _ShardWorker:
         group-key extraction.  Values stay in this process for
         MapReduce gathers — only ``{group: min gpos}`` crosses the pipe
         until the map round.
+
+        ``wire`` picks the reply encoding for flat and grouped gathers
+        (``"rows"`` — one tuple per reading, the pre-delta format — or
+        ``"columnar"`` — per-attribute columns), and ``delta`` layers
+        the delta protocol on columnar replies: identity columns ship
+        once per registration epoch (``register``), values ship only
+        when they differ from the last shipped value (``changed``),
+        vanished positions retract, and everything else is a
+        ``quiescent`` count.  MapReduce gathers already ship one
+        combined partial per key, so they ignore both switches.
         """
         self.clock.run_until(target)
         app = self.app
@@ -356,8 +540,56 @@ class _ShardWorker:
         }
         gpos = self._gpos
         group = interaction.group
-        if group is None:
-            reply["kind"] = "flat"
+        if group is not None and group.uses_mapreduce:
+            keyed = []
+            for instance, value in readings:
+                keyed.append(
+                    (
+                        gpos[instance.entity_id],
+                        self._group_key(instance, group),
+                        value,
+                    )
+                )
+            self._pending[(name, index)] = keyed
+            mins: Dict[Any, int] = {}
+            for position, key, __ in keyed:
+                if key not in mins or position < mins[key]:
+                    mins[key] = position
+            reply["kind"] = "mapreduce"
+            reply["keys"] = mins
+            return reply
+        kind = "flat" if group is None else "grouped"
+        reply["kind"] = kind
+        if wire != "columnar":
+            self._sync.pop((name, index), None)
+            self._encode_rows(reply, kind, readings, group, gpos)
+            return reply
+        if not delta:
+            self._sync.pop((name, index), None)
+            self._encode_columns(reply, kind, readings, group, gpos)
+            return reply
+        try:
+            self._encode_delta(reply, kind, readings, group, gpos, name, index)
+        except Exception:
+            # A half-applied epoch (e.g. a BindingError halfway through
+            # key extraction) must not leave ghost "already shipped"
+            # digests: drop the state so the next poll re-registers.
+            self._sync.pop((name, index), None)
+            raise
+        return reply
+
+    def _group_key(self, instance, group):
+        try:
+            return instance.attributes[group.attribute]
+        except KeyError:
+            raise BindingError(
+                f"entity '{instance.entity_id}' has no attribute "
+                f"'{group.attribute}' to group by"
+            ) from None
+
+    def _encode_rows(self, reply, kind, readings, group, gpos) -> None:
+        """The pre-delta wire format: one tuple per reading."""
+        if kind == "flat":
             reply["data"] = [
                 (
                     gpos[instance.entity_id],
@@ -368,29 +600,125 @@ class _ShardWorker:
                 )
                 for instance, value in readings
             ]
-            return reply
-        keyed = []
+            return
+        reply["data"] = [
+            (
+                gpos[instance.entity_id],
+                self._group_key(instance, group),
+                value,
+            )
+            for instance, value in readings
+        ]
+
+    def _encode_columns(self, reply, kind, readings, group, gpos) -> None:
+        """Stateless columnar encoding: per-attribute columns (tuples
+        of arrays) instead of per-row tuples, full payload per sweep."""
+        positions = [gpos[i.entity_id] for i, __ in readings]
+        values = [value for __, value in readings]
+        if kind == "flat":
+            reply["columns"] = (
+                positions,
+                [i.info.name for i, __ in readings],
+                [i.entity_id for i, __ in readings],
+                [dict(i.attributes) for i, __ in readings],
+                values,
+            )
+            return
+        keys = [self._group_key(i, group) for i, __ in readings]
+        reply["columns"] = (positions, keys, values)
+
+    def _encode_delta(
+        self, reply, kind, readings, group, gpos, name, index
+    ) -> None:
+        """Delta-sync columnar encoding.
+
+        Reply blocks (all optional, all columnar, positions always
+        gap-encoded via :func:`_pack_positions`):
+
+        * ``register`` — rows never shipped this epoch, identity and
+          first value together: ``(packed_positions, key_block,
+          values)`` for grouped gathers (``key_block`` per
+          :func:`_encode_group_keys`), ``(packed_positions,
+          type_names, entity_ids, attribute_dicts, values)`` for flat
+          ones.
+        * ``changed`` — ``(packed_positions, values)`` for
+          previously-registered readings that moved.  "Changed" is
+          ``type(prev) is not type(value) or prev != value`` — NaN
+          therefore always re-ships (never stale), at worst a handful
+          of false re-sends.
+        * ``retract`` — packed positions shipped earlier this epoch
+          that have no reading this sweep (unbound, sampler-dropped,
+          read-failed past the stale window); the coordinator drops
+          them from its mirror.
+        * ``quiescent`` — count of readings identical to the last
+          shipped value; they cross the pipe as this single integer.
+        * ``reset`` — set when the shard's registry version moved (or
+          the epoch is new): the coordinator must clear this shard's
+          slice of the mirror before applying the blocks.
+        """
+        version = self.app.registry.version
+        state = self._sync.get((name, index))
+        if state is None or state["version"] != version:
+            state = {"version": version, "known": {}}
+            self._sync[(name, index)] = state
+            reply["reset"] = True
+        known = state["known"]
+        reg_pos: List[int] = []
+        reg_ident: List[Any] = []
+        reg_val: List[Any] = []
+        changed_pos: List[int] = []
+        changed_val: List[Any] = []
+        quiescent = 0
+        flat = kind == "flat"
         for instance, value in readings:
-            try:
-                key = instance.attributes[group.attribute]
-            except KeyError:
-                raise BindingError(
-                    f"entity '{instance.entity_id}' has no attribute "
-                    f"'{group.attribute}' to group by"
-                ) from None
-            keyed.append((gpos[instance.entity_id], key, value))
-        if not group.uses_mapreduce:
-            reply["kind"] = "grouped"
-            reply["data"] = keyed
-            return reply
-        self._pending[(name, index)] = keyed
-        mins: Dict[Any, int] = {}
-        for position, key, __ in keyed:
-            if key not in mins or position < mins[key]:
-                mins[key] = position
-        reply["kind"] = "mapreduce"
-        reply["keys"] = mins
-        return reply
+            position = gpos[instance.entity_id]
+            if position not in known:
+                reg_pos.append(position)
+                if flat:
+                    reg_ident.append(
+                        (
+                            instance.info.name,
+                            instance.entity_id,
+                            dict(instance.attributes),
+                        )
+                    )
+                else:
+                    reg_ident.append(self._group_key(instance, group))
+                reg_val.append(value)
+                known[position] = value
+            else:
+                prev = known[position]
+                if type(prev) is type(value) and prev == value:
+                    quiescent += 1
+                else:
+                    changed_pos.append(position)
+                    changed_val.append(value)
+                    known[position] = value
+        vanished = len(known) - len(readings)
+        if vanished:
+            present = {gpos[i.entity_id] for i, __ in readings}
+            retract = sorted(p for p in known if p not in present)
+            for position in retract:
+                del known[position]
+            reply["retract"] = _pack_positions(retract)
+        if reg_pos:
+            if flat:
+                reply["register"] = (
+                    _pack_positions(reg_pos),
+                    [ident[0] for ident in reg_ident],
+                    [ident[1] for ident in reg_ident],
+                    [ident[2] for ident in reg_ident],
+                    reg_val,
+                )
+            else:
+                reply["register"] = (
+                    _pack_positions(reg_pos),
+                    _encode_group_keys(reg_ident),
+                    reg_val,
+                )
+        if changed_pos:
+            reply["changed"] = (_pack_positions(changed_pos), changed_val)
+        reply["quiescent"] = quiescent
 
     def _cmd_map(
         self, name: str, index: int, ranks: Dict[Any, int]
@@ -454,6 +782,36 @@ class _ShardWorker:
         value = self.app.registry.get(entity_id).act(action, **params)
         return {"value": value, "events": self._drain_events()}
 
+    def _cmd_bind(self, target, entity_id, position) -> Dict[str, Any]:
+        """Dynamic re-partitioning: bind one more entity into this
+        shard's running application.
+
+        The bootstrap constructs the device (it knows the drivers); the
+        worker wires the publish recorder and records the
+        coordinator-assigned global position.  The registry version
+        bump this causes invalidates the worker's cohort plans and
+        resets its delta epochs, so the next poll re-registers — no
+        static fleet required.
+        """
+        self.clock.run_until(target)
+        self.bootstrap.bind_entity(self.app, entity_id, position)
+        instance = self.app.registry.get(entity_id)
+        instance.attach(self._record_publish)
+        self._gpos[entity_id] = position
+        return {
+            "bound": len(self.app.registry),
+            "events": self._drain_events(),
+        }
+
+    def _cmd_unbind(self, target, entity_id) -> Dict[str, Any]:
+        self.clock.run_until(target)
+        self.app.unbind_device(entity_id)
+        self._gpos.pop(entity_id, None)
+        return {
+            "bound": len(self.app.registry),
+            "events": self._drain_events(),
+        }
+
     def _cmd_stats(self) -> Dict[str, Any]:
         app = self.app
         return {
@@ -464,12 +822,23 @@ class _ShardWorker:
                 "gather_read_failed": app._gather_read_failed,
                 "sweep": app.sweeper.stats(),
                 "supervision": app.supervision.stats(),
+                "cache": (
+                    app.read_cache.stats()
+                    if app.read_cache is not None
+                    else None
+                ),
             },
             "events": self._drain_events(),
         }
 
     def serve(self, conn) -> None:
-        """The command loop: recv, dispatch, reply, until ``stop``."""
+        """The command loop: recv, dispatch, reply, until ``stop``.
+
+        Every message is ``(op, args, invalidations)``; piggybacked
+        invalidations apply to the worker cache *before* the command
+        dispatches, so a poll or read can never serve a cache entry
+        the coordinator has already superseded.
+        """
         handlers = {
             "sync": self._cmd_sync,
             "poll": self._cmd_poll,
@@ -477,31 +846,36 @@ class _ShardWorker:
             "publish": self._cmd_publish,
             "read": self._cmd_read,
             "act": self._cmd_act,
+            "bind": self._cmd_bind,
+            "unbind": self._cmd_unbind,
             "stats": self._cmd_stats,
         }
         while True:
             try:
-                message = conn.recv()
+                message, __ = _wire_recv(conn)
             except EOFError:
                 break
-            op = message[0]
+            op, args, invalidations = message
+            if invalidations:
+                self._apply_invalidations(invalidations)
             if op == "stop":
-                conn.send(("ok", {"events": self._drain_events()}))
+                _wire_send(conn, ("ok", {"events": self._drain_events()}))
                 break
             try:
-                reply = handlers[op](*message[1:])
+                reply = handlers[op](*args)
             except Exception as exc:  # noqa: BLE001 - shipped upstream
                 try:
-                    conn.send(("error", exc))
+                    _wire_send(conn, ("error", exc))
                 except Exception:  # unpicklable exception payload
-                    conn.send(
+                    _wire_send(
+                        conn,
                         (
                             "error",
                             ShardError(repr(exc), shard=self.ctx.index),
-                        )
+                        ),
                     )
             else:
-                conn.send(("ok", reply))
+                _wire_send(conn, ("ok", reply))
         self.app.sweeper.close()
         conn.close()
 
@@ -514,12 +888,12 @@ def _shard_worker_main(conn, bootstrap, index, shards) -> None:
         )
     except Exception as exc:  # noqa: BLE001 - surfaced as ShardError
         try:
-            conn.send(("error", exc))
+            _wire_send(conn, ("error", exc))
         except Exception:
-            conn.send(("error", ShardError(repr(exc), shard=index)))
+            _wire_send(conn, ("error", ShardError(repr(exc), shard=index)))
         conn.close()
         return
-    conn.send(("ok", {"bound": len(worker.app.registry)}))
+    _wire_send(conn, ("ok", {"bound": len(worker.app.registry)}))
     worker.serve(conn)
 
 
@@ -564,6 +938,13 @@ class ShardRouter(Instrumented):
             stats_key="errors",
             help="Worker commands that failed or lost their worker.",
         ),
+        MetricSpec(
+            "shard_wire_bytes_total",
+            "_wire_bytes",
+            stats_key="wire_bytes",
+            help="Pickled bytes crossing the worker pipes, both "
+            "directions, measured at the coordinator.",
+        ),
     )
 
     def __init__(self):
@@ -572,22 +953,56 @@ class ShardRouter(Instrumented):
         self._events_routed = 0
         self._publishes = 0
         self._errors = 0
+        self._wire_bytes = 0
+        # Per-shard invalidation queues, drained onto the next command
+        # that reaches each shard (see _ShardWorker.serve).
+        self._invalidations: List[List[Tuple[Any, ...]]] = []
 
     def __len__(self) -> int:
         return len(self._workers)
 
     def attach(self, workers: List[Tuple[Any, Any]]) -> None:
         self._workers = list(workers)
+        self._invalidations = [[] for __ in workers]
+
+    def queue_invalidation(
+        self, item: Tuple[Any, ...], skip: Optional[int] = None
+    ) -> None:
+        """Queue a cache invalidation for every shard (minus ``skip``,
+        normally the origin shard that already invalidated locally).
+        The queue rides piggyback on each shard's next command."""
+        for shard, queue in enumerate(self._invalidations):
+            if shard != skip:
+                queue.append(item)
+
+    def _take_invalidations(self, shard: int) -> Tuple[Tuple[Any, ...], ...]:
+        queue = self._invalidations[shard]
+        if not queue:
+            return ()
+        self._invalidations[shard] = []
+        return tuple(queue)
+
+    def _send_to(self, shard: int, op: str, args: Tuple[Any, ...]) -> None:
+        __, conn = self._workers[shard]
+        message = (op, args, self._take_invalidations(shard))
+        try:
+            self._wire_bytes += _wire_send(conn, message)
+        except OSError:
+            self._errors += 1
+            raise ShardError(
+                "worker pipe closed while sending a command", shard=shard
+            ) from None
 
     def _receive(self, shard: int) -> Dict[str, Any]:
         __, conn = self._workers[shard]
         try:
-            reply = conn.recv()
+            reply, size = _wire_recv(conn)
         except EOFError:
             self._errors += 1
             raise ShardError(
                 "worker process died mid-command", shard=shard
             ) from None
+        self._wire_bytes += size
         status, payload = reply
         if status == "error":
             self._errors += 1
@@ -596,29 +1011,34 @@ class ShardRouter(Instrumented):
             raise ShardError(repr(payload), shard=shard)
         return payload
 
-    def send(self, shard: int, command: Tuple[Any, ...]) -> Dict[str, Any]:
+    def send(
+        self, shard: int, op: str, args: Tuple[Any, ...] = ()
+    ) -> Dict[str, Any]:
         """One command to one shard; returns the reply payload."""
         self._commands += 1
-        __, conn = self._workers[shard]
-        conn.send(command)
+        self._send_to(shard, op, args)
         return self._receive(shard)
 
-    def broadcast(self, command: Tuple[Any, ...]) -> List[Dict[str, Any]]:
+    def broadcast(
+        self, op: str, args: Tuple[Any, ...] = ()
+    ) -> List[Dict[str, Any]]:
         """The same command to every shard; replies in shard order."""
         self._commands += len(self._workers)
-        for __, conn in self._workers:
-            conn.send(command)
+        for shard in range(len(self._workers)):
+            self._send_to(shard, op, args)
         return [self._receive(shard) for shard in range(len(self._workers))]
 
     def shutdown(self) -> None:
-        for __, conn in self._workers:
+        for shard, (__, conn) in enumerate(self._workers):
             try:
-                conn.send(("stop",))
-            except (OSError, BrokenPipeError):
+                self._wire_bytes += _wire_send(
+                    conn, ("stop", (), self._take_invalidations(shard))
+                )
+            except OSError:
                 pass
         for process, conn in self._workers:
             try:
-                conn.recv()
+                conn.recv_bytes()
             except EOFError:
                 pass
             conn.close()
@@ -627,6 +1047,196 @@ class ShardRouter(Instrumented):
                 process.terminate()
                 process.join(timeout=10)
         self._workers = []
+        self._invalidations = []
+
+
+class _GroupedMirror:
+    """Coordinator-side registration-order mirror of one grouped
+    gather under delta sync.
+
+    Holds the last applied ``position → group key`` and ``position →
+    value`` maps (positions are globally unique, so one merged map
+    serves all shards; per-shard position sets exist only so a shard
+    ``reset`` can clear exactly its slice).  The grouped payload is
+    maintained **incrementally**: value changes write through position
+    slots into prebuilt per-group columns, and the full
+    sort-and-regroup rebuild runs only when registration churn
+    (register/retract/reset) dirties the order — steady-state merge
+    cost is O(changed), not O(fleet).
+    """
+
+    __slots__ = (
+        "keys",
+        "values",
+        "shard_positions",
+        "order",
+        "groups",
+        "slots",
+        "dirty",
+    )
+
+    def __init__(self, shards: int):
+        self.keys: Dict[int, Any] = {}
+        self.values: Dict[int, Any] = {}
+        self.shard_positions: List[set] = [set() for __ in range(shards)]
+        self.order: List[int] = []
+        self.groups: Dict[Any, List[Any]] = {}
+        self.slots: Dict[int, Tuple[List[Any], int]] = {}
+        self.dirty = False
+
+    def _register(self, shard: int, positions, idents) -> None:
+        self.shard_positions[shard].update(positions)
+        keys = self.keys
+        for position, key in zip(positions, idents):
+            keys[position] = key
+
+    def apply(self, shard: int, reply: Dict[str, Any]) -> Tuple[int, int]:
+        """Fold one shard's delta blocks in; returns ``(delta_rows,
+        quiescent_rows)`` — rows that crossed the pipe (registered +
+        changed + retracted) and rows that didn't."""
+        delta_rows = 0
+        if reply.get("reset"):
+            mine = self.shard_positions[shard]
+            if mine:
+                for position in mine:
+                    self.keys.pop(position, None)
+                    self.values.pop(position, None)
+                self.shard_positions[shard] = set()
+                self.dirty = True
+        register = reply.get("register")
+        if register:
+            packed, key_block, column = register
+            positions = _unpack_positions(packed)
+            self._register(shard, positions, _decode_group_keys(key_block))
+            values = self.values
+            for position, value in zip(positions, column):
+                values[position] = value
+            delta_rows += len(positions)
+            self.dirty = True
+        retract = reply.get("retract")
+        if retract:
+            retract = _unpack_positions(retract)
+            self.shard_positions[shard].difference_update(retract)
+            for position in retract:
+                self.keys.pop(position, None)
+                self.values.pop(position, None)
+            self.dirty = True
+            delta_rows += len(retract)
+        changed = reply.get("changed")
+        if changed:
+            packed, column = changed
+            positions = _unpack_positions(packed)
+            delta_rows += len(positions)
+            values = self.values
+            if self.dirty:
+                for position, value in zip(positions, column):
+                    values[position] = value
+            else:
+                slots = self.slots
+                for position, value in zip(positions, column):
+                    values[position] = value
+                    group_column, offset = slots[position]
+                    group_column[offset] = value
+        return delta_rows, reply.get("quiescent", 0)
+
+    def _rebuild(self) -> None:
+        keys = self.keys
+        values = self.values
+        order = sorted(keys)
+        groups: Dict[Any, List[Any]] = {}
+        slots: Dict[int, Tuple[List[Any], int]] = {}
+        for position in order:
+            column = groups.get(keys[position])
+            if column is None:
+                column = groups[keys[position]] = []
+            slots[position] = (column, len(column))
+            column.append(values[position])
+        self.order = order
+        self.groups = groups
+        self.slots = slots
+        self.dirty = False
+
+    def payload(self) -> Dict[Any, List[Any]]:
+        """The full grouped payload — fresh per-group lists (so a
+        context implementation mutating its payload cannot corrupt the
+        mirror), in first-occurrence-by-position key order, exactly as
+        ``group_readings`` builds it."""
+        if self.dirty:
+            self._rebuild()
+        return {key: list(column) for key, column in self.groups.items()}
+
+    def value_pairs(self) -> List[Tuple[None, Any]]:
+        """Per-reading pairs for placement byte accounting."""
+        if self.dirty:
+            self._rebuild()
+        values = self.values
+        return [(None, values[position]) for position in self.order]
+
+
+class _FlatMirror:
+    """Registration-order mirror of one ungrouped gather under delta
+    sync: ``position → (type, entity id, attributes)`` identity plus
+    the last shipped value, with the sorted position order cached
+    across quiescent sweeps."""
+
+    __slots__ = ("ident", "values", "shard_positions", "order", "dirty")
+
+    def __init__(self, shards: int):
+        self.ident: Dict[int, Tuple[str, str, Dict[str, Any]]] = {}
+        self.values: Dict[int, Any] = {}
+        self.shard_positions: List[set] = [set() for __ in range(shards)]
+        self.order: List[int] = []
+        self.dirty = False
+
+    def apply(self, shard: int, reply: Dict[str, Any]) -> Tuple[int, int]:
+        delta_rows = 0
+        if reply.get("reset"):
+            mine = self.shard_positions[shard]
+            if mine:
+                for position in mine:
+                    self.ident.pop(position, None)
+                    self.values.pop(position, None)
+                self.shard_positions[shard] = set()
+                self.dirty = True
+        register = reply.get("register")
+        if register:
+            packed, type_names, entity_ids, attribute_dicts, column = register
+            positions = _unpack_positions(packed)
+            self.shard_positions[shard].update(positions)
+            ident = self.ident
+            values = self.values
+            rows = zip(
+                positions, type_names, entity_ids, attribute_dicts, column
+            )
+            for position, type_name, entity_id, attributes, value in rows:
+                ident[position] = (type_name, entity_id, attributes)
+                values[position] = value
+            delta_rows += len(positions)
+            self.dirty = True
+        retract = reply.get("retract")
+        if retract:
+            retract = _unpack_positions(retract)
+            self.shard_positions[shard].difference_update(retract)
+            for position in retract:
+                self.ident.pop(position, None)
+                self.values.pop(position, None)
+            self.dirty = True
+            delta_rows += len(retract)
+        changed = reply.get("changed")
+        if changed:
+            packed, column = changed
+            positions = _unpack_positions(packed)
+            delta_rows += len(positions)
+            values = self.values
+            for position, value in zip(positions, column):
+                values[position] = value
+        return delta_rows, reply.get("quiescent", 0)
+
+    def positions(self) -> List[int]:
+        if self.dirty:
+            self.order = sorted(self.ident)
+            self.dirty = False
+        return self.order
 
 
 class ShardedRuntime(Instrumented):
@@ -667,6 +1277,13 @@ class ShardedRuntime(Instrumented):
             help="Query-driven reads routed to an owning shard.",
         ),
         MetricSpec(
+            "shard_delta_rows_total",
+            "_delta_rows",
+            stats_key="delta_rows",
+            help="Changed or retracted readings shipped by the delta "
+            "wire protocol (quiescent readings cross as one count).",
+        ),
+        MetricSpec(
             "shard_workers",
             "_worker_count",
             kind="gauge",
@@ -704,8 +1321,16 @@ class ShardedRuntime(Instrumented):
         self._sweeps = 0
         self._merge_pairs = 0
         self._remote_reads = 0
+        self._delta_rows = 0
+        self._quiescent_rows = 0
         self._worker_count = 0
         self._started = False
+        # Delta-sync mirrors per (context name, interaction index);
+        # populated lazily on the first delta-encoded poll.
+        self._mirrors: Dict[Tuple[str, int], Any] = {}
+        # Next global registration position handed to a dynamic
+        # rebind — the static fleet occupies [0, len(fleet)).
+        self._next_position = len(bootstrap.fleet())
         # interaction identity -> (context name, interaction index);
         # how the delegate names a gather to the workers.
         self._interactions: Dict[int, Tuple[str, int]] = {}
@@ -768,8 +1393,8 @@ class ShardedRuntime(Instrumented):
         their own scheduled jobs raised."""
         fired = self.app.advance(seconds)
         if self.sharded and self._started:
-            sync = ("sync", self.app.clock.now())
-            for reply in self.router.broadcast(sync):
+            replies = self.router.broadcast("sync", (self.app.clock.now(),))
+            for reply in replies:
                 self._replay_events(reply["events"])
         return fired
 
@@ -796,14 +1421,8 @@ class ShardedRuntime(Instrumented):
         self.router._publishes += 1
         reply = self.router.send(
             self._owning_shard(entity_id),
-            (
-                "publish",
-                self.app.clock.now(),
-                entity_id,
-                source,
-                value,
-                index,
-            ),
+            "publish",
+            (self.app.clock.now(), entity_id, source, value, index),
         )
         self._replay_events(reply["events"])
 
@@ -814,7 +1433,8 @@ class ShardedRuntime(Instrumented):
         self._remote_reads += 1
         reply = self.router.send(
             self._owning_shard(entity_id),
-            ("read", self.app.clock.now(), entity_id, source),
+            "read",
+            (self.app.clock.now(), entity_id, source),
         )
         self._replay_events(reply["events"])
         return reply["value"]
@@ -825,16 +1445,55 @@ class ShardedRuntime(Instrumented):
             return self.app.registry.get(entity_id).act(action, **params)
         reply = self.router.send(
             self._owning_shard(entity_id),
-            ("act", self.app.clock.now(), entity_id, action, params),
+            "act",
+            (self.app.clock.now(), entity_id, action, params),
         )
         self._replay_events(reply["events"])
         return reply["value"]
+
+    def rebind(self, entity_id: str) -> None:
+        """Dynamically bind one more entity into the running fleet.
+
+        The bind routes to the owning worker incrementally — no static
+        fleet, no restart: the worker's registry version bump resets
+        its delta epoch and cohort plans, and the entity joins the next
+        sweep at the end of global registration order (exactly where a
+        single-process late ``bind_device`` would put it).  Requires a
+        bootstrap that implements
+        :meth:`ShardBootstrap.bind_entity`.
+        """
+        position = self._next_position
+        self._next_position += 1
+        if not self.sharded:
+            self.bootstrap.bind_entity(self.app, entity_id, position)
+            return
+        reply = self.router.send(
+            self._owning_shard(entity_id),
+            "bind",
+            (self.app.clock.now(), entity_id, position),
+        )
+        self._replay_events(reply["events"])
+
+    def unbind(self, entity_id: str) -> None:
+        """Dynamically unbind an entity, wherever it lives."""
+        if not self.sharded:
+            self.app.unbind_device(entity_id)
+            return
+        reply = self.router.send(
+            self._owning_shard(entity_id),
+            "unbind",
+            (self.app.clock.now(), entity_id),
+        )
+        self._replay_events(reply["events"])
+        self._proxies.pop(entity_id, None)
+        if self.app.read_cache is not None:
+            self.app.read_cache.invalidate(entity_id)
 
     def worker_stats(self) -> List[Dict[str, Any]]:
         """Per-shard registry/sweep/supervision snapshots."""
         if not self.sharded:
             return []
-        replies = self.router.broadcast(("stats",))
+        replies = self.router.broadcast("stats")
         return [reply["value"] for reply in replies]
 
     # -- event replay ---------------------------------------------------
@@ -859,10 +1518,29 @@ class ShardedRuntime(Instrumented):
         model, delivery plans, cache invalidation) with a routed proxy
         in place of the local instance."""
         app = self.app
+        cache = app.read_cache
+        shard_attribute = None
+        if cache is not None and cache.config.invalidate_on_publish:
+            shard_attribute = cache.config.shard_attribute
         for type_name, entity_id, attributes, source, value, index in events:
             self._events_routed_bump()
-            if app.read_cache is not None:
-                app.read_cache.invalidate(entity_id, source)
+            if cache is not None:
+                cache.invalidate(entity_id, source)
+            if shard_attribute is not None:
+                # The publish supersedes every same-source entry in the
+                # publisher's attribute cohort — in single-process mode
+                # one on_publish call covers the whole fleet, but here
+                # the other shards' local caches only learn through the
+                # router.  Queue the cohort drop for every shard except
+                # the origin (which already invalidated locally); it
+                # piggybacks on each shard's next command, always
+                # before its next read.
+                shard_value = attributes.get(shard_attribute)
+                if shard_value is not None:
+                    self.router.queue_invalidation(
+                        ("cohort", source, shard_value),
+                        skip=self._owning_shard(entity_id),
+                    )
             proxy = self._proxy_for(type_name, entity_id, attributes)
             deliver = functools.partial(
                 self._dispatch_remote,
@@ -914,30 +1592,48 @@ class ShardedRuntime(Instrumented):
         name, index = self._interactions[id(interaction)]
         self._sweeps += 1
         target = app.clock.now()
-        polls = self.router.broadcast(("poll", target, name, index))
+        # The wire settings are read per sweep from the application's
+        # live config — the tuning controller (or apply_config) can
+        # flip delta_sync/wire_format between sweeps.
+        shard_config = app.config.shard
+        wire = shard_config.wire_format
+        delta = shard_config.delta_sync and wire == "columnar"
+        polls = self.router.broadcast(
+            "poll", (target, name, index, wire, delta)
+        )
         app._gather_network_dropped += sum(r["dropped"] for r in polls)
         app._gather_read_failed += sum(r["failed"] for r in polls)
         for reply in polls:
             self._replay_events(reply["events"])
         kind = polls[0]["kind"]
         placement = app.placement
-        if kind == "flat":
-            rows = [row for reply in polls for row in reply["data"]]
+        if kind != "mapreduce":
+            if delta:
+                return self._merge_delta(kind, name, index, polls, placement)
+            # A stale mirror must not survive a live delta->full flip:
+            # the next delta epoch starts from a worker reset anyway.
+            self._mirrors.pop((name, index), None)
+            if wire == "columnar":
+                rows = [
+                    row
+                    for reply in polls
+                    for row in zip(*reply["columns"])
+                ]
+            else:
+                rows = [row for reply in polls for row in reply["data"]]
             rows.sort(key=lambda row: row[0])
-            if placement is not None:
-                # Shards are cloud-side for ungrouped gathers: every
-                # raw reading crossed the continuum.
-                placement.account_cloud([(None, row[4]) for row in rows])
-            return [
-                GatherReading(
-                    self._proxy_for(type_name, entity_id, attributes),
-                    value,
-                )
-                for __, type_name, entity_id, attributes, value in rows
-            ]
-        if kind == "grouped":
-            rows = [row for reply in polls for row in reply["data"]]
-            rows.sort(key=lambda row: row[0])
+            if kind == "flat":
+                if placement is not None:
+                    # Shards are cloud-side for ungrouped gathers:
+                    # every raw reading crossed the continuum.
+                    placement.account_cloud([(None, row[4]) for row in rows])
+                return [
+                    GatherReading(
+                        self._proxy_for(type_name, entity_id, attributes),
+                        value,
+                    )
+                    for __, type_name, entity_id, attributes, value in rows
+                ]
             if placement is not None:
                 placement.account_cloud([(None, row[2]) for row in rows])
             grouped: Dict[Any, List[Any]] = {}
@@ -954,7 +1650,7 @@ class ShardedRuntime(Instrumented):
                     mins[key] = position
         order = sorted(mins, key=mins.__getitem__)
         ranks = {key: rank for rank, key in enumerate(order)}
-        maps = self.router.broadcast(("map", name, index, ranks))
+        maps = self.router.broadcast("map", (name, index, ranks))
         for reply in maps:
             self._replay_events(reply["events"])
         tagged = [pair for reply in maps for pair in reply["data"]]
@@ -970,8 +1666,45 @@ class ShardedRuntime(Instrumented):
         self._merge_pairs += len(pairs)
         return app.mapreduce.merge_partials(implementation, pairs, mapped)
 
+    def _merge_delta(
+        self, kind: str, name: str, index: int, polls, placement
+    ) -> Any:
+        """Fold delta replies into the per-gather mirror and rebuild
+        the exact single-process payload from registration order."""
+        key = (name, index)
+        mirror = self._mirrors.get(key)
+        if mirror is None:
+            mirror = (
+                _GroupedMirror(len(self.router))
+                if kind == "grouped"
+                else _FlatMirror(len(self.router))
+            )
+            self._mirrors[key] = mirror
+        for shard, reply in enumerate(polls):
+            delta_rows, quiescent = mirror.apply(shard, reply)
+            self._delta_rows += delta_rows
+            self._quiescent_rows += quiescent
+        if kind == "grouped":
+            if placement is not None:
+                placement.account_cloud(mirror.value_pairs())
+            return mirror.payload()
+        order = mirror.positions()
+        ident = mirror.ident
+        values = mirror.values
+        if placement is not None:
+            placement.account_cloud(
+                [(None, values[position]) for position in order]
+            )
+        return [
+            GatherReading(self._proxy_for(*ident[position]), values[position])
+            for position in order
+        ]
+
     def _extra_stats(self) -> Dict[str, Any]:
-        return {"router": self.router.stats()}
+        return {
+            "router": self.router.stats(),
+            "quiescent_rows": self._quiescent_rows,
+        }
 
 
 # ----------------------------------------------------------------------
@@ -995,6 +1728,11 @@ context ZoneLoad as Integer {
 """
 
 _ZONES = ("Z0", "Z1", "Z2", "Z3")
+
+# app -> the GatewaySubstrate its bootstrap built, so bind_entity can
+# attach late entities to the same per-process substrate without
+# stashing live (unpicklable) objects on the frozen bootstrap record.
+_FLEET_SUBSTRATES: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 
 
 class _ZoneLoadJob:
@@ -1065,6 +1803,7 @@ class SimulatedFleetBootstrap(ShardBootstrap):
             models={"level": _level_model},
             service_time=self.service_time,
         )
+        _FLEET_SUBSTRATES[app] = substrate
         for position, entity_id in enumerate(self.fleet()):
             if ctx.owns(entity_id):
                 app.create_device(
@@ -1074,3 +1813,111 @@ class SimulatedFleetBootstrap(ShardBootstrap):
                     zone=_ZONES[position % len(_ZONES)],
                 )
         return app
+
+    def bind_entity(
+        self, app: "Application", entity_id: str, position: int
+    ) -> None:
+        substrate = _FLEET_SUBSTRATES[app]
+        app.create_device(
+            "ShardSensor",
+            entity_id,
+            substrate.driver("level"),
+            zone=_ZONES[position % len(_ZONES)],
+        )
+
+
+# ----------------------------------------------------------------------
+# The fleet-scale benchmark bootstrap (million-device hot path)
+# ----------------------------------------------------------------------
+
+
+_FLEET_SCALE_DESIGN = """\
+device FleetSensor {
+    attribute zone as FleetZone;
+    source level as Integer;
+}
+enumeration FleetZone { Z0, Z1, Z2, Z3, Z4, Z5, Z6, Z7 }
+
+context ZoneLevels as Integer {
+    when periodic level from FleetSensor <1 min>
+    grouped by zone
+    always publish;
+}
+"""
+
+_FLEET_SCALE_ZONES = ("Z0", "Z1", "Z2", "Z3", "Z4", "Z5", "Z6", "Z7")
+
+
+def _make_activity_model(activity: float):
+    def model(draw: float) -> int:
+        return 1 if draw < activity else 0
+
+    return model
+
+
+@dataclass(frozen=True)
+class FleetScaleBootstrap(ShardBootstrap):
+    """The million-device benchmark fleet: a plain grouped gather over
+    a mostly-quiescent activity signal.
+
+    Each ``FleetSensor`` reports a 0/1 ``level`` (active with
+    probability ``activity`` per tick, deterministic in ``(seed,
+    entity, time)``), grouped by one of eight zones — the payload shape
+    where the delta wire protocol pays: between sweeps only the ~2 ·
+    ``activity`` fraction of devices that flipped cross the pipe, the
+    rest collapse into the quiescent count, and the columnar batch path
+    plus memoized cohort plans keep the worker-side sweep cost flat.
+    ``service_time`` models per-device gateway read latency — the
+    quantity sharding overlaps across worker processes.  Frozen and
+    module-level, so it survives ``spawn`` pickling.
+    """
+
+    count: int = 10_000
+    seed: int = 0
+    service_time: float = 0.0
+    activity: float = 0.02
+    shard: Optional[ShardConfig] = None
+
+    def fleet(self) -> Sequence[str]:
+        return [f"fleet-sensor-{index:07d}" for index in range(self.count)]
+
+    def _create(self, app, substrate, entity_id: str, position: int) -> None:
+        app.create_device(
+            "FleetSensor",
+            entity_id,
+            substrate.driver("level"),
+            zone=_FLEET_SCALE_ZONES[position % len(_FLEET_SCALE_ZONES)],
+        )
+
+    def build(self, ctx: ShardContext) -> "Application":
+        from repro.api import Application, RuntimeConfig, analyze
+        from repro.runtime.component import Context
+        from repro.runtime.plan import BatchConfig
+        from repro.simulation.sensors import GatewaySubstrate
+
+        class ZoneLevelsImpl(Context):
+            def on_periodic_level(self, by_zone, discover):
+                return sum(sum(levels) for levels in by_zone.values())
+
+        config = RuntimeConfig(
+            shard=self.shard if self.shard is not None else ShardConfig(),
+            batch=BatchConfig(enabled=True),
+        )
+        app = Application(analyze(_FLEET_SCALE_DESIGN), config)
+        app.implement("ZoneLevels", ZoneLevelsImpl())
+        substrate = GatewaySubstrate(
+            app.clock,
+            seed=self.seed,
+            models={"level": _make_activity_model(self.activity)},
+            service_time=self.service_time,
+        )
+        _FLEET_SUBSTRATES[app] = substrate
+        for position, entity_id in enumerate(self.fleet()):
+            if ctx.owns(entity_id):
+                self._create(app, substrate, entity_id, position)
+        return app
+
+    def bind_entity(
+        self, app: "Application", entity_id: str, position: int
+    ) -> None:
+        self._create(app, _FLEET_SUBSTRATES[app], entity_id, position)

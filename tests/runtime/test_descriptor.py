@@ -296,3 +296,64 @@ class TestTopologySection:
         assert (
             application.placement.node_for(instance, "zone") == "cab-north"
         )
+
+
+class TestShardSection:
+    """``topology.shard`` → an enabled ShardConfig."""
+
+    def test_shard_section_parses(self):
+        descriptor = load_descriptor(
+            {
+                "topology": {
+                    "shard": {
+                        "workers": 3,
+                        "wire_format": "columnar",
+                        "delta_sync": True,
+                        "local_cache": False,
+                    }
+                },
+                "entities": [],
+            }
+        )
+        shard = descriptor.shard_config()
+        assert shard.enabled is True
+        assert shard.workers == 3
+        assert shard.wire_format == "columnar"
+        assert shard.delta_sync is True
+        assert shard.local_cache is False
+
+    def test_shard_section_defaults_enabled(self):
+        descriptor = load_descriptor(
+            {"topology": {"shard": {}}, "entities": []}
+        )
+        assert descriptor.shard_config().enabled is True
+
+    def test_no_shard_section_builds_nothing(self):
+        assert load_descriptor({"entities": []}).shard_config() is None
+        assert (
+            load_descriptor(
+                {"topology": {}, "entities": []}
+            ).shard_config()
+            is None
+        )
+
+    def test_overrides_win(self):
+        descriptor = load_descriptor(
+            {"topology": {"shard": {"workers": 2}}, "entities": []}
+        )
+        assert descriptor.shard_config(workers=8).workers == 8
+
+    def test_unknown_shard_field_rejected(self):
+        with pytest.raises(BindingError, match="pipes"):
+            load_descriptor(
+                {"topology": {"shard": {"pipes": 2}}, "entities": []}
+            )
+
+    def test_invalid_shard_value_fails_at_load(self):
+        with pytest.raises(BindingError, match="wire_format"):
+            load_descriptor(
+                {
+                    "topology": {"shard": {"wire_format": "json"}},
+                    "entities": [],
+                }
+            )

@@ -11,6 +11,7 @@ actions on remote entities behave exactly as local ones.
 
 import multiprocessing
 import os
+import weakref
 
 import pytest
 from hypothesis import given, settings
@@ -112,7 +113,16 @@ class PushesImpl(Context):
 
 class TaggingDriver(SubstrateDriver):
     def do_tag(self, label):
+        if label == "boom":
+            error = RuntimeError("action exploded")
+            error.payload = lambda: None  # unpicklable across the pipe
+            raise error
         return f"{self.instance.entity_id}:{label}"
+
+
+# Per-process substrate, keyed by the application it serves, so
+# ``bind_entity`` can build drivers inside an already-built worker.
+_SUBSTRATES = weakref.WeakKeyDictionary()
 
 
 class PresenceBootstrap(ShardBootstrap):
@@ -156,7 +166,17 @@ class PresenceBootstrap(ShardBootstrap):
                     TaggingDriver(substrate, sources=("presence",)),
                     parkingLot=LOTS[position % len(LOTS)],
                 )
+        _SUBSTRATES[app] = substrate
         return app
+
+    def bind_entity(self, app, entity_id, position):
+        substrate = _SUBSTRATES[app]
+        app.create_device(
+            "ShardPresence",
+            entity_id,
+            TaggingDriver(substrate, sources=("presence",)),
+            parkingLot=LOTS[position % len(LOTS)],
+        )
 
 
 def run_scenario(bootstrap, periods=4, publishes=(), queries=()):
@@ -200,12 +220,22 @@ class TestShardConfig:
         assert config.enabled is False
         assert config.workers == 4
         assert config.start_method is None
+        assert config.wire_format == "columnar"
+        assert config.delta_sync is True
+        assert config.local_cache is True
 
     def test_validation(self):
         with pytest.raises(ValueError):
             ShardConfig(workers=0)
         with pytest.raises(ValueError):
             ShardConfig(start_method="threads")
+        with pytest.raises(ValueError):
+            ShardConfig(wire_format="json")
+
+    def test_wire_knobs_coerce_to_bool(self):
+        config = ShardConfig(delta_sync=0, local_cache=1)
+        assert config.delta_sync is False
+        assert config.local_cache is True
 
     def test_runtime_config_field(self):
         config = RuntimeConfig(shard=ShardConfig(enabled=True, workers=2))
@@ -243,9 +273,11 @@ class TestEquivalence:
         seed=st.integers(min_value=0, max_value=2**16),
         batch=st.booleans(),
         cache=st.booleans(),
+        wire=st.sampled_from(["rows", "columnar"]),
+        delta=st.booleans(),
     )
     def test_sweeps_windows_and_events_match(
-        self, sensors, workers, seed, batch, cache
+        self, sensors, workers, seed, batch, cache, wire, delta
     ):
         def bootstrap(shard):
             return PresenceBootstrap(
@@ -264,7 +296,14 @@ class TestEquivalence:
             queries=queries,
         )
         sharded = run_scenario(
-            bootstrap(ShardConfig(enabled=True, workers=workers)),
+            bootstrap(
+                ShardConfig(
+                    enabled=True,
+                    workers=workers,
+                    wire_format=wire,
+                    delta_sync=delta,
+                )
+            ),
             publishes=publishes,
             queries=queries,
         )
@@ -444,6 +483,8 @@ class TestMetrics:
                 "shard_events_routed_total",
                 "shard_publishes_forwarded_total",
                 "shard_errors_total",
+                "shard_wire_bytes_total",
+                "shard_delta_rows_total",
             ):
                 assert family in rendered
             stats = runtime.stats()
@@ -453,6 +494,277 @@ class TestMetrics:
             assert stats["router"]["publishes_forwarded"] == 1
             assert stats["router"]["events_routed"] >= 1
             assert stats["router"]["errors"] == 0
+            assert stats["router"]["wire_bytes"] > 0
+            # Default wire settings are columnar+delta: the first sweep
+            # registers every reading, later sweeps ship only changes.
+            assert stats["delta_rows"] >= 6
+            assert stats["quiescent_rows"] >= 0
+        finally:
+            runtime.stop()
+
+
+class TestWireProtocol:
+    """Every wire encoding delivers byte-identical results, and the
+    delta protocol actually suppresses quiescent rows."""
+
+    @pytest.mark.parametrize(
+        "wire,delta",
+        [("rows", False), ("columnar", False), ("columnar", True)],
+    )
+    def test_encodings_identical(self, wire, delta):
+        publishes = [("s-004", True)]
+        queries = ["s-000", "s-008"]
+        single = run_scenario(
+            PresenceBootstrap(sensors=9, shard=ShardConfig(enabled=False)),
+            publishes=publishes,
+            queries=queries,
+        )
+        sharded = run_scenario(
+            PresenceBootstrap(
+                sensors=9,
+                shard=ShardConfig(
+                    enabled=True,
+                    workers=3,
+                    wire_format=wire,
+                    delta_sync=delta,
+                ),
+            ),
+            publishes=publishes,
+            queries=queries,
+        )
+        assert sharded == single
+
+    def test_delta_ships_fewer_bytes_than_rows(self):
+        def wire_bytes(wire, delta):
+            runtime = ShardedRuntime(
+                PresenceBootstrap(
+                    sensors=12,
+                    seed=3,
+                    shard=ShardConfig(
+                        enabled=True,
+                        workers=2,
+                        wire_format=wire,
+                        delta_sync=delta,
+                    ),
+                )
+            )
+            runtime.start()
+            try:
+                runtime.advance(6 * PERIOD)
+                return runtime.stats()["router"]["wire_bytes"]
+            finally:
+                runtime.stop()
+
+        assert wire_bytes("columnar", True) < wire_bytes("rows", False)
+
+    def test_delta_counts_quiescent_rows(self):
+        runtime = ShardedRuntime(
+            PresenceBootstrap(
+                sensors=9,
+                shard=ShardConfig(enabled=True, workers=3),
+            )
+        )
+        runtime.start()
+        try:
+            runtime.advance(4 * PERIOD)
+            stats = runtime.stats()
+            # The grouped gather registers all 9 readings on sweep one;
+            # the substrate keeps some sensors steady across the later
+            # sweeps, so those rows cross as quiescent counts instead.
+            assert stats["delta_rows"] >= 9
+            assert stats["quiescent_rows"] > 0
+        finally:
+            runtime.stop()
+
+
+class TestRepartitioning:
+    """Dynamic rebind/unbind route to the owning worker and stay
+    byte-identical to a single-process late bind/unbind."""
+
+    def run_repartition(self, shard):
+        runtime = ShardedRuntime(
+            PresenceBootstrap(sensors=6, seed=11, shard=shard)
+        )
+        published = []
+        for name in ("FreeCount", "Windowed", "Pushes"):
+            runtime.app.bus.subscribe(
+                ("context", name),
+                lambda event, name=name: published.append(
+                    (name, event.value, event.timestamp)
+                ),
+            )
+        runtime.start()
+        try:
+            runtime.advance(2 * PERIOD)
+            runtime.rebind("s-006")
+            runtime.unbind("s-002")
+            runtime.advance(2 * PERIOD)
+            free = runtime.app.implementation("FreeCount")
+            return {
+                "published": published,
+                "deliveries": free.deliveries,
+                "read": runtime.query("s-006", "presence"),
+                "tag": runtime.act("s-006", "tag", label="new"),
+            }
+        finally:
+            runtime.stop()
+
+    def test_rebind_unbind_identity(self):
+        single = self.run_repartition(ShardConfig(enabled=False))
+        sharded = self.run_repartition(
+            ShardConfig(enabled=True, workers=3)
+        )
+        assert sharded == single
+        assert sharded["tag"] == "s-006:new"
+
+    def test_unbound_entity_routes_binding_error(self):
+        runtime = ShardedRuntime(
+            PresenceBootstrap(
+                sensors=6, shard=ShardConfig(enabled=True, workers=2)
+            )
+        )
+        runtime.start()
+        try:
+            runtime.unbind("s-001")
+            with pytest.raises(BindingError):
+                runtime.query("s-001", "presence")
+        finally:
+            runtime.stop()
+
+    def test_default_bootstrap_refuses_dynamic_bind(self):
+        class StaticBootstrap(PresenceBootstrap):
+            bind_entity = ShardBootstrap.bind_entity
+
+        runtime = ShardedRuntime(
+            StaticBootstrap(sensors=3, shard=ShardConfig(enabled=False))
+        )
+        runtime.start()
+        try:
+            with pytest.raises(ShardError):
+                runtime.rebind("s-003")
+        finally:
+            runtime.stop()
+
+
+class TestCacheInvalidation:
+    """Cross-shard cohort invalidations piggyback on the next command
+    reaching each worker's local cache."""
+
+    def test_publish_invalidates_remote_cohorts(self):
+        workers = 3
+        runtime = ShardedRuntime(
+            PresenceBootstrap(
+                sensors=9,
+                shard=ShardConfig(enabled=True, workers=workers),
+                cache=CacheConfig(
+                    enabled=True,
+                    ttl_seconds=1e9,
+                    shard_attribute="parkingLot",
+                ),
+            )
+        )
+        runtime.start()
+        try:
+            runtime.advance(PERIOD)  # sweeps fill every worker cache
+            fleet = [f"s-{index:03d}" for index in range(9)]
+            pairs = [
+                (a, b)
+                for pa, a in enumerate(fleet)
+                for pb, b in enumerate(fleet)
+                if pa != pb
+                and LOTS[pa % len(LOTS)] == LOTS[pb % len(LOTS)]
+                and shard_index(a, workers) != shard_index(b, workers)
+            ]
+            assert pairs, "no same-lot pair straddles two shards"
+            publisher, remote = pairs[0]
+            before = runtime.worker_stats()
+            runtime.publish(publisher, "presence", True)
+            runtime.query(remote, "presence")  # carries the cohort drop
+            after = runtime.worker_stats()
+            target = shard_index(remote, workers)
+            assert (
+                after[target]["cache"]["invalidations"]
+                > before[target]["cache"]["invalidations"]
+            )
+        finally:
+            runtime.stop()
+
+    def test_local_cache_off_strips_worker_caches(self):
+        runtime = ShardedRuntime(
+            PresenceBootstrap(
+                sensors=6,
+                shard=ShardConfig(
+                    enabled=True, workers=2, local_cache=False
+                ),
+                cache=CacheConfig(enabled=True),
+            )
+        )
+        runtime.start()
+        try:
+            runtime.advance(PERIOD)
+            for stats in runtime.worker_stats():
+                assert stats["cache"] is None
+        finally:
+            runtime.stop()
+
+
+class TestRouterFailures:
+    """Worker death and worker-side errors surface as typed ShardErrors
+    naming the shard, and stop() still reaps the survivors."""
+
+    def _running_runtime(self, workers=2):
+        runtime = ShardedRuntime(
+            PresenceBootstrap(
+                sensors=6, shard=ShardConfig(enabled=True, workers=workers)
+            )
+        )
+        runtime.start()
+        return runtime
+
+    def test_worker_death_mid_run_raises_shard_error(self):
+        runtime = self._running_runtime()
+        children = sorted(
+            (
+                p
+                for p in multiprocessing.active_children()
+                if p.name.startswith("repro-shard-")
+            ),
+            key=lambda p: p.name,
+        )
+        try:
+            children[0].terminate()
+            children[0].join(timeout=10)
+            with pytest.raises(ShardError):
+                runtime.advance(PERIOD)
+        finally:
+            runtime.stop()
+        assert not any(p.is_alive() for p in children)
+
+    def test_stop_after_crash_reaps_survivors(self):
+        runtime = self._running_runtime(workers=3)
+        children = [
+            p
+            for p in multiprocessing.active_children()
+            if p.name.startswith("repro-shard-")
+        ]
+        assert len(children) == 3
+        children[1].terminate()
+        children[1].join(timeout=10)
+        runtime.stop()
+        assert not any(p.is_alive() for p in children)
+        assert len(runtime.router) == 0
+
+    def test_worker_error_reply_names_shard(self):
+        runtime = self._running_runtime(workers=2)
+        try:
+            with pytest.raises(ShardError) as excinfo:
+                runtime.act("s-001", "tag", label="boom")
+            # The unpicklable worker exception degrades to a ShardError
+            # carrying its repr and the shard that raised it.
+            assert excinfo.value.shard == shard_index("s-001", 2)
+            assert "action exploded" in str(excinfo.value)
+            # The worker survives the error and keeps serving.
+            assert runtime.act("s-001", "tag", label="ok") == "s-001:ok"
         finally:
             runtime.stop()
 

@@ -178,6 +178,20 @@ class TestKnobRegistry:
         assert "cache.ttl_seconds" in full
         assert "supervision.failure_threshold" in full
         assert "supervision.backoff_base_seconds" in full
+        assert "shard.delta_sync" not in full
+
+        from repro.runtime.shard import ShardConfig
+
+        sharded = KnobRegistry.for_config(
+            RuntimeConfig(shard=ShardConfig(enabled=True))
+        )
+        assert "shard.delta_sync" in sharded
+        flipped = sharded.with_value(
+            RuntimeConfig(shard=ShardConfig(enabled=True)),
+            "shard.delta_sync",
+            0,
+        )
+        assert flipped.shard.delta_sync is False
 
     def test_describe_carries_ranges_and_values(self):
         registry = KnobRegistry.for_config(RuntimeConfig())
